@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Experiment F4 (paper Fig. 4): the crossing-off procedure performed
+ * on the Fig. 2 program. The paper's trace takes 12 steps with two
+ * executable pairs crossed in steps 3, 5 and 9.
+ */
+
+#include <cstdio>
+
+#include "algos/paper_figures.h"
+#include "bench_util.h"
+#include "core/crossoff.h"
+
+using namespace syscomm;
+using namespace syscomm::bench;
+
+int
+main()
+{
+    banner("F4", "crossing-off trace of the Fig. 2 program");
+
+    Program p = algos::fig2FirProgram();
+    CrossOffResult result = crossOff(p);
+
+    std::printf("\ndeadlock-free: %s\n",
+                result.deadlockFree ? "yes" : "no");
+    std::printf("steps: %zu (paper: 12)\n", result.rounds.size());
+    std::printf("pairs: %zu (paper: 15)\n\n", result.sequence.size());
+    std::printf("%s\n", result.traceStr(p).c_str());
+
+    std::printf("double steps (two pairs executable): ");
+    for (std::size_t s = 0; s < result.rounds.size(); ++s) {
+        if (result.rounds[s].size() > 1)
+            std::printf("%zu ", s + 1);
+    }
+    std::printf(" (paper: 3 5 9)\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment P1: cost of the compile-time analyses. The crossing-off
+ * procedure, the related-message analysis and the section 6 labeler
+ * all scale near-linearly in program size for stream-like programs,
+ * so the avoidance machinery is practical at compile time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/competing.h"
+#include "core/crossoff.h"
+#include "core/labeling.h"
+#include "core/program_gen.h"
+#include "core/related.h"
+
+namespace {
+
+using namespace syscomm;
+
+Program
+makeProgram(int messages, int words_each)
+{
+    Topology topo = Topology::linearArray(8);
+    GenOptions gen;
+    gen.numMessages = messages;
+    gen.maxWords = words_each;
+    gen.seed = 42;
+    gen.interleave = 0.1;
+    return randomDeadlockFreeProgram(topo, gen);
+}
+
+void
+BM_CrossOff(benchmark::State& state)
+{
+    Program p = makeProgram(static_cast<int>(state.range(0)), 8);
+    for (auto _ : state) {
+        CrossOffResult r = crossOff(p);
+        benchmark::DoNotOptimize(r.deadlockFree);
+    }
+    state.SetItemsProcessed(state.iterations() * p.totalTransferOps());
+}
+BENCHMARK(BM_CrossOff)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_CrossOffLookahead(benchmark::State& state)
+{
+    Program p = makeProgram(static_cast<int>(state.range(0)), 8);
+    CrossOffOptions options;
+    options.lookahead = true;
+    options.skip_bound = uniformSkipBound(4);
+    for (auto _ : state) {
+        CrossOffResult r = crossOff(p, options);
+        benchmark::DoNotOptimize(r.deadlockFree);
+    }
+    state.SetItemsProcessed(state.iterations() * p.totalTransferOps());
+}
+BENCHMARK(BM_CrossOffLookahead)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_RelatedClasses(benchmark::State& state)
+{
+    Program p = makeProgram(static_cast<int>(state.range(0)), 8);
+    for (auto _ : state) {
+        UnionFind uf = computeRelatedClasses(p);
+        benchmark::DoNotOptimize(uf.size());
+    }
+}
+BENCHMARK(BM_RelatedClasses)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void
+BM_Labeling(benchmark::State& state)
+{
+    Program p = makeProgram(static_cast<int>(state.range(0)), 6);
+    for (auto _ : state) {
+        Labeling l = labelMessages(p);
+        benchmark::DoNotOptimize(l.success);
+    }
+}
+BENCHMARK(BM_Labeling)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_CompetingAnalysis(benchmark::State& state)
+{
+    Topology topo = Topology::mesh(6, 6);
+    GenOptions gen;
+    gen.numMessages = static_cast<int>(state.range(0));
+    gen.maxWords = 6;
+    gen.seed = 9;
+    Program p = randomDeadlockFreeProgram(topo, gen);
+    for (auto _ : state) {
+        auto analysis = CompetingAnalysis::analyze(p, topo);
+        benchmark::DoNotOptimize(analysis.maxCompeting());
+    }
+}
+BENCHMARK(BM_CompetingAnalysis)->Arg(16)->Arg(64)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Small table/formatting helpers shared by the figure-reproduction
+ * benchmark binaries.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace syscomm::bench {
+
+/** Print a banner naming the experiment. */
+inline void
+banner(const std::string& id, const std::string& title)
+{
+    std::string line(72, '=');
+    std::printf("%s\n%s — %s\n%s\n", line.c_str(), id.c_str(),
+                title.c_str(), line.c_str());
+}
+
+/** Print one row of fixed-width columns. */
+inline void
+row(const std::vector<std::string>& cells, int width = 14)
+{
+    for (const std::string& cell : cells)
+        std::printf("%-*s", width, cell.c_str());
+    std::printf("\n");
+}
+
+/** Horizontal rule matching row() width. */
+inline void
+rule(std::size_t columns, int width = 14)
+{
+    std::printf("%s\n",
+                std::string(columns * static_cast<std::size_t>(width), '-')
+                    .c_str());
+}
+
+inline std::string
+fmt(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+    return buf;
+}
+
+} // namespace syscomm::bench

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: declare messages, write cell programs, compile with the
+ * deadlock-avoidance pipeline, and simulate.
+ *
+ * The scenario is a 3-cell relay with a reply: cell 0 streams four
+ * words to cell 2 through cell 1, which doubles each word in passing;
+ * cell 2 sums them and sends one word back.
+ */
+
+#include <cstdio>
+
+#include "core/compile.h"
+#include "sim/machine.h"
+#include "text/printer.h"
+
+using namespace syscomm;
+
+int
+main()
+{
+    // 1. Describe the machine: a 3-cell linear array, two hardware
+    //    queues per link, each buffering one word.
+    MachineSpec machine;
+    machine.topo = Topology::linearArray(3);
+    machine.queuesPerLink = 2;
+    machine.queueCapacity = 1;
+
+    // 2. Declare the messages and write the cell programs. Every read
+    //    and write is known up front — the systolic model's contract.
+    Program program(3);
+    MessageId in = program.declareMessage("IN", 0, 1);
+    MessageId fwd = program.declareMessage("FWD", 1, 2);
+    MessageId reply = program.declareMessage("REPLY", 2, 0);
+
+    constexpr int kWords = 4;
+    for (int i = 0; i < kWords; ++i) {
+        double v = 1.0 + i;
+        program.compute(0, [v](CellContext& ctx) { ctx.setNextWrite(v); });
+        program.write(0, in);
+    }
+    program.read(0, reply);
+
+    for (int i = 0; i < kWords; ++i) {
+        program.read(1, in);
+        program.compute(1, [](CellContext& ctx) {
+            ctx.setNextWrite(2.0 * ctx.lastRead());
+        });
+        program.write(1, fwd);
+    }
+
+    for (int i = 0; i < kWords; ++i) {
+        program.read(2, fwd);
+        program.compute(2, [](CellContext& ctx) {
+            ctx.local(0) += ctx.lastRead();
+        });
+    }
+    program.compute(2, [](CellContext& ctx) {
+        ctx.setNextWrite(ctx.local(0));
+    });
+    program.write(2, reply);
+
+    std::printf("program:\n%s\n", text::renderColumns(program).c_str());
+
+    // 3. Compile: crossing-off, section 6 labeling, feasibility.
+    CompilePlan plan = compileProgram(program, machine);
+    std::printf("%s\n", plan.report(program).c_str());
+    if (!plan.ok) {
+        std::printf("compile failed: %s\n", plan.error.c_str());
+        return 1;
+    }
+
+    // 4. Simulate under the compatible queue-assignment policy.
+    sim::SimOptions options;
+    options.labels = plan.normalizedLabels;
+    options.audit = true;
+    sim::RunResult result = sim::simulateProgram(program, machine, options);
+
+    std::printf("status: %s in %lld cycles\n", result.statusStr(),
+                static_cast<long long>(result.cycles));
+    std::printf("cell 0 received reply = %.1f (expected %.1f)\n",
+                result.received[reply][0], 2.0 * (1 + 2 + 3 + 4));
+    std::printf("assignment trace: %s\n",
+                result.audit.compatible ? "compatible" : "VIOLATIONS");
+    return 0;
+}

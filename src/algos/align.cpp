@@ -1,0 +1,119 @@
+#include "algos/align.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <vector>
+
+namespace syscomm::algos {
+
+AlignSpec
+AlignSpec::random(int len_a, int len_b, std::uint64_t seed)
+{
+    static const char kAlphabet[] = "ACGT";
+    AlignSpec spec;
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> dist(0, 3);
+    for (int i = 0; i < len_a; ++i)
+        spec.a.push_back(kAlphabet[dist(rng)]);
+    for (int j = 0; j < len_b; ++j)
+        spec.b.push_back(kAlphabet[dist(rng)]);
+    return spec;
+}
+
+Topology
+alignTopology(const AlignSpec& spec)
+{
+    return Topology::linearArray(static_cast<int>(spec.a.size()) + 1);
+}
+
+int
+lcsReference(const AlignSpec& spec)
+{
+    int m = static_cast<int>(spec.a.size());
+    int n = static_cast<int>(spec.b.size());
+    std::vector<std::vector<int>> dp(m + 1, std::vector<int>(n + 1, 0));
+    for (int i = 1; i <= m; ++i) {
+        for (int j = 1; j <= n; ++j) {
+            dp[i][j] = spec.a[i - 1] == spec.b[j - 1]
+                           ? dp[i - 1][j - 1] + 1
+                           : std::max(dp[i - 1][j], dp[i][j - 1]);
+        }
+    }
+    return dp[m][n];
+}
+
+Program
+makeLcsProgram(const AlignSpec& spec)
+{
+    int m = static_cast<int>(spec.a.size());
+    int n = static_cast<int>(spec.b.size());
+    assert(m >= 1 && n >= 1);
+
+    Program program(m + 1);
+
+    // B<i>: the character stream hop into cell i; ROW<i>: the DP row
+    // L[i-1][*] hop into cell i; RES: the final score back to the host.
+    std::vector<MessageId> bmsg(m + 1, kInvalidMessage);
+    std::vector<MessageId> rmsg(m + 1, kInvalidMessage);
+    for (int i = 1; i <= m; ++i) {
+        bmsg[i] = program.declareMessage("B" + std::to_string(i), i - 1, i);
+        rmsg[i] =
+            program.declareMessage("ROW" + std::to_string(i), i - 1, i);
+    }
+    MessageId res = program.declareMessage("RES", m, 0);
+
+    // Host: stream (b_j, 0) pairs, then read the score.
+    for (int j = 0; j < n; ++j) {
+        double ch = static_cast<double>(spec.b[j]);
+        program.compute(0, [ch](CellContext& ctx) {
+            ctx.setNextWrite(ch);
+        });
+        program.write(0, bmsg[1]);
+        program.compute(0, [](CellContext& ctx) {
+            ctx.setNextWrite(0.0);
+        });
+        program.write(0, rmsg[1]);
+    }
+    program.read(0, res);
+
+    // Cell i: one DP row. Locals: 0 = incoming char, 1 = L[i][j-1],
+    // 2 = L[i-1][j-1], 3 = L[i][j].
+    for (int i = 1; i <= m; ++i) {
+        double ai = static_cast<double>(spec.a[i - 1]);
+        for (int j = 0; j < n; ++j) {
+            program.read(i, bmsg[i]);
+            program.compute(i, [](CellContext& ctx) {
+                ctx.local(0) = ctx.lastRead();
+            });
+            program.read(i, rmsg[i]);
+            program.compute(i, [ai](CellContext& ctx) {
+                double up = ctx.lastRead();
+                double cur = ctx.local(0) == ai
+                                 ? ctx.local(2) + 1.0
+                                 : std::max(up, ctx.local(1));
+                ctx.local(2) = up;
+                ctx.local(1) = cur;
+                ctx.local(3) = cur;
+            });
+            if (i < m) {
+                program.compute(i, [](CellContext& ctx) {
+                    ctx.setNextWrite(ctx.local(0));
+                });
+                program.write(i, bmsg[i + 1]);
+                program.compute(i, [](CellContext& ctx) {
+                    ctx.setNextWrite(ctx.local(3));
+                });
+                program.write(i, rmsg[i + 1]);
+            }
+        }
+    }
+    program.compute(m, [](CellContext& ctx) {
+        ctx.setNextWrite(ctx.local(3));
+    });
+    program.write(m, res);
+
+    return program;
+}
+
+} // namespace syscomm::algos

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * Longest-common-subsequence length on a linear systolic array — the
+ * sequence-comparison workload of the paper's reference [8] (LoPresti's
+ * P-NAC, "a systolic array for comparing nucleic acid sequences").
+ *
+ * One cell per character of sequence A; sequence B and the DP row
+ * stream through the array. Cell i computes row i of the classic DP:
+ *
+ *     L[i][j] = a_i == b_j ? L[i-1][j-1] + 1
+ *                          : max(L[i-1][j], L[i][j-1])
+ *
+ * receiving L[i-1][*] from its left neighbor one value per step and
+ * keeping L[i][j-1] / L[i-1][j-1] in local registers.
+ */
+
+#include <string>
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+/** Parameters of an alignment instance. */
+struct AlignSpec
+{
+    std::string a;
+    std::string b;
+
+    /** Random strings over a 4-letter (nucleotide) alphabet. */
+    static AlignSpec random(int len_a, int len_b, std::uint64_t seed);
+};
+
+/** Host + one cell per character of A. */
+Topology alignTopology(const AlignSpec& spec);
+
+/**
+ * Build the LCS program. The host streams B and a zero row in, and
+ * reads the final score on message "RES".
+ */
+Program makeLcsProgram(const AlignSpec& spec);
+
+/** Direct DP reference. */
+int lcsReference(const AlignSpec& spec);
+
+} // namespace syscomm::algos

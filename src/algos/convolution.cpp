@@ -1,0 +1,105 @@
+#include "algos/convolution.h"
+
+#include <cassert>
+#include <random>
+
+namespace syscomm::algos {
+
+ConvSpec
+ConvSpec::random(int kernel_size, int outputs, std::uint64_t seed)
+{
+    ConvSpec spec;
+    spec.outputs = outputs;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-3.0, 3.0);
+    for (int t = 0; t < kernel_size; ++t)
+        spec.kernel.push_back(dist(rng));
+    for (int j = 0; j < outputs + kernel_size - 1; ++j)
+        spec.inputs.push_back(dist(rng));
+    return spec;
+}
+
+Topology
+convTopology(const ConvSpec& spec)
+{
+    return Topology::linearArray(spec.outputs + 1);
+}
+
+std::vector<double>
+convReference(const ConvSpec& spec)
+{
+    int k = static_cast<int>(spec.kernel.size());
+    std::vector<double> out(spec.outputs, 0.0);
+    for (int i = 0; i < spec.outputs; ++i) {
+        for (int t = 0; t < k; ++t)
+            out[i] += spec.kernel[t] * spec.inputs[i + t];
+    }
+    return out;
+}
+
+Program
+makeConvolutionProgram(const ConvSpec& spec)
+{
+    int k = static_cast<int>(spec.kernel.size());
+    int n = spec.outputs;
+    int samples = n + k - 1;
+    assert(k >= 1 && n >= 1);
+    assert(static_cast<int>(spec.inputs.size()) == samples);
+
+    Program program(n + 1);
+
+    // X_i: sample stream hop cell i-1 -> cell i; cell i sees samples
+    // x[i-1 .. samples-1] (earlier samples are consumed upstream).
+    // R_i: the one-word result message cell i -> host (multi-hop).
+    std::vector<MessageId> x(n + 1, kInvalidMessage);
+    std::vector<MessageId> res(n + 1, kInvalidMessage);
+    for (int i = 1; i <= n; ++i) {
+        x[i] = program.declareMessage("X" + std::to_string(i), i - 1, i);
+        res[i] = program.declareMessage("R" + std::to_string(i), i, 0);
+    }
+
+    // Host: emit every sample, then collect results in cell order.
+    for (int j = 0; j < samples; ++j) {
+        double sample = spec.inputs[j];
+        program.compute(0, [sample](CellContext& ctx) {
+            ctx.setNextWrite(sample);
+        });
+        program.write(0, x[1]);
+    }
+    for (int i = 1; i <= n; ++i)
+        program.read(0, res[i]);
+
+    // Cell i consumes its window of k samples (accumulating), forwards
+    // what downstream cells still need, then emits its result.
+    for (int i = 1; i <= n; ++i) {
+        int stream_len = samples - (i - 1); // words of X_i
+        for (int j = 0; j < stream_len; ++j) {
+            program.read(i, x[i]);
+            program.compute(i, [](CellContext& ctx) {
+                ctx.local(0) = ctx.lastRead();
+            });
+            if (j < k) {
+                // Sample x[(i-1) + j] contributes kernel[j] to y[i-1].
+                double g = spec.kernel[j];
+                program.compute(i, [g](CellContext& ctx) {
+                    ctx.local(1) += g * ctx.local(0);
+                });
+            }
+            if (i < n && j >= 1) {
+                // Downstream cells need samples from x[i] onward.
+                program.compute(i, [](CellContext& ctx) {
+                    ctx.setNextWrite(ctx.local(0));
+                });
+                program.write(i, x[i + 1]);
+            }
+        }
+        program.compute(i, [](CellContext& ctx) {
+            ctx.setNextWrite(ctx.local(1));
+        });
+        program.write(i, res[i]);
+    }
+
+    return program;
+}
+
+} // namespace syscomm::algos

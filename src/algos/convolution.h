@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * @file
+ * Convolution with stationary results on a linear array.
+ *
+ * A different systolic design point from the FIR pipeline of Fig. 2:
+ * one cell per output. The sample stream flows through the array; each
+ * cell accumulates its own output locally and, when done, sends the
+ * single result word back to the host. The result messages are
+ * multi-hop and compete with the sample stream for queues, which makes
+ * this a good labeling workload.
+ *
+ *     y[i] = sum_{t=0..k-1} g[t] * x[i+t]      (0-based)
+ */
+
+#include <vector>
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+/** Parameters of a convolution instance. */
+struct ConvSpec
+{
+    /** Kernel; k = kernel.size(). */
+    std::vector<double> kernel;
+    /** Number of outputs; needs outputs + k - 1 input samples. */
+    int outputs = 4;
+    std::vector<double> inputs;
+
+    static ConvSpec random(int kernel_size, int outputs,
+                           std::uint64_t seed);
+};
+
+/** Host + one cell per output. */
+Topology convTopology(const ConvSpec& spec);
+
+/** Build the stationary-result convolution program. */
+Program makeConvolutionProgram(const ConvSpec& spec);
+
+/** Direct reference outputs. */
+std::vector<double> convReference(const ConvSpec& spec);
+
+} // namespace syscomm::algos

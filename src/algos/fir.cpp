@@ -1,0 +1,156 @@
+#include "algos/fir.h"
+
+#include <cassert>
+#include <random>
+
+namespace syscomm::algos {
+
+FirSpec
+FirSpec::paperExample()
+{
+    FirSpec spec;
+    spec.taps = 3;
+    spec.outputs = 2;
+    spec.weights = {3.0, 5.0, 7.0};
+    spec.inputs = {1.0, 2.0, 3.0, 4.0};
+    return spec;
+}
+
+FirSpec
+FirSpec::random(int taps, int outputs, std::uint64_t seed)
+{
+    FirSpec spec;
+    spec.taps = taps;
+    spec.outputs = outputs;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-4.0, 4.0);
+    for (int t = 0; t < taps; ++t)
+        spec.weights.push_back(dist(rng));
+    for (int j = 0; j < outputs + taps - 1; ++j)
+        spec.inputs.push_back(dist(rng));
+    return spec;
+}
+
+Topology
+firTopology(int taps)
+{
+    return Topology::linearArray(taps + 1);
+}
+
+std::vector<double>
+firReference(const FirSpec& spec)
+{
+    assert(static_cast<int>(spec.weights.size()) == spec.taps);
+    assert(static_cast<int>(spec.inputs.size()) ==
+           spec.outputs + spec.taps - 1);
+    std::vector<double> out(spec.outputs, 0.0);
+    for (int j = 0; j < spec.outputs; ++j) {
+        for (int t = 0; t < spec.taps; ++t)
+            out[j] += spec.weights[t] * spec.inputs[j + t];
+    }
+    return out;
+}
+
+std::string
+firHostOutputMessage()
+{
+    return "Y1";
+}
+
+Program
+makeFirProgram(const FirSpec& spec)
+{
+    int k = spec.taps;
+    int n = spec.outputs;
+    assert(k >= 1 && n >= 1);
+    assert(static_cast<int>(spec.weights.size()) == k);
+    assert(static_cast<int>(spec.inputs.size()) == n + k - 1);
+
+    Program program(k + 1);
+
+    // X_i: cell i-1 -> cell i (the host is cell 0), n + k - i words.
+    // Y_i: cell i -> cell i-1, n words.
+    std::vector<MessageId> x(k + 1, kInvalidMessage);
+    std::vector<MessageId> y(k + 1, kInvalidMessage);
+    for (int i = 1; i <= k; ++i) {
+        x[i] = program.declareMessage("X" + std::to_string(i), i - 1, i);
+        y[i] = program.declareMessage("Y" + std::to_string(i), i, i - 1);
+    }
+
+    // Host (cell 0): emit the first k samples, then alternate reading a
+    // result with emitting the next sample (Fig. 2's host column).
+    for (int j = 0; j < k; ++j) {
+        double sample = spec.inputs[j];
+        program.compute(0, [sample](CellContext& ctx) {
+            ctx.setNextWrite(sample);
+        });
+        program.write(0, x[1]);
+    }
+    for (int j = 0; j < n; ++j) {
+        program.read(0, y[1]);
+        int next = k + j;
+        if (next < n + k - 1) {
+            double sample = spec.inputs[next];
+            program.compute(0, [sample](CellContext& ctx) {
+                ctx.setNextWrite(sample);
+            });
+            program.write(0, x[1]);
+        }
+    }
+
+    // Interior cells 1..k-1: forward x, fold the partial y coming from
+    // the right. Cell i holds weight w[k-i] and applies it to x[j]
+    // while folding y[j - (k - i)].
+    for (int i = 1; i < k; ++i) {
+        double w = spec.weights[k - i];
+        int len = n + k - i; // words of X_i
+        for (int j = 0; j < len; ++j) {
+            program.read(i, x[i]);
+            // Stash the sample: the next read would overwrite it.
+            program.compute(i, [](CellContext& ctx) {
+                ctx.local(0) = ctx.lastRead();
+            });
+            // Fold the partial result from the right *before*
+            // forwarding the sample — Fig. 2's order. The reverse
+            // order creates facing writes with the downstream cell
+            // (the P2 pattern of Fig. 5) and deadlocks.
+            int jy = j - (k - i); // y index this sample contributes to
+            bool active = jy >= 0 && jy < n;
+            if (active) {
+                program.read(i, y[i + 1]);
+                program.compute(i, [w](CellContext& ctx) {
+                    ctx.local(1) = ctx.lastRead() + w * ctx.local(0);
+                });
+            }
+            if (j < len - 1) {
+                // Forward the sample (X_{i+1} is one word shorter).
+                program.compute(i, [](CellContext& ctx) {
+                    ctx.setNextWrite(ctx.local(0));
+                });
+                program.write(i, x[i + 1]);
+            }
+            if (active) {
+                program.compute(i, [](CellContext& ctx) {
+                    ctx.setNextWrite(ctx.local(1));
+                });
+                program.write(i, y[i]);
+            }
+        }
+    }
+
+    // Last cell k: starts each partial result with w[0] * x[j].
+    {
+        double w0 = spec.weights[0];
+        for (int j = 0; j < n; ++j) {
+            program.read(k, x[k]);
+            program.compute(k, [w0](CellContext& ctx) {
+                ctx.setNextWrite(w0 * ctx.lastRead());
+            });
+            program.write(k, y[k]);
+        }
+    }
+
+    return program;
+}
+
+} // namespace syscomm::algos

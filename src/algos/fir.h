@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * k-tap FIR filter on a linear array — the generalization of the
+ * paper's Fig. 2 (which is the 3-tap, 2-output instance).
+ *
+ * Cells: 0 is the host, 1..taps are the array. Cell i holds weight
+ * w[taps-i] (the paper preloads w1..w3 into C3..C1). The x stream
+ * flows right (host -> Ck) shortening by one word per cell; partial y
+ * results flow left (Ck -> host), each cell adding its term:
+ *
+ *     y[j] = sum_{t=0..k-1} w[t] * x[j+t]      (0-based)
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/machine_spec.h"
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+/** Parameters of a FIR instance. */
+struct FirSpec
+{
+    int taps = 3;
+    int outputs = 2;
+    /** weights[t] multiplies x[j+t]; size must equal taps. */
+    std::vector<double> weights;
+    /** Input samples; size must equal outputs + taps - 1. */
+    std::vector<double> inputs;
+
+    /** Fig. 2's exact instance: w = {3, 5, 7}, x = {1, 2, 3, 4}. */
+    static FirSpec paperExample();
+
+    /** A pseudo-random instance of the given size. */
+    static FirSpec random(int taps, int outputs, std::uint64_t seed);
+};
+
+/** The linear array (host + taps cells) the program runs on. */
+Topology firTopology(int taps);
+
+/**
+ * Build the FIR program, including compute ops so the simulator
+ * produces real numerics. Message names follow Fig. 2: X1 is the
+ * host->C1 stream (the paper's XA), Y1 is C1->host (YA), and so on.
+ */
+Program makeFirProgram(const FirSpec& spec);
+
+/** Direct (non-systolic) reference outputs. */
+std::vector<double> firReference(const FirSpec& spec);
+
+/** Name of the y-stream message arriving at the host ("Y1"). */
+std::string firHostOutputMessage();
+
+} // namespace syscomm::algos

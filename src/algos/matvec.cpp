@@ -1,0 +1,100 @@
+#include "algos/matvec.h"
+
+#include <cassert>
+#include <random>
+
+namespace syscomm::algos {
+
+MatVecSpec
+MatVecSpec::random(int rows, int cols, std::uint64_t seed)
+{
+    MatVecSpec spec;
+    spec.rows = rows;
+    spec.cols = cols;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    for (int i = 0; i < rows * cols; ++i)
+        spec.a.push_back(dist(rng));
+    for (int j = 0; j < cols; ++j)
+        spec.x.push_back(dist(rng));
+    return spec;
+}
+
+Topology
+matvecTopology(const MatVecSpec& spec)
+{
+    return Topology::linearArray(spec.cols + 1);
+}
+
+std::vector<double>
+matvecReference(const MatVecSpec& spec)
+{
+    std::vector<double> y(spec.rows, 0.0);
+    for (int i = 0; i < spec.rows; ++i) {
+        for (int j = 0; j < spec.cols; ++j)
+            y[i] += spec.at(i, j) * spec.x[j];
+    }
+    return y;
+}
+
+Program
+makeMatVecProgram(const MatVecSpec& spec)
+{
+    int m = spec.rows;
+    int n = spec.cols;
+    assert(m >= 1 && n >= 1);
+    assert(static_cast<int>(spec.a.size()) == m * n);
+    assert(static_cast<int>(spec.x.size()) == n);
+
+    Program program(n + 1);
+
+    // X_j: one word, host -> cell j (multi-hop for j > 1).
+    // P_j: m partial sums, cell j -> cell j+1 (P_n returns to host).
+    std::vector<MessageId> xv(n + 1, kInvalidMessage);
+    std::vector<MessageId> pv(n + 1, kInvalidMessage);
+    for (int j = 1; j <= n; ++j)
+        xv[j] = program.declareMessage("X" + std::to_string(j), 0, j);
+    for (int j = 1; j <= n; ++j) {
+        CellId to = (j == n) ? 0 : j + 1;
+        pv[j] = program.declareMessage("P" + std::to_string(j), j, to);
+    }
+
+    // Host: distribute the vector, then collect the m results.
+    for (int j = 1; j <= n; ++j) {
+        double value = spec.x[j - 1];
+        program.compute(0, [value](CellContext& ctx) {
+            ctx.setNextWrite(value);
+        });
+        program.write(0, xv[j]);
+    }
+    for (int i = 0; i < m; ++i)
+        program.read(0, pv[n]);
+
+    // Cell j: latch x[j], then fold its column into the partial-sum
+    // stream (cell 1 originates the stream).
+    for (int j = 1; j <= n; ++j) {
+        program.read(j, xv[j]);
+        program.compute(j, [](CellContext& ctx) {
+            ctx.local(0) = ctx.lastRead();
+        });
+        for (int i = 0; i < m; ++i) {
+            double aij = spec.at(i, j - 1);
+            if (j == 1) {
+                program.compute(j, [aij](CellContext& ctx) {
+                    ctx.setNextWrite(aij * ctx.local(0));
+                });
+            } else {
+                program.read(j, pv[j - 1]);
+                program.compute(j, [aij](CellContext& ctx) {
+                    ctx.setNextWrite(ctx.lastRead() +
+                                     aij * ctx.local(0));
+                });
+            }
+            program.write(j, pv[j]);
+        }
+    }
+
+    return program;
+}
+
+} // namespace syscomm::algos

@@ -1,0 +1,44 @@
+#pragma once
+
+/**
+ * @file
+ * Dense matrix-vector product y = A x on a linear array with
+ * column-stationary data: cell j receives x[j] once (a one-word,
+ * multi-hop message from the host), then the partial-sum stream folds
+ * left to right, each cell adding A[i][j] * x[j]. The many single-word
+ * multi-hop messages make this the heaviest queue-assignment workload
+ * of the bundled algorithms.
+ */
+
+#include <vector>
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+/** Parameters of a matrix-vector instance. */
+struct MatVecSpec
+{
+    int rows = 3;
+    int cols = 3;
+    /** Row-major rows x cols matrix. */
+    std::vector<double> a;
+    /** cols-long input vector. */
+    std::vector<double> x;
+
+    static MatVecSpec random(int rows, int cols, std::uint64_t seed);
+
+    double at(int r, int c) const { return a[r * cols + c]; }
+};
+
+/** Host + one cell per column. */
+Topology matvecTopology(const MatVecSpec& spec);
+
+/** Build the program. */
+Program makeMatVecProgram(const MatVecSpec& spec);
+
+/** Direct reference product. */
+std::vector<double> matvecReference(const MatVecSpec& spec);
+
+} // namespace syscomm::algos

@@ -1,0 +1,178 @@
+#include "algos/mesh_matmul.h"
+
+#include <cassert>
+#include <random>
+
+namespace syscomm::algos {
+
+MatMulSpec
+MatMulSpec::random(int n, int k, std::uint64_t seed)
+{
+    MatMulSpec spec;
+    spec.n = n;
+    spec.k = k;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-2.0, 2.0);
+    for (int i = 0; i < n * k; ++i)
+        spec.a.push_back(dist(rng));
+    for (int i = 0; i < k * n; ++i)
+        spec.b.push_back(dist(rng));
+    return spec;
+}
+
+Topology
+matmulTopology(const MatMulSpec& spec)
+{
+    return Topology::mesh(spec.n, spec.n);
+}
+
+std::vector<double>
+matmulReference(const MatMulSpec& spec)
+{
+    int n = spec.n;
+    std::vector<double> c(n * n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            for (int t = 0; t < spec.k; ++t)
+                c[i * n + j] += spec.aAt(i, t) * spec.bAt(t, j);
+        }
+    }
+    return c;
+}
+
+Program
+makeMatMulProgram(const MatMulSpec& spec)
+{
+    int n = spec.n;
+    int k = spec.k;
+    assert(n >= 2 && k >= 1);
+
+    Program program(n * n);
+    auto cell = [n](int i, int j) { return i * n + j; };
+
+    // A<i>_<j>: the row-i A stream hop (i, j-1) -> (i, j), k words.
+    // B<i>_<j>: the column-j B stream hop (i-1, j) -> (i, j), k words.
+    // C<i>_<j>: one-word result (i, j) -> (0, 0)  [C0_0 -> (0, 1)].
+    std::vector<MessageId> a_in(n * n, kInvalidMessage);
+    std::vector<MessageId> b_in(n * n, kInvalidMessage);
+    std::vector<MessageId> c_out(n * n, kInvalidMessage);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 1; j < n; ++j) {
+            a_in[cell(i, j)] = program.declareMessage(
+                "A" + std::to_string(i) + "_" + std::to_string(j),
+                cell(i, j - 1), cell(i, j));
+        }
+    }
+    for (int i = 1; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            b_in[cell(i, j)] = program.declareMessage(
+                "B" + std::to_string(i) + "_" + std::to_string(j),
+                cell(i - 1, j), cell(i, j));
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            CellId to = (i == 0 && j == 0) ? cell(0, 1) : cell(0, 0);
+            c_out[cell(i, j)] = program.declareMessage(
+                "C" + std::to_string(i) + "_" + std::to_string(j),
+                cell(i, j), to);
+        }
+    }
+
+    // Streaming phase: for each t, obtain a word of A and B (generate
+    // at the edges, read from the neighbor elsewhere), forward them,
+    // and accumulate. local(0) = a word, local(1) = b word,
+    // local(2) = accumulator.
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            CellId me = cell(i, j);
+            for (int t = 0; t < k; ++t) {
+                if (j == 0) {
+                    double av = spec.aAt(i, t);
+                    program.compute(me, [av](CellContext& ctx) {
+                        ctx.local(0) = av;
+                    });
+                } else {
+                    program.read(me, a_in[me]);
+                    program.compute(me, [](CellContext& ctx) {
+                        ctx.local(0) = ctx.lastRead();
+                    });
+                }
+                if (j + 1 < n) {
+                    program.compute(me, [](CellContext& ctx) {
+                        ctx.setNextWrite(ctx.local(0));
+                    });
+                    program.write(me, a_in[cell(i, j + 1)]);
+                }
+                if (i == 0) {
+                    double bv = spec.bAt(t, j);
+                    program.compute(me, [bv](CellContext& ctx) {
+                        ctx.local(1) = bv;
+                    });
+                } else {
+                    program.read(me, b_in[me]);
+                    program.compute(me, [](CellContext& ctx) {
+                        ctx.local(1) = ctx.lastRead();
+                    });
+                }
+                if (i + 1 < n) {
+                    program.compute(me, [](CellContext& ctx) {
+                        ctx.setNextWrite(ctx.local(1));
+                    });
+                    program.write(me, b_in[cell(i + 1, j)]);
+                }
+                program.compute(me, [](CellContext& ctx) {
+                    ctx.local(2) += ctx.local(0) * ctx.local(1);
+                });
+            }
+        }
+    }
+
+    // Drain phase: every cell emits its accumulated entry; (0, 0)
+    // collects them row-major, then (0, 1) absorbs (0, 0)'s entry last.
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            CellId me = cell(i, j);
+            if (i == 0 && j == 1) {
+                // (0, 1) must absorb the collector's entry before
+                // emitting its own, or the two writes face each other
+                // like program P2 of Fig. 5.
+                program.read(me, c_out[cell(0, 0)]);
+            }
+            program.compute(me, [](CellContext& ctx) {
+                ctx.setNextWrite(ctx.local(2));
+            });
+            program.write(me, c_out[me]);
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (i == 0 && j == 0)
+                continue;
+            program.read(cell(0, 0), c_out[cell(i, j)]);
+        }
+    }
+
+    return program;
+}
+
+std::vector<double>
+extractMatMulResult(const Program& program,
+                    const std::vector<std::vector<double>>& received,
+                    const MatMulSpec& spec)
+{
+    int n = spec.n;
+    std::vector<double> c(n * n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            auto id = program.messageByName("C" + std::to_string(i) + "_" +
+                                            std::to_string(j));
+            assert(id.has_value());
+            assert(received[*id].size() == 1);
+            c[i * n + j] = received[*id][0];
+        }
+    }
+    return c;
+}
+
+} // namespace syscomm::algos

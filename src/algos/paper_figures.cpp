@@ -1,0 +1,292 @@
+#include "algos/paper_figures.h"
+
+#include <cassert>
+
+namespace syscomm::algos {
+
+// ---------------------------------------------------------------------
+// Fig. 2
+// ---------------------------------------------------------------------
+
+Topology
+fig2Topology()
+{
+    return Topology::linearArray(4); // host + C1..C3
+}
+
+Program
+fig2FirProgram()
+{
+    // Weights w1, w2, w3 preloaded into C3, C2, C1; inputs x1..x4.
+    // y1 = w1*x1 + w2*x2 + w3*x3, y2 = w1*x2 + w2*x3 + w3*x4.
+    const double w1 = 3.0, w2 = 5.0, w3 = 7.0;
+    const double xs[4] = {1.0, 2.0, 3.0, 4.0};
+
+    Program p(4);
+    // Paper names XA/XB/XC and YA/YB/YC.
+    MessageId xa = p.declareMessage("XA", 0, 1);
+    MessageId xb = p.declareMessage("XB", 1, 2);
+    MessageId xc = p.declareMessage("XC", 2, 3);
+    MessageId ya = p.declareMessage("YA", 1, 0);
+    MessageId yb = p.declareMessage("YB", 2, 1);
+    MessageId yc = p.declareMessage("YC", 3, 2);
+
+    auto stage = [](double v) {
+        return [v](CellContext& ctx) { ctx.setNextWrite(v); };
+    };
+    auto stash = [](CellContext& ctx) { ctx.local(0) = ctx.lastRead(); };
+    auto forwardStashed = [](CellContext& ctx) {
+        ctx.setNextWrite(ctx.local(0));
+    };
+
+    // Host: W(XA)=x1..x3, R(YA)=y1, W(XA)=x4, R(YA)=y2.
+    p.compute(0, stage(xs[0]));
+    p.write(0, xa);
+    p.compute(0, stage(xs[1]));
+    p.write(0, xa);
+    p.compute(0, stage(xs[2]));
+    p.write(0, xa);
+    p.read(0, ya);
+    p.compute(0, stage(xs[3]));
+    p.write(0, xa);
+    p.read(0, ya);
+
+    // C1 (weight w3): forward x1, x2; fold y1, y2.
+    for (int j = 0; j < 2; ++j) {
+        p.read(1, xa); // x1, x2
+        p.compute(1, stash);
+        p.compute(1, forwardStashed);
+        p.write(1, xb);
+    }
+    p.read(1, xa); // x3
+    p.compute(1, stash);
+    p.read(1, yb); // y1 partial
+    p.compute(1, [w3](CellContext& ctx) {
+        ctx.local(1) = ctx.lastRead() + w3 * ctx.local(0);
+    });
+    p.compute(1, forwardStashed);
+    p.write(1, xb); // x3
+    p.compute(1, [](CellContext& ctx) { ctx.setNextWrite(ctx.local(1)); });
+    p.write(1, ya); // y1
+    p.read(1, xa);  // x4
+    p.compute(1, stash);
+    p.read(1, yb); // y2 partial
+    p.compute(1, [w3](CellContext& ctx) {
+        ctx.setNextWrite(ctx.lastRead() + w3 * ctx.local(0));
+    });
+    p.write(1, ya); // y2
+
+    // C2 (weight w2): forward x1, x2; fold y1, y2.
+    p.read(2, xb); // x1
+    p.compute(2, stash);
+    p.compute(2, forwardStashed);
+    p.write(2, xc);
+    p.read(2, xb); // x2
+    p.compute(2, stash);
+    p.read(2, yc); // y1 partial
+    p.compute(2, [w2](CellContext& ctx) {
+        ctx.local(1) = ctx.lastRead() + w2 * ctx.local(0);
+    });
+    p.compute(2, forwardStashed);
+    p.write(2, xc); // x2
+    p.compute(2, [](CellContext& ctx) { ctx.setNextWrite(ctx.local(1)); });
+    p.write(2, yb); // y1
+    p.read(2, xb);  // x3
+    p.compute(2, stash);
+    p.read(2, yc); // y2 partial
+    p.compute(2, [w2](CellContext& ctx) {
+        ctx.setNextWrite(ctx.lastRead() + w2 * ctx.local(0));
+    });
+    p.write(2, yb); // y2
+
+    // C3 (weight w1): start y1, y2.
+    for (int j = 0; j < 2; ++j) {
+        p.read(3, xc); // x1, x2
+        p.compute(3, [w1](CellContext& ctx) {
+            ctx.setNextWrite(w1 * ctx.lastRead());
+        });
+        p.write(3, yc);
+    }
+
+    assert(p.valid());
+    (void)xa;
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 5
+// ---------------------------------------------------------------------
+
+Topology
+fig5Topology()
+{
+    return Topology::linearArray(2);
+}
+
+Program
+fig5P1()
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 0, 1);
+    p.write(0, a);
+    p.write(0, a);
+    p.write(0, b);
+    p.read(1, b);
+    p.read(1, a);
+    p.read(1, a);
+    return p;
+}
+
+Program
+fig5P2()
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 1, 0);
+    p.write(0, a);
+    p.read(0, b);
+    p.write(1, b);
+    p.read(1, a);
+    return p;
+}
+
+Program
+fig5P3()
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 1, 0);
+    p.read(0, b);
+    p.write(0, a);
+    p.read(1, a);
+    p.write(1, b);
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6
+// ---------------------------------------------------------------------
+
+Topology
+fig6Topology()
+{
+    return Topology::ring(4);
+}
+
+Program
+fig6CycleProgram()
+{
+    Program p(4);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 1, 2);
+    MessageId c = p.declareMessage("C", 2, 3);
+    MessageId d = p.declareMessage("D", 3, 0);
+    p.write(0, a);
+    p.read(0, d);
+    p.read(1, a);
+    p.write(1, b);
+    p.read(2, b);
+    p.write(2, c);
+    p.read(3, c);
+    p.write(3, d);
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7
+// ---------------------------------------------------------------------
+
+Topology
+fig7Topology()
+{
+    return Topology::linearArray(4);
+}
+
+Program
+fig7Program(int stream_len)
+{
+    assert(stream_len >= 1);
+    Program p(4);
+    // Declared in this order so declaration-order labeling reproduces
+    // the paper's A=1, B=3, C=2.
+    MessageId a = p.declareMessage("A", 1, 2);
+    MessageId b = p.declareMessage("B", 2, 3);
+    MessageId c = p.declareMessage("C", 0, 3);
+
+    for (int i = 0; i < stream_len; ++i)
+        p.write(0, c); // C1: W(C)...
+    for (int i = 0; i < 4; ++i)
+        p.write(1, a); // C2: W(A) x4
+    for (int i = 0; i < 4; ++i)
+        p.read(2, a); // C3: R(A) x4
+    for (int i = 0; i < stream_len; ++i)
+        p.write(2, b); // C3: W(B)...
+    for (int i = 0; i < stream_len; ++i)
+        p.read(3, c); // C4: R(C)...
+    for (int i = 0; i < stream_len; ++i)
+        p.read(3, b); // C4: R(B)...
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8
+// ---------------------------------------------------------------------
+
+Topology
+fig8Topology()
+{
+    return Topology::linearArray(3);
+}
+
+Program
+fig8Program(int words_per_message)
+{
+    assert(words_per_message >= 2 &&
+           "interleaving needs at least two words");
+    int m = words_per_message;
+    Program p(3);
+    MessageId a = p.declareMessage("A", 1, 2);
+    MessageId b = p.declareMessage("B", 0, 2);
+    for (int i = 0; i < m; ++i)
+        p.write(0, b); // C1: W(B)...
+    for (int i = 0; i < m; ++i)
+        p.write(1, a); // C2: W(A)...
+    for (int i = 0; i < m; ++i) {
+        p.read(2, a); // C3 interleaves R(A), R(B)
+        p.read(2, b);
+    }
+    return p;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9
+// ---------------------------------------------------------------------
+
+Topology
+fig9Topology()
+{
+    return Topology::linearArray(3);
+}
+
+Program
+fig9Program(int words_per_message)
+{
+    assert(words_per_message >= 2 &&
+           "interleaving needs at least two words");
+    int m = words_per_message;
+    Program p(3);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 0, 2);
+    for (int i = 0; i < m; ++i) {
+        p.write(0, a); // C1 interleaves W(A), W(B)
+        p.write(0, b);
+    }
+    for (int i = 0; i < m; ++i)
+        p.read(1, a); // C2: R(A)...
+    for (int i = 0; i < m; ++i)
+        p.read(2, b); // C3: R(B)...
+    return p;
+}
+
+} // namespace syscomm::algos

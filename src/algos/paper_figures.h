@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * The exact example programs from the paper's figures, transcribed
+ * op for op (the compute statements of Fig. 2 are carried as compute
+ * ops so the simulator reproduces y1/y2 numerically).
+ *
+ * Cell numbering: figures label cells C1, C2, ... — here they are
+ * cells 0, 1, ... (the host of Fig. 2 is cell 0).
+ */
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+// ---------------------------------------------------------------------
+// Fig. 2 — 3-tap FIR filter on host + C1..C3 (see also algos/fir.h,
+// which generates the same structure for any size).
+// ---------------------------------------------------------------------
+
+/** Host + 3 cells, linear. */
+Topology fig2Topology();
+
+/** The Fig. 2 program (weights 3, 5, 7; inputs 1, 2, 3, 4). */
+Program fig2FirProgram();
+
+// ---------------------------------------------------------------------
+// Fig. 5 — three deadlocked programs over two adjacent cells.
+// P1 becomes deadlock-free with lookahead when buffering >= 2 (Fig 10);
+// P2 needs buffering >= 1; P3 is deadlocked at any buffer size (its
+// first ops are reads on both sides, and rule R1 forbids skipping
+// reads).
+// ---------------------------------------------------------------------
+
+Topology fig5Topology();
+
+/** C1: W(A) W(A) W(B);  C2: R(B) R(A) R(A). */
+Program fig5P1();
+
+/** C1: W(A) R(B);  C2: W(B) R(A). */
+Program fig5P2();
+
+/** C1: R(B) W(A);  C2: R(A) W(B). */
+Program fig5P3();
+
+// ---------------------------------------------------------------------
+// Fig. 6 — messages form a cycle by sender/receiver, but the program
+// is deadlock-free (4-cell ring).
+// ---------------------------------------------------------------------
+
+Topology fig6Topology();
+
+/**
+ * A: C1->C2, B: C2->C3, C: C3->C4, D: C4->C1;
+ * C1: W(A) R(D); C2: R(A) W(B); C3: R(B) W(C); C4: R(C) W(D).
+ */
+Program fig6CycleProgram();
+
+// ---------------------------------------------------------------------
+// Fig. 7 — queue-induced deadlock 1: arrival order at C4. Messages
+// A: C2->C3 (4 words), B: C3->C4, C: C1->C4 (streamLen words each).
+// The section 6 labels are A=1, B=3, C=2.
+// ---------------------------------------------------------------------
+
+Topology fig7Topology();
+
+Program fig7Program(int stream_len = 4);
+
+// ---------------------------------------------------------------------
+// Fig. 8 — queue-induced deadlock 2: C3 reads interleaved from
+// A (C2->C3) and B (C1->C3); A and B are related and need separate
+// queues on the C2-C3 link.
+// ---------------------------------------------------------------------
+
+Topology fig8Topology();
+
+Program fig8Program(int words_per_message = 2);
+
+// ---------------------------------------------------------------------
+// Fig. 9 — queue-induced deadlock 3: C1 writes interleaved to
+// A (C1->C2) and B (C1->C3); symmetric to Fig. 8 on the C1-C2 link.
+// ---------------------------------------------------------------------
+
+Topology fig9Topology();
+
+Program fig9Program(int words_per_message = 2);
+
+} // namespace syscomm::algos

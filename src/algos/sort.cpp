@@ -1,0 +1,114 @@
+#include "algos/sort.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+
+namespace syscomm::algos {
+
+SortSpec
+SortSpec::random(int n, std::uint64_t seed)
+{
+    SortSpec spec;
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-100.0, 100.0);
+    for (int i = 0; i < n; ++i)
+        spec.values.push_back(dist(rng));
+    return spec;
+}
+
+Topology
+sortTopology(const SortSpec& spec)
+{
+    return Topology::linearArray(static_cast<int>(spec.values.size()));
+}
+
+Program
+makeSortProgram(const SortSpec& spec)
+{
+    int n = static_cast<int>(spec.values.size());
+    assert(n >= 2);
+    Program program(n);
+
+    // Load each cell's value into local(0).
+    for (int i = 0; i < n; ++i) {
+        double v = spec.values[i];
+        program.compute(i, [v](CellContext& ctx) { ctx.local(0) = v; });
+    }
+
+    // n rounds; round r exchanges pairs (i, i+1) with i % 2 == r % 2.
+    for (int round = 0; round < n; ++round) {
+        for (int i = round % 2; i + 1 < n; i += 2) {
+            std::string tag =
+                std::to_string(round) + "_" + std::to_string(i);
+            MessageId to_right =
+                program.declareMessage("E" + tag, i, i + 1);
+            MessageId to_left =
+                program.declareMessage("F" + tag, i + 1, i);
+
+            // Left cell: send, receive, keep the minimum.
+            program.compute(i, [](CellContext& ctx) {
+                ctx.setNextWrite(ctx.local(0));
+            });
+            program.write(i, to_right);
+            program.read(i, to_left);
+            program.compute(i, [](CellContext& ctx) {
+                ctx.local(0) = std::min(ctx.local(0), ctx.lastRead());
+            });
+
+            // Right cell: receive, send, keep the maximum.
+            program.read(i + 1, to_right);
+            program.compute(i + 1, [](CellContext& ctx) {
+                ctx.local(1) = ctx.lastRead();
+            });
+            program.compute(i + 1, [](CellContext& ctx) {
+                ctx.setNextWrite(ctx.local(0));
+            });
+            program.write(i + 1, to_left);
+            program.compute(i + 1, [](CellContext& ctx) {
+                ctx.local(0) = std::max(ctx.local(0), ctx.local(1));
+            });
+        }
+    }
+
+    // Drain: cell i >= 1 ships its value to cell 0; cell 0 echoes its
+    // own minimum to cell 1 so every slot is observable.
+    std::vector<MessageId> drain(n, kInvalidMessage);
+    drain[0] = program.declareMessage("D0", 0, 1);
+    for (int i = 1; i < n; ++i)
+        drain[i] = program.declareMessage("D" + std::to_string(i), i, 0);
+
+    auto stage_value = [](CellContext& ctx) {
+        ctx.setNextWrite(ctx.local(0));
+    };
+    // Cell 0's echo goes out first, and cell 1 absorbs it before
+    // draining its own value; otherwise W(D0)/W(D1) would face each
+    // other like program P2 of Fig. 5.
+    program.compute(0, stage_value);
+    program.write(0, drain[0]);
+    program.read(1, drain[0]);
+    for (int i = 1; i < n; ++i) {
+        program.compute(i, stage_value);
+        program.write(i, drain[i]);
+    }
+    for (int i = 1; i < n; ++i)
+        program.read(0, drain[i]);
+
+    return program;
+}
+
+std::vector<double>
+extractSorted(const Program& program,
+              const std::vector<std::vector<double>>& received, int n)
+{
+    std::vector<double> out;
+    for (int i = 0; i < n; ++i) {
+        auto id = program.messageByName("D" + std::to_string(i));
+        assert(id.has_value());
+        assert(received[*id].size() == 1);
+        out.push_back(received[*id][0]);
+    }
+    return out;
+}
+
+} // namespace syscomm::algos

@@ -1,0 +1,43 @@
+#pragma once
+
+/**
+ * @file
+ * Odd-even transposition sort on a linear array: n cells, n rounds of
+ * neighbor exchanges. Every exchange is a pair of one-word messages in
+ * opposite directions over the same link, ordered so the program stays
+ * deadlock-free (the left cell writes before it reads; the right cell
+ * reads before it writes). After sorting, cells drain their values to
+ * cell 0 so the result is observable.
+ */
+
+#include <vector>
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+/** Parameters of a sort instance. */
+struct SortSpec
+{
+    /** Values to sort; one cell per value (at least 2). */
+    std::vector<double> values;
+
+    static SortSpec random(int n, std::uint64_t seed);
+};
+
+Topology sortTopology(const SortSpec& spec);
+
+/** Build the odd-even transposition sort program. */
+Program makeSortProgram(const SortSpec& spec);
+
+/**
+ * Extract the sorted sequence from a finished run. Cell 0 keeps the
+ * minimum locally, so it also echoes it on message "D0" to cell 1;
+ * cells i >= 1 send "D<i>" to cell 0.
+ */
+std::vector<double>
+extractSorted(const Program& program,
+              const std::vector<std::vector<double>>& received, int n);
+
+} // namespace syscomm::algos

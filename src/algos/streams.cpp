@@ -1,0 +1,124 @@
+#include "algos/streams.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace syscomm::algos {
+
+const char*
+streamPatternName(StreamPattern pattern)
+{
+    switch (pattern) {
+      case StreamPattern::kSequential:
+        return "sequential";
+      case StreamPattern::kInterleaved:
+        return "interleaved";
+      case StreamPattern::kFanIn:
+        return "fan-in";
+      case StreamPattern::kFanOut:
+        return "fan-out";
+    }
+    return "?";
+}
+
+Topology
+streamsTopology(const StreamSpec& spec)
+{
+    return Topology::linearArray(spec.numCells);
+}
+
+Program
+makeStreamsProgram(const StreamSpec& spec)
+{
+    int cells = spec.numCells;
+    int streams = spec.numStreams;
+    int words = spec.wordsPerStream;
+    assert(cells >= 2 && streams >= 1 && words >= 1);
+
+    Program program(cells);
+    std::vector<MessageId> s(streams, kInvalidMessage);
+
+    switch (spec.pattern) {
+      case StreamPattern::kSequential: {
+        for (int i = 0; i < streams; ++i)
+            s[i] = program.declareMessage("S" + std::to_string(i), 0,
+                                          cells - 1);
+        for (int i = 0; i < streams; ++i) {
+            for (int w = 0; w < words; ++w) {
+                program.write(0, s[i]);
+                program.read(cells - 1, s[i]);
+            }
+        }
+        break;
+      }
+      case StreamPattern::kInterleaved: {
+        for (int i = 0; i < streams; ++i)
+            s[i] = program.declareMessage("S" + std::to_string(i), 0,
+                                          cells - 1);
+        for (int w = 0; w < words; ++w) {
+            for (int i = 0; i < streams; ++i) {
+                program.write(0, s[i]);
+                program.read(cells - 1, s[i]);
+            }
+        }
+        break;
+      }
+      case StreamPattern::kFanIn: {
+        assert(streams <= cells - 1 &&
+               "fan-in needs a distinct sender per stream");
+        for (int i = 0; i < streams; ++i)
+            s[i] = program.declareMessage("S" + std::to_string(i), i,
+                                          cells - 1);
+        for (int i = 0; i < streams; ++i) {
+            for (int w = 0; w < words; ++w)
+                program.write(i, s[i]);
+        }
+        for (int w = 0; w < words; ++w) {
+            for (int i = 0; i < streams; ++i)
+                program.read(cells - 1, s[i]);
+        }
+        break;
+      }
+      case StreamPattern::kFanOut: {
+        assert(streams <= cells - 1 &&
+               "fan-out needs a distinct receiver per stream");
+        for (int i = 0; i < streams; ++i)
+            s[i] = program.declareMessage("S" + std::to_string(i), 0,
+                                          i + 1);
+        for (int w = 0; w < words; ++w) {
+            for (int i = 0; i < streams; ++i)
+                program.write(0, s[i]);
+        }
+        for (int i = 0; i < streams; ++i) {
+            for (int w = 0; w < words; ++w)
+                program.read(i + 1, s[i]);
+        }
+        break;
+      }
+    }
+    return program;
+}
+
+Program
+makeRelayPipeline(int cells, int words)
+{
+    assert(cells >= 2 && words >= 1);
+    Program p(cells);
+    std::vector<MessageId> hop(cells, kInvalidMessage);
+    for (int c = 1; c < cells; ++c)
+        hop[c] = p.declareMessage("H" + std::to_string(c), c - 1, c);
+    for (int w = 0; w < words; ++w)
+        p.write(0, hop[1]);
+    for (int c = 1; c + 1 < cells; ++c) {
+        for (int w = 0; w < words; ++w) {
+            p.read(c, hop[c]);
+            p.write(c, hop[c + 1]);
+        }
+    }
+    for (int w = 0; w < words; ++w)
+        p.read(cells - 1, hop[cells - 1]);
+    return p;
+}
+
+} // namespace syscomm::algos

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Parameterized multi-stream traffic generators for benchmarks and
+ * stress tests. Each pattern generalizes one of the paper's
+ * queue-contention scenarios:
+ *
+ *  - kSequential: one sender, one receiver, streams back to back
+ *    (distinct ascending labels; queues reused serially).
+ *  - kInterleaved: one sender, one receiver, words round-robin across
+ *    streams (the streams become related and share one label, needing
+ *    as many queues as streams — Fig. 8/9 combined).
+ *  - kFanIn: one sender per stream, a single receiver reading
+ *    round-robin (Fig. 8 generalized).
+ *  - kFanOut: a single sender writing round-robin, one receiver per
+ *    stream (Fig. 9 generalized).
+ */
+
+#include <cstdint>
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm::algos {
+
+/** Traffic shape. */
+enum class StreamPattern : std::uint8_t
+{
+    kSequential = 0,
+    kInterleaved,
+    kFanIn,
+    kFanOut,
+};
+
+const char* streamPatternName(StreamPattern pattern);
+
+/** Parameters of a stream workload. */
+struct StreamSpec
+{
+    /** Linear array size (>= 2; fan patterns need numStreams + 1). */
+    int numCells = 4;
+    int numStreams = 2;
+    int wordsPerStream = 4;
+    StreamPattern pattern = StreamPattern::kSequential;
+};
+
+Topology streamsTopology(const StreamSpec& spec);
+
+/** Build the traffic program (stream s is message "S<s>"). */
+Program makeStreamsProgram(const StreamSpec& spec);
+
+/**
+ * A relay pipeline for the Fig. 1 model comparison: every interior
+ * cell explicitly reads each word and writes it onward (one R and one
+ * W per word per cell — the "update a data item flowing through the
+ * array" pattern), rather than letting the queue network forward
+ * transparently. Message "H<c>" covers the hop into cell c.
+ */
+Program makeRelayPipeline(int cells, int words);
+
+} // namespace syscomm::algos

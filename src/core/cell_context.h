@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * Execution context handed to compute ops. Defined in core so that
+ * programs can carry compute callbacks, implemented by the simulator.
+ */
+
+#include <functional>
+
+#include "core/types.h"
+
+namespace syscomm {
+
+/**
+ * Per-cell state visible to a compute op while the simulator runs.
+ *
+ * The model mirrors the paper's Fig. 2 statements such as
+ * "Y1 = Y1 + w3 * x3": a cell reads words into a staging register,
+ * combines them with local registers, and stages the next word to
+ * write. None of this is visible to the deadlock analyses.
+ */
+class CellContext
+{
+  public:
+    virtual ~CellContext() = default;
+
+    /** Value of the most recently read word (0.0 before any read). */
+    virtual double lastRead() const = 0;
+
+    /** Stage the value the next W op on this cell will send. */
+    virtual void setNextWrite(double value) = 0;
+
+    /** Local register file; grows on demand. */
+    virtual double& local(int index) = 0;
+
+    /** The executing cell. */
+    virtual CellId cellId() const = 0;
+
+    /** Current simulation cycle. */
+    virtual Cycle now() const = 0;
+};
+
+/** A local computation executed by the simulator between transfers. */
+using ComputeFn = std::function<void(CellContext&)>;
+
+} // namespace syscomm

@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * The end-to-end compile pipeline — the library's headline API.
+ *
+ * compileProgram() performs, in order, the three steps of the paper's
+ * deadlock-avoidance procedure (section 9 summary):
+ *
+ *   1. check the program is deadlock-free (crossing-off, section 3/8),
+ *   2. produce a consistent message labeling (section 6, with the
+ *      trivial all-equal labeling as a fallback),
+ *   3. check that a compatible queue assignment is possible on the
+ *      target machine (assumption (ii) of Theorem 1, section 7).
+ *
+ * The resulting plan feeds the simulator's compatible queue-assignment
+ * policy.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/competing.h"
+#include "core/crossoff.h"
+#include "core/labeling.h"
+#include "core/machine_spec.h"
+#include "core/program.h"
+
+namespace syscomm {
+
+/** Which consistent labeling scheme the pipeline uses. */
+enum class LabelScheme : std::uint8_t
+{
+    kSection6 = 0, ///< The paper's crossing-off-driven scheme (§6).
+    kGraph,        ///< Constraint-graph / SCC-condensation scheme.
+    kTrivial,      ///< All-equal labels (§5 remark; queue-hungry).
+};
+
+/** Options for compileProgram(). */
+struct CompileOptions
+{
+    /** Use the section 8 lookahead procedure (needs buffered queues). */
+    bool lookahead = false;
+    /** Labeling scheme to run. */
+    LabelScheme scheme = LabelScheme::kSection6;
+    /** Pair-pick policy for the §6 labeler. */
+    LabelingOptions::Pick pick = LabelingOptions::Pick::kDeclarationOrder;
+    /**
+     * When the section 6 scheme fails (it should not for deadlock-free
+     * programs), fall back to the trivial all-equal labeling rather
+     * than failing the compile.
+     */
+    bool allowTrivialFallback = true;
+    /** Record labeling narration. */
+    bool record_log = false;
+};
+
+/** Everything the compile pipeline derives from a program. */
+struct CompilePlan
+{
+    bool ok = false;
+    std::string error;
+
+    /** Program structural validation issues (empty when fine). */
+    std::vector<std::string> validationIssues;
+    /** Crossing-off verdict and trace. */
+    CrossOffResult crossoff;
+    /** The labeling used (section 6 or trivial fallback). */
+    Labeling labeling;
+    bool usedTrivialFallback = false;
+    /** labeling.normalized() for convenience. */
+    std::vector<std::int64_t> normalizedLabels;
+    /** Routes + competing sets. */
+    CompetingAnalysis competing;
+    /** Section 7 feasibility on the given machine. */
+    Feasibility staticFeasibility;
+    Feasibility dynamicFeasibility;
+
+    /** Multi-line human-readable report. */
+    std::string report(const Program& program) const;
+};
+
+/** Run the full pipeline against a machine description. */
+CompilePlan compileProgram(const Program& program, const MachineSpec& spec,
+                           const CompileOptions& options = {});
+
+} // namespace syscomm

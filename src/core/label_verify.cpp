@@ -1,0 +1,57 @@
+#include "core/label_verify.h"
+
+#include <cassert>
+
+namespace syscomm {
+
+std::string
+ConsistencyIssue::str(const Program& program) const
+{
+    return "cell " + std::to_string(cell) + " op " + std::to_string(pos) +
+           ": label of " + program.message(curMsg).name + " (" +
+           curLabel.str() + ") is below preceding " +
+           program.message(prevMsg).name + " (" + prevLabel.str() + ")";
+}
+
+std::vector<ConsistencyIssue>
+checkLabelConsistency(const Program& program,
+                      const std::vector<Rational>& labels)
+{
+    assert(static_cast<int>(labels.size()) == program.numMessages());
+    std::vector<ConsistencyIssue> issues;
+    for (CellId cell = 0; cell < program.numCells(); ++cell) {
+        const std::vector<Op>& ops = program.cellOps(cell);
+        bool have_prev = false;
+        MessageId prev_msg = kInvalidMessage;
+        Rational prev_label;
+        for (int pos = 0; pos < static_cast<int>(ops.size()); ++pos) {
+            const Op& op = ops[pos];
+            if (!op.isTransfer())
+                continue;
+            const Rational& label = labels[op.msg];
+            if (have_prev && label < prev_label) {
+                ConsistencyIssue issue;
+                issue.cell = cell;
+                issue.pos = pos;
+                issue.prevMsg = prev_msg;
+                issue.curMsg = op.msg;
+                issue.prevLabel = prev_label;
+                issue.curLabel = label;
+                issues.push_back(issue);
+            }
+            have_prev = true;
+            prev_msg = op.msg;
+            prev_label = label;
+        }
+    }
+    return issues;
+}
+
+bool
+isConsistentLabeling(const Program& program,
+                     const std::vector<Rational>& labels)
+{
+    return checkLabelConsistency(program, labels).empty();
+}
+
+} // namespace syscomm

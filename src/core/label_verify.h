@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * Label-consistency verification (paper, section 5, step 1).
+ *
+ * A labeling is *consistent* when every cell program writes to or
+ * reads from messages with non-decreasing labels, scanning the
+ * program text in order.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/program.h"
+#include "core/rational.h"
+#include "core/types.h"
+
+namespace syscomm {
+
+/** One violation of label consistency. */
+struct ConsistencyIssue
+{
+    CellId cell = kInvalidCell;
+    /** Op index (full program) where the label decreased. */
+    int pos = 0;
+    MessageId prevMsg = kInvalidMessage;
+    MessageId curMsg = kInvalidMessage;
+    Rational prevLabel;
+    Rational curLabel;
+
+    std::string str(const Program& program) const;
+};
+
+/**
+ * Check a labeling (indexed by MessageId) for consistency. Returns all
+ * positions where a cell program's label sequence decreases; empty
+ * means consistent.
+ */
+std::vector<ConsistencyIssue>
+checkLabelConsistency(const Program& program,
+                      const std::vector<Rational>& labels);
+
+/** Convenience: no violations. */
+bool isConsistentLabeling(const Program& program,
+                          const std::vector<Rational>& labels);
+
+} // namespace syscomm

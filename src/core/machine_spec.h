@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Machine description: topology plus the per-link queue resources.
+ * "There are a fixed number of queues between adjacent cells"
+ * (paper, section 2.3).
+ */
+
+#include "core/topology.h"
+
+namespace syscomm {
+
+/** Static description of a programmable systolic array. */
+struct MachineSpec
+{
+    Topology topo;
+    /** Hardware queues on each link (shared by both directions). */
+    int queuesPerLink = 2;
+    /** Words a queue buffers; 1 models the paper's plain latch. */
+    int queueCapacity = 1;
+    /**
+     * Extra words spillable into the receiving cell's local memory
+     * (the iWarp "queue extension" of section 8). 0 disables it.
+     */
+    int extensionCapacity = 0;
+    /**
+     * Extra cycles a word pays when it passed through the extension
+     * ("at the expense of larger queue access time").
+     */
+    int extensionPenalty = 4;
+
+    /** Effective per-queue capacity including the extension. */
+    int totalQueueCapacity() const
+    {
+        return queueCapacity + extensionCapacity;
+    }
+};
+
+} // namespace syscomm

@@ -1,0 +1,12 @@
+#include "core/message.h"
+
+namespace syscomm {
+
+std::string
+MessageDecl::str() const
+{
+    return name + ": " + std::to_string(sender) + " -> " +
+           std::to_string(receiver);
+}
+
+} // namespace syscomm

@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * Message declarations. Section 2.1: "We assume that all the messages
+ * are declared prior to program execution. The declaration will
+ * identify the sender and receiver of every message."
+ */
+
+#include <string>
+
+#include "core/types.h"
+
+namespace syscomm {
+
+/**
+ * A declared message: a finite sequence of words travelling from one
+ * cell (the sender) to another (the receiver). The word count is not
+ * part of the declaration; it is derived from the number of W ops the
+ * sender's program performs on the message.
+ */
+struct MessageDecl
+{
+    MessageId id = kInvalidMessage;
+    std::string name;
+    CellId sender = kInvalidCell;
+    CellId receiver = kInvalidCell;
+
+    /** "A: 0 -> 2" rendering. */
+    std::string str() const;
+};
+
+} // namespace syscomm

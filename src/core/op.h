@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * Cell-program operations. The paper's deadlock machinery uses only
+ * the read (R) and write (W) operations of a program; compute ops are
+ * carried so the simulator can execute real numerics (e.g. the
+ * multiply-accumulate statements of Fig. 2) but are invisible to every
+ * analysis.
+ */
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace syscomm {
+
+/** Kind of a cell-program operation. */
+enum class OpKind : std::uint8_t
+{
+    kRead = 0,    ///< R(X): pop one word from message X's final queue.
+    kWrite = 1,   ///< W(X): push one word into message X's first queue.
+    kCompute = 2, ///< Local computation; never blocks, not analyzed.
+};
+
+/** One operation in a cell program. */
+struct Op
+{
+    OpKind kind = OpKind::kCompute;
+    /** Message operated on (kInvalidMessage for compute ops). */
+    MessageId msg = kInvalidMessage;
+    /** Index into the program's compute-function table (compute only). */
+    std::int32_t computeId = -1;
+
+    static Op read(MessageId m) { return {OpKind::kRead, m, -1}; }
+    static Op write(MessageId m) { return {OpKind::kWrite, m, -1}; }
+    static Op compute(std::int32_t id)
+    {
+        return {OpKind::kCompute, kInvalidMessage, id};
+    }
+
+    bool isRead() const { return kind == OpKind::kRead; }
+    bool isWrite() const { return kind == OpKind::kWrite; }
+    bool isCompute() const { return kind == OpKind::kCompute; }
+    /** True for the R/W ops the deadlock analyses consider. */
+    bool isTransfer() const { return kind != OpKind::kCompute; }
+
+    bool operator==(const Op& o) const
+    {
+        return kind == o.kind && msg == o.msg && computeId == o.computeId;
+    }
+};
+
+} // namespace syscomm

@@ -1,0 +1,166 @@
+#include "core/program.h"
+
+#include <cassert>
+
+namespace syscomm {
+
+Program::Program(int num_cells) : num_cells_(num_cells)
+{
+    assert(num_cells >= 1);
+    ops_.resize(num_cells);
+}
+
+MessageId
+Program::declareMessage(std::string name, CellId sender, CellId receiver)
+{
+    MessageId id = static_cast<MessageId>(messages_.size());
+    MessageDecl decl;
+    decl.id = id;
+    decl.name = std::move(name);
+    decl.sender = sender;
+    decl.receiver = receiver;
+    by_name_.emplace(decl.name, id);
+    messages_.push_back(std::move(decl));
+    write_counts_.push_back(0);
+    read_counts_.push_back(0);
+    return id;
+}
+
+void
+Program::read(CellId cell, MessageId msg)
+{
+    assert(cell >= 0 && cell < num_cells_);
+    assert(msg >= 0 && msg < numMessages());
+    ops_[cell].push_back(Op::read(msg));
+    ++read_counts_[msg];
+}
+
+void
+Program::write(CellId cell, MessageId msg)
+{
+    assert(cell >= 0 && cell < num_cells_);
+    assert(msg >= 0 && msg < numMessages());
+    ops_[cell].push_back(Op::write(msg));
+    ++write_counts_[msg];
+}
+
+void
+Program::compute(CellId cell, ComputeFn fn)
+{
+    assert(cell >= 0 && cell < num_cells_);
+    std::int32_t id = static_cast<std::int32_t>(compute_fns_.size());
+    compute_fns_.push_back(std::move(fn));
+    ops_[cell].push_back(Op::compute(id));
+}
+
+std::optional<MessageId>
+Program::messageByName(std::string_view name) const
+{
+    auto it = by_name_.find(std::string(name));
+    if (it == by_name_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+int
+Program::totalOps() const
+{
+    int total = 0;
+    for (const auto& cell_ops : ops_)
+        total += static_cast<int>(cell_ops.size());
+    return total;
+}
+
+int
+Program::totalTransferOps() const
+{
+    int total = 0;
+    for (const auto& cell_ops : ops_) {
+        for (const Op& op : cell_ops) {
+            if (op.isTransfer())
+                ++total;
+        }
+    }
+    return total;
+}
+
+std::vector<std::string>
+Program::validate() const
+{
+    std::vector<std::string> issues;
+
+    for (const MessageDecl& m : messages_) {
+        if (m.name.empty())
+            issues.push_back("message " + std::to_string(m.id) +
+                             " has an empty name");
+        if (m.sender == m.receiver) {
+            issues.push_back("message " + m.name +
+                             ": sender equals receiver (" +
+                             std::to_string(m.sender) + ")");
+        }
+        if (m.sender < 0 || m.sender >= num_cells_) {
+            issues.push_back("message " + m.name + ": sender " +
+                             std::to_string(m.sender) + " out of range");
+        }
+        if (m.receiver < 0 || m.receiver >= num_cells_) {
+            issues.push_back("message " + m.name + ": receiver " +
+                             std::to_string(m.receiver) + " out of range");
+        }
+    }
+    // Duplicate names: by_name_ keeps the first id, so a size mismatch
+    // means at least one duplicate.
+    if (by_name_.size() != messages_.size())
+        issues.push_back("duplicate message names declared");
+
+    // Op placement: W only at sender, R only at receiver.
+    for (CellId cell = 0; cell < num_cells_; ++cell) {
+        for (std::size_t i = 0; i < ops_[cell].size(); ++i) {
+            const Op& op = ops_[cell][i];
+            if (!op.isTransfer())
+                continue;
+            const MessageDecl& m = messages_[op.msg];
+            if (op.isWrite() && m.sender != cell) {
+                issues.push_back("cell " + std::to_string(cell) + " op " +
+                                 std::to_string(i) + ": W(" + m.name +
+                                 ") but sender is cell " +
+                                 std::to_string(m.sender));
+            }
+            if (op.isRead() && m.receiver != cell) {
+                issues.push_back("cell " + std::to_string(cell) + " op " +
+                                 std::to_string(i) + ": R(" + m.name +
+                                 ") but receiver is cell " +
+                                 std::to_string(m.receiver));
+            }
+        }
+    }
+
+    // Word-count agreement and usage.
+    for (const MessageDecl& m : messages_) {
+        if (write_counts_[m.id] == 0 && read_counts_[m.id] == 0) {
+            issues.push_back("message " + m.name +
+                             " is declared but never used");
+            continue;
+        }
+        if (write_counts_[m.id] != read_counts_[m.id]) {
+            issues.push_back(
+                "message " + m.name + ": " +
+                std::to_string(write_counts_[m.id]) + " writes but " +
+                std::to_string(read_counts_[m.id]) + " reads");
+        }
+    }
+    return issues;
+}
+
+std::vector<std::string>
+Program::validate(int topology_num_cells) const
+{
+    std::vector<std::string> issues = validate();
+    if (topology_num_cells != num_cells_) {
+        issues.push_back("program has " + std::to_string(num_cells_) +
+                         " cells but topology has " +
+                         std::to_string(topology_num_cells));
+    }
+    return issues;
+}
+
+} // namespace syscomm

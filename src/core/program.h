@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * The array program: one operation sequence per cell plus the message
+ * declarations (paper, section 2). This is the input to every analysis
+ * and to the simulator.
+ */
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cell_context.h"
+#include "core/message.h"
+#include "core/op.h"
+#include "core/types.h"
+
+namespace syscomm {
+
+/**
+ * A program for an array of cells.
+ *
+ * Build with declareMessage() / read() / write() / compute(), then call
+ * validate() before handing the program to an analysis. All write and
+ * read operations are known at build time ("compile time" in the
+ * paper): control is data-independent.
+ */
+class Program
+{
+  public:
+    /** A program over cells 0 .. num_cells-1. */
+    explicit Program(int num_cells);
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /**
+     * Declare a message. Names must be unique and nonempty; sender and
+     * receiver must be distinct cells of the array.
+     */
+    MessageId declareMessage(std::string name, CellId sender,
+                             CellId receiver);
+
+    /** Append R(msg) to @p cell's program. */
+    void read(CellId cell, MessageId msg);
+
+    /** Append W(msg) to @p cell's program. */
+    void write(CellId cell, MessageId msg);
+
+    /** Append a local computation to @p cell's program. */
+    void compute(CellId cell, ComputeFn fn);
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    int numCells() const { return num_cells_; }
+    int numMessages() const { return static_cast<int>(messages_.size()); }
+
+    const MessageDecl& message(MessageId id) const { return messages_[id]; }
+    const std::vector<MessageDecl>& messages() const { return messages_; }
+
+    /** Look a message up by name. */
+    std::optional<MessageId> messageByName(std::string_view name) const;
+
+    /** The operation sequence of one cell. */
+    const std::vector<Op>& cellOps(CellId cell) const { return ops_[cell]; }
+
+    /**
+     * Number of words in a message: the count of W ops its sender
+     * performs on it. validate() checks this equals the read count.
+     */
+    int messageLength(MessageId id) const { return write_counts_[id]; }
+
+    /** Compute callback table lookup. */
+    const ComputeFn& computeFn(std::int32_t id) const
+    {
+        return compute_fns_[id];
+    }
+
+    /** Total operations, including compute ops. */
+    int totalOps() const;
+
+    /** Total R/W operations (the ones the analyses see). */
+    int totalTransferOps() const;
+
+    // ------------------------------------------------------------------
+    // Validation
+    // ------------------------------------------------------------------
+
+    /**
+     * Structural checks (paper section 2): W(X) appears only in the
+     * sender's program and R(X) only in the receiver's; write and read
+     * counts match; every declared message is used. Returns a list of
+     * human-readable problems; empty means valid.
+     */
+    std::vector<std::string> validate() const;
+
+    /** validate() plus cell-range checks against a topology. */
+    std::vector<std::string> validate(int topology_num_cells) const;
+
+    /** Convenience: validate() returned no issues. */
+    bool valid() const { return validate().empty(); }
+
+  private:
+    int num_cells_ = 0;
+    std::vector<MessageDecl> messages_;
+    std::unordered_map<std::string, MessageId> by_name_;
+    std::vector<std::vector<Op>> ops_;
+    std::vector<ComputeFn> compute_fns_;
+    std::vector<int> write_counts_;
+    std::vector<int> read_counts_;
+};
+
+} // namespace syscomm

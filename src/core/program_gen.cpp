@@ -1,0 +1,107 @@
+#include "core/program_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <vector>
+
+namespace syscomm {
+
+Program
+randomDeadlockFreeProgram(const Topology& topo, const GenOptions& options)
+{
+    assert(topo.numCells() >= 2);
+    std::mt19937_64 rng(options.seed);
+    std::uniform_int_distribution<CellId> cell_dist(0, topo.numCells() - 1);
+    std::uniform_int_distribution<int> words_dist(1, options.maxWords);
+
+    Program program(topo.numCells());
+    std::vector<int> remaining;
+    remaining.reserve(options.numMessages);
+
+    for (int i = 0; i < options.numMessages; ++i) {
+        CellId sender = cell_dist(rng);
+        CellId receiver = cell_dist(rng);
+        while (receiver == sender)
+            receiver = cell_dist(rng);
+        if (!options.multiHop) {
+            // Pick a random neighbor as the receiver instead.
+            const auto& nbrs = topo.neighbors(sender);
+            assert(!nbrs.empty());
+            std::uniform_int_distribution<std::size_t> nbr_dist(
+                0, nbrs.size() - 1);
+            receiver = nbrs[nbr_dist(rng)];
+        }
+        program.declareMessage("M" + std::to_string(i), sender, receiver);
+        remaining.push_back(words_dist(rng));
+    }
+
+    // Section 3.3: serialize word transfers; each step appends one
+    // W/R pair for a chosen unfinished message. With probability
+    // (1 - interleave) the previous message continues, keeping its
+    // words contiguous.
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::vector<MessageId> live;
+    for (MessageId m = 0; m < program.numMessages(); ++m)
+        live.push_back(m);
+    std::size_t current = static_cast<std::size_t>(-1);
+    while (!live.empty()) {
+        if (current >= live.size() || coin(rng) < options.interleave) {
+            std::uniform_int_distribution<std::size_t> pick(
+                0, live.size() - 1);
+            current = pick(rng);
+        }
+        MessageId m = live[current];
+        const MessageDecl& decl = program.message(m);
+        program.write(decl.sender, m);
+        program.read(decl.receiver, m);
+        if (--remaining[m] == 0) {
+            live[current] = live.back();
+            live.pop_back();
+            current = static_cast<std::size_t>(-1);
+        }
+    }
+    return program;
+}
+
+Program
+perturbProgram(const Program& program, int swaps, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+
+    // Copy the op lists, then transpose random adjacent transfer ops.
+    std::vector<std::vector<Op>> ops(program.numCells());
+    for (CellId c = 0; c < program.numCells(); ++c)
+        ops[c] = program.cellOps(c);
+
+    std::uniform_int_distribution<CellId> cell_dist(0,
+                                                    program.numCells() - 1);
+    for (int s = 0; s < swaps; ++s) {
+        CellId cell = cell_dist(rng);
+        auto& list = ops[cell];
+        if (list.size() < 2)
+            continue;
+        std::uniform_int_distribution<std::size_t> pos_dist(0,
+                                                            list.size() - 2);
+        std::size_t pos = pos_dist(rng);
+        std::swap(list[pos], list[pos + 1]);
+    }
+
+    // Rebuild a fresh program with identical declarations.
+    Program out(program.numCells());
+    for (const MessageDecl& m : program.messages())
+        out.declareMessage(m.name, m.sender, m.receiver);
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        for (const Op& op : ops[c]) {
+            if (op.isWrite())
+                out.write(c, op.msg);
+            else if (op.isRead())
+                out.read(c, op.msg);
+            else
+                out.compute(c, program.computeFn(op.computeId));
+        }
+    }
+    return out;
+}
+
+} // namespace syscomm

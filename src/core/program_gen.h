@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * Random program generators for property tests and Monte-Carlo
+ * benchmarks.
+ *
+ * randomDeadlockFreeProgram() follows the paper's section 3.3 writing
+ * strategy: "write the cell programs as if only one word in one message
+ * would be transferred in a given step". Serializing word transfers
+ * guarantees the crossing-off procedure can replay the generation
+ * order, so the result is deadlock-free by construction.
+ */
+
+#include <cstdint>
+
+#include "core/program.h"
+#include "core/topology.h"
+
+namespace syscomm {
+
+/** Knobs for the random generators. */
+struct GenOptions
+{
+    int numMessages = 8;
+    /** Words per message are drawn uniformly from [1, maxWords]. */
+    int maxWords = 6;
+    std::uint64_t seed = 1;
+    /** Allow sender/receiver pairs that are not adjacent. */
+    bool multiHop = true;
+    /**
+     * Probability of switching to a different message between words.
+     * 0 emits each message's words contiguously (no related messages,
+     * mostly distinct labels); higher values interleave messages,
+     * creating related classes that must share labels — and therefore
+     * need wider queue pools.
+     */
+    double interleave = 0.3;
+};
+
+/**
+ * A random deadlock-free program over the given topology (section 3.3
+ * strategy). Always validates cleanly and passes the basic
+ * crossing-off procedure.
+ */
+Program randomDeadlockFreeProgram(const Topology& topo,
+                                  const GenOptions& options);
+
+/**
+ * Copy @p program with @p swaps random adjacent transpositions applied
+ * inside random cell programs. Word-count structure is preserved, so
+ * the result still validates, but deadlock-freedom may be destroyed —
+ * useful for exercising the detectors.
+ */
+Program perturbProgram(const Program& program, int swaps,
+                       std::uint64_t seed);
+
+} // namespace syscomm

@@ -1,0 +1,124 @@
+#include "core/rational.h"
+
+#include <numeric>
+#include <ostream>
+
+namespace syscomm {
+
+namespace {
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    if (a < 0)
+        a = -a;
+    if (b < 0)
+        b = -b;
+    return std::gcd(a, b);
+}
+
+/** Multiply with overflow assertion. */
+std::int64_t
+mulChecked(std::int64_t a, std::int64_t b)
+{
+    std::int64_t out = 0;
+    [[maybe_unused]] bool overflow = __builtin_mul_overflow(a, b, &out);
+    assert(!overflow && "rational label arithmetic overflowed");
+    return out;
+}
+
+std::int64_t
+addChecked(std::int64_t a, std::int64_t b)
+{
+    std::int64_t out = 0;
+    [[maybe_unused]] bool overflow = __builtin_add_overflow(a, b, &out);
+    assert(!overflow && "rational label arithmetic overflowed");
+    return out;
+}
+
+} // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den)
+{
+    assert(den_ != 0 && "rational denominator must be nonzero");
+    if (den_ < 0) {
+        num_ = -num_;
+        den_ = -den_;
+    }
+    std::int64_t g = gcd64(num_, den_);
+    if (g > 1) {
+        num_ /= g;
+        den_ /= g;
+    }
+    if (num_ == 0)
+        den_ = 1;
+}
+
+Rational
+Rational::operator+(const Rational& o) const
+{
+    return Rational(addChecked(mulChecked(num_, o.den_),
+                               mulChecked(o.num_, den_)),
+                    mulChecked(den_, o.den_));
+}
+
+Rational
+Rational::operator-(const Rational& o) const
+{
+    return *this + (-o);
+}
+
+Rational
+Rational::operator*(const Rational& o) const
+{
+    return Rational(mulChecked(num_, o.num_), mulChecked(den_, o.den_));
+}
+
+Rational
+Rational::operator/(const Rational& o) const
+{
+    assert(o.num_ != 0 && "rational division by zero");
+    return Rational(mulChecked(num_, o.den_), mulChecked(den_, o.num_));
+}
+
+std::strong_ordering
+Rational::operator<=>(const Rational& o) const
+{
+    // Compare num_/den_ vs o.num_/o.den_ via cross multiplication.
+    std::int64_t lhs = mulChecked(num_, o.den_);
+    std::int64_t rhs = mulChecked(o.num_, den_);
+    return lhs <=> rhs;
+}
+
+Rational
+Rational::midpoint(const Rational& a, const Rational& b)
+{
+    return (a + b) / Rational(2);
+}
+
+std::int64_t
+Rational::nextInteger() const
+{
+    // floor(value) + 1.
+    std::int64_t q = num_ / den_;
+    std::int64_t r = num_ % den_;
+    if (r < 0)
+        --q;
+    return q + 1;
+}
+
+std::string
+Rational::str() const
+{
+    if (den_ == 1)
+        return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream&
+operator<<(std::ostream& os, const Rational& r)
+{
+    return os << r.str();
+}
+
+} // namespace syscomm

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Exact rational arithmetic for message labels.
+ *
+ * Section 6 of the paper notes that a label "may have to be a real
+ * number between two consecutive integers"; rationals keep the labeling
+ * exact so that consistency checks never suffer floating-point ties.
+ */
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace syscomm {
+
+/**
+ * A reduced-fraction rational number with 64-bit numerator/denominator.
+ *
+ * The denominator is always positive and gcd(num, den) == 1. The label
+ * algebra used by the labeler only ever takes midpoints and successors,
+ * so magnitudes stay tiny; overflow is guarded by assertions.
+ */
+class Rational
+{
+  public:
+    /** Zero. */
+    constexpr Rational() : num_(0), den_(1) {}
+
+    /** An integer value. */
+    constexpr Rational(std::int64_t value) : num_(value), den_(1) {}
+
+    /** num/den, reduced; den must be nonzero. */
+    Rational(std::int64_t num, std::int64_t den);
+
+    std::int64_t num() const { return num_; }
+    std::int64_t den() const { return den_; }
+
+    /** True when the value is an integer. */
+    bool isInteger() const { return den_ == 1; }
+
+    Rational operator+(const Rational& o) const;
+    Rational operator-(const Rational& o) const;
+    Rational operator*(const Rational& o) const;
+    Rational operator/(const Rational& o) const;
+    Rational operator-() const { return Rational(-num_, den_); }
+
+    bool operator==(const Rational& o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+    std::strong_ordering operator<=>(const Rational& o) const;
+
+    /** Exact midpoint (a + b) / 2. */
+    static Rational midpoint(const Rational& a, const Rational& b);
+
+    /** Smallest integer strictly greater than this value. */
+    std::int64_t nextInteger() const;
+
+    /** Decimal-ish rendering, e.g. "3" or "5/2". */
+    std::string str() const;
+
+    /** Approximate double value (for reporting only). */
+    double toDouble() const
+    {
+        return static_cast<double>(num_) / static_cast<double>(den_);
+    }
+
+  private:
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+} // namespace syscomm

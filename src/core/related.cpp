@@ -1,0 +1,70 @@
+#include "core/related.h"
+
+#include <algorithm>
+#include <map>
+
+namespace syscomm {
+
+UnionFind
+computeRelatedClasses(const Program& program)
+{
+    UnionFind uf(program.numMessages());
+
+    // For each cell, find each pair of *consecutive* same-kind ops on
+    // the same message; every other message with an op strictly between
+    // them is related to it. (Consecutive pairs suffice: a gap between
+    // non-consecutive ops decomposes into consecutive gaps, and the
+    // relation is transitive.)
+    for (CellId cell = 0; cell < program.numCells(); ++cell) {
+        const std::vector<Op>& ops = program.cellOps(cell);
+        // last seen position per (msg, kind): kind 0 = read, 1 = write.
+        std::map<std::pair<MessageId, int>, int> last_seen;
+        for (int pos = 0; pos < static_cast<int>(ops.size()); ++pos) {
+            const Op& op = ops[pos];
+            if (!op.isTransfer())
+                continue;
+            int kind = op.isWrite() ? 1 : 0;
+            auto key = std::make_pair(op.msg, kind);
+            auto it = last_seen.find(key);
+            if (it != last_seen.end()) {
+                // Everything strictly between it->second and pos is
+                // related to op.msg.
+                for (int i = it->second + 1; i < pos; ++i) {
+                    if (ops[i].isTransfer() && ops[i].msg != op.msg)
+                        uf.unite(op.msg, ops[i].msg);
+                }
+                it->second = pos;
+            } else {
+                last_seen.emplace(key, pos);
+            }
+        }
+    }
+    return uf;
+}
+
+std::vector<std::vector<MessageId>>
+relatedGroups(const Program& program)
+{
+    UnionFind uf = computeRelatedClasses(program);
+    std::map<int, std::vector<MessageId>> by_root;
+    for (MessageId m = 0; m < program.numMessages(); ++m)
+        by_root[uf.find(m)].push_back(m);
+
+    std::vector<std::vector<MessageId>> groups;
+    groups.reserve(by_root.size());
+    for (auto& [root, members] : by_root) {
+        std::sort(members.begin(), members.end());
+        groups.push_back(std::move(members));
+    }
+    std::sort(groups.begin(), groups.end(),
+              [](const auto& a, const auto& b) { return a[0] < b[0]; });
+    return groups;
+}
+
+bool
+areRelated(const Program& program, MessageId a, MessageId b)
+{
+    return computeRelatedClasses(program).same(a, b);
+}
+
+} // namespace syscomm

@@ -1,0 +1,79 @@
+#pragma once
+
+/**
+ * @file
+ * Related-message analysis (paper, section 6).
+ *
+ * Two messages A and B are related if, in some cell program, an R(A)
+ * or W(A) appears between two R(B)s or between two W(B)s. The relation
+ * is closed symmetrically and transitively; related messages must
+ * share a label so the compatible queue assignment gives them separate
+ * queues simultaneously (Figs. 8 and 9).
+ */
+
+#include <vector>
+
+#include "core/program.h"
+#include "core/types.h"
+
+namespace syscomm {
+
+/** Classic union-find over dense integer ids. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(int n) : parent_(n), rank_(n, 0)
+    {
+        for (int i = 0; i < n; ++i)
+            parent_[i] = i;
+    }
+
+    int find(int x) const
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    /** Merge the classes of a and b; returns the new root. */
+    int unite(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return a;
+        if (rank_[a] < rank_[b])
+            std::swap(a, b);
+        parent_[b] = a;
+        if (rank_[a] == rank_[b])
+            ++rank_[a];
+        return a;
+    }
+
+    bool same(int a, int b) const { return find(a) == find(b); }
+
+    int size() const { return static_cast<int>(parent_.size()); }
+
+  private:
+    mutable std::vector<int> parent_;
+    std::vector<int> rank_;
+};
+
+/**
+ * Compute the related-message equivalence classes of a program.
+ * The returned union-find has one element per message id.
+ */
+UnionFind computeRelatedClasses(const Program& program);
+
+/**
+ * The equivalence classes as explicit groups (singletons included),
+ * each sorted ascending, groups ordered by their smallest member.
+ */
+std::vector<std::vector<MessageId>> relatedGroups(const Program& program);
+
+/** Are two messages related (directly or transitively)? */
+bool areRelated(const Program& program, MessageId a, MessageId b);
+
+} // namespace syscomm

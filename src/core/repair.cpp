@@ -1,0 +1,129 @@
+#include "core/repair.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace syscomm {
+
+RepairResult
+repairProgram(const Program& program)
+{
+    RepairResult result;
+
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        for (const Op& op : program.cellOps(c)) {
+            if (op.isCompute()) {
+                result.error = "cell " + std::to_string(c) +
+                               " contains compute ops; reordering would "
+                               "change their data dependencies";
+                return result;
+            }
+        }
+    }
+    std::vector<std::string> issues = program.validate();
+    if (!issues.empty()) {
+        result.error = "invalid program: " + issues.front();
+        return result;
+    }
+
+    // Original position of each message's k-th W (in its sender's
+    // program) and k-th R (in its receiver's program).
+    int num_msgs = program.numMessages();
+    std::vector<std::vector<int>> wpos(num_msgs), rpos(num_msgs);
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        const auto& ops = program.cellOps(c);
+        for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+            if (ops[i].isWrite())
+                wpos[ops[i].msg].push_back(i);
+            else
+                rpos[ops[i].msg].push_back(i);
+        }
+    }
+
+    // Greedy serialization (section 3.3): repeatedly emit the pending
+    // transfer whose original ops are earliest.
+    Program repaired(program.numCells());
+    for (const MessageDecl& m : program.messages())
+        repaired.declareMessage(m.name, m.sender, m.receiver);
+
+    std::vector<int> next(num_msgs, 0);
+    int remaining = 0;
+    for (MessageId m = 0; m < num_msgs; ++m)
+        remaining += static_cast<int>(wpos[m].size());
+
+    while (remaining > 0) {
+        MessageId best = kInvalidMessage;
+        long best_cost = 0;
+        for (MessageId m = 0; m < num_msgs; ++m) {
+            if (next[m] >= static_cast<int>(wpos[m].size()))
+                continue;
+            long cost = static_cast<long>(wpos[m][next[m]]) +
+                        static_cast<long>(rpos[m][next[m]]);
+            if (best == kInvalidMessage || cost < best_cost ||
+                (cost == best_cost && m < best)) {
+                best = m;
+                best_cost = cost;
+            }
+        }
+        const MessageDecl& decl = program.message(best);
+        repaired.write(decl.sender, best);
+        repaired.read(decl.receiver, best);
+        ++next[best];
+        --remaining;
+    }
+
+    // Count displaced ops for reporting.
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        const auto& before = program.cellOps(c);
+        const auto& after = repaired.cellOps(c);
+        for (std::size_t i = 0; i < before.size(); ++i) {
+            if (!(before[i] == after[i]))
+                ++result.movedOps;
+        }
+    }
+
+    result.success = true;
+    result.program = std::move(repaired);
+    return result;
+}
+
+bool
+isReorderingOf(const Program& original, const Program& repaired)
+{
+    if (original.numCells() != repaired.numCells() ||
+        original.numMessages() != repaired.numMessages()) {
+        return false;
+    }
+    for (MessageId m = 0; m < original.numMessages(); ++m) {
+        const MessageDecl& a = original.message(m);
+        const MessageDecl& b = repaired.message(m);
+        if (a.name != b.name || a.sender != b.sender ||
+            a.receiver != b.receiver) {
+            return false;
+        }
+    }
+    // Identical per-cell op multisets. (Ops of one message and kind
+    // are interchangeable, so multiset equality plus the builder's
+    // append-only construction implies word order is preserved.)
+    for (CellId c = 0; c < original.numCells(); ++c) {
+        std::map<std::pair<MessageId, int>, int> counts;
+        for (const Op& op : original.cellOps(c)) {
+            if (op.isCompute())
+                return false;
+            ++counts[{op.msg, op.isWrite() ? 1 : 0}];
+        }
+        for (const Op& op : repaired.cellOps(c)) {
+            if (op.isCompute())
+                return false;
+            --counts[{op.msg, op.isWrite() ? 1 : 0}];
+        }
+        for (const auto& [key, count] : counts) {
+            if (count != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace syscomm

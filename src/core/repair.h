@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Deadlock repair: reorder cell programs into a deadlock-free
+ * schedule. Section 3.3 puts the burden of writing deadlock-free
+ * programs on "the programmer or compiler"; this module is that
+ * compiler pass.
+ *
+ * The repair may permute operations on *different* messages within a
+ * cell, but never reorders the operations of one message (word order
+ * is semantic). It therefore applies only to transfer-only programs:
+ * compute ops pin their neighborhood and are refused.
+ *
+ * The scheduler follows the section 3.3 strategy — serialize word
+ * transfers — picking at each step the transferable message whose
+ * pending operations sit earliest in the original programs, so the
+ * original interleaving is preserved wherever it was already safe.
+ */
+
+#include <string>
+
+#include "core/program.h"
+
+namespace syscomm {
+
+/** Outcome of a repair attempt. */
+struct RepairResult
+{
+    bool success = false;
+    std::string error;
+    /** Deadlock-free reordering (valid when success). */
+    Program program{1};
+    /** Number of ops whose position changed. */
+    int movedOps = 0;
+};
+
+/**
+ * Produce a deadlock-free reordering of @p program, or fail if the
+ * program contains compute ops or is structurally invalid. Always
+ * succeeds on valid transfer-only programs.
+ */
+RepairResult repairProgram(const Program& program);
+
+/**
+ * Check that @p repaired is a legal reordering of @p original: same
+ * declarations, same per-cell op multiset, and per-message op order
+ * preserved within each cell.
+ */
+bool isReorderingOf(const Program& original, const Program& repaired);
+
+} // namespace syscomm

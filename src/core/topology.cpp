@@ -1,0 +1,185 @@
+#include "core/topology.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace syscomm {
+
+Topology
+Topology::linearArray(int num_cells)
+{
+    assert(num_cells >= 1);
+    Topology t;
+    t.num_cells_ = num_cells;
+    t.name_ = "linear(" + std::to_string(num_cells) + ")";
+    for (CellId c = 0; c + 1 < num_cells; ++c)
+        t.links_.push_back({c, c + 1});
+    t.finalize();
+    return t;
+}
+
+Topology
+Topology::ring(int num_cells)
+{
+    assert(num_cells >= 3);
+    Topology t;
+    t.num_cells_ = num_cells;
+    t.name_ = "ring(" + std::to_string(num_cells) + ")";
+    for (CellId c = 0; c + 1 < num_cells; ++c)
+        t.links_.push_back({c, c + 1});
+    t.links_.push_back({0, num_cells - 1});
+    t.finalize();
+    return t;
+}
+
+Topology
+Topology::mesh(int rows, int cols)
+{
+    assert(rows >= 1 && cols >= 1);
+    Topology t;
+    t.num_cells_ = rows * cols;
+    t.mesh_rows_ = rows;
+    t.mesh_cols_ = cols;
+    t.name_ = "mesh(" + std::to_string(rows) + "x" + std::to_string(cols) +
+              ")";
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            CellId id = r * cols + c;
+            if (c + 1 < cols)
+                t.links_.push_back({id, id + 1});
+            if (r + 1 < rows)
+                t.links_.push_back({id, id + cols});
+        }
+    }
+    t.finalize();
+    return t;
+}
+
+Topology
+Topology::torus(int rows, int cols)
+{
+    assert(rows >= 3 && cols >= 3);
+    Topology t;
+    t.num_cells_ = rows * cols;
+    t.name_ = "torus(" + std::to_string(rows) + "x" +
+              std::to_string(cols) + ")";
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            CellId id = r * cols + c;
+            CellId right = r * cols + (c + 1) % cols;
+            CellId down = ((r + 1) % rows) * cols + c;
+            t.links_.push_back({id, right});
+            t.links_.push_back({id, down});
+        }
+    }
+    t.finalize();
+    return t;
+}
+
+Topology
+Topology::custom(int num_cells, std::vector<Link> links)
+{
+    assert(num_cells >= 1);
+    Topology t;
+    t.num_cells_ = num_cells;
+    t.name_ = "custom(" + std::to_string(num_cells) + ")";
+    t.links_ = std::move(links);
+    for (Link& l : t.links_) {
+        assert(l.a != l.b && "self-links are not allowed");
+        assert(l.a >= 0 && l.a < num_cells && l.b >= 0 && l.b < num_cells);
+        if (l.a > l.b)
+            std::swap(l.a, l.b);
+    }
+    t.finalize();
+    return t;
+}
+
+void
+Topology::finalize()
+{
+    // Normalize endpoint order and build adjacency + lookup.
+    for (Link& l : links_) {
+        if (l.a > l.b)
+            std::swap(l.a, l.b);
+    }
+    adjacency_.assign(num_cells_, {});
+    link_lookup_.assign(static_cast<std::size_t>(num_cells_) * num_cells_,
+                        kInvalidLink);
+    for (LinkIndex i = 0; i < numLinks(); ++i) {
+        const Link& l = links_[i];
+        adjacency_[l.a].push_back(l.b);
+        adjacency_[l.b].push_back(l.a);
+        link_lookup_[static_cast<std::size_t>(l.a) * num_cells_ + l.b] = i;
+        link_lookup_[static_cast<std::size_t>(l.b) * num_cells_ + l.a] = i;
+    }
+    for (auto& nbrs : adjacency_)
+        std::sort(nbrs.begin(), nbrs.end());
+}
+
+std::optional<LinkIndex>
+Topology::linkBetween(CellId x, CellId y) const
+{
+    if (x < 0 || y < 0 || x >= num_cells_ || y >= num_cells_)
+        return std::nullopt;
+    LinkIndex idx =
+        link_lookup_[static_cast<std::size_t>(x) * num_cells_ + y];
+    if (idx == kInvalidLink)
+        return std::nullopt;
+    return idx;
+}
+
+std::vector<CellId>
+Topology::routePath(CellId from, CellId to) const
+{
+    assert(from >= 0 && from < num_cells_ && to >= 0 && to < num_cells_);
+    if (from == to)
+        return {from};
+
+    if (isMesh()) {
+        // Dimension-order (XY) routing: adjust column first, then row.
+        std::vector<CellId> path{from};
+        int r = from / mesh_cols_;
+        int c = from % mesh_cols_;
+        int tr = to / mesh_cols_;
+        int tc = to % mesh_cols_;
+        while (c != tc) {
+            c += (tc > c) ? 1 : -1;
+            path.push_back(r * mesh_cols_ + c);
+        }
+        while (r != tr) {
+            r += (tr > r) ? 1 : -1;
+            path.push_back(r * mesh_cols_ + c);
+        }
+        return path;
+    }
+
+    // BFS with smallest-neighbor preference: parents are assigned in
+    // ascending neighbor order, making the shortest path deterministic.
+    std::vector<CellId> parent(num_cells_, kInvalidCell);
+    std::queue<CellId> frontier;
+    parent[from] = from;
+    frontier.push(from);
+    while (!frontier.empty()) {
+        CellId cur = frontier.front();
+        frontier.pop();
+        if (cur == to)
+            break;
+        for (CellId nxt : adjacency_[cur]) {
+            if (parent[nxt] == kInvalidCell) {
+                parent[nxt] = cur;
+                frontier.push(nxt);
+            }
+        }
+    }
+    if (parent[to] == kInvalidCell)
+        return {};
+    std::vector<CellId> path;
+    for (CellId cur = to; cur != from; cur = parent[cur])
+        path.push_back(cur);
+    path.push_back(from);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace syscomm

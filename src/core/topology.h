@@ -1,0 +1,112 @@
+#pragma once
+
+/**
+ * @file
+ * Array topologies: the graph of cells and the links between adjacent
+ * cells. Section 2 of the paper uses 1-D arrays in all examples but
+ * states that the results apply to any interconnection topology; we
+ * support linear arrays, rings, 2-D meshes, and custom graphs.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace syscomm {
+
+/** An undirected link between two adjacent cells (a < b after normalization). */
+struct Link
+{
+    CellId a = kInvalidCell;
+    CellId b = kInvalidCell;
+};
+
+/**
+ * A static interconnection topology.
+ *
+ * Routing is deterministic: 2-D meshes use dimension-order (XY)
+ * routing; every other topology uses breadth-first shortest paths with
+ * smallest-neighbor tie-breaking, so a message's route — and therefore
+ * the set of intervals it crosses — is a pure function of its sender
+ * and receiver, as the paper assumes for minimum-length routes.
+ */
+class Topology
+{
+  public:
+    /** An empty topology; assign one of the factory results. */
+    Topology() = default;
+
+    /** A linear array of @p num_cells cells: 0 - 1 - ... - n-1. */
+    static Topology linearArray(int num_cells);
+
+    /** A ring: 0 - 1 - ... - n-1 - 0. Requires num_cells >= 3. */
+    static Topology ring(int num_cells);
+
+    /**
+     * A rows x cols mesh. Cell (r, c) has id r * cols + c; XY routing
+     * (column first, then row) is used.
+     */
+    static Topology mesh(int rows, int cols);
+
+    /**
+     * A rows x cols torus (mesh plus wraparound links). Routed by BFS
+     * shortest paths. Requires rows >= 3 and cols >= 3 so wrap links
+     * are distinct from mesh links.
+     */
+    static Topology torus(int rows, int cols);
+
+    /** An arbitrary connected graph over num_cells cells. */
+    static Topology custom(int num_cells, std::vector<Link> links);
+
+    int numCells() const { return num_cells_; }
+    int numLinks() const { return static_cast<int>(links_.size()); }
+
+    const Link& link(LinkIndex idx) const { return links_[idx]; }
+
+    /** Index of the link between two adjacent cells, if any. */
+    std::optional<LinkIndex> linkBetween(CellId x, CellId y) const;
+
+    /** Neighboring cells of @p cell, ascending. */
+    const std::vector<CellId>& neighbors(CellId cell) const
+    {
+        return adjacency_[cell];
+    }
+
+    /**
+     * Deterministic minimum-length path from @p from to @p to, both
+     * endpoints included. Empty if unreachable; {from} if from == to.
+     */
+    std::vector<CellId> routePath(CellId from, CellId to) const;
+
+    /** True for topologies built by mesh(). */
+    bool isMesh() const { return mesh_rows_ > 0; }
+    int meshRows() const { return mesh_rows_; }
+    int meshCols() const { return mesh_cols_; }
+
+    /** Direction of travel when moving from @p from over link @p idx. */
+    LinkDir directionFrom(LinkIndex idx, CellId from) const
+    {
+        return links_[idx].a == from ? LinkDir::kForward
+                                     : LinkDir::kBackward;
+    }
+
+    /** Short description, e.g. "linear(4)" or "mesh(3x3)". */
+    const std::string& name() const { return name_; }
+
+  private:
+    void finalize();
+
+    int num_cells_ = 0;
+    int mesh_rows_ = 0;
+    int mesh_cols_ = 0;
+    std::string name_;
+    std::vector<Link> links_;
+    std::vector<std::vector<CellId>> adjacency_;
+    // Dense (a * num_cells + b) -> link index map for small arrays;
+    // falls back to linear scan through adjacency otherwise.
+    std::vector<LinkIndex> link_lookup_;
+};
+
+} // namespace syscomm

@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Fundamental identifier types shared by every syscomm module.
+ *
+ * The model follows Kung (1988), "Deadlock Avoidance for Systolic
+ * Communication": an array of cells (the host is treated as a cell)
+ * exchanges declared messages over links; each link carries a fixed
+ * number of hardware queues.
+ */
+
+#include <cstdint>
+
+namespace syscomm {
+
+/** Index of a cell (processing element). The host is an ordinary cell. */
+using CellId = std::int32_t;
+
+/** Index of a declared message (a finite sequence of words). */
+using MessageId = std::int32_t;
+
+/** Index of an undirected link (the "interval" between adjacent cells). */
+using LinkIndex = std::int32_t;
+
+/** Simulation time, in cycles. */
+using Cycle = std::int64_t;
+
+/** Sentinel for "no cell". */
+inline constexpr CellId kInvalidCell = -1;
+
+/** Sentinel for "no message". */
+inline constexpr MessageId kInvalidMessage = -1;
+
+/** Sentinel for "no link". */
+inline constexpr LinkIndex kInvalidLink = -1;
+
+/**
+ * Direction of travel across an undirected link {a, b} with a < b.
+ * kForward means a -> b; kBackward means b -> a. Messages crossing the
+ * same link in the same direction are "competing" (paper, section 2.3).
+ */
+enum class LinkDir : std::uint8_t { kForward = 0, kBackward = 1 };
+
+/** Flip a link direction. */
+constexpr LinkDir
+opposite(LinkDir d)
+{
+    return d == LinkDir::kForward ? LinkDir::kBackward : LinkDir::kForward;
+}
+
+/** Short human-readable arrow for a direction. */
+constexpr const char*
+dirArrow(LinkDir d)
+{
+    return d == LinkDir::kForward ? "->" : "<-";
+}
+
+} // namespace syscomm

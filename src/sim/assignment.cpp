@@ -1,0 +1,169 @@
+#include "sim/assignment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace syscomm::sim {
+
+// ---------------------------------------------------------------------
+// StaticPolicy
+// ---------------------------------------------------------------------
+
+bool
+StaticPolicy::initLink(LinkState& link,
+                       std::vector<AssignmentDecision>& decisions)
+{
+    for (Crossing& c : link.crossings()) {
+        int q = link.findFreeQueue();
+        if (q < 0)
+            return false; // not enough queues for a static assignment
+        link.assignMsg(c.msg, q, 0);
+        decisions.push_back({c.msg, q});
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// CompatiblePolicy
+// ---------------------------------------------------------------------
+
+CompatiblePolicy::CompatiblePolicy(std::vector<std::int64_t> labels,
+                                   bool eager)
+    : labels_(std::move(labels)), eager_(eager)
+{}
+
+void
+CompatiblePolicy::tick(LinkState& link, Cycle now,
+                       std::vector<AssignmentDecision>& decisions)
+{
+    // Group the link's crossings by label; serve strictly in ascending
+    // label order across the link's shared queue pool.
+    std::map<std::int64_t, std::vector<Crossing*>> groups;
+    for (Crossing& c : link.crossings()) {
+        assert(c.msg < static_cast<MessageId>(labels_.size()));
+        groups[labels_[c.msg]].push_back(&c);
+    }
+
+    for (auto& [label, group] : groups) {
+        std::vector<Crossing*> unserved;
+        bool any_requested = false;
+        for (Crossing* c : group) {
+            if (c->assignedAt < 0) {
+                unserved.push_back(c);
+                if (c->phase == CrossingPhase::kRequested)
+                    any_requested = true;
+            }
+        }
+        if (unserved.empty())
+            continue; // group fully served; next label may proceed
+
+        // This is the lowest unserved group. Simultaneous assignment:
+        // all members get separate queues at once, or none do.
+        if ((eager_ || any_requested) &&
+            link.numFreeQueues() >= static_cast<int>(unserved.size())) {
+            for (Crossing* c : unserved) {
+                int q = link.findFreeQueue();
+                assert(q >= 0);
+                link.assignMsg(c->msg, q, now);
+                decisions.push_back({c->msg, q});
+            }
+        }
+        // Ordered rule: larger labels must wait for this group.
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// FcfsPolicy
+// ---------------------------------------------------------------------
+
+void
+FcfsPolicy::tick(LinkState& link, Cycle now,
+                 std::vector<AssignmentDecision>& decisions)
+{
+    std::vector<Crossing*> pending;
+    for (Crossing& c : link.crossings()) {
+        if (c.phase == CrossingPhase::kRequested)
+            pending.push_back(&c);
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const Crossing* a, const Crossing* b) {
+                  if (a->requestedAt != b->requestedAt)
+                      return a->requestedAt < b->requestedAt;
+                  return a->msg < b->msg;
+              });
+    for (Crossing* c : pending) {
+        int q = link.findFreeQueue();
+        if (q < 0)
+            break;
+        link.assignMsg(c->msg, q, now);
+        decisions.push_back({c->msg, q});
+    }
+}
+
+// ---------------------------------------------------------------------
+// RandomPolicy
+// ---------------------------------------------------------------------
+
+void
+RandomPolicy::tick(LinkState& link, Cycle now,
+                   std::vector<AssignmentDecision>& decisions)
+{
+    std::vector<Crossing*> pending;
+    for (Crossing& c : link.crossings()) {
+        if (c.phase == CrossingPhase::kRequested)
+            pending.push_back(&c);
+    }
+    std::shuffle(pending.begin(), pending.end(), rng_);
+    for (Crossing* c : pending) {
+        int q = link.findFreeQueue();
+        if (q < 0)
+            break;
+        link.assignMsg(c->msg, q, now);
+        decisions.push_back({c->msg, q});
+    }
+}
+
+// ---------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------
+
+const char*
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::kCompatible:
+        return "compatible";
+      case PolicyKind::kCompatibleEager:
+        return "compatible-eager";
+      case PolicyKind::kStatic:
+        return "static";
+      case PolicyKind::kFcfs:
+        return "fcfs";
+      case PolicyKind::kRandom:
+        return "random";
+    }
+    return "?";
+}
+
+std::unique_ptr<AssignmentPolicy>
+makePolicy(PolicyKind kind, std::vector<std::int64_t> labels,
+           std::uint64_t seed)
+{
+    switch (kind) {
+      case PolicyKind::kCompatible:
+        return std::make_unique<CompatiblePolicy>(std::move(labels), false);
+      case PolicyKind::kCompatibleEager:
+        return std::make_unique<CompatiblePolicy>(std::move(labels), true);
+      case PolicyKind::kStatic:
+        return std::make_unique<StaticPolicy>();
+      case PolicyKind::kFcfs:
+        return std::make_unique<FcfsPolicy>();
+      case PolicyKind::kRandom:
+        return std::make_unique<RandomPolicy>(seed);
+    }
+    return nullptr;
+}
+
+} // namespace syscomm::sim

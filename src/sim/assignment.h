@@ -1,0 +1,147 @@
+#pragma once
+
+/**
+ * @file
+ * Queue-assignment policies (paper, section 7).
+ *
+ * The policy decides, each cycle and per link, which waiting messages
+ * receive free queues. Four policies are provided:
+ *
+ *  - StaticPolicy: every message gets a dedicated queue before the
+ *    program starts (section 7.1). Automatically compatible.
+ *  - CompatiblePolicy: the paper's dynamic scheme — ordered assignment
+ *    by label plus simultaneous assignment of same-label groups
+ *    (section 7.2). Requires a labeling.
+ *  - FcfsPolicy: first-come-first-served baseline. Exhibits the
+ *    queue-induced deadlocks of Figs. 7-9.
+ *  - RandomPolicy: randomized arrival service; another unsafe baseline.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/link_state.h"
+
+namespace syscomm::sim {
+
+/** (message, queue id) decisions a policy makes for one link. */
+struct AssignmentDecision
+{
+    MessageId msg = kInvalidMessage;
+    int queueId = -1;
+};
+
+/** Strategy interface for per-link queue assignment. */
+class AssignmentPolicy
+{
+  public:
+    virtual ~AssignmentPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Called once per link before cycle 0. Static assignment happens
+     * here. Returns false if the policy cannot set this link up (e.g.
+     * not enough queues for a static assignment).
+     */
+    virtual bool initLink(LinkState& link,
+                          std::vector<AssignmentDecision>& decisions)
+    {
+        (void)link;
+        (void)decisions;
+        return true;
+    }
+
+    /** Called once per link per cycle; append decisions to make. */
+    virtual void tick(LinkState& link, Cycle now,
+                      std::vector<AssignmentDecision>& decisions) = 0;
+};
+
+/** Section 7.1: dedicated queue per message, fixed for the whole run. */
+class StaticPolicy : public AssignmentPolicy
+{
+  public:
+    std::string name() const override { return "static"; }
+    bool initLink(LinkState& link,
+                  std::vector<AssignmentDecision>& decisions) override;
+    void tick(LinkState&, Cycle, std::vector<AssignmentDecision>&) override
+    {}
+};
+
+/**
+ * Section 7.2: ordered + simultaneous dynamic assignment.
+ *
+ * Messages crossing a link are grouped by label; groups are served in
+ * ascending label order across the link's shared pool. A group is
+ * assigned when every smaller group has been served, enough queues are
+ * free, and (unless eager reservation is on) at least one member has
+ * requested.
+ */
+class CompatiblePolicy : public AssignmentPolicy
+{
+  public:
+    /**
+     * @param labels label per MessageId (normalized integers work).
+     * @param eager reserve queues for a group as soon as it is the
+     *        lowest unserved group, before any member arrives (the
+     *        paper's "reservation scheme" remark in section 5).
+     */
+    CompatiblePolicy(std::vector<std::int64_t> labels, bool eager = false);
+
+    std::string name() const override
+    {
+        return eager_ ? "compatible-eager" : "compatible";
+    }
+    void tick(LinkState& link, Cycle now,
+              std::vector<AssignmentDecision>& decisions) override;
+
+  private:
+    std::vector<std::int64_t> labels_;
+    bool eager_;
+};
+
+/** Unsafe baseline: serve queue requests in arrival order. */
+class FcfsPolicy : public AssignmentPolicy
+{
+  public:
+    std::string name() const override { return "fcfs"; }
+    void tick(LinkState& link, Cycle now,
+              std::vector<AssignmentDecision>& decisions) override;
+};
+
+/** Unsafe baseline: serve pending requests in random order. */
+class RandomPolicy : public AssignmentPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    std::string name() const override { return "random"; }
+    void tick(LinkState& link, Cycle now,
+              std::vector<AssignmentDecision>& decisions) override;
+
+  private:
+    std::mt19937_64 rng_;
+};
+
+/** Selector used by SimOptions. */
+enum class PolicyKind : std::uint8_t
+{
+    kCompatible = 0,
+    kCompatibleEager,
+    kStatic,
+    kFcfs,
+    kRandom,
+};
+
+const char* policyKindName(PolicyKind kind);
+
+/** Factory. @p labels may be empty for FCFS/random/static. */
+std::unique_ptr<AssignmentPolicy>
+makePolicy(PolicyKind kind, std::vector<std::int64_t> labels,
+           std::uint64_t seed);
+
+} // namespace syscomm::sim

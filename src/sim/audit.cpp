@@ -1,0 +1,103 @@
+#include "sim/audit.h"
+
+#include <map>
+
+namespace syscomm::sim {
+
+std::string
+AuditReport::str(const Program& program) const
+{
+    if (compatible)
+        return "assignment trace is compatible with the labeling";
+    std::string out = "assignment trace violates compatibility (" +
+                      std::to_string(violations.size()) + " violations):\n";
+    for (const AuditViolation& v : violations) {
+        out += "  link " + std::to_string(v.link) + ": " +
+               program.message(v.second).name + " vs " +
+               program.message(v.first).name + ": " + v.detail + "\n";
+    }
+    return out;
+}
+
+AuditReport
+auditAssignments(const Program& program, const CompetingAnalysis& competing,
+                 const std::vector<std::int64_t>& labels,
+                 const std::vector<AssignmentEvent>& events)
+{
+    (void)program;
+    AuditReport report;
+
+    // Index assignment cycles per (link, msg).
+    std::map<std::pair<LinkIndex, MessageId>, Cycle> assigned_at;
+    for (const AssignmentEvent& ev : events)
+        assigned_at[{ev.link, ev.msg}] = ev.cycle;
+
+    auto lookup = [&](LinkIndex link,
+                      MessageId msg) -> std::optional<Cycle> {
+        auto it = assigned_at.find({link, msg});
+        if (it == assigned_at.end())
+            return std::nullopt;
+        return it->second;
+    };
+
+    for (LinkIndex link = 0; link < competing.numLinks(); ++link) {
+        // Ordered assignment among same-direction competitors.
+        for (int d = 0; d < 2; ++d) {
+            const auto& msgs =
+                competing.onLinkDir(link, static_cast<LinkDir>(d));
+            for (MessageId m2 : msgs) {
+                auto t2 = lookup(link, m2);
+                if (!t2)
+                    continue;
+                for (MessageId m1 : msgs) {
+                    if (m1 == m2 || labels[m1] >= labels[m2])
+                        continue;
+                    auto t1 = lookup(link, m1);
+                    if (!t1 || *t1 > *t2) {
+                        AuditViolation v;
+                        v.link = link;
+                        v.first = m1;
+                        v.second = m2;
+                        v.detail =
+                            "label " + std::to_string(labels[m2]) +
+                            " assigned at cycle " + std::to_string(*t2) +
+                            " before smaller label " +
+                            std::to_string(labels[m1]) +
+                            (t1 ? " (cycle " + std::to_string(*t1) + ")"
+                                : " (never assigned)");
+                        report.violations.push_back(std::move(v));
+                    }
+                }
+            }
+        }
+        // Simultaneous assignment among same-label messages sharing the
+        // link's pool.
+        const auto& all = competing.onLink(link);
+        for (MessageId m2 : all) {
+            auto t2 = lookup(link, m2);
+            if (!t2)
+                continue;
+            for (MessageId m1 : all) {
+                if (m1 >= m2 || labels[m1] != labels[m2])
+                    continue;
+                auto t1 = lookup(link, m1);
+                if (!t1 || *t1 != *t2) {
+                    AuditViolation v;
+                    v.link = link;
+                    v.first = m1;
+                    v.second = m2;
+                    v.detail =
+                        "same label " + std::to_string(labels[m1]) +
+                        " but not assigned simultaneously (" +
+                        (t1 ? std::to_string(*t1) : std::string("never")) +
+                        " vs " + std::to_string(*t2) + ")";
+                    report.violations.push_back(std::move(v));
+                }
+            }
+        }
+    }
+    report.compatible = report.violations.empty();
+    return report;
+}
+
+} // namespace syscomm::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Run-time compatibility audit: checks an assignment trace against
+ * the paper's dynamic queue-assignment rules (section 7) with respect
+ * to a labeling — condition (iii) of Theorem 1.
+ *
+ *   Ordered assignment: a message is assigned only after all competing
+ *   messages with smaller labels have been assigned.
+ *   Simultaneous assignment: same-label competitors get separate
+ *   queues at the same instant.
+ *
+ * The audit is policy-agnostic: run it on an FCFS trace and it reports
+ * exactly where FCFS broke the rules.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/competing.h"
+#include "core/program.h"
+#include "core/types.h"
+
+namespace syscomm::sim {
+
+/** One queue assignment as it happened. */
+struct AssignmentEvent
+{
+    Cycle cycle = 0;
+    LinkIndex link = kInvalidLink;
+    MessageId msg = kInvalidMessage;
+    int queueId = -1;
+    LinkDir dir = LinkDir::kForward;
+};
+
+/** A broken rule. */
+struct AuditViolation
+{
+    LinkIndex link = kInvalidLink;
+    MessageId first = kInvalidMessage;  ///< smaller-or-equal-label message
+    MessageId second = kInvalidMessage; ///< message assigned out of order
+    std::string detail;
+};
+
+/** Audit outcome. */
+struct AuditReport
+{
+    bool compatible = true;
+    std::vector<AuditViolation> violations;
+
+    std::string str(const Program& program) const;
+};
+
+/**
+ * Check @p events against the ordered/simultaneous rules for the
+ * given labels. Competing sets come from @p competing; only messages
+ * crossing the same link in the same direction are compared for the
+ * ordering rule, while the simultaneity rule spans the link's shared
+ * queue pool (both directions).
+ */
+AuditReport auditAssignments(const Program& program,
+                             const CompetingAnalysis& competing,
+                             const std::vector<std::int64_t>& labels,
+                             const std::vector<AssignmentEvent>& events);
+
+} // namespace syscomm::sim

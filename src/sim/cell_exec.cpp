@@ -1,0 +1,23 @@
+#include "sim/cell_exec.h"
+
+namespace syscomm::sim {
+
+const char*
+blockReasonName(BlockReason reason)
+{
+    switch (reason) {
+      case BlockReason::kNone:
+        return "none";
+      case BlockReason::kQueueNotAssigned:
+        return "waiting for queue assignment";
+      case BlockReason::kQueueFull:
+        return "output queue full";
+      case BlockReason::kWordNotArrived:
+        return "input word not available";
+      case BlockReason::kMemoryStall:
+        return "local memory access";
+    }
+    return "?";
+}
+
+} // namespace syscomm::sim

@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * Per-cell execution state. The machine drives one of these per cell;
+ * it also implements the CellContext visible to compute callbacks.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/cell_context.h"
+#include "core/op.h"
+#include "core/types.h"
+
+namespace syscomm::sim {
+
+/** Why a cell could not execute its current op this cycle. */
+enum class BlockReason : std::uint8_t
+{
+    kNone = 0,
+    kQueueNotAssigned, ///< The needed queue has not been assigned yet.
+    kQueueFull,        ///< Output queue (incl. extension) is full.
+    kWordNotArrived,   ///< Input queue empty or word not consumable yet.
+    kMemoryStall,      ///< Memory-to-memory model staging cycles.
+};
+
+const char* blockReasonName(BlockReason reason);
+
+/** Run-time state of one cell. */
+class CellRuntime : public CellContext
+{
+  public:
+    CellRuntime(CellId id, const std::vector<Op>* ops)
+        : id_(id), ops_(ops)
+    {}
+
+    // ------------------------------------------------------------------
+    // Program counter
+    // ------------------------------------------------------------------
+
+    bool done() const { return pc_ >= static_cast<int>(ops_->size()); }
+    int pc() const { return pc_; }
+    const Op& currentOp() const { return (*ops_)[pc_]; }
+
+    /** Move to the next op, resetting per-op staging state. */
+    void advance()
+    {
+        ++pc_;
+        stall_remaining_ = -1;
+        read_completed_ = false;
+    }
+
+    // ------------------------------------------------------------------
+    // CellContext (visible to compute callbacks)
+    // ------------------------------------------------------------------
+
+    double lastRead() const override { return last_read_; }
+
+    void setNextWrite(double value) override
+    {
+        next_write_ = value;
+        has_staged_write_ = true;
+    }
+
+    double& local(int index) override
+    {
+        if (index >= static_cast<int>(locals_.size()))
+            locals_.resize(index + 1, 0.0);
+        return locals_[index];
+    }
+
+    CellId cellId() const override { return id_; }
+    Cycle now() const override { return now_; }
+
+    // ------------------------------------------------------------------
+    // Machine-facing helpers
+    // ------------------------------------------------------------------
+
+    void setNow(Cycle now) { now_ = now; }
+
+    /**
+     * Value the next W op sends: the explicitly staged value if any,
+     * otherwise the last word read (so bare R/W pairs forward words
+     * unchanged, like the X streams of Fig. 2).
+     */
+    double takeWriteValue()
+    {
+        double v = has_staged_write_ ? next_write_ : last_read_;
+        has_staged_write_ = false;
+        return v;
+    }
+
+    void recordRead(double value) { last_read_ = value; }
+
+    /** Memory-to-memory staging state (see machine.cpp). */
+    int stallRemaining() const { return stall_remaining_; }
+    void setStallRemaining(int v) { stall_remaining_ = v; }
+    bool readCompleted() const { return read_completed_; }
+    void setReadCompleted(bool v) { read_completed_ = v; }
+
+    BlockReason lastBlock = BlockReason::kNone;
+
+  private:
+    CellId id_;
+    const std::vector<Op>* ops_;
+    int pc_ = 0;
+    Cycle now_ = 0;
+
+    double last_read_ = 0.0;
+    double next_write_ = 0.0;
+    bool has_staged_write_ = false;
+    std::vector<double> locals_;
+
+    int stall_remaining_ = -1;
+    bool read_completed_ = false;
+};
+
+} // namespace syscomm::sim

@@ -1,0 +1,36 @@
+#include "sim/deadlock.h"
+
+#include <sstream>
+
+namespace syscomm::sim {
+
+std::string
+DeadlockReport::render() const
+{
+    if (!deadlocked)
+        return "no deadlock";
+    std::ostringstream os;
+    os << "DEADLOCK at cycle " << atCycle << "\n";
+    os << "blocked cells:\n";
+    for (const CellBlockInfo& c : cells) {
+        os << "  cell " << c.cell << " @ op " << c.pc << " " << c.op
+           << " -- " << c.reason << "\n";
+    }
+    os << "links:\n";
+    for (const LinkSnapshot& l : links) {
+        os << "  link " << l.link << " (" << l.a << " -- " << l.b << "):";
+        for (const QueueSnapshot& q : l.queues) {
+            os << " [" << q.msg << " " << q.occupancy << "/" << q.capacity
+               << "]";
+        }
+        if (!l.waiting.empty()) {
+            os << "  waiting:";
+            for (const std::string& w : l.waiting)
+                os << " " << w;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace syscomm::sim

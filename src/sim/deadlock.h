@@ -1,0 +1,59 @@
+#pragma once
+
+/**
+ * @file
+ * Deadlock snapshot reporting. Because the simulator is deterministic
+ * and progress is monotone, a cycle with zero progress events and
+ * unfinished work is a proof of deadlock; this module renders the
+ * frozen state (Fig. 7 lower-half style).
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace syscomm::sim {
+
+/** Frozen state of one cell. */
+struct CellBlockInfo
+{
+    CellId cell = kInvalidCell;
+    int pc = 0;
+    std::string op;     ///< e.g. "R(C)"
+    std::string reason; ///< blockReasonName() text
+};
+
+/** Frozen state of one queue. */
+struct QueueSnapshot
+{
+    int id = 0;
+    std::string msg; ///< assigned message name, or "-"
+    int occupancy = 0;
+    int capacity = 0;
+};
+
+/** Frozen state of one link. */
+struct LinkSnapshot
+{
+    LinkIndex link = kInvalidLink;
+    CellId a = kInvalidCell;
+    CellId b = kInvalidCell;
+    std::vector<QueueSnapshot> queues;
+    /** Names of messages waiting (requested but unassigned) here. */
+    std::vector<std::string> waiting;
+};
+
+/** Full deadlock snapshot. */
+struct DeadlockReport
+{
+    bool deadlocked = false;
+    Cycle atCycle = 0;
+    std::vector<CellBlockInfo> cells;
+    std::vector<LinkSnapshot> links;
+
+    /** Multi-line rendering of the blocked machine state. */
+    std::string render() const;
+};
+
+} // namespace syscomm::sim

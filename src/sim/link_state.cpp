@@ -1,0 +1,113 @@
+#include "sim/link_state.h"
+
+#include <cassert>
+
+namespace syscomm::sim {
+
+LinkState::LinkState(LinkIndex index, int num_queues, int capacity,
+                     int ext_capacity, int ext_penalty)
+    : index_(index)
+{
+    assert(num_queues >= 1);
+    queues_.reserve(num_queues);
+    for (int q = 0; q < num_queues; ++q)
+        queues_.emplace_back(q, index, capacity, ext_capacity, ext_penalty);
+}
+
+void
+LinkState::addCrossing(MessageId msg, LinkDir dir, int hop_index, int words)
+{
+    if (msg >= static_cast<MessageId>(crossing_index_.size()))
+        crossing_index_.resize(msg + 1, -1);
+    assert(crossing_index_[msg] == -1 &&
+           "a route crosses each link at most once");
+    crossing_index_[msg] = static_cast<int>(crossings_.size());
+    Crossing c;
+    c.msg = msg;
+    c.dir = dir;
+    c.hopIndex = hop_index;
+    c.words = words;
+    crossings_.push_back(c);
+}
+
+Crossing&
+LinkState::crossing(MessageId msg)
+{
+    assert(hasCrossing(msg));
+    return crossings_[crossing_index_[msg]];
+}
+
+const Crossing&
+LinkState::crossing(MessageId msg) const
+{
+    assert(hasCrossing(msg));
+    return crossings_[crossing_index_[msg]];
+}
+
+bool
+LinkState::hasCrossing(MessageId msg) const
+{
+    return msg >= 0 && msg < static_cast<MessageId>(crossing_index_.size()) &&
+           crossing_index_[msg] != -1;
+}
+
+int
+LinkState::numFreeQueues() const
+{
+    int free = 0;
+    for (const HwQueue& q : queues_) {
+        if (q.isFree())
+            ++free;
+    }
+    return free;
+}
+
+int
+LinkState::findFreeQueue() const
+{
+    for (const HwQueue& q : queues_) {
+        if (q.isFree())
+            return q.id();
+    }
+    return -1;
+}
+
+void
+LinkState::request(MessageId msg, Cycle now)
+{
+    Crossing& c = crossing(msg);
+    assert(c.phase == CrossingPhase::kIdle);
+    c.phase = CrossingPhase::kRequested;
+    c.requestedAt = now;
+}
+
+void
+LinkState::assignMsg(MessageId msg, int queue_id, Cycle now)
+{
+    Crossing& c = crossing(msg);
+    assert(c.phase == CrossingPhase::kIdle ||
+           c.phase == CrossingPhase::kRequested);
+    c.phase = CrossingPhase::kAssigned;
+    c.queueId = queue_id;
+    c.assignedAt = now;
+    queues_[queue_id].assign(msg, c.dir, c.words, now);
+}
+
+void
+LinkState::finishMsg(MessageId msg, Cycle now)
+{
+    Crossing& c = crossing(msg);
+    assert(c.phase == CrossingPhase::kAssigned);
+    queues_[c.queueId].release(now);
+    c.phase = CrossingPhase::kDone;
+    c.queueId = -1;
+}
+
+void
+LinkState::beginCycle(Cycle now)
+{
+    for (HwQueue& q : queues_)
+        q.beginCycle(now);
+}
+
+} // namespace syscomm::sim

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Run-time state of one link: its pool of hardware queues and the
+ * request/assignment lifecycle of every message crossing it.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "core/types.h"
+#include "sim/queue.h"
+
+namespace syscomm::sim {
+
+/** Lifecycle of a message on one link. */
+enum class CrossingPhase : std::uint8_t
+{
+    kIdle = 0,  ///< Has not yet asked for a queue here.
+    kRequested, ///< Header has arrived (or sender is ready); waiting.
+    kAssigned,  ///< Holds a queue.
+    kDone,      ///< All words passed; queue released.
+};
+
+/** One message's relationship with one link. */
+struct Crossing
+{
+    MessageId msg = kInvalidMessage;
+    LinkDir dir = LinkDir::kForward;
+    /** Which hop of the message's route this link is (0-based). */
+    int hopIndex = 0;
+    /** Total words of the message. */
+    int words = 0;
+
+    CrossingPhase phase = CrossingPhase::kIdle;
+    int queueId = -1;
+    Cycle requestedAt = -1;
+    Cycle assignedAt = -1;
+};
+
+/** Queue pool + crossings of one link. */
+class LinkState
+{
+  public:
+    LinkState(LinkIndex index, int num_queues, int capacity,
+              int ext_capacity, int ext_penalty);
+
+    LinkIndex index() const { return index_; }
+
+    /** Register a message that will cross this link (machine setup). */
+    void addCrossing(MessageId msg, LinkDir dir, int hop_index, int words);
+
+    std::vector<Crossing>& crossings() { return crossings_; }
+    const std::vector<Crossing>& crossings() const { return crossings_; }
+
+    /** The crossing record for @p msg (must exist). */
+    Crossing& crossing(MessageId msg);
+    const Crossing& crossing(MessageId msg) const;
+    bool hasCrossing(MessageId msg) const;
+
+    std::vector<HwQueue>& queues() { return queues_; }
+    const std::vector<HwQueue>& queues() const { return queues_; }
+    HwQueue& queue(int id) { return queues_[id]; }
+
+    int numFreeQueues() const;
+    /** Lowest-id free queue, or -1. */
+    int findFreeQueue() const;
+
+    /** Mark @p msg as waiting for a queue here. */
+    void request(MessageId msg, Cycle now);
+
+    /** Give @p msg the queue @p queue_id. */
+    void assignMsg(MessageId msg, int queue_id, Cycle now);
+
+    /**
+     * Pop bookkeeping: called after the last word of @p msg left its
+     * queue; releases the queue back to the pool.
+     */
+    void finishMsg(MessageId msg, Cycle now);
+
+    void beginCycle(Cycle now);
+
+  private:
+    LinkIndex index_;
+    std::vector<HwQueue> queues_;
+    std::vector<Crossing> crossings_;
+    /** msg -> index in crossings_, or -1. Grown on demand. */
+    std::vector<int> crossing_index_;
+};
+
+} // namespace syscomm::sim

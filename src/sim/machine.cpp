@@ -1,0 +1,513 @@
+#include "sim/machine.h"
+
+#include <cassert>
+
+#include "core/labeling.h"
+
+namespace syscomm::sim {
+
+const char*
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::kCompleted:
+        return "completed";
+      case RunStatus::kDeadlocked:
+        return "deadlocked";
+      case RunStatus::kMaxCycles:
+        return "max-cycles";
+      case RunStatus::kConfigError:
+        return "config-error";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+opText(const Program& program, const Op& op)
+{
+    if (op.isCompute())
+        return "compute";
+    return std::string(op.isWrite() ? "W(" : "R(") +
+           program.message(op.msg).name + ")";
+}
+
+} // namespace
+
+struct ArraySimulator::Impl
+{
+    const Program& program;
+    const MachineSpec& spec;
+    SimOptions options;
+
+    CompetingAnalysis competing;
+    std::vector<LinkState> links;
+    std::vector<CellRuntime> cells;
+    std::unique_ptr<AssignmentPolicy> policy;
+    std::vector<std::int64_t> labels;
+
+    /** Next word index each sender will write / receiver will read. */
+    std::vector<int> writeSeq;
+    std::vector<int> readSeq;
+
+    RunResult result;
+    std::vector<std::string> validation;
+
+    Impl(const Program& p, const MachineSpec& s, SimOptions o)
+        : program(p), spec(s), options(std::move(o))
+    {
+        validation = program.validate(spec.topo.numCells());
+        if (!validation.empty())
+            return;
+
+        competing = CompetingAnalysis::analyze(program, spec.topo);
+
+        labels = options.labels;
+        bool needs_labels = options.policy == PolicyKind::kCompatible ||
+                            options.policy == PolicyKind::kCompatibleEager ||
+                            options.audit;
+        if (labels.empty() && needs_labels) {
+            Labeling labeling = labelMessages(program);
+            if (!labeling.success)
+                labeling = trivialLabeling(program);
+            labels = labeling.normalized();
+        }
+
+        links.reserve(spec.topo.numLinks());
+        for (LinkIndex l = 0; l < spec.topo.numLinks(); ++l) {
+            links.emplace_back(l, spec.queuesPerLink, spec.queueCapacity,
+                               spec.extensionCapacity,
+                               spec.extensionPenalty);
+        }
+        for (MessageId m = 0; m < program.numMessages(); ++m) {
+            const Route& route = competing.route(m);
+            for (int h = 0; h < route.numHops(); ++h) {
+                links[route.hops[h].link].addCrossing(
+                    m, route.hops[h].dir, h, program.messageLength(m));
+            }
+        }
+        cells.reserve(program.numCells());
+        for (CellId c = 0; c < program.numCells(); ++c)
+            cells.emplace_back(c, &program.cellOps(c));
+
+        policy = makePolicy(options.policy, labels, options.seed);
+
+        writeSeq.assign(program.numMessages(), 0);
+        readSeq.assign(program.numMessages(), 0);
+
+        result.received.resize(program.numMessages());
+        result.stats.perCellBlocked.assign(program.numCells(), 0);
+        result.labelsUsed = labels;
+        result.msgTiming.assign(program.numMessages(), {-1, -1});
+    }
+
+    // -----------------------------------------------------------------
+    // Per-cycle phases
+    // -----------------------------------------------------------------
+
+    /** Record a policy decision batch as events + stats. */
+    std::int64_t
+    applyDecisions(LinkState& link,
+                   const std::vector<AssignmentDecision>& decisions,
+                   Cycle now)
+    {
+        for (const AssignmentDecision& d : decisions) {
+            const Crossing& c = link.crossing(d.msg);
+            AssignmentEvent ev;
+            ev.cycle = now;
+            ev.link = link.index();
+            ev.msg = d.msg;
+            ev.queueId = d.queueId;
+            ev.dir = c.dir;
+            result.events.push_back(ev);
+            ++result.stats.assignments;
+            if (c.requestedAt >= 0)
+                result.stats.requestWaitCycles += now - c.requestedAt;
+        }
+        return static_cast<std::int64_t>(decisions.size());
+    }
+
+    /** Release a finished message's queue, keeping the event log. */
+    void
+    releaseMsg(LinkState& link, MessageId msg, Cycle now)
+    {
+        AssignmentEvent ev;
+        ev.cycle = now;
+        ev.link = link.index();
+        ev.msg = msg;
+        ev.queueId = link.crossing(msg).queueId;
+        ev.dir = link.crossing(msg).dir;
+        result.releases.push_back(ev);
+        link.finishMsg(msg, now);
+        ++result.stats.releases;
+    }
+
+    std::int64_t
+    assignmentPhase(Cycle now)
+    {
+        std::int64_t progress = 0;
+        std::vector<AssignmentDecision> decisions;
+        for (LinkState& link : links) {
+            decisions.clear();
+            policy->tick(link, now, decisions);
+            progress += applyDecisions(link, decisions, now);
+        }
+        return progress;
+    }
+
+    /** Move in-flight words one hop; request next-hop queues. */
+    std::int64_t
+    forwardingPhase(Cycle now)
+    {
+        std::int64_t progress = 0;
+        // Iterate links in descending index so that, for ascending
+        // routes, downstream queues drain before upstream ones push.
+        for (auto it = links.rbegin(); it != links.rend(); ++it) {
+            LinkState& link = *it;
+            for (HwQueue& q : link.queues()) {
+                if (q.isFree() || q.empty())
+                    continue;
+                MessageId msg = q.assignedMsg();
+                const Crossing& c = link.crossing(msg);
+                const Route& route = competing.route(msg);
+                if (c.hopIndex + 1 >= route.numHops())
+                    continue; // final hop: the receiver pops it
+                const Hop& next_hop = route.hops[c.hopIndex + 1];
+                LinkState& next_link = links[next_hop.link];
+                Crossing& nc = next_link.crossing(msg);
+                if (nc.phase == CrossingPhase::kIdle) {
+                    // The message header arrived at the intermediate
+                    // cell: ask for the next queue (section 5).
+                    next_link.request(msg, now);
+                    ++result.stats.requests;
+                    ++progress;
+                    continue;
+                }
+                if (nc.phase != CrossingPhase::kAssigned)
+                    continue;
+                if (!q.canPop(now))
+                    continue;
+                HwQueue& nq = next_link.queue(nc.queueId);
+                if (!nq.canPush())
+                    continue;
+                Word w = q.pop(now);
+                nq.push(w, now);
+                ++result.stats.wordsForwarded;
+                ++progress;
+                if (q.wordsRemaining() == 0) {
+                    releaseMsg(link, msg, now);
+                    ++progress;
+                }
+            }
+        }
+        return progress;
+    }
+
+    std::int64_t
+    executeWrite(CellRuntime& cell, const Op& op, Cycle now)
+    {
+        std::int64_t progress = 0;
+
+        // Memory-to-memory model: stage the word through local memory
+        // before it may enter the output queue (2 accesses).
+        if (options.memoryToMemory) {
+            if (cell.stallRemaining() < 0) {
+                cell.setStallRemaining(2 * options.memAccessCost);
+                result.stats.memAccesses += 2;
+            }
+            if (cell.stallRemaining() > 0) {
+                cell.setStallRemaining(cell.stallRemaining() - 1);
+                ++result.stats.memStallCycles;
+                cell.lastBlock = BlockReason::kMemoryStall;
+                return 1;
+            }
+        }
+
+        const Route& route = competing.route(op.msg);
+        LinkState& link = links[route.hops[0].link];
+        Crossing& c = link.crossing(op.msg);
+        if (c.phase == CrossingPhase::kIdle) {
+            link.request(op.msg, now);
+            ++result.stats.requests;
+            cell.lastBlock = BlockReason::kQueueNotAssigned;
+            return 1;
+        }
+        if (c.phase != CrossingPhase::kAssigned) {
+            cell.lastBlock = BlockReason::kQueueNotAssigned;
+            return 0;
+        }
+        HwQueue& q = link.queue(c.queueId);
+        if (!q.canPush()) {
+            cell.lastBlock = BlockReason::kQueueFull;
+            return 0;
+        }
+        Word w;
+        w.msg = op.msg;
+        w.seq = writeSeq[op.msg]++;
+        w.value = cell.takeWriteValue();
+        if (w.seq == 0)
+            result.msgTiming[op.msg].first = now;
+        q.push(w, now);
+        ++result.stats.opsExecuted;
+        ++progress;
+        cell.advance();
+        return progress;
+    }
+
+    std::int64_t
+    executeRead(CellRuntime& cell, const Op& op, Cycle now)
+    {
+        // Memory-to-memory model, phase 2: after the word left the
+        // queue it must pass through local memory (2 accesses).
+        if (options.memoryToMemory && cell.readCompleted()) {
+            if (cell.stallRemaining() > 0) {
+                cell.setStallRemaining(cell.stallRemaining() - 1);
+                ++result.stats.memStallCycles;
+                cell.lastBlock = BlockReason::kMemoryStall;
+                return 1;
+            }
+            ++result.stats.opsExecuted;
+            cell.advance();
+            return 1;
+        }
+
+        const Route& route = competing.route(op.msg);
+        const Hop& last_hop = route.hops.back();
+        LinkState& link = links[last_hop.link];
+        Crossing& c = link.crossing(op.msg);
+        if (c.phase != CrossingPhase::kAssigned) {
+            cell.lastBlock = c.phase == CrossingPhase::kRequested
+                                 ? BlockReason::kQueueNotAssigned
+                                 : BlockReason::kWordNotArrived;
+            return 0;
+        }
+        HwQueue& q = link.queue(c.queueId);
+        if (!q.canPop(now)) {
+            cell.lastBlock = BlockReason::kWordNotArrived;
+            return 0;
+        }
+        Word w = q.pop(now);
+        assert(w.msg == op.msg);
+        assert(w.seq == readSeq[op.msg] && "words arrive in order");
+        ++readSeq[op.msg];
+        cell.recordRead(w.value);
+        result.received[op.msg].push_back(w.value);
+        ++result.stats.wordsDelivered;
+        if (readSeq[op.msg] == program.messageLength(op.msg))
+            result.msgTiming[op.msg].second = now;
+        std::int64_t progress = 1;
+        if (q.wordsRemaining() == 0) {
+            releaseMsg(link, op.msg, now);
+            ++progress;
+        }
+        if (options.memoryToMemory) {
+            cell.setReadCompleted(true);
+            cell.setStallRemaining(2 * options.memAccessCost);
+            result.stats.memAccesses += 2;
+            return progress;
+        }
+        ++result.stats.opsExecuted;
+        cell.advance();
+        return progress;
+    }
+
+    std::int64_t
+    cellPhase(Cycle now)
+    {
+        std::int64_t progress = 0;
+        for (CellRuntime& cell : cells) {
+            if (cell.done())
+                continue;
+            cell.setNow(now);
+            cell.lastBlock = BlockReason::kNone;
+            const Op& op = cell.currentOp();
+            std::int64_t delta = 0;
+            switch (op.kind) {
+              case OpKind::kCompute: {
+                const ComputeFn& fn = program.computeFn(op.computeId);
+                if (fn)
+                    fn(cell);
+                ++result.stats.opsExecuted;
+                ++result.stats.computeOps;
+                cell.advance();
+                delta = 1;
+                break;
+              }
+              case OpKind::kWrite:
+                delta = executeWrite(cell, op, now);
+                break;
+              case OpKind::kRead:
+                delta = executeRead(cell, op, now);
+                break;
+            }
+            if (delta == 0) {
+                ++result.stats.cellBlockedCycles;
+                ++result.stats.perCellBlocked[cell.cellId()];
+            }
+            progress += delta;
+        }
+        return progress;
+    }
+
+    /**
+     * A zero-progress cycle is a deadlock only when no queue is about
+     * to change state by itself (extension penalties and per-cycle
+     * interlocks resolve with time, not with other agents' actions).
+     */
+    bool
+    timedEventPending(Cycle now) const
+    {
+        for (const LinkState& link : links) {
+            for (const HwQueue& q : link.queues()) {
+                if (q.pendingTimedEvent(now))
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    allDone() const
+    {
+        for (const CellRuntime& cell : cells) {
+            if (!cell.done())
+                return false;
+        }
+        return true;
+    }
+
+    DeadlockReport
+    snapshot(Cycle now) const
+    {
+        DeadlockReport report;
+        report.deadlocked = true;
+        report.atCycle = now;
+        for (const CellRuntime& cell : cells) {
+            if (cell.done())
+                continue;
+            CellBlockInfo info;
+            info.cell = cell.cellId();
+            info.pc = cell.pc();
+            info.op = opText(program, cell.currentOp());
+            info.reason = blockReasonName(cell.lastBlock);
+            report.cells.push_back(std::move(info));
+        }
+        for (const LinkState& link : links) {
+            LinkSnapshot snap;
+            snap.link = link.index();
+            snap.a = spec.topo.link(link.index()).a;
+            snap.b = spec.topo.link(link.index()).b;
+            for (const HwQueue& q : link.queues()) {
+                QueueSnapshot qs;
+                qs.id = q.id();
+                qs.msg = q.isFree() ? "-"
+                                    : program.message(q.assignedMsg()).name;
+                qs.occupancy = q.size();
+                qs.capacity = q.totalCapacity();
+                snap.queues.push_back(std::move(qs));
+            }
+            for (const Crossing& c : link.crossings()) {
+                if (c.phase == CrossingPhase::kRequested)
+                    snap.waiting.push_back(program.message(c.msg).name);
+            }
+            report.links.push_back(std::move(snap));
+        }
+        return report;
+    }
+
+    void
+    collectQueueStats()
+    {
+        for (const LinkState& link : links) {
+            for (const HwQueue& q : link.queues()) {
+                result.stats.queueBusyCycles += q.busyCycles();
+                result.stats.queueOccupancySum += q.occupancySum();
+                result.stats.extendedWords += q.extendedWords();
+            }
+        }
+    }
+
+    RunResult
+    run()
+    {
+        if (!validation.empty()) {
+            result.status = RunStatus::kConfigError;
+            result.error = "invalid program: " + validation.front();
+            return std::move(result);
+        }
+
+        // Cycle 0: policy setup (static assignment happens here).
+        {
+            std::vector<AssignmentDecision> decisions;
+            for (LinkState& link : links) {
+                decisions.clear();
+                if (!policy->initLink(link, decisions)) {
+                    result.status = RunStatus::kConfigError;
+                    result.error = "policy '" + policy->name() +
+                                   "' cannot set up link " +
+                                   std::to_string(link.index()) +
+                                   " (not enough queues?)";
+                    return std::move(result);
+                }
+                applyDecisions(link, decisions, 0);
+            }
+        }
+
+        for (Cycle now = 1; now <= options.maxCycles; ++now) {
+            for (LinkState& link : links)
+                link.beginCycle(now);
+
+            std::int64_t progress = 0;
+            progress += assignmentPhase(now);
+            progress += forwardingPhase(now);
+            progress += cellPhase(now);
+
+            if (allDone()) {
+                result.status = RunStatus::kCompleted;
+                result.cycles = now;
+                break;
+            }
+            if (progress == 0 && !timedEventPending(now)) {
+                result.status = RunStatus::kDeadlocked;
+                result.cycles = now;
+                result.deadlock = snapshot(now);
+                break;
+            }
+            if (now == options.maxCycles) {
+                result.status = RunStatus::kMaxCycles;
+                result.cycles = now;
+            }
+        }
+
+        result.stats.cycles = result.cycles;
+        collectQueueStats();
+        if (options.audit && !labels.empty()) {
+            result.audit = auditAssignments(program, competing, labels,
+                                            result.events);
+        }
+        return std::move(result);
+    }
+};
+
+ArraySimulator::ArraySimulator(const Program& program,
+                               const MachineSpec& spec, SimOptions options)
+    : impl_(std::make_unique<Impl>(program, spec, std::move(options)))
+{}
+
+ArraySimulator::~ArraySimulator() = default;
+
+RunResult
+ArraySimulator::run()
+{
+    return impl_->run();
+}
+
+RunResult
+simulateProgram(const Program& program, const MachineSpec& spec,
+                const SimOptions& options)
+{
+    return ArraySimulator(program, spec, options).run();
+}
+
+} // namespace syscomm::sim

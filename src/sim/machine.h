@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * The array simulator: cells executing their programs over hardware
+ * queues managed by an assignment policy. This is the run-time
+ * substrate the paper assumes (a programmable systolic array in the
+ * Warp/iWarp family), reduced to the semantics the deadlock machinery
+ * depends on:
+ *
+ *  - one program op per cell per cycle; R/W block until possible,
+ *  - words advance one hop per cycle via transparent I/O processes,
+ *  - queues are assigned/released per message, direction set at
+ *    assignment, released after the last word passes,
+ *  - optional memory-to-memory mode (Fig. 1 baseline) charges each
+ *    cell-level R and W two local memory accesses.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/competing.h"
+#include "core/machine_spec.h"
+#include "core/program.h"
+#include "sim/assignment.h"
+#include "sim/audit.h"
+#include "sim/cell_exec.h"
+#include "sim/deadlock.h"
+#include "sim/link_state.h"
+#include "sim/stats.h"
+
+namespace syscomm::sim {
+
+/** Terminal state of a run. */
+enum class RunStatus : std::uint8_t
+{
+    kCompleted = 0, ///< Every cell finished its program.
+    kDeadlocked,    ///< Zero-progress cycle with unfinished work.
+    kMaxCycles,     ///< Cycle budget exhausted (treat as a bug).
+    kConfigError,   ///< Invalid program or impossible policy setup.
+};
+
+const char* runStatusName(RunStatus status);
+
+/** Knobs for one simulation run. */
+struct SimOptions
+{
+    PolicyKind policy = PolicyKind::kCompatible;
+    /**
+     * Labels per MessageId for the compatible policy and the audit.
+     * Left empty, the simulator computes them with the section 6
+     * scheme (trivial fallback).
+     */
+    std::vector<std::int64_t> labels;
+    Cycle maxCycles = 1'000'000;
+    std::uint64_t seed = 1;
+    /** Audit the assignment trace against the labels after the run. */
+    bool audit = false;
+    /** Memory-to-memory communication model (Fig. 1 baseline). */
+    bool memoryToMemory = false;
+    /** Cycles per local memory access in memory-to-memory mode. */
+    int memAccessCost = 1;
+};
+
+/** Outcome of one run. */
+struct RunResult
+{
+    RunStatus status = RunStatus::kConfigError;
+    Cycle cycles = 0;
+    std::string error; ///< set for kConfigError
+    SimStats stats;
+    DeadlockReport deadlock;
+    std::vector<AssignmentEvent> events;
+    /** Queue releases (queueId = the queue freed). */
+    std::vector<AssignmentEvent> releases;
+    AuditReport audit;
+    /**
+     * Per message: cycle its first word entered the network and cycle
+     * its last word was read (-1 when it never happened).
+     */
+    std::vector<std::pair<Cycle, Cycle>> msgTiming;
+    /** Labels actually used (as given or as computed). */
+    std::vector<std::int64_t> labelsUsed;
+    /** Values received per message, in arrival order. */
+    std::vector<std::vector<double>> received;
+
+    bool completed() const { return status == RunStatus::kCompleted; }
+    const char* statusStr() const { return runStatusName(status); }
+};
+
+/**
+ * A single-use simulator instance. The program and spec must outlive
+ * the simulator.
+ */
+class ArraySimulator
+{
+  public:
+    ArraySimulator(const Program& program, const MachineSpec& spec,
+                   SimOptions options = {});
+    ~ArraySimulator();
+
+    ArraySimulator(const ArraySimulator&) = delete;
+    ArraySimulator& operator=(const ArraySimulator&) = delete;
+
+    /** Run to completion/deadlock/budget. Call once. */
+    RunResult run();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** One-shot convenience wrapper. */
+RunResult simulateProgram(const Program& program, const MachineSpec& spec,
+                          const SimOptions& options = {});
+
+} // namespace syscomm::sim

@@ -1,0 +1,32 @@
+#include "sim/memmodel.h"
+
+#include <sstream>
+
+namespace syscomm::sim {
+
+std::string
+ModelComparison::summary() const
+{
+    std::ostringstream os;
+    os << "systolic:        " << systolic.cycles << " cycles, "
+       << systolic.stats.memAccesses << " memory accesses\n"
+       << "memory-to-memory: " << memToMem.cycles << " cycles, "
+       << memToMem.stats.memAccesses << " memory accesses ("
+       << accessesPerWord() << " per delivered word)\n"
+       << "systolic speedup: " << speedup() << "x\n";
+    return os.str();
+}
+
+ModelComparison
+compareModels(const Program& program, const MachineSpec& spec,
+              SimOptions options)
+{
+    ModelComparison cmp;
+    options.memoryToMemory = false;
+    cmp.systolic = simulateProgram(program, spec, options);
+    options.memoryToMemory = true;
+    cmp.memToMem = simulateProgram(program, spec, options);
+    return cmp;
+}
+
+} // namespace syscomm::sim

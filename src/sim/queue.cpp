@@ -1,0 +1,110 @@
+#include "sim/queue.h"
+
+#include <cassert>
+
+namespace syscomm::sim {
+
+HwQueue::HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
+                 int ext_penalty)
+    : id_(id),
+      link_(link),
+      capacity_(capacity),
+      ext_capacity_(ext_capacity),
+      ext_penalty_(ext_penalty)
+{
+    assert(capacity >= 1 && "a queue buffers at least one word");
+    assert(ext_capacity >= 0 && ext_penalty >= 0);
+}
+
+void
+HwQueue::assign(MessageId msg, LinkDir dir, int total_words, Cycle now)
+{
+    assert(isFree() && "queue already assigned");
+    assert(total_words > 0);
+    (void)now;
+    assigned_ = msg;
+    dir_ = dir;
+    words_remaining_ = total_words;
+    ++assignments_;
+}
+
+void
+HwQueue::release(Cycle now)
+{
+    assert(canRelease());
+    (void)now;
+    assigned_ = kInvalidMessage;
+    words_remaining_ = 0;
+}
+
+void
+HwQueue::push(Word word, Cycle now)
+{
+    assert(canPush());
+    assert(word.msg == assigned_ && "queue carries one message at a time");
+    word.enqueuedAt = now;
+    word.wasExtended = size() >= capacity_;
+    if (word.wasExtended)
+        ++extended_words_;
+    bool was_empty = words_.empty();
+    words_.push_back(word);
+    pushed_this_cycle_ = true;
+    ++words_pushed_;
+    if (was_empty)
+        refreshFrontReady(now);
+}
+
+bool
+HwQueue::canPop(Cycle now) const
+{
+    if (words_.empty() || popped_this_cycle_)
+        return false;
+    const Word& w = words_.front();
+    return w.enqueuedAt < now && now >= front_ready_at_;
+}
+
+bool
+HwQueue::pendingTimedEvent(Cycle now) const
+{
+    if (words_.empty() || canPop(now))
+        return false;
+    const Word& w = words_.front();
+    return w.enqueuedAt >= now || now < front_ready_at_ ||
+           popped_this_cycle_;
+}
+
+Word
+HwQueue::pop(Cycle now)
+{
+    assert(canPop(now));
+    Word word = words_.front();
+    words_.pop_front();
+    popped_this_cycle_ = true;
+    --words_remaining_;
+    if (!words_.empty())
+        refreshFrontReady(now);
+    return word;
+}
+
+void
+HwQueue::refreshFrontReady(Cycle now)
+{
+    const Word& w = words_.front();
+    // A word that spilled into the memory extension pays the extension
+    // access penalty when it surfaces at the front.
+    front_ready_at_ = now + (w.wasExtended ? ext_penalty_ : 0);
+}
+
+void
+HwQueue::beginCycle(Cycle now)
+{
+    (void)now;
+    pushed_this_cycle_ = false;
+    popped_this_cycle_ = false;
+    if (!isFree()) {
+        ++busy_cycles_;
+        occupancy_sum_ += size();
+    }
+}
+
+} // namespace syscomm::sim

@@ -1,0 +1,133 @@
+#pragma once
+
+/**
+ * @file
+ * A hardware FIFO queue on a link.
+ *
+ * Queues are the contended resource of the whole paper: each link has
+ * a fixed number, a queue serves one message at a time, its direction
+ * is set when it is assigned, and it can be reassigned only after the
+ * last word of the current message has passed through (section 2.3).
+ *
+ * Timing model: at most one push and one pop per cycle; a word becomes
+ * visible to the consumer the cycle after it was pushed. A queue
+ * optionally extends into the receiving cell's local memory (iWarp
+ * "queue extension", section 8): words that overflow the hardware
+ * capacity are buffered there and pay an extra access penalty when
+ * they surface at the front.
+ */
+
+#include <deque>
+#include <string>
+
+#include "core/types.h"
+#include "sim/word.h"
+
+namespace syscomm::sim {
+
+/** One hardware queue. */
+class HwQueue
+{
+  public:
+    HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
+            int ext_penalty);
+
+    int id() const { return id_; }
+    LinkIndex link() const { return link_; }
+
+    // ------------------------------------------------------------------
+    // Assignment lifecycle
+    // ------------------------------------------------------------------
+
+    bool isFree() const { return assigned_ == kInvalidMessage; }
+    MessageId assignedMsg() const { return assigned_; }
+    LinkDir dir() const { return dir_; }
+
+    /** Assign to a message; @p total_words of it will pass through. */
+    void assign(MessageId msg, LinkDir dir, int total_words, Cycle now);
+
+    /** Words of the current message that have not yet passed. */
+    int wordsRemaining() const { return words_remaining_; }
+
+    /** Reassignable once empty and the whole message has passed. */
+    bool canRelease() const
+    {
+        return assigned_ != kInvalidMessage && words_.empty() &&
+               words_remaining_ == 0;
+    }
+
+    /** Return the queue to the free pool. */
+    void release(Cycle now);
+
+    // ------------------------------------------------------------------
+    // Data movement
+    // ------------------------------------------------------------------
+
+    int size() const { return static_cast<int>(words_.size()); }
+    bool empty() const { return words_.empty(); }
+    int totalCapacity() const { return capacity_ + ext_capacity_; }
+    bool isFull() const { return size() >= totalCapacity(); }
+
+    /** Can a word be pushed this cycle? */
+    bool canPush() const { return !isFull() && !pushed_this_cycle_; }
+
+    /** Push one word (asserts canPush()). */
+    void push(Word word, Cycle now);
+
+    /** Is the front word consumable this cycle? */
+    bool canPop(Cycle now) const;
+
+    /**
+     * True when this queue will change state with no external action:
+     * its front word is merely waiting for time to pass (same-cycle
+     * push visibility, the one-pop-per-cycle interlock, or the
+     * extension access penalty). The deadlock detector must not treat
+     * such a cycle as a deadlock.
+     */
+    bool pendingTimedEvent(Cycle now) const;
+
+    const Word& front() const { return words_.front(); }
+
+    /** Pop the front word (asserts canPop()). */
+    Word pop(Cycle now);
+
+    /** Reset the per-cycle push/pop interlocks; called each cycle. */
+    void beginCycle(Cycle now);
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    Cycle busyCycles() const { return busy_cycles_; }
+    std::int64_t occupancySum() const { return occupancy_sum_; }
+    std::int64_t wordsPushed() const { return words_pushed_; }
+    std::int64_t extendedWords() const { return extended_words_; }
+    std::int64_t assignmentsServed() const { return assignments_; }
+
+  private:
+    /** Recompute when the (new) front word becomes consumable. */
+    void refreshFrontReady(Cycle now);
+
+    int id_;
+    LinkIndex link_;
+    int capacity_;
+    int ext_capacity_;
+    int ext_penalty_;
+
+    MessageId assigned_ = kInvalidMessage;
+    LinkDir dir_ = LinkDir::kForward;
+    int words_remaining_ = 0;
+
+    std::deque<Word> words_;
+    Cycle front_ready_at_ = 0;
+    bool pushed_this_cycle_ = false;
+    bool popped_this_cycle_ = false;
+
+    Cycle busy_cycles_ = 0;
+    std::int64_t occupancy_sum_ = 0;
+    std::int64_t words_pushed_ = 0;
+    std::int64_t extended_words_ = 0;
+    std::int64_t assignments_ = 0;
+};
+
+} // namespace syscomm::sim

@@ -1,0 +1,30 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace syscomm::sim {
+
+std::string
+SimStats::summary() const
+{
+    std::ostringstream os;
+    os << "cycles:             " << cycles << "\n"
+       << "words delivered:    " << wordsDelivered << "\n"
+       << "words forwarded:    " << wordsForwarded << "\n"
+       << "ops executed:       " << opsExecuted << " (" << computeOps
+       << " compute)\n"
+       << "queue assignments:  " << assignments << " (avg wait "
+       << avgRequestWait() << " cycles)\n"
+       << "queue releases:     " << releases << "\n"
+       << "cell blocked cycles: " << cellBlockedCycles << "\n"
+       << "avg queue occupancy: " << avgQueueOccupancy() << "\n";
+    if (memAccesses) {
+        os << "local memory accesses: " << memAccesses << " (stall "
+           << memStallCycles << " cycles)\n";
+    }
+    if (extendedWords)
+        os << "extension words:    " << extendedWords << "\n";
+    return os.str();
+}
+
+} // namespace syscomm::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Aggregate run statistics collected by the simulator.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace syscomm::sim {
+
+/** Counters accumulated over one simulation run. */
+struct SimStats
+{
+    Cycle cycles = 0;
+
+    /** Words consumed by receivers (end-to-end deliveries). */
+    std::int64_t wordsDelivered = 0;
+    /** Words moved between queues by I/O forwarding processes. */
+    std::int64_t wordsForwarded = 0;
+    /** Program operations executed (R, W and compute). */
+    std::int64_t opsExecuted = 0;
+    std::int64_t computeOps = 0;
+
+    /** Queue-management traffic. */
+    std::int64_t assignments = 0;
+    std::int64_t releases = 0;
+    std::int64_t requests = 0;
+    /** Sum over assignments of (assigned cycle - requested cycle). */
+    std::int64_t requestWaitCycles = 0;
+
+    /** Cycles cells spent unable to execute their current op. */
+    std::int64_t cellBlockedCycles = 0;
+    std::vector<Cycle> perCellBlocked;
+
+    /** Memory-to-memory model only (paper, Fig. 1). */
+    std::int64_t memAccesses = 0;
+    std::int64_t memStallCycles = 0;
+
+    /** Queue utilization. */
+    std::int64_t queueBusyCycles = 0;
+    std::int64_t queueOccupancySum = 0;
+    std::int64_t extendedWords = 0;
+
+    double avgQueueOccupancy() const
+    {
+        return queueBusyCycles ? static_cast<double>(queueOccupancySum) /
+                                     static_cast<double>(queueBusyCycles)
+                               : 0.0;
+    }
+
+    double avgRequestWait() const
+    {
+        return assignments ? static_cast<double>(requestWaitCycles) /
+                                 static_cast<double>(assignments)
+                           : 0.0;
+    }
+
+    /** Multi-line human-readable dump. */
+    std::string summary() const;
+};
+
+} // namespace syscomm::sim

@@ -1,0 +1,186 @@
+#include "text/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+namespace syscomm::text {
+
+namespace {
+
+/** Whitespace/comment-aware tokenizer with line tracking. */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view src) : src_(src) {}
+
+    /** Next token, or empty at end of input. */
+    std::string
+    next()
+    {
+        skipSpace();
+        if (pos_ >= src_.size())
+            return "";
+        std::size_t start = pos_;
+        char c = src_[pos_];
+        if (c == '{' || c == '}') {
+            ++pos_;
+            return std::string(1, c);
+        }
+        while (pos_ < src_.size() && !std::isspace(uc(src_[pos_])) &&
+               src_[pos_] != '{' && src_[pos_] != '}' && src_[pos_] != '#') {
+            ++pos_;
+        }
+        return std::string(src_.substr(start, pos_ - start));
+    }
+
+    int line() const { return line_; }
+
+  private:
+    static unsigned char uc(char c) { return static_cast<unsigned char>(c); }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < src_.size()) {
+            char c = src_[pos_];
+            if (c == '#') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else if (std::isspace(uc(c))) {
+                if (c == '\n')
+                    ++line_;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+std::optional<int>
+parseInt(const std::string& token)
+{
+    if (token.empty())
+        return std::nullopt;
+    std::size_t i = token[0] == '-' ? 1 : 0;
+    if (i >= token.size())
+        return std::nullopt;
+    for (; i < token.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(token[i])))
+            return std::nullopt;
+    }
+    return std::stoi(token);
+}
+
+/** "W(NAME)" / "R(NAME)" -> (kind, NAME). */
+std::optional<std::pair<char, std::string>>
+parseOpToken(const std::string& token)
+{
+    if (token.size() < 4)
+        return std::nullopt;
+    char kind = token[0];
+    if ((kind != 'W' && kind != 'R') || token[1] != '(' ||
+        token.back() != ')') {
+        return std::nullopt;
+    }
+    return std::make_pair(kind, token.substr(2, token.size() - 3));
+}
+
+} // namespace
+
+ParseResult
+parseProgram(std::string_view source)
+{
+    ParseResult result;
+    Lexer lex(source);
+
+    auto fail = [&](const std::string& msg) {
+        result.ok = false;
+        result.error = "line " + std::to_string(lex.line()) + ": " + msg;
+        return result;
+    };
+
+    // Collected declarations; the Program is built once 'cells' is known.
+    int num_cells = -1;
+    std::optional<Program> program;
+
+    auto ensureProgram = [&]() -> bool { return program.has_value(); };
+
+    while (true) {
+        std::string token = lex.next();
+        if (token.empty())
+            break;
+
+        if (token == "cells") {
+            auto n = parseInt(lex.next());
+            if (!n || *n < 1)
+                return fail("'cells' needs a positive integer");
+            if (program)
+                return fail("duplicate 'cells' directive");
+            num_cells = *n;
+            program.emplace(num_cells);
+        } else if (token == "message") {
+            if (!ensureProgram())
+                return fail("'message' before 'cells'");
+            std::string name = lex.next();
+            if (name.empty())
+                return fail("'message' needs a name");
+            auto sender = parseInt(lex.next());
+            std::string arrow = lex.next();
+            auto receiver = parseInt(lex.next());
+            if (!sender || arrow != "->" || !receiver)
+                return fail("expected 'message NAME sender -> receiver'");
+            if (program->messageByName(name))
+                return fail("duplicate message '" + name + "'");
+            if (*sender < 0 || *sender >= num_cells || *receiver < 0 ||
+                *receiver >= num_cells) {
+                return fail("message '" + name + "' endpoint out of range");
+            }
+            program->declareMessage(name, *sender, *receiver);
+        } else if (token == "cell") {
+            if (!ensureProgram())
+                return fail("'cell' before 'cells'");
+            auto id = parseInt(lex.next());
+            if (!id || *id < 0 || *id >= num_cells)
+                return fail("bad cell id");
+            if (lex.next() != "{")
+                return fail("expected '{' after cell id");
+            while (true) {
+                std::string op = lex.next();
+                if (op.empty())
+                    return fail("unterminated cell block");
+                if (op == "}")
+                    break;
+                if (op == "C") {
+                    program->compute(*id, ComputeFn{});
+                    continue;
+                }
+                auto parsed = parseOpToken(op);
+                if (!parsed)
+                    return fail("bad op token '" + op + "'");
+                auto msg = program->messageByName(parsed->second);
+                if (!msg)
+                    return fail("unknown message '" + parsed->second + "'");
+                if (parsed->first == 'W')
+                    program->write(*id, *msg);
+                else
+                    program->read(*id, *msg);
+            }
+        } else {
+            return fail("unexpected token '" + token + "'");
+        }
+    }
+
+    if (!program)
+        return fail("missing 'cells' directive");
+    result.program = std::move(*program);
+    result.ok = true;
+    return result;
+}
+
+} // namespace syscomm::text

@@ -1,0 +1,36 @@
+#pragma once
+
+/**
+ * @file
+ * A small textual format for array programs, so examples, tools and
+ * tests can state programs the way the paper's figures do.
+ *
+ * Grammar (comments run from '#' to end of line):
+ *
+ *     cells <N>
+ *     message <NAME> <sender> -> <receiver>
+ *     cell <id> { W(<NAME>) R(<NAME>) C ... }
+ *
+ * 'C' is an (empty) compute op. Cell blocks may span lines and may be
+ * repeated; ops append in order.
+ */
+
+#include <string>
+#include <string_view>
+
+#include "core/program.h"
+
+namespace syscomm::text {
+
+/** Result of parsing. */
+struct ParseResult
+{
+    bool ok = false;
+    std::string error; ///< includes a line number
+    Program program{1};
+};
+
+/** Parse a program from the textual format. */
+ParseResult parseProgram(std::string_view source);
+
+} // namespace syscomm::text

@@ -1,0 +1,84 @@
+#include "text/printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace syscomm::text {
+
+namespace {
+
+std::string
+opToken(const Program& program, const Op& op)
+{
+    if (op.isCompute())
+        return "C";
+    return std::string(op.isWrite() ? "W(" : "R(") +
+           program.message(op.msg).name + ")";
+}
+
+} // namespace
+
+std::string
+printProgram(const Program& program)
+{
+    std::ostringstream os;
+    os << "cells " << program.numCells() << "\n";
+    for (const MessageDecl& m : program.messages()) {
+        os << "message " << m.name << " " << m.sender << " -> "
+           << m.receiver << "\n";
+    }
+    for (CellId cell = 0; cell < program.numCells(); ++cell) {
+        const auto& ops = program.cellOps(cell);
+        if (ops.empty())
+            continue;
+        os << "cell " << cell << " {";
+        for (const Op& op : ops)
+            os << " " << opToken(program, op);
+        os << " }\n";
+    }
+    return os.str();
+}
+
+std::string
+renderColumns(const Program& program)
+{
+    int width = 12;
+    std::size_t rows = 0;
+    for (CellId c = 0; c < program.numCells(); ++c)
+        rows = std::max(rows, program.cellOps(c).size());
+
+    std::ostringstream os;
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        std::string head = "cell " + std::to_string(c);
+        os << head << std::string(width - head.size(), ' ');
+    }
+    os << "\n";
+    for (std::size_t row = 0; row < rows; ++row) {
+        for (CellId c = 0; c < program.numCells(); ++c) {
+            const auto& ops = program.cellOps(c);
+            std::string tok =
+                row < ops.size() ? opToken(program, ops[row]) : "";
+            if (static_cast<int>(tok.size()) < width)
+                tok += std::string(width - tok.size(), ' ');
+            os << tok;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+renderColumnsWithLabels(const Program& program,
+                        const std::vector<Rational>& labels)
+{
+    std::ostringstream os;
+    os << "messages:";
+    for (const MessageDecl& m : program.messages()) {
+        os << "  " << m.name << "(" << m.sender << "->" << m.receiver
+           << ")=" << labels[m.id].str();
+    }
+    os << "\n" << renderColumns(program);
+    return os.str();
+}
+
+} // namespace syscomm::text

@@ -1,0 +1,29 @@
+#pragma once
+
+/**
+ * @file
+ * Program pretty-printers: the textual format (round-trips through the
+ * parser) and a Fig. 2-style side-by-side column rendering.
+ */
+
+#include <string>
+
+#include "core/program.h"
+#include "core/rational.h"
+
+namespace syscomm::text {
+
+/** Emit the parseProgram() textual format. */
+std::string printProgram(const Program& program);
+
+/**
+ * Render the per-cell programs side by side, one op per row, in the
+ * style of the paper's figures.
+ */
+std::string renderColumns(const Program& program);
+
+/** renderColumns() plus a label line, e.g. for compile reports. */
+std::string renderColumnsWithLabels(const Program& program,
+                                    const std::vector<Rational>& labels);
+
+} // namespace syscomm::text

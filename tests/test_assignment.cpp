@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Queue-assignment policies (section 7) at the LinkState level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/assignment.h"
+
+namespace syscomm::sim {
+namespace {
+
+LinkState
+makeLink(int queues)
+{
+    return LinkState(0, queues, 1, 0, 0);
+}
+
+TEST(StaticPolicyT, AssignsEverythingUpFront)
+{
+    LinkState link = makeLink(3);
+    link.addCrossing(0, LinkDir::kForward, 0, 2);
+    link.addCrossing(1, LinkDir::kForward, 0, 2);
+    link.addCrossing(2, LinkDir::kBackward, 0, 1);
+    StaticPolicy policy;
+    std::vector<AssignmentDecision> decisions;
+    ASSERT_TRUE(policy.initLink(link, decisions));
+    EXPECT_EQ(decisions.size(), 3u);
+    EXPECT_EQ(link.numFreeQueues(), 0);
+    for (const auto& c : link.crossings())
+        EXPECT_EQ(c.phase, CrossingPhase::kAssigned);
+}
+
+TEST(StaticPolicyT, FailsWhenShortOnQueues)
+{
+    LinkState link = makeLink(1);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    StaticPolicy policy;
+    std::vector<AssignmentDecision> decisions;
+    EXPECT_FALSE(policy.initLink(link, decisions));
+}
+
+TEST(FcfsPolicyT, ServesInRequestOrder)
+{
+    LinkState link = makeLink(1);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(1, 1); // message 1 asks first
+    link.request(0, 2);
+    FcfsPolicy policy;
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 3, decisions);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].msg, 1);
+}
+
+TEST(FcfsPolicyT, TieBrokenByMessageId)
+{
+    LinkState link = makeLink(1);
+    link.addCrossing(2, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(2, 5);
+    link.request(1, 5);
+    FcfsPolicy policy;
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 6, decisions);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].msg, 1);
+}
+
+TEST(CompatiblePolicyT, OrderedByLabelNotArrival)
+{
+    // Message 1 (label 2) requests first, but message 0 (label 1) must
+    // be served first.
+    LinkState link = makeLink(1);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(1, 1);
+    CompatiblePolicy policy({1, 2}, false);
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 2, decisions);
+    EXPECT_TRUE(decisions.empty()); // label 1 has not requested yet
+
+    link.request(0, 3);
+    policy.tick(link, 4, decisions);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].msg, 0);
+
+    // Label 2 still waits: label 1 holds the only queue.
+    decisions.clear();
+    policy.tick(link, 5, decisions);
+    EXPECT_TRUE(decisions.empty());
+}
+
+TEST(CompatiblePolicyT, SameLabelAssignedSimultaneously)
+{
+    LinkState link = makeLink(2);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(0, 1);
+    CompatiblePolicy policy({1, 1}, false);
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 2, decisions);
+    // Both or neither: both, since two queues are free and one member
+    // requested.
+    EXPECT_EQ(decisions.size(), 2u);
+}
+
+TEST(CompatiblePolicyT, SameLabelGroupWaitsForEnoughQueues)
+{
+    LinkState link = makeLink(1);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(0, 1);
+    link.request(1, 1);
+    CompatiblePolicy policy({1, 1}, false);
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 2, decisions);
+    EXPECT_TRUE(decisions.empty()); // needs 2 free queues, has 1
+}
+
+TEST(CompatiblePolicyT, EagerReservesBeforeRequest)
+{
+    LinkState link = makeLink(1);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    CompatiblePolicy policy({1}, true);
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 1, decisions);
+    ASSERT_EQ(decisions.size(), 1u); // assigned before any request
+    EXPECT_EQ(link.crossing(0).phase, CrossingPhase::kAssigned);
+}
+
+TEST(CompatiblePolicyT, LargerLabelProceedsAfterRelease)
+{
+    LinkState link = makeLink(1);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(0, 1);
+    link.request(1, 1);
+    CompatiblePolicy policy({1, 2}, false);
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 2, decisions);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].msg, 0);
+
+    // Pass message 0's single word through and release its queue.
+    link.beginCycle(3);
+    Word w;
+    w.msg = 0;
+    link.queue(0).push(w, 3);
+    link.beginCycle(4);
+    (void)link.queue(0).pop(4);
+    link.finishMsg(0, 4);
+
+    decisions.clear();
+    policy.tick(link, 5, decisions);
+    ASSERT_EQ(decisions.size(), 1u);
+    EXPECT_EQ(decisions[0].msg, 1);
+}
+
+TEST(RandomPolicyT, EventuallyServesEveryRequest)
+{
+    LinkState link = makeLink(2);
+    link.addCrossing(0, LinkDir::kForward, 0, 1);
+    link.addCrossing(1, LinkDir::kForward, 0, 1);
+    link.request(0, 1);
+    link.request(1, 1);
+    RandomPolicy policy(7);
+    std::vector<AssignmentDecision> decisions;
+    policy.tick(link, 2, decisions);
+    EXPECT_EQ(decisions.size(), 2u);
+}
+
+TEST(PolicyFactory, NamesAndKinds)
+{
+    EXPECT_STREQ(policyKindName(PolicyKind::kFcfs), "fcfs");
+    EXPECT_STREQ(policyKindName(PolicyKind::kCompatible), "compatible");
+    auto p = makePolicy(PolicyKind::kCompatibleEager, {1}, 1);
+    EXPECT_EQ(p->name(), "compatible-eager");
+    auto s = makePolicy(PolicyKind::kStatic, {}, 1);
+    EXPECT_EQ(s->name(), "static");
+}
+
+} // namespace
+} // namespace syscomm::sim

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Run-time compatibility audit (Theorem 1, condition (iii)).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/paper_figures.h"
+#include "core/competing.h"
+#include "sim/audit.h"
+
+namespace syscomm::sim {
+namespace {
+
+struct Fixture
+{
+    Program program = algos::fig7Program();
+    Topology topo = algos::fig7Topology();
+    CompetingAnalysis competing =
+        CompetingAnalysis::analyze(program, topo);
+    MessageId a = *program.messageByName("A");
+    MessageId b = *program.messageByName("B");
+    MessageId c = *program.messageByName("C");
+    std::vector<std::int64_t> labels{1, 3, 2}; // A, B, C
+
+    AssignmentEvent
+    event(Cycle cycle, LinkIndex link, MessageId msg)
+    {
+        AssignmentEvent ev;
+        ev.cycle = cycle;
+        ev.link = link;
+        ev.msg = msg;
+        return ev;
+    }
+};
+
+TEST(Audit, OrderedTraceIsCompatible)
+{
+    Fixture f;
+    LinkIndex l12 = *f.topo.linkBetween(1, 2);
+    LinkIndex l23 = *f.topo.linkBetween(2, 3);
+    LinkIndex l01 = *f.topo.linkBetween(0, 1);
+    std::vector<AssignmentEvent> events = {
+        f.event(1, l01, f.c),
+        f.event(1, l12, f.a),
+        f.event(9, l12, f.c),  // after A
+        f.event(12, l23, f.c),
+        f.event(20, l23, f.b), // after C
+    };
+    AuditReport report =
+        auditAssignments(f.program, f.competing, f.labels, events);
+    EXPECT_TRUE(report.compatible) << report.str(f.program);
+}
+
+TEST(Audit, OutOfOrderAssignmentFlagged)
+{
+    // B (label 3) grabbing the C3-C4 queue before C (label 2) is the
+    // Fig. 7 deadlock; the audit must flag it.
+    Fixture f;
+    LinkIndex l23 = *f.topo.linkBetween(2, 3);
+    std::vector<AssignmentEvent> events = {
+        f.event(5, l23, f.b), // B before C
+    };
+    AuditReport report =
+        auditAssignments(f.program, f.competing, f.labels, events);
+    ASSERT_FALSE(report.compatible);
+    ASSERT_EQ(report.violations.size(), 1u);
+    EXPECT_EQ(report.violations[0].second, f.b);
+    EXPECT_EQ(report.violations[0].first, f.c);
+    EXPECT_NE(report.violations[0].detail.find("never assigned"),
+              std::string::npos);
+}
+
+TEST(Audit, LaterSmallerLabelFlagged)
+{
+    Fixture f;
+    LinkIndex l23 = *f.topo.linkBetween(2, 3);
+    std::vector<AssignmentEvent> events = {
+        f.event(5, l23, f.b),
+        f.event(9, l23, f.c), // C after B: still a violation
+    };
+    AuditReport report =
+        auditAssignments(f.program, f.competing, f.labels, events);
+    ASSERT_FALSE(report.compatible);
+    EXPECT_EQ(report.violations.size(), 1u);
+}
+
+TEST(Audit, SameLabelMustBeSimultaneous)
+{
+    Program p = algos::fig8Program();
+    Topology topo = algos::fig8Topology();
+    auto competing = CompetingAnalysis::analyze(p, topo);
+    MessageId a = *p.messageByName("A");
+    MessageId b = *p.messageByName("B");
+    std::vector<std::int64_t> labels{1, 1};
+    LinkIndex l12 = *topo.linkBetween(1, 2);
+    LinkIndex l01 = *topo.linkBetween(0, 1);
+
+    std::vector<AssignmentEvent> staggered;
+    AssignmentEvent e1;
+    e1.cycle = 1;
+    e1.link = l12;
+    e1.msg = a;
+    AssignmentEvent e2;
+    e2.cycle = 4;
+    e2.link = l12;
+    e2.msg = b;
+    AssignmentEvent e3;
+    e3.cycle = 1;
+    e3.link = l01;
+    e3.msg = b;
+    staggered = {e1, e2, e3};
+    AuditReport bad = auditAssignments(p, competing, labels, staggered);
+    EXPECT_FALSE(bad.compatible);
+
+    e2.cycle = 1; // simultaneous now
+    std::vector<AssignmentEvent> together = {e1, e2, e3};
+    AuditReport good = auditAssignments(p, competing, labels, together);
+    EXPECT_TRUE(good.compatible) << good.str(p);
+}
+
+TEST(Audit, EmptyTraceIsCompatible)
+{
+    Fixture f;
+    AuditReport report =
+        auditAssignments(f.program, f.competing, f.labels, {});
+    EXPECT_TRUE(report.compatible);
+}
+
+TEST(Audit, ReportStringNamesMessages)
+{
+    Fixture f;
+    LinkIndex l23 = *f.topo.linkBetween(2, 3);
+    AuditReport report = auditAssignments(f.program, f.competing, f.labels,
+                                          {f.event(5, l23, f.b)});
+    std::string s = report.str(f.program);
+    EXPECT_NE(s.find("B"), std::string::npos);
+    EXPECT_NE(s.find("C"), std::string::npos);
+}
+
+} // namespace
+} // namespace syscomm::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Competing-message analysis and queue feasibility (sections 2.3, 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/paper_figures.h"
+#include "core/competing.h"
+#include "core/labeling.h"
+
+namespace syscomm {
+namespace {
+
+MachineSpec
+specFor(Topology topo, int queues)
+{
+    MachineSpec s;
+    s.topo = std::move(topo);
+    s.queuesPerLink = queues;
+    return s;
+}
+
+TEST(Competing, Fig7Structure)
+{
+    Program p = algos::fig7Program();
+    Topology topo = algos::fig7Topology();
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+
+    MessageId a = *p.messageByName("A");
+    MessageId b = *p.messageByName("B");
+    MessageId c = *p.messageByName("C");
+
+    // Link 1-2 carries A and C, both forward: they compete.
+    LinkIndex l12 = *topo.linkBetween(1, 2);
+    EXPECT_EQ(analysis.onLinkDir(l12, LinkDir::kForward),
+              (std::vector<MessageId>{a, c}));
+    // Link 2-3 carries B and C forward.
+    LinkIndex l23 = *topo.linkBetween(2, 3);
+    EXPECT_EQ(analysis.onLinkDir(l23, LinkDir::kForward),
+              (std::vector<MessageId>{b, c}));
+    // Link 0-1 carries only C.
+    LinkIndex l01 = *topo.linkBetween(0, 1);
+    EXPECT_EQ(analysis.onLink(l01), (std::vector<MessageId>{c}));
+
+    EXPECT_EQ(analysis.maxCompeting(), 2);
+    EXPECT_EQ(analysis.maxOnLink(), 2);
+    EXPECT_EQ(analysis.route(c).numHops(), 3);
+}
+
+TEST(Competing, OppositeDirectionsDoNotCompete)
+{
+    Program p = algos::fig2FirProgram();
+    Topology topo = algos::fig2Topology();
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+    LinkIndex l01 = *topo.linkBetween(0, 1);
+    // XA forward, YA backward: one message per direction.
+    EXPECT_EQ(analysis.onLinkDir(l01, LinkDir::kForward).size(), 1u);
+    EXPECT_EQ(analysis.onLinkDir(l01, LinkDir::kBackward).size(), 1u);
+    EXPECT_EQ(analysis.onLink(l01).size(), 2u);
+    EXPECT_EQ(analysis.maxCompeting(), 1);
+}
+
+TEST(Feasibility, StaticNeedsAQueuePerMessage)
+{
+    Program p = algos::fig7Program();
+    Topology topo = algos::fig7Topology();
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+
+    Feasibility f1 = checkStaticFeasibility(analysis, specFor(topo, 1));
+    EXPECT_FALSE(f1.feasible);
+    EXPECT_EQ(f1.requiredQueuesPerLink, 2);
+
+    Feasibility f2 = checkStaticFeasibility(analysis, specFor(topo, 2));
+    EXPECT_TRUE(f2.feasible);
+}
+
+TEST(Feasibility, DynamicDependsOnLabelGroups)
+{
+    // Fig. 8: A and B share a label, so the dynamic scheme needs two
+    // queues on the shared link; distinct labels would need only one.
+    Program p = algos::fig8Program();
+    Topology topo = algos::fig8Topology();
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+    Labeling labeling = labelMessages(p);
+    ASSERT_TRUE(labeling.success);
+
+    Feasibility f1 =
+        checkDynamicFeasibility(analysis, labeling.labels, specFor(topo, 1));
+    EXPECT_FALSE(f1.feasible);
+    EXPECT_EQ(f1.requiredQueuesPerLink, 2);
+    EXPECT_NE(f1.reason.find("same-label"), std::string::npos);
+
+    Feasibility f2 =
+        checkDynamicFeasibility(analysis, labeling.labels, specFor(topo, 2));
+    EXPECT_TRUE(f2.feasible);
+}
+
+TEST(Feasibility, DistinctLabelsNeedOneQueue)
+{
+    Program p = algos::fig7Program();
+    Topology topo = algos::fig7Topology();
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+    Labeling labeling = labelMessages(p);
+    ASSERT_TRUE(labeling.success);
+    Feasibility f =
+        checkDynamicFeasibility(analysis, labeling.labels, specFor(topo, 1));
+    EXPECT_TRUE(f.feasible);
+    EXPECT_EQ(f.requiredQueuesPerLink, 1);
+}
+
+TEST(Feasibility, TrivialLabelingIsExpensive)
+{
+    // Section 5: the all-equal labeling "will not likely yield an
+    // efficient use of queues" — it demands a queue per message.
+    Program p = algos::fig7Program();
+    Topology topo = algos::fig7Topology();
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+    Labeling trivial = trivialLabeling(p);
+    Feasibility f =
+        checkDynamicFeasibility(analysis, trivial.labels, specFor(topo, 1));
+    EXPECT_FALSE(f.feasible);
+    EXPECT_EQ(f.requiredQueuesPerLink, 2);
+}
+
+TEST(Competing, MeshRoutesFollowXy)
+{
+    Program p(9);
+    MessageId m = p.declareMessage("M", 0, 8);
+    p.write(0, m);
+    p.read(8, m);
+    Topology topo = Topology::mesh(3, 3);
+    auto analysis = CompetingAnalysis::analyze(p, topo);
+    EXPECT_EQ(analysis.route(m).numHops(), 4);
+    EXPECT_EQ(analysis.route(m).cells,
+              (std::vector<CellId>{0, 1, 2, 5, 8}));
+}
+
+} // namespace
+} // namespace syscomm

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * End-to-end compile pipeline (the section 9 summary as an API).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/fir.h"
+#include "algos/paper_figures.h"
+#include "core/compile.h"
+
+namespace syscomm {
+namespace {
+
+MachineSpec
+specFor(Topology topo, int queues, int capacity = 1)
+{
+    MachineSpec s;
+    s.topo = std::move(topo);
+    s.queuesPerLink = queues;
+    s.queueCapacity = capacity;
+    return s;
+}
+
+TEST(Compile, Fig2PlanIsOk)
+{
+    Program p = algos::fig2FirProgram();
+    CompilePlan plan = compileProgram(p, specFor(algos::fig2Topology(), 2));
+    EXPECT_TRUE(plan.ok) << plan.error;
+    EXPECT_TRUE(plan.crossoff.deadlockFree);
+    EXPECT_TRUE(plan.labeling.success);
+    EXPECT_FALSE(plan.usedTrivialFallback);
+    EXPECT_TRUE(plan.dynamicFeasibility.feasible);
+    EXPECT_TRUE(plan.staticFeasibility.feasible);
+    EXPECT_EQ(plan.normalizedLabels.size(),
+              static_cast<std::size_t>(p.numMessages()));
+}
+
+TEST(Compile, DeadlockedProgramRejected)
+{
+    Program p = algos::fig5P1();
+    CompilePlan plan = compileProgram(p, specFor(algos::fig5Topology(), 2));
+    EXPECT_FALSE(plan.ok);
+    EXPECT_FALSE(plan.crossoff.deadlockFree);
+    EXPECT_NE(plan.error.find("deadlocked program"), std::string::npos);
+}
+
+TEST(Compile, LookaheadAcceptsP1WithBuffering)
+{
+    // P1 needs two words of buffering; with capacity-2 queues the
+    // lookahead pipeline accepts it.
+    Program p = algos::fig5P1();
+    CompileOptions options;
+    options.lookahead = true;
+    CompilePlan plan =
+        compileProgram(p, specFor(algos::fig5Topology(), 2, 2), options);
+    EXPECT_TRUE(plan.ok) << plan.error;
+    // Capacity 1 is not enough.
+    CompilePlan plan1 =
+        compileProgram(p, specFor(algos::fig5Topology(), 2, 1), options);
+    EXPECT_FALSE(plan1.ok);
+}
+
+TEST(Compile, InfeasibleQueueCountReported)
+{
+    Program p = algos::fig8Program();
+    CompilePlan plan = compileProgram(p, specFor(algos::fig8Topology(), 1));
+    EXPECT_FALSE(plan.ok);
+    EXPECT_FALSE(plan.dynamicFeasibility.feasible);
+    EXPECT_NE(plan.error.find("no compatible queue assignment"),
+              std::string::npos);
+}
+
+TEST(Compile, ValidationFailureShortCircuits)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    p.write(0, a); // missing read
+    CompilePlan plan = compileProgram(p, specFor(Topology::linearArray(2), 2));
+    EXPECT_FALSE(plan.ok);
+    EXPECT_FALSE(plan.validationIssues.empty());
+}
+
+TEST(Compile, ReportMentionsLabels)
+{
+    Program p = algos::fig7Program();
+    CompilePlan plan = compileProgram(p, specFor(algos::fig7Topology(), 2));
+    ASSERT_TRUE(plan.ok);
+    std::string report = plan.report(p);
+    EXPECT_NE(report.find("deadlock-free: yes"), std::string::npos);
+    EXPECT_NE(report.find("A=1"), std::string::npos);
+    EXPECT_NE(report.find("B=3"), std::string::npos);
+    EXPECT_NE(report.find("C=2"), std::string::npos);
+}
+
+TEST(Compile, AlternativeLabelSchemes)
+{
+    Program p = algos::fig7Program();
+    MachineSpec machine = specFor(algos::fig7Topology(), 2);
+
+    CompileOptions graph;
+    graph.scheme = LabelScheme::kGraph;
+    CompilePlan gp = compileProgram(p, machine, graph);
+    ASSERT_TRUE(gp.ok) << gp.error;
+    // The graph scheme reproduces the paper's Fig. 7 labels too.
+    EXPECT_EQ(gp.labeling.labels[*p.messageByName("A")], Rational(1));
+    EXPECT_EQ(gp.labeling.labels[*p.messageByName("C")], Rational(2));
+    EXPECT_EQ(gp.labeling.labels[*p.messageByName("B")], Rational(3));
+
+    CompileOptions trivial;
+    trivial.scheme = LabelScheme::kTrivial;
+    CompilePlan tp = compileProgram(p, machine, trivial);
+    ASSERT_TRUE(tp.ok) << tp.error;
+    // All-equal labels demand a queue per message on the busiest link.
+    EXPECT_EQ(tp.dynamicFeasibility.requiredQueuesPerLink, 2);
+
+    // And the trivial scheme becomes infeasible where section 6 fits.
+    MachineSpec tight = specFor(algos::fig7Topology(), 1);
+    EXPECT_TRUE(compileProgram(p, tight).ok);
+    EXPECT_FALSE(compileProgram(p, tight, trivial).ok);
+}
+
+TEST(Compile, GeneratedFirPlansScale)
+{
+    for (int taps : {1, 2, 4, 8}) {
+        algos::FirSpec spec = algos::FirSpec::random(taps, 6, 42);
+        Program p = algos::makeFirProgram(spec);
+        ASSERT_TRUE(p.valid());
+        CompilePlan plan =
+            compileProgram(p, specFor(algos::firTopology(taps), 2));
+        EXPECT_TRUE(plan.ok) << "taps=" << taps << ": " << plan.error;
+    }
+}
+
+} // namespace
+} // namespace syscomm

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Program IR construction and structural validation (paper section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/program.h"
+
+namespace syscomm {
+namespace {
+
+Program
+goodProgram()
+{
+    Program p(3);
+    MessageId a = p.declareMessage("A", 0, 2);
+    p.write(0, a);
+    p.write(0, a);
+    p.read(2, a);
+    p.read(2, a);
+    return p;
+}
+
+TEST(Program, ValidProgramHasNoIssues)
+{
+    Program p = goodProgram();
+    EXPECT_TRUE(p.valid());
+    EXPECT_TRUE(p.validate(3).empty());
+}
+
+TEST(Program, MessageIntrospection)
+{
+    Program p = goodProgram();
+    EXPECT_EQ(p.numMessages(), 1);
+    EXPECT_EQ(p.message(0).name, "A");
+    EXPECT_EQ(p.message(0).sender, 0);
+    EXPECT_EQ(p.message(0).receiver, 2);
+    EXPECT_EQ(p.messageLength(0), 2);
+    EXPECT_EQ(p.messageByName("A"), std::optional<MessageId>(0));
+    EXPECT_FALSE(p.messageByName("Z").has_value());
+    EXPECT_EQ(p.message(0).str(), "A: 0 -> 2");
+}
+
+TEST(Program, OpCounts)
+{
+    Program p = goodProgram();
+    p.compute(1, ComputeFn{});
+    EXPECT_EQ(p.totalOps(), 5);
+    EXPECT_EQ(p.totalTransferOps(), 4);
+}
+
+TEST(Program, WriteFromWrongCellFlagged)
+{
+    Program p(3);
+    MessageId a = p.declareMessage("A", 0, 2);
+    p.write(1, a); // wrong: sender is 0
+    p.read(2, a);
+    auto issues = p.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("sender"), std::string::npos);
+}
+
+TEST(Program, ReadFromWrongCellFlagged)
+{
+    Program p(3);
+    MessageId a = p.declareMessage("A", 0, 2);
+    p.write(0, a);
+    p.read(1, a); // wrong: receiver is 2
+    auto issues = p.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("receiver"), std::string::npos);
+}
+
+TEST(Program, CountMismatchFlagged)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    p.write(0, a);
+    p.write(0, a);
+    p.read(1, a);
+    auto issues = p.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("2 writes but 1 reads"), std::string::npos);
+}
+
+TEST(Program, UnusedMessageFlagged)
+{
+    Program p(2);
+    p.declareMessage("A", 0, 1);
+    auto issues = p.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("never used"), std::string::npos);
+}
+
+TEST(Program, SelfMessageFlagged)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 1, 1);
+    p.write(1, a);
+    p.read(1, a);
+    auto issues = p.validate();
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("sender equals receiver"), std::string::npos);
+}
+
+TEST(Program, DuplicateNamesFlagged)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId a2 = p.declareMessage("A", 1, 0);
+    p.write(0, a);
+    p.read(1, a);
+    p.write(1, a2);
+    p.read(0, a2);
+    auto issues = p.validate();
+    bool found = false;
+    for (const auto& issue : issues)
+        found = found || issue.find("duplicate") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Program, TopologyCellCountMismatch)
+{
+    Program p = goodProgram();
+    auto issues = p.validate(5);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].find("topology"), std::string::npos);
+}
+
+/** Minimal context for exercising compute callbacks directly. */
+class DummyContext : public CellContext
+{
+  public:
+    double lastRead() const override { return last; }
+    void setNextWrite(double v) override { staged = v; }
+    double& local(int i) override
+    {
+        if (i >= static_cast<int>(locals.size()))
+            locals.resize(i + 1, 0.0);
+        return locals[i];
+    }
+    CellId cellId() const override { return 0; }
+    Cycle now() const override { return 0; }
+
+    double last = 1.5;
+    double staged = 0.0;
+    std::vector<double> locals;
+};
+
+TEST(Program, ComputeFnsAreInvocable)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    p.compute(0, [](CellContext& ctx) { ctx.setNextWrite(ctx.lastRead()); });
+    p.write(0, a);
+    p.read(1, a);
+    const Op& op = p.cellOps(0)[0];
+    ASSERT_TRUE(op.isCompute());
+    DummyContext ctx;
+    p.computeFn(op.computeId)(ctx);
+    EXPECT_DOUBLE_EQ(ctx.staged, 1.5);
+}
+
+TEST(Op, Factories)
+{
+    Op r = Op::read(3);
+    Op w = Op::write(4);
+    Op c = Op::compute(7);
+    EXPECT_TRUE(r.isRead());
+    EXPECT_TRUE(w.isWrite());
+    EXPECT_TRUE(c.isCompute());
+    EXPECT_TRUE(r.isTransfer());
+    EXPECT_FALSE(c.isTransfer());
+    EXPECT_EQ(r.msg, 3);
+    EXPECT_EQ(c.computeId, 7);
+    EXPECT_EQ(r, Op::read(3));
+    EXPECT_FALSE(r == w);
+}
+
+} // namespace
+} // namespace syscomm

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Rational label arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/rational.h"
+
+namespace syscomm {
+namespace {
+
+TEST(Rational, DefaultIsZero)
+{
+    Rational r;
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+    EXPECT_TRUE(r.isInteger());
+}
+
+TEST(Rational, Reduction)
+{
+    Rational r(6, 4);
+    EXPECT_EQ(r.num(), 3);
+    EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NegativeDenominatorNormalized)
+{
+    Rational r(1, -2);
+    EXPECT_EQ(r.num(), -1);
+    EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDen)
+{
+    Rational r(0, 7);
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, Arithmetic)
+{
+    Rational a(1, 2), b(1, 3);
+    EXPECT_EQ(a + b, Rational(5, 6));
+    EXPECT_EQ(a - b, Rational(1, 6));
+    EXPECT_EQ(a * b, Rational(1, 6));
+    EXPECT_EQ(a / b, Rational(3, 2));
+    EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, Ordering)
+{
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_LT(Rational(2), Rational(5, 2));
+    EXPECT_GT(Rational(3), Rational(5, 2));
+    EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+    EXPECT_LE(Rational(1), Rational(1));
+    EXPECT_LT(Rational(-1), Rational(0));
+}
+
+TEST(Rational, Midpoint)
+{
+    EXPECT_EQ(Rational::midpoint(Rational(1), Rational(2)),
+              Rational(3, 2));
+    EXPECT_EQ(Rational::midpoint(Rational(1), Rational(3)), Rational(2));
+    EXPECT_EQ(Rational::midpoint(Rational(3, 2), Rational(2)),
+              Rational(7, 4));
+    // Midpoint is strictly between distinct endpoints.
+    Rational lo(5, 3), hi(7, 4);
+    Rational mid = Rational::midpoint(lo, hi);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+}
+
+TEST(Rational, NextInteger)
+{
+    EXPECT_EQ(Rational(0).nextInteger(), 1);
+    EXPECT_EQ(Rational(3).nextInteger(), 4);
+    EXPECT_EQ(Rational(5, 2).nextInteger(), 3);
+    EXPECT_EQ(Rational(-1, 2).nextInteger(), 0);
+    EXPECT_EQ(Rational(-3).nextInteger(), -2);
+}
+
+TEST(Rational, Str)
+{
+    EXPECT_EQ(Rational(3).str(), "3");
+    EXPECT_EQ(Rational(5, 2).str(), "5/2");
+    std::ostringstream os;
+    os << Rational(7, 3);
+    EXPECT_EQ(os.str(), "7/3");
+}
+
+TEST(Rational, ToDouble)
+{
+    EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5);
+    EXPECT_DOUBLE_EQ(Rational(-3).toDouble(), -3.0);
+}
+
+TEST(Rational, RepeatedMidpointsStayExact)
+{
+    // Labels produced by rule 1b are nested midpoints; they must stay
+    // exactly ordered.
+    Rational lo(1), hi(2);
+    for (int i = 0; i < 20; ++i) {
+        Rational mid = Rational::midpoint(lo, hi);
+        ASSERT_LT(lo, mid);
+        ASSERT_LT(mid, hi);
+        lo = mid;
+    }
+}
+
+} // namespace
+} // namespace syscomm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Related-message analysis (paper section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/paper_figures.h"
+#include "core/related.h"
+
+namespace syscomm {
+namespace {
+
+TEST(UnionFindT, Basics)
+{
+    UnionFind uf(5);
+    EXPECT_FALSE(uf.same(0, 1));
+    uf.unite(0, 1);
+    EXPECT_TRUE(uf.same(0, 1));
+    uf.unite(1, 2);
+    EXPECT_TRUE(uf.same(0, 2));
+    EXPECT_FALSE(uf.same(0, 3));
+    EXPECT_EQ(uf.size(), 5);
+}
+
+TEST(Related, InterleavedReadsAreRelated)
+{
+    // Fig. 8: R(A) R(B) R(A) R(B) at C3.
+    Program p = algos::fig8Program();
+    EXPECT_TRUE(areRelated(p, *p.messageByName("A"),
+                           *p.messageByName("B")));
+}
+
+TEST(Related, InterleavedWritesAreRelated)
+{
+    // Fig. 9: W(A) W(B) W(A) W(B) at C1.
+    Program p = algos::fig9Program();
+    EXPECT_TRUE(areRelated(p, *p.messageByName("A"),
+                           *p.messageByName("B")));
+}
+
+TEST(Related, SequentialMessagesAreNotRelated)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 0, 1);
+    for (MessageId m : {a, b}) {
+        p.write(0, m);
+        p.write(0, m);
+        p.read(1, m);
+        p.read(1, m);
+    }
+    EXPECT_FALSE(areRelated(p, a, b));
+}
+
+TEST(Related, MixedKindsBetweenSameKindPairDoNotRelate)
+{
+    // A read of B between a W(A) and an R(A) is NOT between two
+    // same-kind ops of A.
+    Program p(3);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 2, 0);
+    p.write(0, a);
+    p.read(0, b);
+    p.write(2, b);
+    p.read(1, a);
+    EXPECT_FALSE(areRelated(p, a, b));
+}
+
+TEST(Related, SingleWordMessagesCannotTriggerRelation)
+{
+    // One op per message per cell: no pair of same-kind ops exists.
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 0, 1);
+    p.write(0, a);
+    p.write(0, b);
+    p.read(1, a);
+    p.read(1, b);
+    EXPECT_FALSE(areRelated(p, a, b));
+}
+
+TEST(Related, TransitiveClosure)
+{
+    // A-B interleaved; B-C interleaved; so A related to C.
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 0, 1);
+    MessageId c = p.declareMessage("C", 0, 1);
+    // W(A) W(B) W(A) ... relates A and B.
+    p.write(0, a);
+    p.write(0, b);
+    p.write(0, a);
+    // ... W(C) W(B) W(C) relates B and C (B ops bracket nothing here,
+    // C ops bracket B).
+    p.write(0, c);
+    p.write(0, b);
+    p.write(0, c);
+    // Reader consumes in the same order.
+    p.read(1, a);
+    p.read(1, b);
+    p.read(1, a);
+    p.read(1, c);
+    p.read(1, b);
+    p.read(1, c);
+    EXPECT_TRUE(areRelated(p, a, b));
+    EXPECT_TRUE(areRelated(p, b, c));
+    EXPECT_TRUE(areRelated(p, a, c));
+}
+
+TEST(Related, GroupsArePartition)
+{
+    Program p = algos::fig7Program();
+    auto groups = relatedGroups(p);
+    // Fig. 7 has no interleaving: three singleton groups.
+    ASSERT_EQ(groups.size(), 3u);
+    for (const auto& g : groups)
+        EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Related, Fig8Groups)
+{
+    Program p = algos::fig8Program();
+    auto groups = relatedGroups(p);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(Related, ComputeOpsDoNotBlockRelation)
+{
+    Program p(2);
+    MessageId a = p.declareMessage("A", 0, 1);
+    MessageId b = p.declareMessage("B", 0, 1);
+    p.write(0, a);
+    p.compute(0, ComputeFn{});
+    p.write(0, b);
+    p.compute(0, ComputeFn{});
+    p.write(0, a);
+    p.read(1, a);
+    p.read(1, b);
+    p.read(1, a);
+    EXPECT_TRUE(areRelated(p, a, b));
+}
+
+} // namespace
+} // namespace syscomm

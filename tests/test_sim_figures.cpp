@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Run-time reproduction of the paper's queue-induced deadlock examples
+ * (Figs. 7, 8, 9): the naive FCFS policy deadlocks exactly as the
+ * figures describe, and the paper's avoidance procedure completes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algos/paper_figures.h"
+#include "core/labeling.h"
+#include "sim/machine.h"
+
+namespace syscomm {
+namespace {
+
+using sim::PolicyKind;
+using sim::RunResult;
+using sim::RunStatus;
+using sim::SimOptions;
+using sim::simulateProgram;
+
+MachineSpec
+spec(Topology topo, int queues, int capacity = 1)
+{
+    MachineSpec s;
+    s.topo = std::move(topo);
+    s.queuesPerLink = queues;
+    s.queueCapacity = capacity;
+    return s;
+}
+
+SimOptions
+withPolicy(PolicyKind kind)
+{
+    SimOptions options;
+    options.policy = kind;
+    options.maxCycles = 100000;
+    return options;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7
+// ---------------------------------------------------------------------
+
+TEST(Fig7, FcfsDeadlocksWithOneQueue)
+{
+    Program p = algos::fig7Program();
+    RunResult r = simulateProgram(p, spec(algos::fig7Topology(), 1),
+                                  withPolicy(PolicyKind::kFcfs));
+    EXPECT_EQ(r.status, RunStatus::kDeadlocked) << r.statusStr();
+    // C4 is stuck reading C while B holds the C3-C4 queue.
+    std::string render = r.deadlock.render();
+    EXPECT_NE(render.find("R(C)"), std::string::npos) << render;
+}
+
+TEST(Fig7, CompatibleCompletesWithOneQueue)
+{
+    Program p = algos::fig7Program();
+    RunResult r = simulateProgram(p, spec(algos::fig7Topology(), 1),
+                                  withPolicy(PolicyKind::kCompatible));
+    EXPECT_EQ(r.status, RunStatus::kCompleted) << r.statusStr();
+}
+
+TEST(Fig7, CompatibleTraceIsAuditClean)
+{
+    Program p = algos::fig7Program();
+    SimOptions options = withPolicy(PolicyKind::kCompatible);
+    options.audit = true;
+    RunResult r =
+        simulateProgram(p, spec(algos::fig7Topology(), 1), options);
+    ASSERT_EQ(r.status, RunStatus::kCompleted);
+    EXPECT_TRUE(r.audit.compatible) << r.audit.str(p);
+}
+
+TEST(Fig7, FcfsTraceViolatesCompatibility)
+{
+    Program p = algos::fig7Program();
+    SimOptions options = withPolicy(PolicyKind::kFcfs);
+    options.audit = true;
+    RunResult r =
+        simulateProgram(p, spec(algos::fig7Topology(), 1), options);
+    ASSERT_EQ(r.status, RunStatus::kDeadlocked);
+    EXPECT_FALSE(r.audit.compatible);
+}
+
+TEST(Fig7, GraphLabelingAlsoAvoidsTheDeadlock)
+{
+    // Theorem 1 only needs *some* consistent labeling; the direct
+    // constraint-graph scheme works as well as section 6's.
+    Program p = algos::fig7Program();
+    Labeling labeling = graphLabeling(p);
+    ASSERT_TRUE(labeling.success);
+    SimOptions options = withPolicy(PolicyKind::kCompatible);
+    options.labels = labeling.normalized();
+    options.audit = true;
+    RunResult r =
+        simulateProgram(p, spec(algos::fig7Topology(), 1), options);
+    EXPECT_EQ(r.status, RunStatus::kCompleted) << r.statusStr();
+    EXPECT_TRUE(r.audit.compatible);
+}
+
+TEST(Fig7, StaticNeedsThreeQueuesOnMiddleLinks)
+{
+    Program p = algos::fig7Program();
+    // Static assignment fails with 1 queue (A and C share C2-C3)...
+    RunResult r1 = simulateProgram(p, spec(algos::fig7Topology(), 1),
+                                   withPolicy(PolicyKind::kStatic));
+    EXPECT_EQ(r1.status, RunStatus::kConfigError);
+    // ...and succeeds with 2 (max two messages per link).
+    RunResult r2 = simulateProgram(p, spec(algos::fig7Topology(), 2),
+                                   withPolicy(PolicyKind::kStatic));
+    EXPECT_EQ(r2.status, RunStatus::kCompleted) << r2.error;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 8 — interleaved reads need separate queues.
+// ---------------------------------------------------------------------
+
+TEST(Fig8, FcfsDeadlocksWithOneQueue)
+{
+    Program p = algos::fig8Program();
+    RunResult r = simulateProgram(p, spec(algos::fig8Topology(), 1),
+                                  withPolicy(PolicyKind::kFcfs));
+    EXPECT_EQ(r.status, RunStatus::kDeadlocked);
+}
+
+TEST(Fig8, CompatibleCompletesWithTwoQueues)
+{
+    // "No deadlock if # queues greater than 1."
+    Program p = algos::fig8Program();
+    RunResult r = simulateProgram(p, spec(algos::fig8Topology(), 2),
+                                  withPolicy(PolicyKind::kCompatible));
+    EXPECT_EQ(r.status, RunStatus::kCompleted) << r.statusStr();
+}
+
+TEST(Fig8, CompatibleWithOneQueueCannotProceed)
+{
+    // A and B share a label (related), so the simultaneous-assignment
+    // rule needs two queues; with one, assumption (ii) of Theorem 1
+    // fails and the run cannot complete.
+    Program p = algos::fig8Program();
+    RunResult r = simulateProgram(p, spec(algos::fig8Topology(), 1),
+                                  withPolicy(PolicyKind::kCompatible));
+    EXPECT_EQ(r.status, RunStatus::kDeadlocked);
+}
+
+TEST(Fig8, LargerInstancesBehaveTheSame)
+{
+    for (int words : {2, 4, 8}) {
+        Program p = algos::fig8Program(words);
+        EXPECT_EQ(simulateProgram(p, spec(algos::fig8Topology(), 1),
+                                  withPolicy(PolicyKind::kFcfs))
+                      .status,
+                  RunStatus::kDeadlocked)
+            << words;
+        EXPECT_EQ(simulateProgram(p, spec(algos::fig8Topology(), 2),
+                                  withPolicy(PolicyKind::kCompatible))
+                      .status,
+                  RunStatus::kCompleted)
+            << words;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 9 — interleaved writes, symmetric case.
+// ---------------------------------------------------------------------
+
+TEST(Fig9, FcfsDeadlocksWithOneQueue)
+{
+    Program p = algos::fig9Program();
+    RunResult r = simulateProgram(p, spec(algos::fig9Topology(), 1),
+                                  withPolicy(PolicyKind::kFcfs));
+    EXPECT_EQ(r.status, RunStatus::kDeadlocked);
+}
+
+TEST(Fig9, CompatibleCompletesWithTwoQueues)
+{
+    Program p = algos::fig9Program();
+    RunResult r = simulateProgram(p, spec(algos::fig9Topology(), 2),
+                                  withPolicy(PolicyKind::kCompatible));
+    EXPECT_EQ(r.status, RunStatus::kCompleted) << r.statusStr();
+}
+
+TEST(Fig9, StaticWithTwoQueuesCompletes)
+{
+    // Section 7's static example: "If there are two queues between Cl
+    // and C2, then messages A and B can each be assigned to a separate
+    // queue statically, and no deadlock will occur."
+    Program p = algos::fig9Program();
+    RunResult r = simulateProgram(p, spec(algos::fig9Topology(), 2),
+                                  withPolicy(PolicyKind::kStatic));
+    EXPECT_EQ(r.status, RunStatus::kCompleted) << r.error;
+}
+
+// ---------------------------------------------------------------------
+// Fig. 2 — the FIR program runs and produces the right numbers.
+// ---------------------------------------------------------------------
+
+TEST(Fig2, ProducesPaperOutputs)
+{
+    Program p = algos::fig2FirProgram();
+    RunResult r = simulateProgram(p, spec(algos::fig2Topology(), 2),
+                                  withPolicy(PolicyKind::kCompatible));
+    ASSERT_EQ(r.status, RunStatus::kCompleted) << r.statusStr();
+    // y1 = 3*1 + 5*2 + 7*3 = 34; y2 = 3*2 + 5*3 + 7*4 = 49.
+    auto ya = *p.messageByName("YA");
+    ASSERT_EQ(r.received[ya].size(), 2u);
+    EXPECT_DOUBLE_EQ(r.received[ya][0], 34.0);
+    EXPECT_DOUBLE_EQ(r.received[ya][1], 49.0);
+}
+
+TEST(Fig2, RunsEvenWithOneQueuePerLink)
+{
+    // The FIR schedule never needs two queues at once in the same
+    // direction group under the section 6 labels.
+    Program p = algos::fig2FirProgram();
+    RunResult r = simulateProgram(p, spec(algos::fig2Topology(), 2, 1),
+                                  withPolicy(PolicyKind::kCompatible));
+    EXPECT_EQ(r.status, RunStatus::kCompleted);
+}
+
+// ---------------------------------------------------------------------
+// Fig. 6 — the ring cycle completes under every safe policy.
+// ---------------------------------------------------------------------
+
+TEST(Fig6, RingCycleCompletes)
+{
+    Program p = algos::fig6CycleProgram();
+    for (PolicyKind kind : {PolicyKind::kCompatible, PolicyKind::kStatic,
+                            PolicyKind::kFcfs}) {
+        RunResult r = simulateProgram(p, spec(algos::fig6Topology(), 1),
+                                      withPolicy(kind));
+        EXPECT_EQ(r.status, RunStatus::kCompleted)
+            << sim::policyKindName(kind);
+    }
+}
+
+} // namespace
+} // namespace syscomm

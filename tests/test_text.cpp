@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Textual program format: parsing, printing, round-trips, errors.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/crossoff.h"
+#include "core/program_gen.h"
+#include "text/parser.h"
+#include "text/printer.h"
+
+namespace syscomm {
+namespace {
+
+using text::parseProgram;
+using text::printProgram;
+using text::renderColumns;
+
+const char* kFig5P1 = R"(
+# Fig. 5, program P1
+cells 2
+message A 0 -> 1
+message B 0 -> 1
+cell 0 { W(A) W(A) W(B) }
+cell 1 { R(B) R(A) R(A) }
+)";
+
+TEST(TextParser, ParsesP1)
+{
+    auto result = parseProgram(kFig5P1);
+    ASSERT_TRUE(result.ok) << result.error;
+    const Program& p = result.program;
+    EXPECT_EQ(p.numCells(), 2);
+    EXPECT_EQ(p.numMessages(), 2);
+    EXPECT_EQ(p.messageLength(*p.messageByName("A")), 2);
+    EXPECT_TRUE(p.valid());
+    EXPECT_FALSE(isDeadlockFree(p));
+}
+
+TEST(TextParser, ComputeToken)
+{
+    auto result = parseProgram("cells 2\n"
+                               "message A 0 -> 1\n"
+                               "cell 0 { C W(A) }\n"
+                               "cell 1 { R(A) C }\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.program.totalOps(), 4);
+    EXPECT_EQ(result.program.totalTransferOps(), 2);
+}
+
+TEST(TextParser, MultiLineCellBlock)
+{
+    auto result = parseProgram("cells 2\n"
+                               "message A 0 -> 1\n"
+                               "cell 0 {\n  W(A)\n  W(A)\n}\n"
+                               "cell 1 { R(A) R(A) }\n");
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.program.messageLength(0), 2);
+}
+
+TEST(TextParser, RepeatedCellBlocksAppend)
+{
+    auto result = parseProgram("cells 2\n"
+                               "message A 0 -> 1\n"
+                               "cell 0 { W(A) }\n"
+                               "cell 0 { W(A) }\n"
+                               "cell 1 { R(A) R(A) }\n");
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.program.cellOps(0).size(), 2u);
+}
+
+TEST(TextParser, ErrorsCarryLineNumbers)
+{
+    auto result = parseProgram("cells 2\nmessage A 0 -> 9\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("line 2"), std::string::npos);
+    EXPECT_NE(result.error.find("out of range"), std::string::npos);
+}
+
+TEST(TextParser, RejectsUnknownMessage)
+{
+    auto result = parseProgram("cells 2\ncell 0 { W(Z) }\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("unknown message"), std::string::npos);
+}
+
+TEST(TextParser, RejectsMissingCellsDirective)
+{
+    auto result = parseProgram("message A 0 -> 1\n");
+    EXPECT_FALSE(result.ok);
+}
+
+TEST(TextParser, RejectsDuplicateMessages)
+{
+    auto result = parseProgram("cells 2\n"
+                               "message A 0 -> 1\n"
+                               "message A 1 -> 0\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("duplicate"), std::string::npos);
+}
+
+TEST(TextParser, RejectsUnterminatedBlock)
+{
+    auto result = parseProgram("cells 2\nmessage A 0 -> 1\ncell 0 { W(A)");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("unterminated"), std::string::npos);
+}
+
+TEST(TextParser, RejectsBadToken)
+{
+    auto result = parseProgram("cells 2\nbogus\n");
+    ASSERT_FALSE(result.ok);
+    EXPECT_NE(result.error.find("unexpected token"), std::string::npos);
+}
+
+TEST(TextPrinter, RoundTrip)
+{
+    auto first = parseProgram(kFig5P1);
+    ASSERT_TRUE(first.ok);
+    std::string printed = printProgram(first.program);
+    auto second = parseProgram(printed);
+    ASSERT_TRUE(second.ok) << second.error << "\n" << printed;
+    EXPECT_EQ(printProgram(second.program), printed);
+    EXPECT_EQ(second.program.numMessages(), first.program.numMessages());
+    EXPECT_EQ(second.program.totalOps(), first.program.totalOps());
+}
+
+TEST(TextPrinter, ColumnsContainEveryOp)
+{
+    auto result = parseProgram(kFig5P1);
+    ASSERT_TRUE(result.ok);
+    std::string cols = renderColumns(result.program);
+    EXPECT_NE(cols.find("cell 0"), std::string::npos);
+    EXPECT_NE(cols.find("cell 1"), std::string::npos);
+    EXPECT_NE(cols.find("W(A)"), std::string::npos);
+    EXPECT_NE(cols.find("R(B)"), std::string::npos);
+}
+
+TEST(TextParser, RandomGarbageNeverCrashes)
+{
+    // Pseudo-random token soup: the parser must fail cleanly.
+    std::mt19937_64 rng(12345);
+    const char* tokens[] = {"cells", "message", "cell",  "{",   "}",
+                            "W(A)",  "R(A)",    "->",    "A",   "0",
+                            "1",     "-3",      "C",     "#x",  "(",
+                            "W()",   "R",       "cells", "99"};
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string src;
+        std::uniform_int_distribution<std::size_t> pick(
+            0, std::size(tokens) - 1);
+        std::uniform_int_distribution<int> len(0, 30);
+        int n = len(rng);
+        for (int i = 0; i < n; ++i) {
+            src += tokens[pick(rng)];
+            src += (i % 7 == 6) ? "\n" : " ";
+        }
+        auto result = parseProgram(src);
+        if (!result.ok) {
+            EXPECT_FALSE(result.error.empty());
+        }
+    }
+}
+
+TEST(TextParser, GeneratedProgramsRoundTrip)
+{
+    Topology topo = Topology::linearArray(4);
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        GenOptions gen;
+        gen.numMessages = 6;
+        gen.seed = seed;
+        Program p = randomDeadlockFreeProgram(topo, gen);
+        auto reparsed = parseProgram(printProgram(p));
+        ASSERT_TRUE(reparsed.ok) << reparsed.error;
+        EXPECT_EQ(reparsed.program.totalOps(), p.totalOps());
+        EXPECT_EQ(isDeadlockFree(reparsed.program), isDeadlockFree(p));
+    }
+}
+
+TEST(TextPrinter, ColumnsWithLabels)
+{
+    auto result = parseProgram(kFig5P1);
+    ASSERT_TRUE(result.ok);
+    std::string out = text::renderColumnsWithLabels(
+        result.program, {Rational(1), Rational(2)});
+    EXPECT_NE(out.find("A(0->1)=1"), std::string::npos);
+    EXPECT_NE(out.find("B(0->1)=2"), std::string::npos);
+}
+
+} // namespace
+} // namespace syscomm

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Topologies and deterministic routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/route.h"
+#include "core/topology.h"
+
+namespace syscomm {
+namespace {
+
+TEST(Topology, LinearArray)
+{
+    Topology t = Topology::linearArray(4);
+    EXPECT_EQ(t.numCells(), 4);
+    EXPECT_EQ(t.numLinks(), 3);
+    EXPECT_TRUE(t.linkBetween(0, 1).has_value());
+    EXPECT_TRUE(t.linkBetween(1, 0).has_value());
+    EXPECT_FALSE(t.linkBetween(0, 2).has_value());
+    EXPECT_EQ(t.neighbors(1), (std::vector<CellId>{0, 2}));
+    EXPECT_EQ(t.neighbors(0), (std::vector<CellId>{1}));
+}
+
+TEST(Topology, LinearRoute)
+{
+    Topology t = Topology::linearArray(5);
+    EXPECT_EQ(t.routePath(0, 4), (std::vector<CellId>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(t.routePath(3, 1), (std::vector<CellId>{3, 2, 1}));
+    EXPECT_EQ(t.routePath(2, 2), (std::vector<CellId>{2}));
+}
+
+TEST(Topology, Ring)
+{
+    Topology t = Topology::ring(5);
+    EXPECT_EQ(t.numLinks(), 5);
+    EXPECT_TRUE(t.linkBetween(0, 4).has_value());
+    // Shortest way from 0 to 4 is the wrap link.
+    EXPECT_EQ(t.routePath(0, 4), (std::vector<CellId>{0, 4}));
+    EXPECT_EQ(t.routePath(0, 2), (std::vector<CellId>{0, 1, 2}));
+}
+
+TEST(Topology, Mesh)
+{
+    Topology t = Topology::mesh(3, 4);
+    EXPECT_EQ(t.numCells(), 12);
+    // 3*3 horizontal + 2*4 vertical = 17 links.
+    EXPECT_EQ(t.numLinks(), 17);
+    EXPECT_TRUE(t.isMesh());
+    EXPECT_EQ(t.meshRows(), 3);
+    EXPECT_EQ(t.meshCols(), 4);
+}
+
+TEST(Topology, MeshXyRouting)
+{
+    Topology t = Topology::mesh(3, 3);
+    // (0,0) -> (2,2): column first (0,0)->(0,1)->(0,2), then rows.
+    EXPECT_EQ(t.routePath(0, 8), (std::vector<CellId>{0, 1, 2, 5, 8}));
+    // (2,1) -> (0,0): column to 0, then up.
+    EXPECT_EQ(t.routePath(7, 0), (std::vector<CellId>{7, 6, 3, 0}));
+}
+
+TEST(Topology, CustomGraph)
+{
+    // A 'Y' shape: 0-1, 1-2, 1-3.
+    Topology t = Topology::custom(4, {{0, 1}, {2, 1}, {1, 3}});
+    EXPECT_EQ(t.numLinks(), 3);
+    EXPECT_EQ(t.routePath(0, 3), (std::vector<CellId>{0, 1, 3}));
+    EXPECT_EQ(t.routePath(2, 0), (std::vector<CellId>{2, 1, 0}));
+    // Endpoint order was normalized.
+    EXPECT_EQ(t.link(1).a, 1);
+    EXPECT_EQ(t.link(1).b, 2);
+}
+
+TEST(Topology, DirectionFrom)
+{
+    Topology t = Topology::linearArray(3);
+    LinkIndex l = *t.linkBetween(0, 1);
+    EXPECT_EQ(t.directionFrom(l, 0), LinkDir::kForward);
+    EXPECT_EQ(t.directionFrom(l, 1), LinkDir::kBackward);
+    EXPECT_EQ(opposite(LinkDir::kForward), LinkDir::kBackward);
+}
+
+TEST(Route, ComputeRouteHops)
+{
+    Topology t = Topology::linearArray(4);
+    Route r = computeRoute(t, 0, 3);
+    ASSERT_EQ(r.numHops(), 3);
+    EXPECT_EQ(r.hops[0].from, 0);
+    EXPECT_EQ(r.hops[0].to, 1);
+    EXPECT_EQ(r.hops[0].dir, LinkDir::kForward);
+    EXPECT_EQ(r.hops[2].to, 3);
+    EXPECT_EQ(r.str(), "0 -> 1 -> 2 -> 3");
+
+    Route back = computeRoute(t, 3, 0);
+    EXPECT_EQ(back.hops[0].dir, LinkDir::kBackward);
+}
+
+TEST(Route, AdjacentCells)
+{
+    Topology t = Topology::linearArray(2);
+    Route r = computeRoute(t, 1, 0);
+    EXPECT_EQ(r.numHops(), 1);
+    EXPECT_EQ(r.hops[0].dir, LinkDir::kBackward);
+}
+
+TEST(Topology, BfsTieBreaksDeterministically)
+{
+    // Two equal-length paths 0-1-3 and 0-2-3: BFS prefers the smaller
+    // neighbor (1).
+    Topology t = Topology::custom(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+    EXPECT_EQ(t.routePath(0, 3), (std::vector<CellId>{0, 1, 3}));
+}
+
+TEST(Topology, Torus)
+{
+    Topology t = Topology::torus(3, 4);
+    EXPECT_EQ(t.numCells(), 12);
+    // Every cell has degree 4: 2 * cells links.
+    EXPECT_EQ(t.numLinks(), 24);
+    for (CellId c = 0; c < t.numCells(); ++c)
+        EXPECT_EQ(t.neighbors(c).size(), 4u) << c;
+    // Wraparound shortens the route: (0,0) -> (0,3) is one hop.
+    EXPECT_EQ(t.routePath(0, 3), (std::vector<CellId>{0, 3}));
+    // (0,0) -> (2,0) wraps vertically.
+    EXPECT_EQ(t.routePath(0, 8), (std::vector<CellId>{0, 8}));
+}
+
+TEST(Topology, TorusRoutesAreMinimal)
+{
+    Topology torus = Topology::torus(4, 4);
+    Topology mesh = Topology::mesh(4, 4);
+    // Torus routes are never longer than mesh routes.
+    for (CellId a = 0; a < 16; ++a) {
+        for (CellId b = 0; b < 16; ++b) {
+            EXPECT_LE(torus.routePath(a, b).size(),
+                      mesh.routePath(a, b).size())
+                << a << "->" << b;
+        }
+    }
+}
+
+TEST(Topology, Names)
+{
+    EXPECT_EQ(Topology::linearArray(4).name(), "linear(4)");
+    EXPECT_EQ(Topology::ring(3).name(), "ring(3)");
+    EXPECT_EQ(Topology::mesh(2, 3).name(), "mesh(2x3)");
+    EXPECT_EQ(Topology::torus(3, 3).name(), "torus(3x3)");
+}
+
+} // namespace
+} // namespace syscomm

@@ -4,15 +4,26 @@
  * procedure, the related-message analysis and the section 6 labeler
  * all scale near-linearly in program size for stream-like programs,
  * so the avoidance machinery is practical at compile time.
+ *
+ * Experiment P2: run-time cost of the simulator itself across array
+ * sizes, on a sparse/streaming workload (a few long streams over a
+ * mostly idle array). BM_SimulateReference scans every link, queue
+ * and cell each cycle; BM_SimulateEventDriven touches only the
+ * active set. The per-iteration work is one full simulation run.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+
+#include "bench_util.h"
 #include "core/competing.h"
 #include "core/crossoff.h"
 #include "core/labeling.h"
 #include "core/program_gen.h"
 #include "core/related.h"
+#include "sim/machine.h"
 
 namespace {
 
@@ -94,6 +105,44 @@ BM_CompetingAnalysis(benchmark::State& state)
     }
 }
 BENCHMARK(BM_CompetingAnalysis)->Arg(16)->Arg(64)->Arg(256);
+
+void
+simulateScaling(benchmark::State& state, sim::KernelKind kernel)
+{
+    int cells = static_cast<int>(state.range(0));
+    Program p = bench::streamingProgram(cells);
+    MachineSpec spec;
+    spec.topo = Topology::linearArray(cells);
+    spec.queuesPerLink = 2;
+    spec.queueCapacity = 4;
+    sim::SimOptions options;
+    options.kernel = kernel;
+    // Label once; the bench measures the run-time kernel, not the
+    // compile-time labeler (P1 covers that).
+    options.labels = sim::simulateProgram(p, spec, options).labelsUsed;
+    Cycle cycles = 0;
+    for (auto _ : state) {
+        sim::RunResult r = sim::simulateProgram(p, spec, options);
+        cycles = r.cycles;
+        benchmark::DoNotOptimize(r.status);
+    }
+    state.SetItemsProcessed(state.iterations() * cycles);
+    state.counters["sim_cycles"] = static_cast<double>(cycles);
+}
+
+void
+BM_SimulateReference(benchmark::State& state)
+{
+    simulateScaling(state, sim::KernelKind::kReference);
+}
+BENCHMARK(BM_SimulateReference)->Arg(64)->Arg(256)->Arg(512);
+
+void
+BM_SimulateEventDriven(benchmark::State& state)
+{
+    simulateScaling(state, sim::KernelKind::kEventDriven);
+}
+BENCHMARK(BM_SimulateEventDriven)->Arg(64)->Arg(256)->Arg(512);
 
 } // namespace
 

@@ -3,14 +3,52 @@
 /**
  * @file
  * Small table/formatting helpers shared by the figure-reproduction
- * benchmark binaries.
+ * benchmark binaries, plus machine-readable JSON-lines emission so
+ * sweeps can be consumed by scripts (see README "Architecture &
+ * performance": one object per line, written to BENCH_<name>.json).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/program.h"
+
 namespace syscomm::bench {
+
+/**
+ * Sparse/streaming benchmark workload shared by bench_kernel_compare
+ * and bench_scaling's P2 experiment: @p messages long word streams,
+ * each spanning a bounded stretch of a @p cells-cell linear array,
+ * placed without wraparound so senders stay distinct and, on large
+ * arrays, spans are disjoint. Senders compute @p compute_gap cycles
+ * per produced word (systolic cells do real work between I/O,
+ * Fig. 2), so only a couple of words per stream are in flight at any
+ * cycle — most links and cells stay idle for the whole run.
+ */
+inline Program
+streamingProgram(int cells, int messages = 4, int words = 128,
+                 int compute_gap = 16)
+{
+    Program p(cells);
+    int span = std::max(2, std::min(16, cells / messages));
+    for (int m = 0; m < messages; ++m) {
+        CellId from = static_cast<CellId>((m * (cells - span)) / messages);
+        CellId to = static_cast<CellId>(from + span);
+        MessageId id = p.declareMessage("S" + std::to_string(m), from, to);
+        for (int w = 0; w < words; ++w) {
+            for (int g = 0; g < compute_gap; ++g)
+                p.compute(from,
+                          [](CellContext& ctx) { ctx.local(0) += 1.0; });
+            p.write(from, id);
+        }
+        for (int w = 0; w < words; ++w)
+            p.read(to, id);
+    }
+    return p;
+}
 
 /** Print a banner naming the experiment. */
 inline void
@@ -46,5 +84,130 @@ fmt(double v)
     std::snprintf(buf, sizeof buf, "%.2f", v);
     return buf;
 }
+
+// ----------------------------------------------------------------------
+// Machine-readable results: JSON lines
+// ----------------------------------------------------------------------
+
+/**
+ * Appends one JSON object per record to a BENCH_*.json file (and
+ * mirrors it to stdout). Every record carries the bench id, a metric
+ * name, a numeric value, and optional extra key/value dimensions:
+ *
+ *   {"bench": "kernel_compare", "metric": "cycles_per_sec",
+ *    "value": 1.25e+07, "kernel": "event-driven", "cells": 256}
+ */
+class JsonWriter
+{
+  public:
+    /** Opens @p path for append; pass "" to mirror to stdout only. */
+    JsonWriter(std::string bench, const std::string& path)
+        : bench_(std::move(bench)),
+          file_(path.empty() ? nullptr : std::fopen(path.c_str(), "a"))
+    {}
+
+    ~JsonWriter()
+    {
+        if (file_ != nullptr)
+            std::fclose(file_);
+    }
+
+    JsonWriter(const JsonWriter&) = delete;
+    JsonWriter& operator=(const JsonWriter&) = delete;
+
+    /** Extra dimensions: values that look numeric are emitted bare. */
+    using Extras = std::vector<std::pair<std::string, std::string>>;
+
+    void
+    record(const std::string& metric, double value,
+           const Extras& extras = {})
+    {
+        std::string line = "{\"bench\": \"" + escaped(bench_) +
+                           "\", \"metric\": \"" + escaped(metric) +
+                           "\", \"value\": " + numStr(value);
+        for (const auto& [key, raw] : extras) {
+            line += ", \"" + escaped(key) + "\": ";
+            line += looksNumeric(raw) ? raw : "\"" + escaped(raw) + "\"";
+        }
+        line += "}\n";
+        std::fputs(line.c_str(), stdout);
+        if (file_ != nullptr) {
+            std::fputs(line.c_str(), file_);
+            std::fflush(file_);
+        }
+    }
+
+  private:
+    /**
+     * Strict JSON number grammar,
+     * -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?: forms strtod
+     * accepts but JSON forbids ('+5', '.5', '5.', 'inf', hex,
+     * padding) must be emitted as strings instead.
+     */
+    static bool
+    looksNumeric(const std::string& s)
+    {
+        std::size_t i = 0;
+        const std::size_t n = s.size();
+        auto digits = [&] {
+            std::size_t start = i;
+            while (i < n && s[i] >= '0' && s[i] <= '9')
+                ++i;
+            return i > start;
+        };
+        if (i < n && s[i] == '-')
+            ++i;
+        if (i < n && s[i] == '0')
+            ++i;
+        else if (!digits())
+            return false;
+        if (i < n && s[i] == '.') {
+            ++i;
+            if (!digits())
+                return false;
+        }
+        if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+            ++i;
+            if (i < n && (s[i] == '+' || s[i] == '-'))
+                ++i;
+            if (!digits())
+                return false;
+        }
+        return i == n;
+    }
+
+    static std::string
+    escaped(const std::string& s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+        return out;
+    }
+
+    /** JSON has no Inf/NaN literals; map them to null. */
+    static std::string
+    numStr(double v)
+    {
+        if (!(v > -1e308 && v < 1e308))
+            return "null";
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        return buf;
+    }
+
+    std::string bench_;
+    std::FILE* file_;
+};
 
 } // namespace syscomm::bench

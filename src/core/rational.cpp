@@ -81,13 +81,13 @@ Rational::operator/(const Rational& o) const
     return Rational(mulChecked(num_, o.den_), mulChecked(den_, o.num_));
 }
 
-std::strong_ordering
-Rational::operator<=>(const Rational& o) const
+int
+Rational::compare(const Rational& o) const
 {
     // Compare num_/den_ vs o.num_/o.den_ via cross multiplication.
     std::int64_t lhs = mulChecked(num_, o.den_);
     std::int64_t rhs = mulChecked(o.num_, den_);
-    return lhs <=> rhs;
+    return lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
 }
 
 Rational

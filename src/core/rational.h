@@ -10,7 +10,6 @@
  */
 
 #include <cassert>
-#include <compare>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -52,7 +51,14 @@ class Rational
     {
         return num_ == o.num_ && den_ == o.den_;
     }
-    std::strong_ordering operator<=>(const Rational& o) const;
+    bool operator!=(const Rational& o) const { return !(*this == o); }
+    bool operator<(const Rational& o) const { return compare(o) < 0; }
+    bool operator>(const Rational& o) const { return o < *this; }
+    bool operator<=(const Rational& o) const { return !(o < *this); }
+    bool operator>=(const Rational& o) const { return !(*this < o); }
+
+    /** Three-way comparison: negative/zero/positive like strcmp. */
+    int compare(const Rational& o) const;
 
     /** Exact midpoint (a + b) / 2. */
     static Rational midpoint(const Rational& a, const Rational& b);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 
 namespace syscomm::sim {
 
@@ -37,40 +36,46 @@ void
 CompatiblePolicy::tick(LinkState& link, Cycle now,
                        std::vector<AssignmentDecision>& decisions)
 {
-    // Group the link's crossings by label; serve strictly in ascending
-    // label order across the link's shared queue pool.
-    std::map<std::int64_t, std::vector<Crossing*>> groups;
-    for (Crossing& c : link.crossings()) {
+    // Serve strictly in ascending label order across the link's shared
+    // queue pool: only the smallest label with unserved members may be
+    // assigned this cycle (ordered rule); larger labels must wait.
+    // Two linear passes over the crossings — this runs on the
+    // simulator's per-cycle hot path, so no per-tick allocation.
+    std::int64_t lowest = 0;
+    bool found = false;
+    for (const Crossing& c : link.crossings()) {
         assert(c.msg < static_cast<MessageId>(labels_.size()));
-        groups[labels_[c.msg]].push_back(&c);
+        if (c.assignedAt >= 0)
+            continue;
+        std::int64_t label = labels_[c.msg];
+        if (!found || label < lowest) {
+            lowest = label;
+            found = true;
+        }
+    }
+    if (!found)
+        return; // every crossing served
+
+    unserved_.clear();
+    bool any_requested = false;
+    for (Crossing& c : link.crossings()) {
+        if (c.assignedAt >= 0 || labels_[c.msg] != lowest)
+            continue;
+        unserved_.push_back(&c);
+        if (c.phase == CrossingPhase::kRequested)
+            any_requested = true;
     }
 
-    for (auto& [label, group] : groups) {
-        std::vector<Crossing*> unserved;
-        bool any_requested = false;
-        for (Crossing* c : group) {
-            if (c->assignedAt < 0) {
-                unserved.push_back(c);
-                if (c->phase == CrossingPhase::kRequested)
-                    any_requested = true;
-            }
+    // Simultaneous assignment: all members of the group get separate
+    // queues at once, or none do.
+    if ((eager_ || any_requested) &&
+        link.numFreeQueues() >= static_cast<int>(unserved_.size())) {
+        for (Crossing* c : unserved_) {
+            int q = link.findFreeQueue();
+            assert(q >= 0);
+            link.assignMsg(c->msg, q, now);
+            decisions.push_back({c->msg, q});
         }
-        if (unserved.empty())
-            continue; // group fully served; next label may proceed
-
-        // This is the lowest unserved group. Simultaneous assignment:
-        // all members get separate queues at once, or none do.
-        if ((eager_ || any_requested) &&
-            link.numFreeQueues() >= static_cast<int>(unserved.size())) {
-            for (Crossing* c : unserved) {
-                int q = link.findFreeQueue();
-                assert(q >= 0);
-                link.assignMsg(c->msg, q, now);
-                decisions.push_back({c->msg, q});
-            }
-        }
-        // Ordered rule: larger labels must wait for this group.
-        break;
     }
 }
 

@@ -102,6 +102,9 @@ class CompatiblePolicy : public AssignmentPolicy
   private:
     std::vector<std::int64_t> labels_;
     bool eager_;
+    /** Per-tick scratch (lowest unserved label group); no allocation
+     *  in steady state — tick is on the simulator's hot path. */
+    std::vector<Crossing*> unserved_;
 };
 
 /** Unsafe baseline: serve queue requests in arrival order. */

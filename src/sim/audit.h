@@ -33,6 +33,16 @@ struct AssignmentEvent
     MessageId msg = kInvalidMessage;
     int queueId = -1;
     LinkDir dir = LinkDir::kForward;
+
+    bool operator==(const AssignmentEvent& o) const
+    {
+        return cycle == o.cycle && link == o.link && msg == o.msg &&
+               queueId == o.queueId && dir == o.dir;
+    }
+    bool operator!=(const AssignmentEvent& o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** A broken rule. */

@@ -101,6 +101,15 @@ class CellRuntime : public CellContext
 
     BlockReason lastBlock = BlockReason::kNone;
 
+    /**
+     * Cycle of the cell's most recent visit by the simulation kernel.
+     * The event-driven kernel uses it to settle blocked-cycle spans
+     * lazily: a sleeping cell is charged (wake cycle - 1 -
+     * lastVisitCycle) blocked cycles when it is next visited, exactly
+     * what the dense reference kernel accumulates one cycle at a time.
+     */
+    Cycle lastVisitCycle = 0;
+
   private:
     CellId id_;
     const std::vector<Op>* ops_;

@@ -44,10 +44,42 @@ enum class RunStatus : std::uint8_t
 
 const char* runStatusName(RunStatus status);
 
+/**
+ * Which per-cycle engine drives the run.
+ *
+ * Both kernels implement the identical machine semantics and produce
+ * bit-identical RunResults (status, cycle counts, stats, event logs);
+ * tests/test_kernel_equivalence.cpp enforces this over randomized
+ * programs.
+ */
+enum class KernelKind : std::uint8_t
+{
+    /**
+     * Event-driven active-set kernel: per cycle, only runnable cells,
+     * links with words in flight, and links with pending queue
+     * requests are touched, so a cycle costs O(active work) instead
+     * of O(cells + links). Cells blocked on a read wake when their
+     * input queue changes; cells blocked on a write wake when a queue
+     * is assigned or frees space. Stretches where the whole machine
+     * only waits for queue timing (e.g. extension penalties) are
+     * fast-forwarded in one step.
+     */
+    kEventDriven = 0,
+    /**
+     * Reference kernel: the original dense loop that scans every
+     * link, queue, and cell each cycle. Kept as the oracle for the
+     * equivalence suite and for A/B benchmarking.
+     */
+    kReference,
+};
+
+const char* kernelKindName(KernelKind kind);
+
 /** Knobs for one simulation run. */
 struct SimOptions
 {
     PolicyKind policy = PolicyKind::kCompatible;
+    KernelKind kernel = KernelKind::kEventDriven;
     /**
      * Labels per MessageId for the compatible policy and the audit.
      * Left empty, the simulator computes them with the section 6

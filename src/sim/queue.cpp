@@ -4,6 +4,19 @@
 
 namespace syscomm::sim {
 
+namespace {
+
+std::uint32_t
+nextPow2(std::uint32_t v)
+{
+    std::uint32_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 HwQueue::HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
                  int ext_penalty)
     : id_(id),
@@ -14,6 +27,23 @@ HwQueue::HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
 {
     assert(capacity >= 1 && "a queue buffers at least one word");
     assert(ext_capacity >= 0 && ext_penalty >= 0);
+    std::uint32_t ring_size = nextPow2(static_cast<std::uint32_t>(capacity));
+    ring_.resize(ring_size);
+    mask_ = ring_size - 1;
+    spill_.reserve(static_cast<std::size_t>(ext_capacity));
+}
+
+void
+HwQueue::settleStats(Cycle now)
+{
+    if (now <= settled_)
+        return;
+    if (assigned_ != kInvalidMessage) {
+        busy_cycles_ += now - settled_;
+        occupancy_sum_ += static_cast<std::int64_t>(size()) *
+                          (now - settled_);
+    }
+    settled_ = now;
 }
 
 void
@@ -21,7 +51,7 @@ HwQueue::assign(MessageId msg, LinkDir dir, int total_words, Cycle now)
 {
     assert(isFree() && "queue already assigned");
     assert(total_words > 0);
-    (void)now;
+    settleStats(now);
     assigned_ = msg;
     dir_ = dir;
     words_remaining_ = total_words;
@@ -32,7 +62,7 @@ void
 HwQueue::release(Cycle now)
 {
     assert(canRelease());
-    (void)now;
+    settleStats(now);
     assigned_ = kInvalidMessage;
     words_remaining_ = 0;
 }
@@ -40,15 +70,24 @@ HwQueue::release(Cycle now)
 void
 HwQueue::push(Word word, Cycle now)
 {
-    assert(canPush());
+    assert(canPush(now));
     assert(word.msg == assigned_ && "queue carries one message at a time");
+    settleStats(now);
     word.enqueuedAt = now;
-    word.wasExtended = size() >= capacity_;
-    if (word.wasExtended)
+    // Hardware slots fill first; the overflow goes to the memory
+    // extension. FIFO order requires spilling whenever the extension
+    // already holds words.
+    word.wasExtended = ring_count_ >= capacity_;
+    bool was_empty = empty();
+    if (word.wasExtended) {
         ++extended_words_;
-    bool was_empty = words_.empty();
-    words_.push_back(word);
-    pushed_this_cycle_ = true;
+        spill_.push_back(word);
+    } else {
+        ring_[(head_ + static_cast<std::uint32_t>(ring_count_)) & mask_] =
+            word;
+        ++ring_count_;
+    }
+    last_push_cycle_ = now;
     ++words_pushed_;
     if (was_empty)
         refreshFrontReady(now);
@@ -57,31 +96,52 @@ HwQueue::push(Word word, Cycle now)
 bool
 HwQueue::canPop(Cycle now) const
 {
-    if (words_.empty() || popped_this_cycle_)
+    if (empty() || last_pop_cycle_ == now)
         return false;
-    const Word& w = words_.front();
+    const Word& w = front();
     return w.enqueuedAt < now && now >= front_ready_at_;
 }
 
 bool
 HwQueue::pendingTimedEvent(Cycle now) const
 {
-    if (words_.empty() || canPop(now))
+    if (empty() || canPop(now))
         return false;
-    const Word& w = words_.front();
+    const Word& w = front();
     return w.enqueuedAt >= now || now < front_ready_at_ ||
-           popped_this_cycle_;
+           last_pop_cycle_ == now;
 }
 
 Word
 HwQueue::pop(Cycle now)
 {
     assert(canPop(now));
-    Word word = words_.front();
-    words_.pop_front();
-    popped_this_cycle_ = true;
+    settleStats(now);
+    Word word = ring_[head_];
+    head_ = (head_ + 1) & mask_;
+    --ring_count_;
+    last_pop_cycle_ = now;
     --words_remaining_;
-    if (!words_.empty())
+    // A spilled word surfaces into the freed hardware slot.
+    if (spill_head_ < spill_.size()) {
+        ring_[(head_ + static_cast<std::uint32_t>(ring_count_)) & mask_] =
+            spill_[spill_head_];
+        ++ring_count_;
+        ++spill_head_;
+        if (spill_head_ == spill_.size()) {
+            spill_.clear();
+            spill_head_ = 0;
+        } else if (spill_head_ >= static_cast<std::size_t>(ext_capacity_)) {
+            // Compact the consumed prefix so spill_ stays
+            // O(ext_capacity) even when the extension never fully
+            // drains during a long stream (amortized O(1) per word).
+            spill_.erase(spill_.begin(),
+                         spill_.begin() +
+                             static_cast<std::ptrdiff_t>(spill_head_));
+            spill_head_ = 0;
+        }
+    }
+    if (!empty())
         refreshFrontReady(now);
     return word;
 }
@@ -89,22 +149,9 @@ HwQueue::pop(Cycle now)
 void
 HwQueue::refreshFrontReady(Cycle now)
 {
-    const Word& w = words_.front();
     // A word that spilled into the memory extension pays the extension
     // access penalty when it surfaces at the front.
-    front_ready_at_ = now + (w.wasExtended ? ext_penalty_ : 0);
-}
-
-void
-HwQueue::beginCycle(Cycle now)
-{
-    (void)now;
-    pushed_this_cycle_ = false;
-    popped_this_cycle_ = false;
-    if (!isFree()) {
-        ++busy_cycles_;
-        occupancy_sum_ += size();
-    }
+    front_ready_at_ = now + (front().wasExtended ? ext_penalty_ : 0);
 }
 
 } // namespace syscomm::sim

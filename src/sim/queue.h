@@ -15,10 +15,22 @@
  * "queue extension", section 8): words that overflow the hardware
  * capacity are buffered there and pay an extra access penalty when
  * they surface at the front.
+ *
+ * Storage is a fixed-capacity ring buffer (power-of-two mask indexing)
+ * for the hardware slots plus a spillover vector for the extension
+ * words, so steady-state push/pop never allocates.
+ *
+ * All per-cycle bookkeeping is lazy and cycle-stamped: the one-push/
+ * one-pop interlocks compare stored cycle stamps against the caller's
+ * clock, and the busy/occupancy statistics are settled on demand over
+ * the span since the last mutation. Nothing needs to touch an idle
+ * queue every cycle, which is what makes an O(active-work) simulation
+ * kernel possible.
  */
 
-#include <deque>
-#include <string>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "core/types.h"
 #include "sim/word.h"
@@ -52,7 +64,7 @@ class HwQueue
     /** Reassignable once empty and the whole message has passed. */
     bool canRelease() const
     {
-        return assigned_ != kInvalidMessage && words_.empty() &&
+        return assigned_ != kInvalidMessage && empty() &&
                words_remaining_ == 0;
     }
 
@@ -63,13 +75,19 @@ class HwQueue
     // Data movement
     // ------------------------------------------------------------------
 
-    int size() const { return static_cast<int>(words_.size()); }
-    bool empty() const { return words_.empty(); }
+    int size() const { return ring_count_ + spillSize(); }
+    bool empty() const { return size() == 0; }
     int totalCapacity() const { return capacity_ + ext_capacity_; }
     bool isFull() const { return size() >= totalCapacity(); }
 
-    /** Can a word be pushed this cycle? */
-    bool canPush() const { return !isFull() && !pushed_this_cycle_; }
+    /** Can a word be pushed at cycle @p now? */
+    bool canPush(Cycle now) const
+    {
+        return !isFull() && last_push_cycle_ != now;
+    }
+
+    /** canPush() at the queue's last settled cycle (test convenience). */
+    bool canPush() const { return canPush(settled_); }
 
     /** Push one word (asserts canPush()). */
     void push(Word word, Cycle now);
@@ -86,13 +104,30 @@ class HwQueue
      */
     bool pendingTimedEvent(Cycle now) const;
 
-    const Word& front() const { return words_.front(); }
+    /**
+     * Earliest cycle the current front word becomes consumable
+     * (ignoring the one-pop-per-cycle interlock). Queue must be
+     * non-empty. Used by the event-driven kernel to schedule wake-ups.
+     */
+    Cycle frontReadyCycle() const
+    {
+        return std::max(front().enqueuedAt + 1, front_ready_at_);
+    }
+
+    const Word& front() const { return ring_[head_]; }
 
     /** Pop the front word (asserts canPop()). */
     Word pop(Cycle now);
 
-    /** Reset the per-cycle push/pop interlocks; called each cycle. */
-    void beginCycle(Cycle now);
+    /**
+     * Settle the lazy busy/occupancy statistics through the start of
+     * cycle @p now. Mutations settle automatically; call this once at
+     * end of run (and from the legacy beginCycle()).
+     */
+    void settleStats(Cycle now);
+
+    /** Legacy per-cycle entry point; now just settles lazy stats. */
+    void beginCycle(Cycle now) { settleStats(now); }
 
     // ------------------------------------------------------------------
     // Statistics
@@ -108,6 +143,11 @@ class HwQueue
     /** Recompute when the (new) front word becomes consumable. */
     void refreshFrontReady(Cycle now);
 
+    int spillSize() const
+    {
+        return static_cast<int>(spill_.size() - spill_head_);
+    }
+
     int id_;
     LinkIndex link_;
     int capacity_;
@@ -118,11 +158,22 @@ class HwQueue
     LinkDir dir_ = LinkDir::kForward;
     int words_remaining_ = 0;
 
-    std::deque<Word> words_;
-    Cycle front_ready_at_ = 0;
-    bool pushed_this_cycle_ = false;
-    bool popped_this_cycle_ = false;
+    /** Hardware slots: ring of power-of-two length, masked indexing. */
+    std::vector<Word> ring_;
+    std::uint32_t mask_ = 0;
+    std::uint32_t head_ = 0;
+    int ring_count_ = 0;
 
+    /** Extension words (iWarp spillover), FIFO via a head index. */
+    std::vector<Word> spill_;
+    std::size_t spill_head_ = 0;
+
+    Cycle front_ready_at_ = 0;
+    Cycle last_push_cycle_ = -1;
+    Cycle last_pop_cycle_ = -1;
+
+    /** Start-of-cycle stats are settled through this cycle. */
+    Cycle settled_ = 0;
     Cycle busy_cycles_ = 0;
     std::int64_t occupancy_sum_ = 0;
     std::int64_t words_pushed_ = 0;

@@ -62,6 +62,28 @@ struct SimStats
 
     /** Multi-line human-readable dump. */
     std::string summary() const;
+
+    /**
+     * Field-by-field equality; the kernel-equivalence suite asserts
+     * the event-driven and reference kernels agree on every counter.
+     */
+    bool operator==(const SimStats& o) const
+    {
+        return cycles == o.cycles && wordsDelivered == o.wordsDelivered &&
+               wordsForwarded == o.wordsForwarded &&
+               opsExecuted == o.opsExecuted && computeOps == o.computeOps &&
+               assignments == o.assignments && releases == o.releases &&
+               requests == o.requests &&
+               requestWaitCycles == o.requestWaitCycles &&
+               cellBlockedCycles == o.cellBlockedCycles &&
+               perCellBlocked == o.perCellBlocked &&
+               memAccesses == o.memAccesses &&
+               memStallCycles == o.memStallCycles &&
+               queueBusyCycles == o.queueBusyCycles &&
+               queueOccupancySum == o.queueOccupancySum &&
+               extendedWords == o.extendedWords;
+    }
+    bool operator!=(const SimStats& o) const { return !(*this == o); }
 };
 
 } // namespace syscomm::sim

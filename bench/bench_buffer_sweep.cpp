@@ -3,7 +3,7 @@
  * Experiment A2 (paper section 8): queue buffering. Deeper queues
  * (a) enlarge the class of deadlock-free programs under lookahead and
  * (b) monotonically reduce completion time by decoupling producer and
- * consumer.
+ * consumer. Appends machine-readable lines to BENCH_buffer.json.
  */
 
 #include <cstdio>
@@ -12,7 +12,7 @@
 #include "algos/streams.h"
 #include "bench_util.h"
 #include "core/crossoff.h"
-#include "sim/machine.h"
+#include "sim/session.h"
 
 using namespace syscomm;
 using namespace syscomm::bench;
@@ -41,6 +41,7 @@ int
 main()
 {
     banner("A2", "queue buffering sweep (section 8)");
+    JsonWriter json("buffer_sweep", "BENCH_buffer.json");
 
     std::printf("\n(a) lookahead acceptance of front-loaded programs\n"
                 "    (k writes buffered before the consumer catches up)\n\n");
@@ -53,6 +54,9 @@ main()
             bool free = isDeadlockFreeWithLookahead(
                 p, uniformSkipBound(capacity));
             cells.push_back(free ? "free" : "deadlocked");
+            json.record("lookahead_free", free ? 1.0 : 0.0,
+                        {{"k", std::to_string(k)},
+                         {"capacity", std::to_string(capacity)}});
         }
         row(cells);
     }
@@ -69,10 +73,19 @@ main()
             spec.topo = topo;
             spec.queuesPerLink = queues;
             spec.queueCapacity = capacity;
-            sim::RunResult r = sim::simulateProgram(p, spec);
-            cells.push_back(r.status == sim::RunStatus::kCompleted
-                                ? std::to_string(r.cycles)
-                                : r.statusStr());
+            // Stats-only session run: the sweep wants cycles, not
+            // event logs.
+            sim::SimSession session(p, spec);
+            sim::RunResult r = session.run({});
+            cells.push_back(r.completed() ? std::to_string(r.cycles)
+                                          : r.statusStr());
+            json.record("completion_cycles",
+                        r.completed() ? static_cast<double>(r.cycles)
+                                      : -1.0,
+                        {{"workload", name},
+                         {"capacity", std::to_string(capacity)},
+                         {"queues", std::to_string(queues)},
+                         {"status", r.statusStr()}});
         }
         row(cells);
     };

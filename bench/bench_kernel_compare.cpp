@@ -20,7 +20,7 @@
 #include "bench_util.h"
 #include "core/program.h"
 #include "core/topology.h"
-#include "sim/machine.h"
+#include "sim/session.h"
 
 namespace {
 
@@ -28,7 +28,6 @@ using namespace syscomm;
 using sim::KernelKind;
 using sim::RunResult;
 using sim::RunStatus;
-using sim::SimOptions;
 
 MachineSpec
 makeSpec(int cells)
@@ -50,15 +49,18 @@ Measurement
 measure(const Program& p, const MachineSpec& spec, KernelKind kernel,
         double min_seconds)
 {
-    SimOptions options;
-    options.kernel = kernel;
     using Clock = std::chrono::steady_clock;
 
+    // One compiled session per kernel: labeling/validation/allocation
+    // happen once up front, so the timed loop measures the run-time
+    // kernels alone (P1 covers the compile-time analyses). Stats-only
+    // collection keeps result materialization out of the timing too.
+    sim::SessionOptions options;
+    options.kernel = kernel;
+    sim::SimSession session(p, spec, options);
+
     // Warm-up + correctness guard.
-    RunResult first = sim::simulateProgram(p, spec, options);
-    // Reuse the labeling across timed runs: the bench measures the
-    // run-time kernels, not the compile-time labeler (P1 covers that).
-    options.labels = first.labelsUsed;
+    RunResult first = session.run({});
     if (first.status != RunStatus::kCompleted) {
         std::fprintf(stderr, "workload did not complete: %s\n",
                      first.statusStr());
@@ -71,7 +73,7 @@ measure(const Program& p, const MachineSpec& spec, KernelKind kernel,
     auto start = Clock::now();
     double elapsed = 0.0;
     do {
-        RunResult r = sim::simulateProgram(p, spec, options);
+        RunResult r = session.run({});
         total_cycles += r.cycles;
         elapsed = std::chrono::duration<double>(Clock::now() - start)
                       .count();

@@ -4,7 +4,8 @@
  * labeling is consistent but "will not likely yield an efficient use
  * of queues" — it forces every competitor into one simultaneous group.
  * Compare section 6 labels vs trivial labels on real workloads:
- * queues required, completion, and queue-wait time.
+ * queues required, completion, and queue-wait time. Appends
+ * machine-readable lines to BENCH_labeling.json.
  */
 
 #include <cstdio>
@@ -15,7 +16,7 @@
 #include "algos/streams.h"
 #include "bench_util.h"
 #include "core/compile.h"
-#include "sim/machine.h"
+#include "sim/session.h"
 
 using namespace syscomm;
 using namespace syscomm::bench;
@@ -30,7 +31,7 @@ struct Workload
 };
 
 void
-report(const Workload& w)
+report(JsonWriter& json, const Workload& w)
 {
     auto analysis = CompetingAnalysis::analyze(w.program, w.topo);
     Labeling section6 = labelMessages(w.program);
@@ -52,12 +53,25 @@ report(const Workload& w)
         MachineSpec spec;
         spec.topo = w.topo;
         spec.queuesPerLink = f.requiredQueuesPerLink;
-        sim::SimOptions options;
+        // The labeling under test is session config: the session
+        // skips its own labeler and uses these labels for every run.
+        sim::SessionOptions options;
         options.labels = labeling->normalized();
-        sim::RunResult r = sim::simulateProgram(w.program, spec, options);
+        sim::SimSession session(w.program, spec, options);
+        sim::RunResult r = session.run({});
         row({w.name, label_name,
              std::to_string(f.requiredQueuesPerLink), r.statusStr(),
              std::to_string(r.cycles), fmt(r.stats.avgRequestWait())});
+        json.record("completion_cycles",
+                    r.completed() ? static_cast<double>(r.cycles) : -1.0,
+                    {{"workload", w.name},
+                     {"labeling", label_name},
+                     {"queues", std::to_string(f.requiredQueuesPerLink)},
+                     {"status", r.statusStr()}});
+        json.record("avg_request_wait", r.stats.avgRequestWait(),
+                    {{"workload", w.name},
+                     {"labeling", label_name},
+                     {"queues", std::to_string(f.requiredQueuesPerLink)}});
     }
 }
 
@@ -67,6 +81,7 @@ int
 main()
 {
     banner("A1", "labeling ablation: section 6 vs trivial labels");
+    JsonWriter json("labeling_ablation", "BENCH_labeling.json");
 
     std::printf("\neach labeling runs with exactly the queue count it "
                 "requires\n\n");
@@ -76,17 +91,17 @@ main()
 
     {
         algos::FirSpec fir = algos::FirSpec::random(6, 24, 5);
-        report({"fir(6,24)", algos::makeFirProgram(fir),
+        report(json, {"fir(6,24)", algos::makeFirProgram(fir),
                 algos::firTopology(6)});
     }
     {
         algos::ConvSpec conv = algos::ConvSpec::random(4, 8, 9);
-        report({"conv(4,8)", algos::makeConvolutionProgram(conv),
+        report(json, {"conv(4,8)", algos::makeConvolutionProgram(conv),
                 algos::convTopology(conv)});
     }
     {
         algos::MatVecSpec mv = algos::MatVecSpec::random(6, 6, 3);
-        report({"matvec(6x6)", algos::makeMatVecProgram(mv),
+        report(json, {"matvec(6x6)", algos::makeMatVecProgram(mv),
                 algos::matvecTopology(mv)});
     }
     {
@@ -95,7 +110,7 @@ main()
         s.numStreams = 6;
         s.wordsPerStream = 8;
         s.pattern = algos::StreamPattern::kSequential;
-        report({"streams(6seq)", algos::makeStreamsProgram(s),
+        report(json, {"streams(6seq)", algos::makeStreamsProgram(s),
                 algos::streamsTopology(s)});
     }
 

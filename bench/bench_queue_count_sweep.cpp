@@ -4,40 +4,64 @@
  * static and dynamic assignment. Static assignment needs a dedicated
  * queue per message; the dynamic compatible scheme runs with as few as
  * the largest same-label group and converts extra queues into speed.
+ *
+ * One SimSession per machine shape serves every policy (the policy is
+ * a per-run knob) — static assignment failing on a scarce machine is
+ * just a config-error run, and the session carries on. Appends
+ * machine-readable lines to BENCH_queue_count.json.
  */
 
 #include <cstdio>
+#include <map>
 
 #include "algos/convolution.h"
 #include "algos/matvec.h"
 #include "algos/streams.h"
 #include "bench_util.h"
 #include "core/compile.h"
-#include "sim/machine.h"
+#include "sim/session.h"
 
 using namespace syscomm;
 using namespace syscomm::bench;
 
 namespace {
 
+const int kQueueCounts[] = {1, 2, 3, 4, 8};
+const sim::PolicyKind kPolicies[] = {sim::PolicyKind::kCompatible,
+                                     sim::PolicyKind::kStatic,
+                                     sim::PolicyKind::kFcfs};
+
 void
-sweep(const std::string& name, const Program& p, const Topology& topo,
-      sim::PolicyKind kind)
+sweepWorkload(JsonWriter& json, const std::string& name, const Program& p,
+              const Topology& topo)
 {
-    std::vector<std::string> cells{
-        name, sim::policyKindName(kind)};
-    for (int queues : {1, 2, 3, 4, 8}) {
+    std::map<sim::PolicyKind, std::vector<std::string>> rows;
+    for (sim::PolicyKind kind : kPolicies)
+        rows[kind] = {name, sim::policyKindName(kind)};
+
+    for (int queues : kQueueCounts) {
         MachineSpec spec;
         spec.topo = topo;
         spec.queuesPerLink = queues;
-        sim::SimOptions options;
-        options.policy = kind;
-        sim::RunResult r = sim::simulateProgram(p, spec, options);
-        cells.push_back(r.status == sim::RunStatus::kCompleted
-                            ? std::to_string(r.cycles)
-                            : r.statusStr());
+        // Compile once per machine shape; the policy is per-run.
+        sim::SimSession session(p, spec);
+        for (sim::PolicyKind kind : kPolicies) {
+            sim::RunRequest request;
+            request.policy = kind;
+            sim::RunResult r = session.run(request);
+            rows[kind].push_back(r.completed() ? std::to_string(r.cycles)
+                                               : r.statusStr());
+            json.record("completion_cycles",
+                        r.completed() ? static_cast<double>(r.cycles)
+                                      : -1.0,
+                        {{"workload", name},
+                         {"policy", sim::policyKindName(kind)},
+                         {"queues", std::to_string(queues)},
+                         {"status", r.statusStr()}});
+        }
     }
-    row(cells, 13);
+    for (sim::PolicyKind kind : kPolicies)
+        row(rows[kind], 13);
 }
 
 } // namespace
@@ -46,6 +70,7 @@ int
 main()
 {
     banner("A3", "queue count sweep (section 7 assignment schemes)");
+    JsonWriter json("queue_count_sweep", "BENCH_queue_count.json");
 
     std::printf("\ncompletion cycles (or failure mode) by queues/link\n\n");
     row({"workload", "policy", "q=1", "q=2", "q=3", "q=4", "q=8"}, 13);
@@ -54,18 +79,12 @@ main()
     {
         algos::ConvSpec conv = algos::ConvSpec::random(4, 8, 21);
         Program p = algos::makeConvolutionProgram(conv);
-        Topology topo = algos::convTopology(conv);
-        sweep("conv(4,8)", p, topo, sim::PolicyKind::kCompatible);
-        sweep("conv(4,8)", p, topo, sim::PolicyKind::kStatic);
-        sweep("conv(4,8)", p, topo, sim::PolicyKind::kFcfs);
+        sweepWorkload(json, "conv(4,8)", p, algos::convTopology(conv));
     }
     {
         algos::MatVecSpec mv = algos::MatVecSpec::random(5, 5, 2);
         Program p = algos::makeMatVecProgram(mv);
-        Topology topo = algos::matvecTopology(mv);
-        sweep("matvec(5x5)", p, topo, sim::PolicyKind::kCompatible);
-        sweep("matvec(5x5)", p, topo, sim::PolicyKind::kStatic);
-        sweep("matvec(5x5)", p, topo, sim::PolicyKind::kFcfs);
+        sweepWorkload(json, "matvec(5x5)", p, algos::matvecTopology(mv));
     }
     {
         algos::StreamSpec s;
@@ -74,10 +93,7 @@ main()
         s.wordsPerStream = 12;
         s.pattern = algos::StreamPattern::kFanIn;
         Program p = algos::makeStreamsProgram(s);
-        Topology topo = algos::streamsTopology(s);
-        sweep("fan-in(4)", p, topo, sim::PolicyKind::kCompatible);
-        sweep("fan-in(4)", p, topo, sim::PolicyKind::kStatic);
-        sweep("fan-in(4)", p, topo, sim::PolicyKind::kFcfs);
+        sweepWorkload(json, "fan-in(4)", p, algos::streamsTopology(s));
     }
 
     std::printf("\nshape check: compatible completes from the feasibility\n"

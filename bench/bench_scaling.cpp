@@ -23,7 +23,8 @@
 #include "core/labeling.h"
 #include "core/program_gen.h"
 #include "core/related.h"
-#include "sim/machine.h"
+#include "sim/batch.h"
+#include "sim/session.h"
 
 namespace {
 
@@ -115,14 +116,14 @@ simulateScaling(benchmark::State& state, sim::KernelKind kernel)
     spec.topo = Topology::linearArray(cells);
     spec.queuesPerLink = 2;
     spec.queueCapacity = 4;
-    sim::SimOptions options;
+    // Compile once; the bench measures the run-time kernel, not the
+    // compile-time labeler (P1 covers that). Stats-only collection.
+    sim::SessionOptions options;
     options.kernel = kernel;
-    // Label once; the bench measures the run-time kernel, not the
-    // compile-time labeler (P1 covers that).
-    options.labels = sim::simulateProgram(p, spec, options).labelsUsed;
+    sim::SimSession session(p, spec, options);
     Cycle cycles = 0;
     for (auto _ : state) {
-        sim::RunResult r = sim::simulateProgram(p, spec, options);
+        sim::RunResult r = session.run({});
         cycles = r.cycles;
         benchmark::DoNotOptimize(r.status);
     }
@@ -143,6 +144,44 @@ BM_SimulateEventDriven(benchmark::State& state)
     simulateScaling(state, sim::KernelKind::kEventDriven);
 }
 BENCHMARK(BM_SimulateEventDriven)->Arg(64)->Arg(256)->Arg(512);
+
+/**
+ * P3: SweepRunner throughput — a 32-run seed sweep of the 256-cell
+ * streaming workload per iteration, across worker counts. On a
+ * multi-core host the runs/sec column should scale with Arg until
+ * memory bandwidth interferes.
+ */
+void
+BM_SweepRunner(benchmark::State& state)
+{
+    int workers = static_cast<int>(state.range(0));
+    Program p = bench::streamingProgram(256, 4, 16, 16);
+    MachineSpec spec;
+    spec.topo = Topology::linearArray(256);
+    spec.queuesPerLink = 2;
+    spec.queueCapacity = 4;
+    std::vector<sim::RunRequest> requests;
+    for (int i = 0; i < 32; ++i) {
+        sim::RunRequest request;
+        request.seed = static_cast<std::uint64_t>(i + 1);
+        requests.push_back(request);
+    }
+    sim::SweepOptions sweepOptions;
+    sweepOptions.numWorkers = workers;
+    sim::SweepRunner runner(p, spec, {}, sweepOptions);
+    for (auto _ : state) {
+        sim::SweepSummary summary = runner.run(requests);
+        if (summary.completed() !=
+            static_cast<std::int64_t>(requests.size())) {
+            state.SkipWithError("sweep incomplete");
+            break;
+        }
+        benchmark::DoNotOptimize(summary.p50Cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_SweepRunner)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace
 

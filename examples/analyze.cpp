@@ -113,13 +113,15 @@ main(int argc, char** argv)
     std::printf("%s", plan.report(program).c_str());
 
     if (run) {
-        sim::SimOptions sim_options;
-        sim_options.policy = policy;
+        // Compile-once session; the audit is opt-in per run.
+        sim::SessionOptions session_options;
         if (plan.ok)
-            sim_options.labels = plan.normalizedLabels;
-        sim_options.audit = true;
-        sim::RunResult r =
-            sim::simulateProgram(program, machine, sim_options);
+            session_options.labels = plan.normalizedLabels;
+        sim::SimSession session(program, machine, session_options);
+        sim::RunRequest request;
+        request.policy = policy;
+        request.collect = sim::Collect::kAudit;
+        sim::RunResult r = session.run(request);
         std::printf("\nrun (%s): %s in %lld cycles\n",
                     sim::policyKindName(policy), r.statusStr(),
                     static_cast<long long>(r.cycles));

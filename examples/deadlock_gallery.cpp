@@ -33,9 +33,15 @@ show(const char* title, const Program& p, const Topology& topo,
     else
         std::printf("labels: %s\n", plan.labeling.str(p).c_str());
 
-    sim::SimOptions options;
-    options.policy = kind;
-    sim::RunResult r = sim::simulateProgram(p, spec, options);
+    // Stats-only run: the gallery wants the status and the deadlock
+    // snapshot, which a session produces without any Collect flags.
+    // Labels resolve lazily, only for the runs whose policy needs
+    // them.
+    sim::SessionOptions options;
+    options.precomputeLabels = false;
+    sim::RunRequest request;
+    request.policy = kind;
+    sim::RunResult r = sim::SimSession(p, spec, options).run(request);
     std::printf("run (%s, %d queue(s)/link): %s",
                 sim::policyKindName(kind), queues, r.statusStr());
     if (r.status == sim::RunStatus::kCompleted)

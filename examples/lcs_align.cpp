@@ -47,9 +47,15 @@ main(int argc, char** argv)
     if (!plan.ok)
         return 1;
 
-    sim::SimOptions options;
+    sim::SessionOptions options;
     options.labels = plan.normalizedLabels;
-    sim::RunResult result = sim::simulateProgram(program, machine, options);
+    sim::SimSession session(program, machine, options);
+    sim::RunRequest request;
+    // The timeline rendering consumes assignment/release events; the
+    // result value arrives via kReceived.
+    request.collect = sim::Collect::kReceived | sim::Collect::kEvents |
+                      sim::Collect::kReleases | sim::Collect::kMsgTiming;
+    sim::RunResult result = session.run(request);
     if (result.status != sim::RunStatus::kCompleted) {
         std::printf("simulation failed: %s\n", result.statusStr());
         return 1;

@@ -42,9 +42,12 @@ main(int argc, char** argv)
     if (!plan.ok)
         return 1;
 
-    sim::SimOptions options;
+    sim::SessionOptions options;
     options.labels = plan.normalizedLabels;
-    sim::RunResult result = sim::simulateProgram(program, machine, options);
+    sim::SimSession session(program, machine, options);
+    sim::RunRequest request;
+    request.collect = sim::Collect::kReceived; // the C-matrix values
+    sim::RunResult result = session.run(request);
     std::printf("status: %s in %lld cycles\n\n", result.statusStr(),
                 static_cast<long long>(result.cycles));
     if (result.status != sim::RunStatus::kCompleted)

@@ -70,11 +70,20 @@ main()
         return 1;
     }
 
-    // 4. Simulate under the compatible queue-assignment policy.
-    sim::SimOptions options;
-    options.labels = plan.normalizedLabels;
-    options.audit = true;
-    sim::RunResult result = sim::simulateProgram(program, machine, options);
+    // 4. Build a simulation session: validation, labeling and all
+    //    machine-state allocation happen once, here. (For a single
+    //    throwaway run, sim::simulateProgram(program, machine) still
+    //    works and wraps exactly this.)
+    sim::SessionOptions sessionOptions;
+    sessionOptions.labels = plan.normalizedLabels;
+    sim::SimSession session(program, machine, sessionOptions);
+
+    // 5. Run under the compatible queue-assignment policy. Results
+    //    are opt-in: ask for the received values and the section 7
+    //    audit; status, cycle count and stats always come back.
+    sim::RunRequest request;
+    request.collect = sim::Collect::kReceived | sim::Collect::kAudit;
+    sim::RunResult result = session.run(request);
 
     std::printf("status: %s in %lld cycles\n", result.statusStr(),
                 static_cast<long long>(result.cycles));
@@ -82,5 +91,13 @@ main()
                 result.received[reply][0], 2.0 * (1 + 2 + 3 + 4));
     std::printf("assignment trace: %s\n",
                 result.audit.compatible ? "compatible" : "VIOLATIONS");
+
+    // 6. The compiled session runs any number of requests — here the
+    //    unsafe FCFS baseline, no recompilation, stats-only.
+    sim::RunRequest baseline;
+    baseline.policy = sim::PolicyKind::kFcfs;
+    sim::RunResult fcfs = session.run(baseline);
+    std::printf("fcfs baseline: %s in %lld cycles\n", fcfs.statusStr(),
+                static_cast<long long>(fcfs.cycles));
     return 0;
 }

@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Small ordered index sets for the event-driven kernel's active-set
+ * bookkeeping: contiguous storage, no per-node allocation on the hot
+ * word-transition path. Mutations are O(size), but the active sets
+ * these track are small by design — membership only changes when a
+ * queue flips empty/non-empty, a request is granted, or a cell blocks
+ * or wakes.
+ *
+ * The cursor accessors (largest/largestBelow, firstAtLeast) make
+ * mutation during iteration well-defined: a scan re-seeks by value
+ * each step, so elements inserted behind the cursor are skipped and
+ * elements inserted ahead of it are visited this pass — exactly the
+ * semantics a std::set iterator gives, without the node allocations.
+ */
+
+#include <algorithm>
+#include <vector>
+
+namespace syscomm::sim {
+
+/** Ordered set of small integer indices over contiguous storage. */
+template <typename Index, Index kInvalid>
+class SortedIndexSet
+{
+  public:
+    bool empty() const { return v_.empty(); }
+    int size() const { return static_cast<int>(v_.size()); }
+
+    void
+    insert(Index i)
+    {
+        auto it = std::lower_bound(v_.begin(), v_.end(), i);
+        if (it == v_.end() || *it != i)
+            v_.insert(it, i);
+    }
+
+    void
+    erase(Index i)
+    {
+        auto it = std::lower_bound(v_.begin(), v_.end(), i);
+        if (it != v_.end() && *it == i)
+            v_.erase(it);
+    }
+
+    bool
+    contains(Index i) const
+    {
+        auto it = std::lower_bound(v_.begin(), v_.end(), i);
+        return it != v_.end() && *it == i;
+    }
+
+    /** Drop every element, keeping the storage for reuse. */
+    void clear() { v_.clear(); }
+
+    Index
+    largest() const
+    {
+        return v_.empty() ? kInvalid : v_.back();
+    }
+
+    /** Largest element strictly below @p bound (kInvalid if none). */
+    Index
+    largestBelow(Index bound) const
+    {
+        auto it = std::lower_bound(v_.begin(), v_.end(), bound);
+        if (it == v_.begin())
+            return kInvalid;
+        return *std::prev(it);
+    }
+
+    /** Smallest element at or above @p bound (kInvalid if none). */
+    Index
+    firstAtLeast(Index bound) const
+    {
+        auto it = std::lower_bound(v_.begin(), v_.end(), bound);
+        return it == v_.end() ? kInvalid : *it;
+    }
+
+    const std::vector<Index>& items() const { return v_; }
+
+  private:
+    std::vector<Index> v_; ///< ascending, unique
+};
+
+} // namespace syscomm::sim

@@ -44,6 +44,14 @@ class AssignmentPolicy
     virtual std::string name() const = 0;
 
     /**
+     * Reset internal state for a fresh run over the same machine.
+     * After this call the policy must behave exactly like a newly
+     * constructed instance seeded with @p seed — SimSession reuses
+     * one instance per kind across runs instead of reallocating.
+     */
+    virtual void resetRun(std::uint64_t seed) { (void)seed; }
+
+    /**
      * Called once per link before cycle 0. Static assignment happens
      * here. Returns false if the policy cannot set this link up (e.g.
      * not enough queues for a static assignment).
@@ -123,6 +131,8 @@ class RandomPolicy : public AssignmentPolicy
     explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
 
     std::string name() const override { return "random"; }
+    /** Restart the RNG stream as if freshly constructed. */
+    void resetRun(std::uint64_t seed) override { rng_.seed(seed); }
     void tick(LinkState& link, Cycle now,
               std::vector<AssignmentDecision>& decisions) override;
 
@@ -130,7 +140,7 @@ class RandomPolicy : public AssignmentPolicy
     std::mt19937_64 rng_;
 };
 
-/** Selector used by SimOptions. */
+/** Selector used by SimOptions and RunRequest. */
 enum class PolicyKind : std::uint8_t
 {
     kCompatible = 0,
@@ -139,6 +149,13 @@ enum class PolicyKind : std::uint8_t
     kFcfs,
     kRandom,
 };
+
+/** Number of PolicyKind values (SimSession's policy cache size). */
+inline constexpr int kNumPolicyKinds = 5;
+static_assert(static_cast<int>(PolicyKind::kRandom) + 1 ==
+                  kNumPolicyKinds,
+              "update kNumPolicyKinds when adding a PolicyKind — it "
+              "sizes arrays indexed by the enum");
 
 const char* policyKindName(PolicyKind kind);
 

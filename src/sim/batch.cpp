@@ -1,0 +1,250 @@
+#include "sim/batch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace syscomm::sim {
+
+namespace {
+
+/** Nearest-rank percentile over an ascending vector (non-empty). */
+Cycle
+percentile(const std::vector<Cycle>& sorted, double p)
+{
+    std::size_t rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(sorted.size()) + 0.999999);
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+SweepSummary
+summarizeSweep(std::vector<RunResult> results,
+               const std::vector<RunRequest>& requests)
+{
+    SweepSummary summary;
+    summary.results = std::move(results);
+
+    std::vector<Cycle> cycles;
+    cycles.reserve(summary.results.size());
+    PolicySummary byKind[kNumPolicyKinds];
+    bool kindUsed[kNumPolicyKinds] = {};
+    double waitSum[kNumPolicyKinds] = {};
+    double cycleSum[kNumPolicyKinds] = {};
+
+    for (std::size_t i = 0; i < summary.results.size(); ++i) {
+        const RunResult& r = summary.results[i];
+        ++summary.statusCounts[static_cast<int>(r.status)];
+        if (r.status != RunStatus::kConfigError)
+            cycles.push_back(r.cycles);
+
+        int kind = i < requests.size()
+                       ? static_cast<int>(requests[i].policy)
+                       : static_cast<int>(PolicyKind::kCompatible);
+        PolicySummary& ps = byKind[kind];
+        kindUsed[kind] = true;
+        ps.policy = static_cast<PolicyKind>(kind);
+        ++ps.runs;
+        switch (r.status) {
+          case RunStatus::kCompleted:
+            ++ps.completed;
+            cycleSum[kind] += static_cast<double>(r.cycles);
+            waitSum[kind] += r.stats.avgRequestWait();
+            break;
+          case RunStatus::kDeadlocked:
+            ++ps.deadlocked;
+            break;
+          case RunStatus::kMaxCycles:
+            ++ps.budgetExhausted;
+            break;
+          case RunStatus::kConfigError:
+            ++ps.configErrors;
+            break;
+        }
+    }
+
+    for (int kind = 0; kind < kNumPolicyKinds; ++kind) {
+        if (!kindUsed[kind])
+            continue;
+        PolicySummary ps = byKind[kind];
+        if (ps.completed > 0) {
+            ps.meanCycles = cycleSum[kind] / ps.completed;
+            ps.meanRequestWait = waitSum[kind] / ps.completed;
+        }
+        summary.perPolicy.push_back(ps);
+    }
+
+    if (!cycles.empty()) {
+        std::sort(cycles.begin(), cycles.end());
+        summary.minCycles = cycles.front();
+        summary.maxCycles = cycles.back();
+        summary.p50Cycles = percentile(cycles, 50.0);
+        summary.p90Cycles = percentile(cycles, 90.0);
+        summary.p99Cycles = percentile(cycles, 99.0);
+        double sum = 0.0;
+        for (Cycle c : cycles)
+            sum += static_cast<double>(c);
+        summary.meanCycles = sum / static_cast<double>(cycles.size());
+    }
+    return summary;
+}
+
+std::string
+SweepSummary::str() const
+{
+    std::ostringstream os;
+    os << "runs: " << results.size() << " (completed " << completed()
+       << ", deadlocked " << deadlocked() << ", max-cycles "
+       << statusCounts[static_cast<int>(RunStatus::kMaxCycles)]
+       << ", config-error "
+       << statusCounts[static_cast<int>(RunStatus::kConfigError)]
+       << ") on " << workersUsed << " worker(s) in " << wallSeconds
+       << "s\n";
+    os << "cycles: min " << minCycles << " p50 " << p50Cycles << " p90 "
+       << p90Cycles << " p99 " << p99Cycles << " max " << maxCycles
+       << " mean " << meanCycles << "\n";
+    for (const PolicySummary& ps : perPolicy) {
+        os << "  " << policyKindName(ps.policy) << ": " << ps.runs
+           << " runs, " << ps.completed << " completed";
+        if (ps.completed > 0) {
+            os << " (mean " << ps.meanCycles << " cycles, mean wait "
+               << ps.meanRequestWait << ")";
+        }
+        if (ps.deadlocked > 0)
+            os << ", " << ps.deadlocked << " deadlocked";
+        if (ps.budgetExhausted > 0)
+            os << ", " << ps.budgetExhausted << " max-cycles";
+        if (ps.configErrors > 0)
+            os << ", " << ps.configErrors << " config-error";
+        os << "\n";
+    }
+    return os.str();
+}
+
+SweepRunner::SweepRunner(const Program& program, const MachineSpec& spec,
+                         SessionOptions session, SweepOptions options)
+    : program_(program),
+      spec_(spec),
+      session_(std::move(session)),
+      options_(options),
+      shared_(session_)
+{}
+
+SweepRunner::~SweepRunner() = default;
+
+int
+SweepRunner::workersFor(std::size_t num_requests) const
+{
+    int workers = options_.numWorkers > 0
+                      ? options_.numWorkers
+                      : static_cast<int>(
+                            std::thread::hardware_concurrency());
+    if (workers < 1)
+        workers = 1;
+    if (num_requests < static_cast<std::size_t>(workers))
+        workers = static_cast<int>(num_requests);
+    return std::max(workers, 1);
+}
+
+SweepSummary
+SweepRunner::run(const std::vector<RunRequest>& requests)
+{
+    using Clock = std::chrono::steady_clock;
+    auto t0 = Clock::now();
+
+    int workers = workersFor(requests.size());
+    std::vector<RunResult> results(requests.size());
+
+    // The lead session (slot 0) lives in the calling thread; its
+    // resolved labels are handed to the worker slots so the labeler
+    // runs once per runner, not once per worker. Label-free sweeps
+    // (unsafe baselines, no audit) skip the labeler entirely — and
+    // must not hand workers labels the lead never resolved, or
+    // RunResult::labelsUsed would depend on which worker ran a
+    // request.
+    if (sessions_.empty())
+        sessions_.push_back(
+            std::make_unique<SimSession>(program_, spec_, shared_));
+    SimSession& lead = *sessions_.front();
+    if (shared_.labels.empty()) {
+        bool needsLabels = session_.precomputeLabels;
+        for (const RunRequest& r : requests) {
+            if (needsLabels)
+                break;
+            needsLabels = r.labels.empty() && runNeedsLabels(r);
+        }
+        if (needsLabels && lead.valid()) {
+            shared_.labels = lead.labels();
+            // Worker sessions cached from earlier label-free batches
+            // were built without these labels and would each re-run
+            // the labeler lazily; rebuild them with the shared copy
+            // so the labeler stays once-per-runner.
+            if (sessions_.size() > 1)
+                sessions_.resize(1);
+        }
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&](SimSession& session) {
+        for (std::size_t i = next.fetch_add(1); i < requests.size();
+             i = next.fetch_add(1)) {
+            results[i] = session.run(requests[i]);
+        }
+    };
+
+    if (workers <= 1) {
+        drain(lead);
+    } else {
+        // Size the slot vector up front; each spawned thread then
+        // only touches its own slot, constructing the session there
+        // on first use (parallel construction) and reusing it on
+        // later batches. Exceptions (a throwing ComputeFn, OOM) are
+        // parked per worker and rethrown after the join, so the
+        // threaded path fails the same way the serial path does
+        // instead of std::terminate-ing the process.
+        if (static_cast<int>(sessions_.size()) < workers)
+            sessions_.resize(workers);
+        std::vector<std::exception_ptr> workerErrors(workers);
+        std::vector<std::thread> pool;
+        pool.reserve(workers - 1);
+        for (int w = 1; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                try {
+                    if (!sessions_[w]) {
+                        sessions_[w] = std::make_unique<SimSession>(
+                            program_, spec_, shared_);
+                    }
+                    drain(*sessions_[w]);
+                } catch (...) {
+                    workerErrors[w] = std::current_exception();
+                }
+            });
+        }
+        try {
+            drain(lead);
+        } catch (...) {
+            workerErrors[0] = std::current_exception();
+        }
+        for (std::thread& t : pool)
+            t.join();
+        for (const std::exception_ptr& error : workerErrors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
+    }
+
+    SweepSummary summary = summarizeSweep(std::move(results), requests);
+    summary.workersUsed = workers;
+    summary.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return summary;
+}
+
+} // namespace syscomm::sim

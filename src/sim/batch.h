@@ -1,0 +1,141 @@
+#pragma once
+
+/**
+ * @file
+ * SweepRunner: a threaded driver for simulation sweeps.
+ *
+ * The paper's deadlock-avoidance results only show at scale — sweeps
+ * over seeds, policies, queue counts and cycle budgets — and a sweep
+ * is embarrassingly parallel: every RunRequest is independent. The
+ * runner fans a request vector across worker threads, giving each
+ * worker its own SimSession (compile once per worker, run many), and
+ * aggregates a SweepSummary: per-request results in request order, a
+ * status histogram, cycle percentiles, and per-policy statistics.
+ *
+ * Determinism: results land in request order and every aggregate is
+ * computed from that ordered vector after the workers join, so the
+ * summary is identical to a serial loop over the same requests (and
+ * tests/test_session.cpp asserts exactly that). The one shared input
+ * is the Program/MachineSpec pair, which workers only read; compute
+ * callbacks must not capture shared mutable state if the sweep is
+ * threaded. A RunRequest::observer fires on whichever worker executes
+ * that request — an observer shared across requests sees concurrent
+ * calls and must be thread-safe.
+ */
+
+#include <vector>
+
+#include "sim/session.h"
+
+namespace syscomm::sim {
+
+/** Sweep-wide knobs. */
+struct SweepOptions
+{
+    /**
+     * Worker threads. <= 0 picks std::thread::hardware_concurrency();
+     * the count is clamped to the number of requests, and a
+     * single-worker sweep runs inline without spawning threads.
+     */
+    int numWorkers = 0;
+};
+
+/** Aggregates over the runs that used one policy. */
+struct PolicySummary
+{
+    PolicyKind policy = PolicyKind::kCompatible;
+    int runs = 0;
+    int completed = 0;
+    int deadlocked = 0;
+    int budgetExhausted = 0;
+    int configErrors = 0;
+    /** Mean completion cycles over completed runs (0 when none). */
+    double meanCycles = 0.0;
+    /** Mean queue-request wait over completed runs (0 when none). */
+    double meanRequestWait = 0.0;
+};
+
+/** Everything a sweep produced. */
+struct SweepSummary
+{
+    /** One result per request, in request order. */
+    std::vector<RunResult> results;
+
+    /** Runs per terminal status, indexed by RunStatus. */
+    std::int64_t statusCounts[kNumRunStatuses] = {0, 0, 0, 0};
+
+    /**
+     * Cycle-count distribution over runs that simulated (config
+     * errors excluded). Percentiles are nearest-rank.
+     */
+    Cycle minCycles = 0;
+    Cycle maxCycles = 0;
+    Cycle p50Cycles = 0;
+    Cycle p90Cycles = 0;
+    Cycle p99Cycles = 0;
+    double meanCycles = 0.0;
+
+    /** Per-policy aggregates, ascending PolicyKind, used kinds only. */
+    std::vector<PolicySummary> perPolicy;
+
+    int workersUsed = 1;
+    double wallSeconds = 0.0;
+
+    std::int64_t completed() const
+    {
+        return statusCounts[static_cast<int>(RunStatus::kCompleted)];
+    }
+    std::int64_t deadlocked() const
+    {
+        return statusCounts[static_cast<int>(RunStatus::kDeadlocked)];
+    }
+
+    /** Multi-line human-readable dump. */
+    std::string str() const;
+};
+
+/**
+ * Aggregate already-computed results (the serial path; also how the
+ * threaded runner builds its summary after the workers join).
+ * @p results must be in request order and match @p requests in size.
+ */
+SweepSummary summarizeSweep(std::vector<RunResult> results,
+                            const std::vector<RunRequest>& requests);
+
+/**
+ * Threaded sweep driver. Construct once per (program, machine,
+ * session-config) triple, then run() any number of request batches —
+ * the per-worker SimSessions are built on first use and cached across
+ * batches, so repeated run() calls pay no recompilation. The program
+ * and spec must outlive the runner. run() itself is not reentrant
+ * (one sweep at a time per runner).
+ */
+class SweepRunner
+{
+  public:
+    SweepRunner(const Program& program, const MachineSpec& spec,
+                SessionOptions session = {}, SweepOptions options = {});
+    ~SweepRunner();
+
+    /** Fan the requests across the workers and aggregate. */
+    SweepSummary run(const std::vector<RunRequest>& requests);
+
+    /** Worker count a run() with this many requests would use. */
+    int workersFor(std::size_t num_requests) const;
+
+  private:
+    const Program& program_;
+    const MachineSpec& spec_;
+    SessionOptions session_;
+    SweepOptions options_;
+    /**
+     * Session config handed to worker slots: session_ plus the
+     * pre-resolved labels once some batch needed them (so the
+     * labeler runs once per runner, not once per worker).
+     */
+    SessionOptions shared_;
+    /** Cached per-slot sessions; slot 0 is the calling thread's. */
+    std::vector<std::unique_ptr<SimSession>> sessions_;
+};
+
+} // namespace syscomm::sim

@@ -51,6 +51,25 @@ class CellRuntime : public CellContext
         read_completed_ = false;
     }
 
+    /**
+     * Return to the start-of-run state, keeping the locals storage
+     * for reuse (SimSession's run-many reset path). Equivalent to a
+     * fresh CellRuntime over the same op list.
+     */
+    void resetRun()
+    {
+        pc_ = 0;
+        now_ = 0;
+        last_read_ = 0.0;
+        next_write_ = 0.0;
+        has_staged_write_ = false;
+        locals_.clear(); // local(i) refills with 0.0 on demand
+        stall_remaining_ = -1;
+        read_completed_ = false;
+        lastBlock = BlockReason::kNone;
+        lastVisitCycle = 0;
+    }
+
     // ------------------------------------------------------------------
     // CellContext (visible to compute callbacks)
     // ------------------------------------------------------------------

@@ -15,6 +15,19 @@ LinkState::LinkState(LinkIndex index, int num_queues, int capacity,
 }
 
 void
+LinkState::resetRun()
+{
+    for (HwQueue& q : queues_)
+        q.reset();
+    for (Crossing& c : crossings_) {
+        c.phase = CrossingPhase::kIdle;
+        c.queueId = -1;
+        c.requestedAt = -1;
+        c.assignedAt = -1;
+    }
+}
+
+void
 LinkState::addCrossing(MessageId msg, LinkDir dir, int hop_index, int words)
 {
     if (msg >= static_cast<MessageId>(crossing_index_.size()))

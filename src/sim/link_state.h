@@ -48,6 +48,14 @@ class LinkState
 
     LinkIndex index() const { return index_; }
 
+    /**
+     * Reset every queue and the dynamic half of every crossing to the
+     * start-of-run state, in place. The static crossing registration
+     * (message, direction, hop index, word count) survives — that is
+     * the compile-once part a SimSession reuses across runs.
+     */
+    void resetRun();
+
     /** Register a message that will cross this link (machine setup). */
     void addCrossing(MessageId msg, LinkDir dir, int hop_index, int words);
 

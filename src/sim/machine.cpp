@@ -1,1015 +1,46 @@
 #include "sim/machine.h"
 
-#include <algorithm>
-#include <cassert>
-#include <functional>
-#include <queue>
-#include <set>
-#include <utility>
-
-#include "core/labeling.h"
-
 namespace syscomm::sim {
 
-const char*
-runStatusName(RunStatus status)
+SessionOptions
+sessionOptionsFrom(const SimOptions& options)
 {
-    switch (status) {
-      case RunStatus::kCompleted:
-        return "completed";
-      case RunStatus::kDeadlocked:
-        return "deadlocked";
-      case RunStatus::kMaxCycles:
-        return "max-cycles";
-      case RunStatus::kConfigError:
-        return "config-error";
-    }
-    return "?";
+    SessionOptions session;
+    session.kernel = options.kernel;
+    // options.labels travels as the per-run override (runRequestFrom),
+    // which label resolution prefers unconditionally — a session-level
+    // copy here would never be consulted. The single-use simulator
+    // only labeled when the policy or audit needed it; keep that
+    // laziness so one-shot FCFS/random runs pay nothing for the
+    // labeler.
+    session.precomputeLabels = false;
+    session.memoryToMemory = options.memoryToMemory;
+    session.memAccessCost = options.memAccessCost;
+    return session;
 }
 
-const char*
-kernelKindName(KernelKind kind)
+RunRequest
+runRequestFrom(const SimOptions& options)
 {
-    switch (kind) {
-      case KernelKind::kEventDriven:
-        return "event-driven";
-      case KernelKind::kReference:
-        return "reference";
-    }
-    return "?";
+    RunRequest request;
+    request.policy = options.policy;
+    request.seed = options.seed;
+    request.maxCycles = options.maxCycles;
+    request.collect = Collect::kEvents | Collect::kReleases |
+                      Collect::kMsgTiming | Collect::kReceived;
+    if (options.audit)
+        request.collect |= Collect::kAudit;
+    // The single-use simulator used caller-given labels for
+    // everything, even label-free policies (they still landed in
+    // labelsUsed); a per-run override preserves that exactly.
+    request.labels = options.labels;
+    return request;
 }
-
-namespace {
-
-std::string
-opText(const Program& program, const Op& op)
-{
-    if (op.isCompute())
-        return "compute";
-    return std::string(op.isWrite() ? "W(" : "R(") +
-           program.message(op.msg).name + ")";
-}
-
-/**
- * Small ordered set of link indices: contiguous storage, no per-node
- * allocation on the hot word-transition path. Mutations are O(size),
- * but the active sets this tracks are small by design and membership
- * only changes when a queue flips empty/non-empty or a request is
- * granted.
- */
-class LinkSet
-{
-  public:
-    bool empty() const { return v_.empty(); }
-
-    void
-    insert(LinkIndex l)
-    {
-        auto it = std::lower_bound(v_.begin(), v_.end(), l);
-        if (it == v_.end() || *it != l)
-            v_.insert(it, l);
-    }
-
-    void
-    erase(LinkIndex l)
-    {
-        auto it = std::lower_bound(v_.begin(), v_.end(), l);
-        if (it != v_.end() && *it == l)
-            v_.erase(it);
-    }
-
-    LinkIndex
-    largest() const
-    {
-        return v_.empty() ? kInvalidLink : v_.back();
-    }
-
-    /** Largest element strictly below @p bound (kInvalidLink if none). */
-    LinkIndex
-    largestBelow(LinkIndex bound) const
-    {
-        auto it = std::lower_bound(v_.begin(), v_.end(), bound);
-        if (it == v_.begin())
-            return kInvalidLink;
-        return *std::prev(it);
-    }
-
-    const std::vector<LinkIndex>& items() const { return v_; }
-
-  private:
-    std::vector<LinkIndex> v_; ///< ascending, unique
-};
-
-} // namespace
-
-struct ArraySimulator::Impl
-{
-    const Program& program;
-    const MachineSpec& spec;
-    SimOptions options;
-
-    CompetingAnalysis competing;
-    std::vector<LinkState> links;
-    std::vector<CellRuntime> cells;
-    std::unique_ptr<AssignmentPolicy> policy;
-    std::vector<std::int64_t> labels;
-
-    /** Next word index each sender will write / receiver will read. */
-    std::vector<int> writeSeq;
-    std::vector<int> readSeq;
-
-    /**
-     * Links at least one route crosses, descending index: the
-     * forwarding order. Descending means that, for ascending routes,
-     * downstream queues drain before upstream ones push into them.
-     * Computed once from the route set; links no message ever crosses
-     * are never scanned.
-     */
-    std::vector<LinkIndex> routedLinksDesc;
-
-    RunResult result;
-    std::vector<std::string> validation;
-
-    // -----------------------------------------------------------------
-    // Event-driven kernel state (unused by the reference kernel).
-    //
-    // The invariant behind every set here: it is always safe to wake
-    // or revisit too much (a spurious visit blocks again and accounts
-    // identically to the dense kernel), but never to wake too late.
-    // -----------------------------------------------------------------
-
-    bool eventMode = false;
-
-    /** Cells that must be visited next cellPhase, ascending id. */
-    std::set<CellId> activeCells;
-    int doneCells = 0;
-    /** Link a sleeping cell waits on (kInvalidLink = none). */
-    std::vector<LinkIndex> cellWaitLink;
-    /** Cells to wake on any queue event of a link (at most ~2 each). */
-    std::vector<std::vector<CellId>> linkWaiters;
-    /** (cycle, cell) wake-ups for purely time-driven queue readiness. */
-    std::priority_queue<std::pair<Cycle, CellId>,
-                        std::vector<std::pair<Cycle, CellId>>,
-                        std::greater<std::pair<Cycle, CellId>>>
-        timedWakes;
-
-    /** Per link: assigned, non-empty, non-final-hop queues ("hot"). */
-    std::vector<int> fwdCount;
-    LinkSet fwdLinks;
-    /** Per link: non-empty queues (timed-event scan scope). */
-    std::vector<int> nonEmptyCount;
-    LinkSet nonEmptyLinks;
-    /** Per link: crossings in kRequested phase (policy must run). */
-    std::vector<int> pendingCount;
-    LinkSet pendingLinks;
-    /** Links whose state changed this cycle: re-tick the policy once. */
-    std::vector<char> recheckFlag;
-    std::vector<LinkIndex> recheckList;
-    std::vector<LinkIndex> tickScratch;
-
-    /** Out-params of the executors for sleep registration. */
-    LinkIndex blockLink = kInvalidLink;
-    Cycle blockTimedWake = -1;
-
-    Impl(const Program& p, const MachineSpec& s, SimOptions o)
-        : program(p), spec(s), options(std::move(o))
-    {
-        validation = program.validate(spec.topo.numCells());
-        if (!validation.empty())
-            return;
-
-        competing = CompetingAnalysis::analyze(program, spec.topo);
-
-        labels = options.labels;
-        bool needs_labels = options.policy == PolicyKind::kCompatible ||
-                            options.policy == PolicyKind::kCompatibleEager ||
-                            options.audit;
-        if (labels.empty() && needs_labels) {
-            Labeling labeling = labelMessages(program);
-            if (!labeling.success)
-                labeling = trivialLabeling(program);
-            labels = labeling.normalized();
-        }
-
-        links.reserve(spec.topo.numLinks());
-        for (LinkIndex l = 0; l < spec.topo.numLinks(); ++l) {
-            links.emplace_back(l, spec.queuesPerLink, spec.queueCapacity,
-                               spec.extensionCapacity,
-                               spec.extensionPenalty);
-        }
-        for (MessageId m = 0; m < program.numMessages(); ++m) {
-            const Route& route = competing.route(m);
-            for (int h = 0; h < route.numHops(); ++h) {
-                links[route.hops[h].link].addCrossing(
-                    m, route.hops[h].dir, h, program.messageLength(m));
-            }
-        }
-        for (LinkIndex l = 0; l < spec.topo.numLinks(); ++l) {
-            if (!links[l].crossings().empty())
-                routedLinksDesc.push_back(l);
-        }
-        std::sort(routedLinksDesc.begin(), routedLinksDesc.end(),
-                  std::greater<LinkIndex>());
-
-        cells.reserve(program.numCells());
-        for (CellId c = 0; c < program.numCells(); ++c)
-            cells.emplace_back(c, &program.cellOps(c));
-
-        policy = makePolicy(options.policy, labels, options.seed);
-
-        writeSeq.assign(program.numMessages(), 0);
-        readSeq.assign(program.numMessages(), 0);
-
-        result.received.resize(program.numMessages());
-        result.stats.perCellBlocked.assign(program.numCells(), 0);
-        result.labelsUsed = labels;
-        result.msgTiming.assign(program.numMessages(), {-1, -1});
-    }
-
-    // -----------------------------------------------------------------
-    // Event hooks. Every queue/crossing mutation funnels through one
-    // of these so the active sets stay exact. All are no-ops for the
-    // reference kernel.
-    // -----------------------------------------------------------------
-
-    bool
-    isFinalHop(const LinkState& link, MessageId msg) const
-    {
-        const Crossing& c = link.crossing(msg);
-        return c.hopIndex + 1 >= competing.route(msg).numHops();
-    }
-
-    void
-    wakeCell(CellId cell)
-    {
-        if (!cells[cell].done())
-            activeCells.insert(cell);
-    }
-
-    void
-    wakeWaiters(LinkIndex l)
-    {
-        for (CellId c : linkWaiters[l])
-            wakeCell(c);
-    }
-
-    void
-    markRecheck(LinkIndex l)
-    {
-        if (!recheckFlag[l]) {
-            recheckFlag[l] = 1;
-            recheckList.push_back(l);
-        }
-    }
-
-    void
-    onRequest(LinkIndex l)
-    {
-        if (!eventMode)
-            return;
-        if (pendingCount[l]++ == 0)
-            pendingLinks.insert(l);
-        // A request cannot unblock a cell, but it changes the block
-        // *reason* a waiting reader would report (kIdle ->
-        // kRequested); wake it so deadlock snapshots stay identical
-        // to the dense kernel's.
-        wakeWaiters(l);
-    }
-
-    /** After a queue push left @p q non-empty for the first time. */
-    void
-    onPush(LinkState& link, const HwQueue& q)
-    {
-        if (!eventMode)
-            return;
-        LinkIndex l = link.index();
-        if (q.size() == 1) {
-            if (nonEmptyCount[l]++ == 0)
-                nonEmptyLinks.insert(l);
-            if (!isFinalHop(link, q.assignedMsg())) {
-                if (fwdCount[l]++ == 0)
-                    fwdLinks.insert(l);
-            }
-        }
-        wakeWaiters(l);
-    }
-
-    /** After a pop (queue still assigned to the popped message). */
-    void
-    onPop(LinkState& link, const HwQueue& q)
-    {
-        if (!eventMode)
-            return;
-        LinkIndex l = link.index();
-        if (q.empty()) {
-            if (--nonEmptyCount[l] == 0)
-                nonEmptyLinks.erase(l);
-            if (!isFinalHop(link, q.assignedMsg())) {
-                if (--fwdCount[l] == 0)
-                    fwdLinks.erase(l);
-            }
-        }
-        wakeWaiters(l);
-    }
-
-    void
-    onAssignDecision(LinkState& link, MessageId msg)
-    {
-        if (!eventMode)
-            return;
-        LinkIndex l = link.index();
-        // A message assigned straight from kIdle (eager reservation)
-        // never held a pending request.
-        if (link.crossing(msg).requestedAt >= 0) {
-            if (--pendingCount[l] == 0)
-                pendingLinks.erase(l);
-        }
-        markRecheck(l);
-        wakeWaiters(l);
-    }
-
-    void
-    onRelease(LinkIndex l)
-    {
-        if (!eventMode)
-            return;
-        markRecheck(l);
-        wakeWaiters(l);
-    }
-
-    // -----------------------------------------------------------------
-    // Shared phase pieces
-    // -----------------------------------------------------------------
-
-    /** Record a policy decision batch as events + stats. */
-    std::int64_t
-    applyDecisions(LinkState& link,
-                   const std::vector<AssignmentDecision>& decisions,
-                   Cycle now)
-    {
-        for (const AssignmentDecision& d : decisions) {
-            const Crossing& c = link.crossing(d.msg);
-            AssignmentEvent ev;
-            ev.cycle = now;
-            ev.link = link.index();
-            ev.msg = d.msg;
-            ev.queueId = d.queueId;
-            ev.dir = c.dir;
-            result.events.push_back(ev);
-            ++result.stats.assignments;
-            if (c.requestedAt >= 0)
-                result.stats.requestWaitCycles += now - c.requestedAt;
-            onAssignDecision(link, d.msg);
-        }
-        return static_cast<std::int64_t>(decisions.size());
-    }
-
-    /** Release a finished message's queue, keeping the event log. */
-    void
-    releaseMsg(LinkState& link, MessageId msg, Cycle now)
-    {
-        AssignmentEvent ev;
-        ev.cycle = now;
-        ev.link = link.index();
-        ev.msg = msg;
-        ev.queueId = link.crossing(msg).queueId;
-        ev.dir = link.crossing(msg).dir;
-        result.releases.push_back(ev);
-        link.finishMsg(msg, now);
-        ++result.stats.releases;
-        onRelease(link.index());
-    }
-
-    /** Per-tick scratch; tickLink runs on the per-cycle hot path. */
-    std::vector<AssignmentDecision> decisionScratch;
-
-    std::int64_t
-    tickLink(LinkState& link, Cycle now)
-    {
-        decisionScratch.clear();
-        policy->tick(link, now, decisionScratch);
-        return applyDecisions(link, decisionScratch, now);
-    }
-
-    /** Move one link's in-flight words a hop; request next-hop queues. */
-    std::int64_t
-    forwardOneLink(LinkState& link, Cycle now)
-    {
-        std::int64_t progress = 0;
-        for (HwQueue& q : link.queues()) {
-            if (q.isFree() || q.empty())
-                continue;
-            MessageId msg = q.assignedMsg();
-            const Crossing& c = link.crossing(msg);
-            const Route& route = competing.route(msg);
-            if (c.hopIndex + 1 >= route.numHops())
-                continue; // final hop: the receiver pops it
-            const Hop& next_hop = route.hops[c.hopIndex + 1];
-            LinkState& next_link = links[next_hop.link];
-            Crossing& nc = next_link.crossing(msg);
-            if (nc.phase == CrossingPhase::kIdle) {
-                // The message header arrived at the intermediate
-                // cell: ask for the next queue (section 5).
-                next_link.request(msg, now);
-                onRequest(next_link.index());
-                ++result.stats.requests;
-                ++progress;
-                continue;
-            }
-            if (nc.phase != CrossingPhase::kAssigned)
-                continue;
-            if (!q.canPop(now))
-                continue;
-            HwQueue& nq = next_link.queue(nc.queueId);
-            if (!nq.canPush(now))
-                continue;
-            Word w = q.pop(now);
-            onPop(link, q);
-            nq.push(w, now);
-            onPush(next_link, nq);
-            ++result.stats.wordsForwarded;
-            ++progress;
-            if (q.wordsRemaining() == 0) {
-                releaseMsg(link, msg, now);
-                ++progress;
-            }
-        }
-        return progress;
-    }
-
-    std::int64_t
-    executeWrite(CellRuntime& cell, const Op& op, Cycle now)
-    {
-        std::int64_t progress = 0;
-
-        // Memory-to-memory model: stage the word through local memory
-        // before it may enter the output queue (2 accesses).
-        if (options.memoryToMemory) {
-            if (cell.stallRemaining() < 0) {
-                cell.setStallRemaining(2 * options.memAccessCost);
-                result.stats.memAccesses += 2;
-            }
-            if (cell.stallRemaining() > 0) {
-                cell.setStallRemaining(cell.stallRemaining() - 1);
-                ++result.stats.memStallCycles;
-                cell.lastBlock = BlockReason::kMemoryStall;
-                return 1;
-            }
-        }
-
-        const Route& route = competing.route(op.msg);
-        LinkState& link = links[route.hops[0].link];
-        Crossing& c = link.crossing(op.msg);
-        if (c.phase == CrossingPhase::kIdle) {
-            link.request(op.msg, now);
-            onRequest(link.index());
-            ++result.stats.requests;
-            cell.lastBlock = BlockReason::kQueueNotAssigned;
-            return 1;
-        }
-        if (c.phase != CrossingPhase::kAssigned) {
-            cell.lastBlock = BlockReason::kQueueNotAssigned;
-            blockLink = link.index();
-            return 0;
-        }
-        HwQueue& q = link.queue(c.queueId);
-        if (!q.canPush(now)) {
-            cell.lastBlock = BlockReason::kQueueFull;
-            blockLink = link.index();
-            return 0;
-        }
-        Word w;
-        w.msg = op.msg;
-        w.seq = writeSeq[op.msg]++;
-        w.value = cell.takeWriteValue();
-        if (w.seq == 0)
-            result.msgTiming[op.msg].first = now;
-        q.push(w, now);
-        onPush(link, q);
-        ++result.stats.opsExecuted;
-        ++progress;
-        cell.advance();
-        return progress;
-    }
-
-    std::int64_t
-    executeRead(CellRuntime& cell, const Op& op, Cycle now)
-    {
-        // Memory-to-memory model, phase 2: after the word left the
-        // queue it must pass through local memory (2 accesses).
-        if (options.memoryToMemory && cell.readCompleted()) {
-            if (cell.stallRemaining() > 0) {
-                cell.setStallRemaining(cell.stallRemaining() - 1);
-                ++result.stats.memStallCycles;
-                cell.lastBlock = BlockReason::kMemoryStall;
-                return 1;
-            }
-            ++result.stats.opsExecuted;
-            cell.advance();
-            return 1;
-        }
-
-        const Route& route = competing.route(op.msg);
-        const Hop& last_hop = route.hops.back();
-        LinkState& link = links[last_hop.link];
-        Crossing& c = link.crossing(op.msg);
-        if (c.phase != CrossingPhase::kAssigned) {
-            cell.lastBlock = c.phase == CrossingPhase::kRequested
-                                 ? BlockReason::kQueueNotAssigned
-                                 : BlockReason::kWordNotArrived;
-            blockLink = link.index();
-            return 0;
-        }
-        HwQueue& q = link.queue(c.queueId);
-        if (!q.canPop(now)) {
-            cell.lastBlock = BlockReason::kWordNotArrived;
-            blockLink = link.index();
-            // The front word (if any) becomes consumable by time
-            // alone; schedule the wake-up.
-            if (!q.empty())
-                blockTimedWake = std::max(q.frontReadyCycle(), now + 1);
-            return 0;
-        }
-        Word w = q.pop(now);
-        onPop(link, q);
-        assert(w.msg == op.msg);
-        assert(w.seq == readSeq[op.msg] && "words arrive in order");
-        ++readSeq[op.msg];
-        cell.recordRead(w.value);
-        result.received[op.msg].push_back(w.value);
-        ++result.stats.wordsDelivered;
-        if (readSeq[op.msg] == program.messageLength(op.msg))
-            result.msgTiming[op.msg].second = now;
-        std::int64_t progress = 1;
-        if (q.wordsRemaining() == 0) {
-            releaseMsg(link, op.msg, now);
-            ++progress;
-        }
-        if (options.memoryToMemory) {
-            cell.setReadCompleted(true);
-            cell.setStallRemaining(2 * options.memAccessCost);
-            result.stats.memAccesses += 2;
-            return progress;
-        }
-        ++result.stats.opsExecuted;
-        cell.advance();
-        return progress;
-    }
-
-    /** One cell's attempt to execute its current op this cycle. */
-    std::int64_t
-    cellStep(CellRuntime& cell, Cycle now)
-    {
-        cell.setNow(now);
-        cell.lastBlock = BlockReason::kNone;
-        const Op& op = cell.currentOp();
-        switch (op.kind) {
-          case OpKind::kCompute: {
-            const ComputeFn& fn = program.computeFn(op.computeId);
-            if (fn)
-                fn(cell);
-            ++result.stats.opsExecuted;
-            ++result.stats.computeOps;
-            cell.advance();
-            return 1;
-          }
-          case OpKind::kWrite:
-            return executeWrite(cell, op, now);
-          case OpKind::kRead:
-            return executeRead(cell, op, now);
-        }
-        return 0;
-    }
-
-    bool
-    allDone() const
-    {
-        for (const CellRuntime& cell : cells) {
-            if (!cell.done())
-                return false;
-        }
-        return true;
-    }
-
-    DeadlockReport
-    snapshot(Cycle now) const
-    {
-        DeadlockReport report;
-        report.deadlocked = true;
-        report.atCycle = now;
-        for (const CellRuntime& cell : cells) {
-            if (cell.done())
-                continue;
-            CellBlockInfo info;
-            info.cell = cell.cellId();
-            info.pc = cell.pc();
-            info.op = opText(program, cell.currentOp());
-            info.reason = blockReasonName(cell.lastBlock);
-            report.cells.push_back(std::move(info));
-        }
-        for (const LinkState& link : links) {
-            LinkSnapshot snap;
-            snap.link = link.index();
-            snap.a = spec.topo.link(link.index()).a;
-            snap.b = spec.topo.link(link.index()).b;
-            for (const HwQueue& q : link.queues()) {
-                QueueSnapshot qs;
-                qs.id = q.id();
-                qs.msg = q.isFree() ? "-"
-                                    : program.message(q.assignedMsg()).name;
-                qs.occupancy = q.size();
-                qs.capacity = q.totalCapacity();
-                snap.queues.push_back(std::move(qs));
-            }
-            for (const Crossing& c : link.crossings()) {
-                if (c.phase == CrossingPhase::kRequested)
-                    snap.waiting.push_back(program.message(c.msg).name);
-            }
-            report.links.push_back(std::move(snap));
-        }
-        return report;
-    }
-
-    void
-    collectQueueStats()
-    {
-        for (LinkState& link : links) {
-            for (HwQueue& q : link.queues()) {
-                q.settleStats(result.cycles);
-                result.stats.queueBusyCycles += q.busyCycles();
-                result.stats.queueOccupancySum += q.occupancySum();
-                result.stats.extendedWords += q.extendedWords();
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Reference kernel: dense per-cycle scans (the oracle).
-    // -----------------------------------------------------------------
-
-    std::int64_t
-    assignmentPhaseDense(Cycle now)
-    {
-        std::int64_t progress = 0;
-        for (LinkState& link : links)
-            progress += tickLink(link, now);
-        return progress;
-    }
-
-    std::int64_t
-    forwardingPhaseDense(Cycle now)
-    {
-        std::int64_t progress = 0;
-        for (LinkIndex l : routedLinksDesc)
-            progress += forwardOneLink(links[l], now);
-        return progress;
-    }
-
-    std::int64_t
-    cellPhaseDense(Cycle now)
-    {
-        std::int64_t progress = 0;
-        for (CellRuntime& cell : cells) {
-            if (cell.done())
-                continue;
-            std::int64_t delta = cellStep(cell, now);
-            if (delta == 0) {
-                ++result.stats.cellBlockedCycles;
-                ++result.stats.perCellBlocked[cell.cellId()];
-            }
-            progress += delta;
-        }
-        return progress;
-    }
-
-    bool
-    timedEventPendingDense(Cycle now) const
-    {
-        for (const LinkState& link : links) {
-            for (const HwQueue& q : link.queues()) {
-                if (q.pendingTimedEvent(now))
-                    return true;
-            }
-        }
-        return false;
-    }
-
-    void
-    runReference()
-    {
-        for (Cycle now = 1; now <= options.maxCycles; ++now) {
-            std::int64_t progress = 0;
-            progress += assignmentPhaseDense(now);
-            progress += forwardingPhaseDense(now);
-            progress += cellPhaseDense(now);
-
-            if (allDone()) {
-                result.status = RunStatus::kCompleted;
-                result.cycles = now;
-                break;
-            }
-            if (progress == 0 && !timedEventPendingDense(now)) {
-                result.status = RunStatus::kDeadlocked;
-                result.cycles = now;
-                result.deadlock = snapshot(now);
-                break;
-            }
-            if (now == options.maxCycles) {
-                result.status = RunStatus::kMaxCycles;
-                result.cycles = now;
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-    // Event-driven kernel
-    // -----------------------------------------------------------------
-
-    void
-    initActiveState()
-    {
-        cellWaitLink.assign(cells.size(), kInvalidLink);
-        linkWaiters.resize(links.size());
-        fwdCount.assign(links.size(), 0);
-        nonEmptyCount.assign(links.size(), 0);
-        pendingCount.assign(links.size(), 0);
-        recheckFlag.assign(links.size(), 0);
-        for (const CellRuntime& cell : cells) {
-            if (cell.done())
-                ++doneCells;
-            else
-                activeCells.insert(cell.cellId());
-        }
-        // Cycle 1 must give the policy a first look at every link a
-        // message crosses (eager reservation acts with no requests).
-        for (LinkIndex l : routedLinksDesc)
-            markRecheck(l);
-    }
-
-    void
-    removeWaiter(CellId cell)
-    {
-        LinkIndex l = cellWaitLink[cell];
-        if (l == kInvalidLink)
-            return;
-        auto& w = linkWaiters[l];
-        w.erase(std::remove(w.begin(), w.end(), cell), w.end());
-        cellWaitLink[cell] = kInvalidLink;
-    }
-
-    void
-    registerWait(CellId cell, LinkIndex link, Cycle timed)
-    {
-        if (cellWaitLink[cell] != link) {
-            removeWaiter(cell);
-            if (link != kInvalidLink) {
-                cellWaitLink[cell] = link;
-                linkWaiters[link].push_back(cell);
-            }
-        }
-        if (timed >= 0)
-            timedWakes.push({timed, cell});
-    }
-
-    std::int64_t
-    assignmentPhaseEvent(Cycle now)
-    {
-        tickScratch.assign(pendingLinks.items().begin(),
-                           pendingLinks.items().end());
-        for (LinkIndex l : recheckList) {
-            recheckFlag[l] = 0;
-            tickScratch.push_back(l);
-        }
-        recheckList.clear();
-        std::sort(tickScratch.begin(), tickScratch.end());
-        tickScratch.erase(
-            std::unique(tickScratch.begin(), tickScratch.end()),
-            tickScratch.end());
-        std::int64_t progress = 0;
-        for (LinkIndex l : tickScratch)
-            progress += tickLink(links[l], now);
-        return progress;
-    }
-
-    std::int64_t
-    forwardingPhaseEvent(Cycle now)
-    {
-        // Descending cursor over the hot links, re-sought each step:
-        // forwardOneLink both erases drained links and inserts
-        // newly-hot downstream links. A new link below the cursor is
-        // picked up later this same phase — exactly like the dense
-        // kernel's single descending scan, which also still visits
-        // links made non-empty mid-scan. Links at or above the cursor
-        // were already processed and stay untouched until next cycle.
-        std::int64_t progress = 0;
-        LinkIndex cursor = fwdLinks.largest();
-        while (cursor != kInvalidLink) {
-            progress += forwardOneLink(links[cursor], now);
-            cursor = fwdLinks.largestBelow(cursor);
-        }
-        return progress;
-    }
-
-    std::int64_t
-    cellPhaseEvent(Cycle now)
-    {
-        while (!timedWakes.empty() && timedWakes.top().first <= now) {
-            CellId c = timedWakes.top().second;
-            timedWakes.pop();
-            wakeCell(c);
-        }
-        std::int64_t progress = 0;
-        for (auto it = activeCells.begin(); it != activeCells.end();) {
-            CellId id = *it;
-            CellRuntime& cell = cells[id];
-            // Settle the blocked span the dense kernel would have
-            // accumulated while this cell slept.
-            Cycle span = (now - 1) - cell.lastVisitCycle;
-            if (span > 0) {
-                result.stats.cellBlockedCycles += span;
-                result.stats.perCellBlocked[id] += span;
-            }
-            cell.lastVisitCycle = now;
-            blockLink = kInvalidLink;
-            blockTimedWake = -1;
-            std::int64_t delta = cellStep(cell, now);
-            progress += delta;
-            if (cell.done()) {
-                ++doneCells;
-                removeWaiter(id);
-                it = activeCells.erase(it);
-            } else if (delta == 0) {
-                ++result.stats.cellBlockedCycles;
-                ++result.stats.perCellBlocked[id];
-                if (blockLink != kInvalidLink) {
-                    registerWait(id, blockLink, blockTimedWake);
-                    it = activeCells.erase(it);
-                } else {
-                    // No known wake condition: stay active (never
-                    // sleep without one; costs cycles, not answers).
-                    ++it;
-                }
-            } else {
-                removeWaiter(id);
-                ++it;
-            }
-        }
-        return progress;
-    }
-
-    bool
-    timedEventPendingEvent(Cycle now) const
-    {
-        for (LinkIndex l : nonEmptyLinks.items()) {
-            for (const HwQueue& q : links[l].queues()) {
-                if (q.pendingTimedEvent(now))
-                    return true;
-            }
-        }
-        return false;
-    }
-
-    /**
-     * True when cycles after a zero-progress cycle may be skipped
-     * wholesale: no cell is runnable, no policy re-tick is queued,
-     * and skipping policy ticks cannot desynchronize the random
-     * policy's RNG stream (std::shuffle draws nothing for fewer than
-     * two pending requests).
-     */
-    bool
-    canFastForward() const
-    {
-        if (!activeCells.empty() || !recheckList.empty())
-            return false;
-        if (options.policy != PolicyKind::kRandom)
-            return true;
-        for (LinkIndex l : pendingLinks.items()) {
-            if (pendingCount[l] >= 2)
-                return false;
-        }
-        return true;
-    }
-
-    /** Earliest future cycle any queue front or cell wake matures. */
-    Cycle
-    nextInterestingCycle(Cycle now) const
-    {
-        Cycle next = -1;
-        if (!timedWakes.empty())
-            next = timedWakes.top().first;
-        for (LinkIndex l : nonEmptyLinks.items()) {
-            for (const HwQueue& q : links[l].queues()) {
-                if (q.empty() || !q.pendingTimedEvent(now))
-                    continue;
-                Cycle ready = std::max(q.frontReadyCycle(), now + 1);
-                if (next < 0 || ready < next)
-                    next = ready;
-            }
-        }
-        return next < 0 ? now + 1 : std::max(next, now + 1);
-    }
-
-    void
-    runEventDriven()
-    {
-        for (Cycle now = 1; now <= options.maxCycles; ++now) {
-            std::int64_t progress = 0;
-            progress += assignmentPhaseEvent(now);
-            progress += forwardingPhaseEvent(now);
-            progress += cellPhaseEvent(now);
-
-            if (doneCells == static_cast<int>(cells.size())) {
-                result.status = RunStatus::kCompleted;
-                result.cycles = now;
-                break;
-            }
-            if (progress == 0 && !timedEventPendingEvent(now)) {
-                result.status = RunStatus::kDeadlocked;
-                result.cycles = now;
-                result.deadlock = snapshot(now);
-                break;
-            }
-            if (now == options.maxCycles) {
-                result.status = RunStatus::kMaxCycles;
-                result.cycles = now;
-                break;
-            }
-            if (progress == 0 && canFastForward()) {
-                // Bulk-advance: everything is waiting on queue
-                // timing; jump straight to the first cycle where a
-                // front word matures. The skipped cycles are provably
-                // inert, and the lazy queue/cell accounting charges
-                // their spans exactly as the dense kernel would.
-                Cycle next = nextInterestingCycle(now);
-                if (next > now + 1)
-                    now = std::min(next, options.maxCycles) - 1;
-            }
-        }
-        // Charge sleeping cells the blocked cycles the dense kernel
-        // would have accumulated through the final cycle.
-        if (result.status != RunStatus::kCompleted) {
-            for (CellRuntime& cell : cells) {
-                if (cell.done())
-                    continue;
-                Cycle span = result.cycles - cell.lastVisitCycle;
-                if (span > 0) {
-                    result.stats.cellBlockedCycles += span;
-                    result.stats.perCellBlocked[cell.cellId()] += span;
-                }
-            }
-        }
-    }
-
-    // -----------------------------------------------------------------
-
-    RunResult
-    run()
-    {
-        if (!validation.empty()) {
-            result.status = RunStatus::kConfigError;
-            result.error = "invalid program: " + validation.front();
-            return std::move(result);
-        }
-
-        eventMode = options.kernel == KernelKind::kEventDriven;
-        if (eventMode)
-            initActiveState();
-
-        // Cycle 0: policy setup (static assignment happens here).
-        {
-            std::vector<AssignmentDecision> decisions;
-            for (LinkState& link : links) {
-                decisions.clear();
-                if (!policy->initLink(link, decisions)) {
-                    result.status = RunStatus::kConfigError;
-                    result.error = "policy '" + policy->name() +
-                                   "' cannot set up link " +
-                                   std::to_string(link.index()) +
-                                   " (not enough queues?)";
-                    return std::move(result);
-                }
-                applyDecisions(link, decisions, 0);
-            }
-        }
-
-        if (eventMode)
-            runEventDriven();
-        else
-            runReference();
-
-        result.stats.cycles = result.cycles;
-        collectQueueStats();
-        if (options.audit && !labels.empty()) {
-            result.audit = auditAssignments(program, competing, labels,
-                                            result.events);
-        }
-        return std::move(result);
-    }
-};
 
 ArraySimulator::ArraySimulator(const Program& program,
                                const MachineSpec& spec, SimOptions options)
-    : impl_(std::make_unique<Impl>(program, spec, std::move(options)))
+    : options_(std::move(options)),
+      session_(program, spec, sessionOptionsFrom(options_))
 {}
 
 ArraySimulator::~ArraySimulator() = default;
@@ -1017,7 +48,7 @@ ArraySimulator::~ArraySimulator() = default;
 RunResult
 ArraySimulator::run()
 {
-    return impl_->run();
+    return session_.run(runRequestFrom(options_));
 }
 
 RunResult

@@ -14,68 +14,30 @@
  *    assignment, released after the last word passes,
  *  - optional memory-to-memory mode (Fig. 1 baseline) charges each
  *    cell-level R and W two local memory accesses.
+ *
+ * The engine itself lives behind SimSession (sim/session.h), which
+ * compiles a program once and runs it many times. This header keeps
+ * the original single-use API as a thin wrapper for callers that
+ * simulate a program exactly once.
  */
 
 #include <cstdint>
 #include <memory>
-#include <string>
 #include <vector>
 
-#include "core/competing.h"
 #include "core/machine_spec.h"
 #include "core/program.h"
-#include "sim/assignment.h"
-#include "sim/audit.h"
-#include "sim/cell_exec.h"
-#include "sim/deadlock.h"
-#include "sim/link_state.h"
-#include "sim/stats.h"
+#include "sim/session.h"
 
 namespace syscomm::sim {
 
-/** Terminal state of a run. */
-enum class RunStatus : std::uint8_t
-{
-    kCompleted = 0, ///< Every cell finished its program.
-    kDeadlocked,    ///< Zero-progress cycle with unfinished work.
-    kMaxCycles,     ///< Cycle budget exhausted (treat as a bug).
-    kConfigError,   ///< Invalid program or impossible policy setup.
-};
-
-const char* runStatusName(RunStatus status);
-
 /**
- * Which per-cycle engine drives the run.
- *
- * Both kernels implement the identical machine semantics and produce
- * bit-identical RunResults (status, cycle counts, stats, event logs);
- * tests/test_kernel_equivalence.cpp enforces this over randomized
- * programs.
+ * Knobs for one single-use simulation run (legacy API). New code
+ * should prefer SessionOptions + RunRequest, which split these into
+ * session-scoped and per-run halves and make result collection
+ * opt-in; this struct maps onto them with every Collect flag set, so
+ * its behavior is unchanged from the original simulator.
  */
-enum class KernelKind : std::uint8_t
-{
-    /**
-     * Event-driven active-set kernel: per cycle, only runnable cells,
-     * links with words in flight, and links with pending queue
-     * requests are touched, so a cycle costs O(active work) instead
-     * of O(cells + links). Cells blocked on a read wake when their
-     * input queue changes; cells blocked on a write wake when a queue
-     * is assigned or frees space. Stretches where the whole machine
-     * only waits for queue timing (e.g. extension penalties) are
-     * fast-forwarded in one step.
-     */
-    kEventDriven = 0,
-    /**
-     * Reference kernel: the original dense loop that scans every
-     * link, queue, and cell each cycle. Kept as the oracle for the
-     * equivalence suite and for A/B benchmarking.
-     */
-    kReference,
-};
-
-const char* kernelKindName(KernelKind kind);
-
-/** Knobs for one simulation run. */
 struct SimOptions
 {
     PolicyKind policy = PolicyKind::kCompatible;
@@ -96,35 +58,17 @@ struct SimOptions
     int memAccessCost = 1;
 };
 
-/** Outcome of one run. */
-struct RunResult
-{
-    RunStatus status = RunStatus::kConfigError;
-    Cycle cycles = 0;
-    std::string error; ///< set for kConfigError
-    SimStats stats;
-    DeadlockReport deadlock;
-    std::vector<AssignmentEvent> events;
-    /** Queue releases (queueId = the queue freed). */
-    std::vector<AssignmentEvent> releases;
-    AuditReport audit;
-    /**
-     * Per message: cycle its first word entered the network and cycle
-     * its last word was read (-1 when it never happened).
-     */
-    std::vector<std::pair<Cycle, Cycle>> msgTiming;
-    /** Labels actually used (as given or as computed). */
-    std::vector<std::int64_t> labelsUsed;
-    /** Values received per message, in arrival order. */
-    std::vector<std::vector<double>> received;
+/** Session-scoped half of a SimOptions (kernel, labels, memory model). */
+SessionOptions sessionOptionsFrom(const SimOptions& options);
 
-    bool completed() const { return status == RunStatus::kCompleted; }
-    const char* statusStr() const { return runStatusName(status); }
-};
+/** Per-run half of a SimOptions; collects everything, as the
+ *  single-use simulator always did. */
+RunRequest runRequestFrom(const SimOptions& options);
 
 /**
- * A single-use simulator instance. The program and spec must outlive
- * the simulator.
+ * A single-use simulator instance (legacy API): a SimSession that is
+ * only ever run once. The program and spec must outlive the
+ * simulator.
  */
 class ArraySimulator
 {
@@ -140,8 +84,8 @@ class ArraySimulator
     RunResult run();
 
   private:
-    struct Impl;
-    std::unique_ptr<Impl> impl_;
+    SimOptions options_;
+    SimSession session_;
 };
 
 /** One-shot convenience wrapper. */

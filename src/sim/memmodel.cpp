@@ -21,11 +21,18 @@ ModelComparison
 compareModels(const Program& program, const MachineSpec& spec,
               SimOptions options)
 {
+    // The memory model is session-scoped: one compiled session per
+    // model, same per-run request for both.
     ModelComparison cmp;
+    RunRequest request = runRequestFrom(options);
     options.memoryToMemory = false;
-    cmp.systolic = simulateProgram(program, spec, options);
+    cmp.systolic =
+        SimSession(program, spec, sessionOptionsFrom(options))
+            .run(request);
     options.memoryToMemory = true;
-    cmp.memToMem = simulateProgram(program, spec, options);
+    cmp.memToMem =
+        SimSession(program, spec, sessionOptionsFrom(options))
+            .run(request);
     return cmp;
 }
 

@@ -34,6 +34,27 @@ HwQueue::HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
 }
 
 void
+HwQueue::reset()
+{
+    assigned_ = kInvalidMessage;
+    dir_ = LinkDir::kForward;
+    words_remaining_ = 0;
+    head_ = 0;
+    ring_count_ = 0;
+    spill_.clear(); // keeps the reserved extension capacity
+    spill_head_ = 0;
+    front_ready_at_ = 0;
+    last_push_cycle_ = -1;
+    last_pop_cycle_ = -1;
+    settled_ = 0;
+    busy_cycles_ = 0;
+    occupancy_sum_ = 0;
+    words_pushed_ = 0;
+    extended_words_ = 0;
+    assignments_ = 0;
+}
+
+void
 HwQueue::settleStats(Cycle now)
 {
     if (now <= settled_)

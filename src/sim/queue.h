@@ -47,6 +47,12 @@ class HwQueue
     int id() const { return id_; }
     LinkIndex link() const { return link_; }
 
+    /**
+     * Return to the freshly-constructed state, keeping the ring and
+     * spill storage for reuse (SimSession's run-many reset path).
+     */
+    void reset();
+
     // ------------------------------------------------------------------
     // Assignment lifecycle
     // ------------------------------------------------------------------

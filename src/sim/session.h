@@ -1,0 +1,292 @@
+#pragma once
+
+/**
+ * @file
+ * The reusable simulation entry point: compile once, run many.
+ *
+ * A SimSession binds a Program to a MachineSpec and performs all the
+ * per-program work up front — validation, competing-message analysis,
+ * route registration, label computation, and the allocation of every
+ * link, queue, cell and kernel-side buffer. Each run(RunRequest) then
+ * resets that state in place instead of reallocating it, so sweeps
+ * over seeds, policies and cycle budgets pay the compile cost once.
+ *
+ * Result materialization is opt-in: a RunRequest carries a Collect
+ * bitmask, and by default a run produces only its status, cycle count
+ * and SimStats counters. The heavy RunResult vectors (assignment
+ * events, releases, per-message timing, received values) and the
+ * compatibility audit are filled only when asked for; a RunObserver
+ * can stream assignment/release/delivery events instead of
+ * materializing them.
+ *
+ * The legacy single-use API (ArraySimulator, simulateProgram) in
+ * sim/machine.h is a thin wrapper over this class.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/machine_spec.h"
+#include "core/program.h"
+#include "sim/assignment.h"
+#include "sim/audit.h"
+#include "sim/deadlock.h"
+#include "sim/stats.h"
+
+namespace syscomm::sim {
+
+/** Terminal state of a run. */
+enum class RunStatus : std::uint8_t
+{
+    kCompleted = 0, ///< Every cell finished its program.
+    kDeadlocked,    ///< Zero-progress cycle with unfinished work.
+    kMaxCycles,     ///< Cycle budget exhausted (treat as a bug).
+    kConfigError,   ///< Invalid program or impossible policy setup.
+};
+
+inline constexpr int kNumRunStatuses = 4;
+static_assert(static_cast<int>(RunStatus::kConfigError) + 1 ==
+                  kNumRunStatuses,
+              "update kNumRunStatuses when adding a RunStatus — it "
+              "sizes arrays indexed by the enum");
+
+const char* runStatusName(RunStatus status);
+
+/**
+ * Which per-cycle engine drives the run.
+ *
+ * Both kernels implement the identical machine semantics and produce
+ * bit-identical RunResults (status, cycle counts, stats, event logs);
+ * tests/test_kernel_equivalence.cpp enforces this over randomized
+ * programs.
+ */
+enum class KernelKind : std::uint8_t
+{
+    /**
+     * Event-driven active-set kernel: per cycle, only runnable cells,
+     * links with words in flight, and links with pending queue
+     * requests are touched, so a cycle costs O(active work) instead
+     * of O(cells + links). Cells blocked on a read wake when their
+     * input queue changes; cells blocked on a write wake when a queue
+     * is assigned or frees space. Stretches where the whole machine
+     * only waits for queue timing (e.g. extension penalties) are
+     * fast-forwarded in one step.
+     */
+    kEventDriven = 0,
+    /**
+     * Reference kernel: the original dense loop that scans every
+     * link, queue, and cell each cycle. Kept as the oracle for the
+     * equivalence suite and for A/B benchmarking.
+     */
+    kReference,
+};
+
+const char* kernelKindName(KernelKind kind);
+
+/**
+ * Opt-in result materialization. By default a run fills only status,
+ * cycle count, SimStats, the labels used, and (on deadlock) the
+ * deadlock snapshot; everything else costs memory proportional to the
+ * run and must be requested.
+ */
+enum class Collect : std::uint8_t
+{
+    kNone = 0,
+    kEvents = 1u << 0,    ///< RunResult::events (one per assignment).
+    kReleases = 1u << 1,  ///< RunResult::releases.
+    kMsgTiming = 1u << 2, ///< RunResult::msgTiming.
+    kReceived = 1u << 3,  ///< RunResult::received (every word value).
+    kAudit = 1u << 4,     ///< Run the section 7 compatibility audit.
+    kAll = 0x1f,
+};
+
+constexpr Collect
+operator|(Collect a, Collect b)
+{
+    return static_cast<Collect>(static_cast<std::uint8_t>(a) |
+                                static_cast<std::uint8_t>(b));
+}
+
+constexpr Collect
+operator&(Collect a, Collect b)
+{
+    return static_cast<Collect>(static_cast<std::uint8_t>(a) &
+                                static_cast<std::uint8_t>(b));
+}
+
+inline Collect&
+operator|=(Collect& a, Collect b)
+{
+    a = a | b;
+    return a;
+}
+
+/** Does @p set include @p flag? */
+constexpr bool
+collects(Collect set, Collect flag)
+{
+    return (set & flag) != Collect::kNone;
+}
+
+/**
+ * Streaming sink for run events: an alternative to materializing the
+ * event vectors when a consumer only wants to observe the assignment
+ * trace (or tail deliveries) as they happen. Hooks fire regardless of
+ * the Collect flags; the default implementations do nothing.
+ *
+ * The observer is invoked from whichever thread executes the run (a
+ * SweepRunner worker, for sweeps), never concurrently for one run.
+ * One observer instance attached to several requests of a threaded
+ * sweep IS called concurrently — from a different worker per request
+ * — and must synchronize its own state.
+ */
+class RunObserver
+{
+  public:
+    virtual ~RunObserver() = default;
+
+    /** A queue was assigned to a message. */
+    virtual void onAssign(const AssignmentEvent& event) { (void)event; }
+    /** A queue was released (queueId = the queue freed). */
+    virtual void onRelease(const AssignmentEvent& event) { (void)event; }
+    /** A receiver consumed word @p seq of @p msg. */
+    virtual void
+    onDeliver(MessageId msg, int seq, double value, Cycle now)
+    {
+        (void)msg;
+        (void)seq;
+        (void)value;
+        (void)now;
+    }
+};
+
+/**
+ * Session-scoped configuration: everything that shapes the
+ * compiled/allocated machine state shared by every run.
+ */
+struct SessionOptions
+{
+    KernelKind kernel = KernelKind::kEventDriven;
+    /**
+     * Default labels per MessageId for the compatible policies and
+     * the audit. Left empty, the session computes them with the
+     * section 6 scheme (trivial fallback) — once, not per run.
+     */
+    std::vector<std::int64_t> labels;
+    /**
+     * Compute the default labeling at construction. Turn off for
+     * sweeps that never need labels (pure FCFS/random baselines); a
+     * run that does need them still computes them lazily, once.
+     */
+    bool precomputeLabels = true;
+    /** Memory-to-memory communication model (Fig. 1 baseline). */
+    bool memoryToMemory = false;
+    /** Cycles per local memory access in memory-to-memory mode. */
+    int memAccessCost = 1;
+};
+
+/** Per-run knobs: everything that may vary between runs of a session. */
+struct RunRequest
+{
+    PolicyKind policy = PolicyKind::kCompatible;
+    std::uint64_t seed = 1;
+    Cycle maxCycles = 1'000'000;
+    /** What to materialize in the RunResult (default: stats only). */
+    Collect collect = Collect::kNone;
+    /** Labels override for this run; empty = the session's labels. */
+    std::vector<std::int64_t> labels;
+    /** Optional streaming sink; must outlive the run. */
+    RunObserver* observer = nullptr;
+};
+
+/**
+ * Does this request need a labeling (compatible policies consume
+ * labels; the audit checks against them)? Shared by SimSession's
+ * label resolution and SweepRunner's decision to pre-resolve labels
+ * for its workers — keep the two in lockstep.
+ */
+inline bool
+runNeedsLabels(const RunRequest& request)
+{
+    return request.policy == PolicyKind::kCompatible ||
+           request.policy == PolicyKind::kCompatibleEager ||
+           collects(request.collect, Collect::kAudit);
+}
+
+/** Outcome of one run. */
+struct RunResult
+{
+    RunStatus status = RunStatus::kConfigError;
+    Cycle cycles = 0;
+    std::string error; ///< set for kConfigError
+    SimStats stats;
+    DeadlockReport deadlock;
+    /** Collect::kEvents — queue assignments, in order. */
+    std::vector<AssignmentEvent> events;
+    /** Collect::kReleases — queue releases (queueId = queue freed). */
+    std::vector<AssignmentEvent> releases;
+    /** Collect::kAudit. */
+    AuditReport audit;
+    /**
+     * Collect::kMsgTiming — per message: cycle its first word entered
+     * the network and cycle its last word was read (-1 when never).
+     */
+    std::vector<std::pair<Cycle, Cycle>> msgTiming;
+    /**
+     * Labels the run used (as given or as computed). Empty when the
+     * run needed none (label-free policy, no audit, no override) —
+     * identical requests always report identical labels, regardless
+     * of what earlier runs of the session resolved.
+     */
+    std::vector<std::int64_t> labelsUsed;
+    /** Collect::kReceived — values received per message, in order. */
+    std::vector<std::vector<double>> received;
+
+    bool completed() const { return status == RunStatus::kCompleted; }
+    const char* statusStr() const { return runStatusName(status); }
+};
+
+/**
+ * A compiled, reusable simulator instance. The program and spec must
+ * outlive the session. Not thread-safe: one session serves one thread
+ * (SweepRunner gives each worker its own).
+ */
+class SimSession
+{
+  public:
+    SimSession(const Program& program, const MachineSpec& spec,
+               SessionOptions options = {});
+    ~SimSession();
+
+    SimSession(const SimSession&) = delete;
+    SimSession& operator=(const SimSession&) = delete;
+    SimSession(SimSession&&) noexcept;
+    SimSession& operator=(SimSession&&) noexcept;
+
+    /**
+     * Run to completion/deadlock/budget, resetting machine state in
+     * place first. Call as many times as you like.
+     */
+    RunResult run(const RunRequest& request = {});
+
+    /** Did construction-time validation pass? */
+    bool valid() const;
+    /** First validation error ("" when valid). */
+    const std::string& error() const;
+    /**
+     * The session's default labels (computes them on first use if
+     * construction skipped them).
+     */
+    const std::vector<std::int64_t>& labels();
+    /** run() calls so far (config-error runs included). */
+    int runCount() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace syscomm::sim

@@ -5,6 +5,7 @@
  * Aggregate run statistics collected by the simulator.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +46,30 @@ struct SimStats
     std::int64_t queueBusyCycles = 0;
     std::int64_t queueOccupancySum = 0;
     std::int64_t extendedWords = 0;
+
+    /**
+     * Zero every counter for a new run, reusing the perCellBlocked
+     * buffer (SimSession's run-many reset path).
+     */
+    void resetRun(std::size_t num_cells)
+    {
+        cycles = 0;
+        wordsDelivered = 0;
+        wordsForwarded = 0;
+        opsExecuted = 0;
+        computeOps = 0;
+        assignments = 0;
+        releases = 0;
+        requests = 0;
+        requestWaitCycles = 0;
+        cellBlockedCycles = 0;
+        perCellBlocked.assign(num_cells, 0);
+        memAccesses = 0;
+        memStallCycles = 0;
+        queueBusyCycles = 0;
+        queueOccupancySum = 0;
+        extendedWords = 0;
+    }
 
     double avgQueueOccupancy() const
     {

@@ -93,9 +93,14 @@ idealCycles(const Program& program, const Topology& topo)
     spec.queueCapacity =
         std::max<int>(1, static_cast<int>(std::min<std::int64_t>(
                              total_words, 1 << 20)));
-    SimOptions options;
-    options.policy = PolicyKind::kStatic;
-    RunResult r = simulateProgram(program, spec, options);
+    // Stats-only session run: idealCycles only needs the cycle count,
+    // and the static policy never needs labels — skip the labeler.
+    SessionOptions options;
+    options.precomputeLabels = false;
+    SimSession session(program, spec, options);
+    RunRequest request;
+    request.policy = PolicyKind::kStatic;
+    RunResult r = session.run(request);
     return r.status == RunStatus::kCompleted ? r.cycles : -1;
 }
 

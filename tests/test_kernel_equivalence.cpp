@@ -16,6 +16,7 @@
 
 #include "algos/paper_figures.h"
 #include "core/program_gen.h"
+#include "sim/batch.h"
 #include "sim/machine.h"
 
 namespace syscomm {
@@ -242,6 +243,68 @@ TEST(KernelEquivalence, MaxCyclesBudgetExhaustion)
     SimOptions options;
     options.maxCycles = 25; // far too few
     expectKernelsAgree(p, spec(topo, 2, 1), options);
+}
+
+TEST(KernelEquivalence, SweepRunnerAgreesAcrossKernels)
+{
+    // The sweep driver as equivalence harness: the same request batch
+    // (policies x seeds, full collection) through one SweepRunner per
+    // kernel must agree run by run — and the threaded fan-out must
+    // not perturb any result.
+    Topology topo = Topology::linearArray(5);
+    GenOptions gen;
+    gen.numMessages = 6;
+    gen.maxWords = 4;
+    gen.seed = 501;
+    gen.interleave = 0.5;
+    Program p = randomDeadlockFreeProgram(topo, gen);
+    Program mutated = perturbProgram(p, 2, 77);
+    MachineSpec s = spec(topo, 2, 1);
+
+    std::vector<sim::RunRequest> requests;
+    for (PolicyKind policy : {PolicyKind::kCompatible, PolicyKind::kFcfs,
+                              PolicyKind::kRandom}) {
+        for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+            sim::RunRequest request;
+            request.policy = policy;
+            request.seed = seed;
+            request.maxCycles = 20'000;
+            request.collect = sim::Collect::kAll;
+            requests.push_back(request);
+        }
+    }
+
+    sim::SessionOptions ref;
+    ref.kernel = KernelKind::kReference;
+    sim::SessionOptions evt;
+    evt.kernel = KernelKind::kEventDriven;
+    sim::SweepOptions threads;
+    threads.numWorkers = 3;
+    sim::SweepSummary refSweep =
+        sim::SweepRunner(mutated, s, ref, threads).run(requests);
+    sim::SweepSummary evtSweep =
+        sim::SweepRunner(mutated, s, evt, threads).run(requests);
+
+    ASSERT_EQ(refSweep.results.size(), requests.size());
+    ASSERT_EQ(evtSweep.results.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const RunResult& a = refSweep.results[i];
+        const RunResult& b = evtSweep.results[i];
+        std::string ctx = "request " + std::to_string(i);
+        ASSERT_EQ(b.status, a.status) << ctx;
+        EXPECT_EQ(b.cycles, a.cycles) << ctx;
+        EXPECT_TRUE(b.stats == a.stats) << ctx;
+        EXPECT_EQ(b.events, a.events) << ctx;
+        EXPECT_EQ(b.releases, a.releases) << ctx;
+        EXPECT_EQ(b.received, a.received) << ctx;
+        EXPECT_EQ(b.msgTiming, a.msgTiming) << ctx;
+        EXPECT_EQ(b.deadlock.render(), a.deadlock.render()) << ctx;
+        EXPECT_EQ(b.audit.compatible, a.audit.compatible) << ctx;
+    }
+    for (int k = 0; k < sim::kNumRunStatuses; ++k)
+        EXPECT_EQ(evtSweep.statusCounts[k], refSweep.statusCounts[k]);
+    EXPECT_EQ(evtSweep.p50Cycles, refSweep.p50Cycles);
+    EXPECT_EQ(evtSweep.p99Cycles, refSweep.p99Cycles);
 }
 
 TEST(KernelEquivalence, LongStreamSparseArray)

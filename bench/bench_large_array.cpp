@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Experiment L1: event-kernel scaling to 100k-cell arrays. Runs the
+ * three largeArrayProgram phases (sparse, streaming, dense-active) at
+ * 4k/16k/64k/100k cells through prebuilt SimSessions (compile cost
+ * excluded — this measures the kernel), reporting wall seconds,
+ * simulated cycles/sec, and ns per cell-cycle. The dense-active
+ * column is the one the active-set rework is for: every cell blocks
+ * and wakes every few cycles, so per-mutation cost is the whole
+ * story — near-constant ns/cell-cycle across sizes means the kernel
+ * scales linearly, a growing value means the set machinery is
+ * super-linear. The reference kernel is timed at the smaller sizes
+ * for an absolute anchor. Appends JSON lines to
+ * BENCH_large_array.json.
+ *
+ * Usage: bench_large_array [--quick]
+ *   --quick  CI smoke: 4k cells only, fewer repetitions.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/program_gen.h"
+#include "core/topology.h"
+#include "sim/session.h"
+
+namespace {
+
+using namespace syscomm;
+using Clock = std::chrono::steady_clock;
+
+MachineSpec
+makeSpec(int cells)
+{
+    MachineSpec spec;
+    spec.topo = Topology::linearArray(cells);
+    spec.queuesPerLink = 2; // dense-active needs one per direction
+    spec.queueCapacity = 4;
+    return spec;
+}
+
+LargeArrayOptions
+phaseOptions(ArrayPhase phase, int cells)
+{
+    LargeArrayOptions options;
+    options.phase = phase;
+    options.seed = 1;
+    switch (phase) {
+      case ArrayPhase::kSparse:
+        options.messages = 8; // fixed: activity independent of size
+        options.wordsPerMessage = 128;
+        options.computeGap = 16;
+        break;
+      case ArrayPhase::kStreaming:
+        options.messages = std::max(8, cells / 1024);
+        options.wordsPerMessage = 64;
+        options.computeGap = 8;
+        break;
+      case ArrayPhase::kDenseActive:
+        // Long enough that the run dwarfs the per-run reset cost.
+        options.wordsPerMessage = 64;
+        break;
+    }
+    return options;
+}
+
+struct Timing
+{
+    double seconds = 0.0;
+    Cycle cycles = 0;
+};
+
+/** Best-of-@p reps timing of run() on a prebuilt session. */
+bool
+timeKernel(sim::SimSession& session, int reps, Timing& out)
+{
+    out.seconds = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+        sim::RunRequest request;
+        request.seed = static_cast<std::uint64_t>(rep + 1);
+        auto start = Clock::now();
+        sim::RunResult r = session.run(request);
+        double s =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (!r.completed()) {
+            std::fprintf(stderr, "run did not complete: %s\n",
+                         r.statusStr());
+            return false;
+        }
+        out.cycles = r.cycles;
+        out.seconds = std::min(out.seconds, s);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    if (argc > 1 && !quick) {
+        std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+        return 2;
+    }
+    const int kReps = quick ? 2 : 3;
+    const std::vector<int> sizes =
+        quick ? std::vector<int>{4096}
+              : std::vector<int>{4096, 16384, 65536, 100000};
+    // Reference-kernel anchor: dense scans cost O(machine) per cycle,
+    // so keep the oracle to the sizes where that stays in budget.
+    const int kMaxReferenceCells = quick ? 4096 : 16384;
+
+    bench::banner("L1", "event-kernel scaling, 4k-100k cell arrays "
+                        "(sparse / streaming / dense-active)");
+    bench::JsonWriter json("large_array", "BENCH_large_array.json");
+
+    const ArrayPhase phases[] = {ArrayPhase::kSparse,
+                                 ArrayPhase::kStreaming,
+                                 ArrayPhase::kDenseActive};
+
+    bench::row({"phase", "cells", "kernel", "cycles", "seconds",
+                "cyc/sec", "ns/cell-cyc"},
+               13);
+    bench::rule(7, 13);
+    for (ArrayPhase phase : phases) {
+        for (int cells : sizes) {
+            Program program =
+                largeArrayProgram(cells, phaseOptions(phase, cells));
+            MachineSpec spec = makeSpec(cells);
+
+            std::vector<sim::KernelKind> kernels = {
+                sim::KernelKind::kEventDriven};
+            if (cells <= kMaxReferenceCells)
+                kernels.push_back(sim::KernelKind::kReference);
+
+            for (sim::KernelKind kernel : kernels) {
+                sim::SessionOptions sessionOptions;
+                sessionOptions.kernel = kernel;
+                sim::SimSession session(program, spec, sessionOptions);
+                Timing t;
+                if (!timeKernel(session, kReps, t))
+                    return 1;
+                double cycPerSec =
+                    static_cast<double>(t.cycles) / t.seconds;
+                double nsPerCellCycle =
+                    1e9 * t.seconds /
+                    (static_cast<double>(t.cycles) *
+                     static_cast<double>(cells));
+                bench::row({arrayPhaseName(phase),
+                            std::to_string(cells),
+                            sim::kernelKindName(kernel),
+                            std::to_string(t.cycles),
+                            bench::fmt(t.seconds), bench::fmt(cycPerSec),
+                            bench::fmt(nsPerCellCycle)},
+                           13);
+                json.record("seconds", t.seconds,
+                            {{"phase", arrayPhaseName(phase)},
+                             {"cells", std::to_string(cells)},
+                             {"kernel", sim::kernelKindName(kernel)},
+                             {"cycles", std::to_string(t.cycles)}});
+                json.record("ns_per_cell_cycle", nsPerCellCycle,
+                            {{"phase", arrayPhaseName(phase)},
+                             {"cells", std::to_string(cells)},
+                             {"kernel", sim::kernelKindName(kernel)}});
+            }
+        }
+        bench::rule(7, 13);
+    }
+    std::printf(
+        "linear scaling <=> ns/cell-cyc stays flat as cells grow\n");
+    return 0;
+}

@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * splitmix64: the shared bit-mixing primitive behind every cheap
+ * deterministic stream in the codebase — the random policy's
+ * per-link counted RNG (sim/assignment.cpp) and the workload
+ * generators' parameter jitter (core/program_gen.cpp). One
+ * definition so a constant tweak cannot silently fork the streams.
+ */
+
+#include <cstdint>
+
+namespace syscomm {
+
+/** One splitmix64 state advance + finalizer (Steele et al. 2014). */
+inline std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Stateless finalizer form: mix a single value. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    return splitmix64(x);
+}
+
+} // namespace syscomm

@@ -5,6 +5,8 @@
 #include <random>
 #include <vector>
 
+#include "core/mix.h"
+
 namespace syscomm {
 
 Program
@@ -62,6 +64,108 @@ randomDeadlockFreeProgram(const Topology& topo, const GenOptions& options)
         }
     }
     return program;
+}
+
+const char*
+arrayPhaseName(ArrayPhase phase)
+{
+    switch (phase) {
+      case ArrayPhase::kSparse:
+        return "sparse";
+      case ArrayPhase::kStreaming:
+        return "streaming";
+      case ArrayPhase::kDenseActive:
+        return "dense-active";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+addStream(Program& p, MessageId id, CellId from, CellId to, int words,
+          int compute_gap)
+{
+    for (int w = 0; w < words; ++w) {
+        for (int g = 0; g < compute_gap; ++g)
+            p.compute(from, [](CellContext& ctx) { ctx.local(0) += 1.0; });
+        p.write(from, id);
+    }
+    for (int w = 0; w < words; ++w)
+        p.read(to, id);
+}
+
+} // namespace
+
+Program
+largeArrayProgram(int cells, const LargeArrayOptions& options)
+{
+    assert(cells >= 2);
+    Program p(cells);
+    const int words = std::max(1, options.wordsPerMessage);
+
+    switch (options.phase) {
+      case ArrayPhase::kSparse: {
+        // A few long streams over bounded spans, senders spread out:
+        // nearly every cell and link stays idle for the whole run.
+        int messages = std::max(1, options.messages);
+        int span = std::max(2, std::min(32, cells / (2 * messages)));
+        if (span >= cells)
+            span = cells - 1;
+        for (int m = 0; m < messages; ++m) {
+            CellId from =
+                static_cast<CellId>((static_cast<std::int64_t>(m) *
+                                     (cells - span - 1)) /
+                                    messages);
+            CellId to = static_cast<CellId>(from + span);
+            addStream(p,
+                      p.declareMessage("S" + std::to_string(m), from, to),
+                      from, to, words, std::max(1, options.computeGap));
+        }
+        break;
+      }
+      case ArrayPhase::kStreaming: {
+        // Disjoint spans tiling the whole array, one stream each, so
+        // activity is uniform but only a couple of words per stream
+        // are in flight at any cycle.
+        int messages = std::max(1, options.messages);
+        int span = std::max(2, cells / messages);
+        for (int m = 0; m * span + 1 < cells; ++m) {
+            CellId from = static_cast<CellId>(m * span);
+            CellId to = static_cast<CellId>(
+                std::min(cells - 1, m * span + span - 1));
+            addStream(p,
+                      p.declareMessage("T" + std::to_string(m), from, to),
+                      from, to, words, std::max(1, options.computeGap));
+        }
+        break;
+      }
+      case ArrayPhase::kDenseActive: {
+        // Neighbor ping-pong on disjoint even/odd pairs (0,1), (2,3),
+        // ... in both directions, so the machine needs >= 2 queues
+        // per link. Every *cell* is busy every cycle — the point is
+        // active-set churn at machine scale — while the links between
+        // pairs stay idle by construction.
+        for (CellId c = 0; c + 1 < cells; c += 2) {
+            int w = 1 + static_cast<int>(
+                            mix64(options.seed +
+                                  static_cast<std::uint64_t>(c)) %
+                            static_cast<std::uint64_t>(words));
+            MessageId fwd = p.declareMessage(
+                "F" + std::to_string(c), c, static_cast<CellId>(c + 1));
+            MessageId bwd = p.declareMessage(
+                "B" + std::to_string(c), static_cast<CellId>(c + 1), c);
+            for (int i = 0; i < w; ++i) {
+                p.write(c, fwd);
+                p.read(c, bwd);
+                p.write(static_cast<CellId>(c + 1), bwd);
+                p.read(static_cast<CellId>(c + 1), fwd);
+            }
+        }
+        break;
+      }
+    }
+    return p;
 }
 
 Program

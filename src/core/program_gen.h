@@ -55,4 +55,46 @@ Program randomDeadlockFreeProgram(const Topology& topo,
 Program perturbProgram(const Program& program, int swaps,
                        std::uint64_t seed);
 
+/**
+ * Activity shape of a large-array workload. The three phases cover
+ * the regimes that stress different parts of an event-driven kernel:
+ * sparse exercises fast-forward over idle stretches, streaming
+ * exercises the hot-link forwarding scan, and dense-active exercises
+ * active-set mutation throughput (every cell blocks and wakes every
+ * few cycles).
+ */
+enum class ArrayPhase
+{
+    /** A handful of long streams; almost the whole array is idle. */
+    kSparse,
+    /** Disjoint medium streams tiling the array end to end. */
+    kStreaming,
+    /** Neighbor ping-pong on disjoint cell pairs: every cell busy. */
+    kDenseActive,
+};
+
+const char* arrayPhaseName(ArrayPhase phase);
+
+/** Knobs for largeArrayProgram(). */
+struct LargeArrayOptions
+{
+    ArrayPhase phase = ArrayPhase::kStreaming;
+    /** Stream count for sparse/streaming (dense derives its own). */
+    int messages = 8;
+    /** Words per message (dense jitters per pair from the seed). */
+    int wordsPerMessage = 32;
+    /** Sender compute cycles per word (sparse/streaming only). */
+    int computeGap = 8;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * A deadlock-free workload for a @p cells-cell linear array in the
+ * given phase, deterministic in the options. Built for the 4k-100k
+ * cell scaling experiments (bench_large_array) and the large-array
+ * kernel-equivalence tests; cells/messages scale with the array, the
+ * per-cell program stays O(wordsPerMessage).
+ */
+Program largeArrayProgram(int cells, const LargeArrayOptions& options);
+
 } // namespace syscomm

@@ -104,17 +104,33 @@ Topology::finalize()
             std::swap(l.a, l.b);
     }
     adjacency_.assign(num_cells_, {});
-    link_lookup_.assign(static_cast<std::size_t>(num_cells_) * num_cells_,
-                        kInvalidLink);
+    link_adj_.assign(num_cells_, {});
     for (LinkIndex i = 0; i < numLinks(); ++i) {
         const Link& l = links_[i];
-        adjacency_[l.a].push_back(l.b);
-        adjacency_[l.b].push_back(l.a);
-        link_lookup_[static_cast<std::size_t>(l.a) * num_cells_ + l.b] = i;
-        link_lookup_[static_cast<std::size_t>(l.b) * num_cells_ + l.a] = i;
+        link_adj_[l.a].push_back({l.b, i});
+        link_adj_[l.b].push_back({l.a, i});
     }
-    for (auto& nbrs : adjacency_)
+    for (auto& nbrs : link_adj_) {
         std::sort(nbrs.begin(), nbrs.end());
+        // Parallel links were never meaningfully supported: the old
+        // dense lookup table silently kept the last duplicate, the
+        // sorted adjacency would keep the first. Reject them instead
+        // of letting the choice drift.
+        assert(std::adjacent_find(nbrs.begin(), nbrs.end(),
+                                  [](const auto& x, const auto& y) {
+                                      return x.first == y.first;
+                                  }) == nbrs.end() &&
+               "parallel links between one cell pair are not supported");
+    }
+    // adjacency_ is the projection of link_adj_ onto neighbors; derive
+    // it from the sorted pairs so the two can never disagree.
+    for (CellId c = 0; c < num_cells_; ++c) {
+        adjacency_[c].reserve(link_adj_[c].size());
+        for (const auto& [nbr, idx] : link_adj_[c]) {
+            (void)idx;
+            adjacency_[c].push_back(nbr);
+        }
+    }
 }
 
 std::optional<LinkIndex>
@@ -122,11 +138,15 @@ Topology::linkBetween(CellId x, CellId y) const
 {
     if (x < 0 || y < 0 || x >= num_cells_ || y >= num_cells_)
         return std::nullopt;
-    LinkIndex idx =
-        link_lookup_[static_cast<std::size_t>(x) * num_cells_ + y];
-    if (idx == kInvalidLink)
+    const auto& nbrs = link_adj_[x];
+    auto it = std::lower_bound(
+        nbrs.begin(), nbrs.end(), y,
+        [](const std::pair<CellId, LinkIndex>& p, CellId cell) {
+            return p.first < cell;
+        });
+    if (it == nbrs.end() || it->first != y)
         return std::nullopt;
-    return idx;
+    return it->second;
 }
 
 std::vector<CellId>

@@ -104,9 +104,12 @@ class Topology
     std::string name_;
     std::vector<Link> links_;
     std::vector<std::vector<CellId>> adjacency_;
-    // Dense (a * num_cells + b) -> link index map for small arrays;
-    // falls back to linear scan through adjacency otherwise.
-    std::vector<LinkIndex> link_lookup_;
+    // Per-cell (neighbor, link index) pairs, sorted by neighbor —
+    // linkBetween is a binary search over a cell's degree. O(cells +
+    // links) memory, unlike the dense cells x cells matrix it
+    // replaces, which capped arrays around 64k cells (a 100k-cell
+    // linear array needed a 40 GB table).
+    std::vector<std::vector<std::pair<CellId, LinkIndex>>> link_adj_;
 };
 
 } // namespace syscomm

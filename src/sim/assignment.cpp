@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/mix.h"
+
 namespace syscomm::sim {
 
 // ---------------------------------------------------------------------
@@ -87,18 +89,18 @@ void
 FcfsPolicy::tick(LinkState& link, Cycle now,
                  std::vector<AssignmentDecision>& decisions)
 {
-    std::vector<Crossing*> pending;
+    pending_.clear();
     for (Crossing& c : link.crossings()) {
         if (c.phase == CrossingPhase::kRequested)
-            pending.push_back(&c);
+            pending_.push_back(&c);
     }
-    std::sort(pending.begin(), pending.end(),
+    std::sort(pending_.begin(), pending_.end(),
               [](const Crossing* a, const Crossing* b) {
                   if (a->requestedAt != b->requestedAt)
                       return a->requestedAt < b->requestedAt;
                   return a->msg < b->msg;
               });
-    for (Crossing* c : pending) {
+    for (Crossing* c : pending_) {
         int q = link.findFreeQueue();
         if (q < 0)
             break;
@@ -111,22 +113,69 @@ FcfsPolicy::tick(LinkState& link, Cycle now,
 // RandomPolicy
 // ---------------------------------------------------------------------
 
+namespace {
+
+/**
+ * Counter-based bit generator for RandomPolicy's per-link streams:
+ * splitmix64 over a mixed (seed, link, counter) state. Cheap to
+ * construct per shuffle — no large state to seed, unlike mt19937.
+ */
+class SplitMix64
+{
+  public:
+    using result_type = std::uint64_t;
+
+    SplitMix64(std::uint64_t seed, std::uint64_t link,
+               std::uint64_t counter)
+        // Golden-ratio multiples keep the three inputs from aliasing
+        // (seed=1,link=2 must not collide with seed=2,link=1).
+        : state_(seed + 0x9e3779b97f4a7c15ull * (link + 1) +
+                 0xbf58476d1ce4e5b9ull * (counter + 1))
+    {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    result_type operator()() { return splitmix64(state_); }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace
+
 void
 RandomPolicy::tick(LinkState& link, Cycle now,
                    std::vector<AssignmentDecision>& decisions)
 {
-    std::vector<Crossing*> pending;
+    // A tick that cannot change link state must not advance the RNG
+    // stream: without a free queue (or without a pending request) the
+    // shuffle outcome is unobservable, and skipping the draw is what
+    // lets the event kernel fast-forward over such cycles without
+    // desynchronizing from the dense kernel.
+    if (link.numFreeQueues() == 0)
+        return;
+    pending_.clear();
     for (Crossing& c : link.crossings()) {
         if (c.phase == CrossingPhase::kRequested)
-            pending.push_back(&c);
+            pending_.push_back(&c);
     }
-    std::shuffle(pending.begin(), pending.end(), rng_);
-    for (Crossing* c : pending) {
+    if (pending_.empty())
+        return;
+
+    std::size_t idx = static_cast<std::size_t>(link.index());
+    if (idx >= decisions_.size())
+        decisions_.resize(idx + 1, 0);
+    SplitMix64 rng(seed_, static_cast<std::uint64_t>(link.index()),
+                   decisions_[idx]);
+    std::shuffle(pending_.begin(), pending_.end(), rng);
+    for (Crossing* c : pending_) {
         int q = link.findFreeQueue();
         if (q < 0)
             break;
         link.assignMsg(c->msg, q, now);
         decisions.push_back({c->msg, q});
+        ++decisions_[idx];
     }
 }
 

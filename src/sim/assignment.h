@@ -17,9 +17,9 @@
  *  - RandomPolicy: randomized arrival service; another unsafe baseline.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
-#include <random>
 #include <string>
 #include <vector>
 
@@ -122,22 +122,47 @@ class FcfsPolicy : public AssignmentPolicy
     std::string name() const override { return "fcfs"; }
     void tick(LinkState& link, Cycle now,
               std::vector<AssignmentDecision>& decisions) override;
+
+  private:
+    /** Per-tick scratch; tick runs on the simulator's hot path. */
+    std::vector<Crossing*> pending_;
 };
 
-/** Unsafe baseline: serve pending requests in random order. */
+/**
+ * Unsafe baseline: serve pending requests in random order.
+ *
+ * The shuffle order is drawn from a per-link *counted* stream: each
+ * draw is a pure function of (run seed, link index, the number of
+ * assignment decisions that link has made so far). A tick that cannot
+ * assign anything — no pending request, or no free queue — draws
+ * nothing and leaves the counter untouched, so the stream advances
+ * only on state-changing ticks. That makes the policy independent of
+ * how often it is ticked: an event-driven kernel that skips provably
+ * inert cycles sees exactly the shuffles the dense reference kernel
+ * sees, so fast-forwarding never desynchronizes the two (and
+ * SimSession's canFastForward needs no kRandom special case).
+ */
 class RandomPolicy : public AssignmentPolicy
 {
   public:
-    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+    explicit RandomPolicy(std::uint64_t seed) : seed_(seed) {}
 
     std::string name() const override { return "random"; }
-    /** Restart the RNG stream as if freshly constructed. */
-    void resetRun(std::uint64_t seed) override { rng_.seed(seed); }
+    /** Restart every per-link stream as if freshly constructed. */
+    void resetRun(std::uint64_t seed) override
+    {
+        seed_ = seed;
+        std::fill(decisions_.begin(), decisions_.end(), 0);
+    }
     void tick(LinkState& link, Cycle now,
               std::vector<AssignmentDecision>& decisions) override;
 
   private:
-    std::mt19937_64 rng_;
+    std::uint64_t seed_;
+    /** Assignment decisions made per link (the stream counters). */
+    std::vector<std::uint64_t> decisions_;
+    /** Per-tick shuffle scratch; tick is on the hot path. */
+    std::vector<Crossing*> pending_;
 };
 
 /** Selector used by SimOptions and RunRequest. */

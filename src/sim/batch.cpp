@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -128,6 +130,34 @@ SweepSummary::str() const
     return os.str();
 }
 
+/**
+ * The persistent worker pool. Threads are spawned by the first
+ * threaded batch and live until the runner is destroyed; run() hands
+ * them work by publishing a batch (requests/results pointers plus a
+ * shared work-stealing index) under the mutex and bumping batchId.
+ * A worker participates when its slot is within the batch's worker
+ * count; between batches every worker is parked on workCv, so the
+ * calling thread may freely mutate sessions_/shared_ — the mutex
+ * hand-off orders those writes before the workers' next reads.
+ */
+struct SweepRunner::Pool
+{
+    std::mutex mutex;
+    std::condition_variable workCv;
+    std::condition_variable doneCv;
+    std::vector<std::thread> threads;
+
+    // Guarded by mutex:
+    bool stop = false;
+    std::uint64_t batchId = 0;
+    int participants = 0; ///< pool threads active in current batch
+    int finished = 0;
+    const std::vector<RunRequest>* requests = nullptr;
+    std::vector<RunResult>* results = nullptr;
+    std::vector<std::exception_ptr>* errors = nullptr;
+    std::atomic<std::size_t>* next = nullptr;
+};
+
 SweepRunner::SweepRunner(const Program& program, const MachineSpec& spec,
                          SessionOptions session, SweepOptions options)
     : program_(program),
@@ -137,7 +167,24 @@ SweepRunner::SweepRunner(const Program& program, const MachineSpec& spec,
       shared_(session_)
 {}
 
-SweepRunner::~SweepRunner() = default;
+SweepRunner::~SweepRunner()
+{
+    if (!pool_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(pool_->mutex);
+        pool_->stop = true;
+    }
+    pool_->workCv.notify_all();
+    for (std::thread& t : pool_->threads)
+        t.join();
+}
+
+int
+SweepRunner::pooledWorkers() const
+{
+    return pool_ ? static_cast<int>(pool_->threads.size()) : 0;
+}
 
 int
 SweepRunner::workersFor(std::size_t num_requests) const
@@ -202,38 +249,99 @@ SweepRunner::run(const std::vector<RunRequest>& requests)
     if (workers <= 1) {
         drain(lead);
     } else {
-        // Size the slot vector up front; each spawned thread then
-        // only touches its own slot, constructing the session there
-        // on first use (parallel construction) and reusing it on
-        // later batches. Exceptions (a throwing ComputeFn, OOM) are
-        // parked per worker and rethrown after the join, so the
-        // threaded path fails the same way the serial path does
+        // Size the slot vector up front; each participating worker
+        // then only touches its own slot, constructing the session
+        // there on first use (parallel construction) and reusing it
+        // on later batches. Exceptions (a throwing ComputeFn, OOM)
+        // are parked per slot and rethrown after the batch joins, so
+        // the threaded path fails the same way the serial path does
         // instead of std::terminate-ing the process.
         if (static_cast<int>(sessions_.size()) < workers)
             sessions_.resize(workers);
         std::vector<std::exception_ptr> workerErrors(workers);
-        std::vector<std::thread> pool;
-        pool.reserve(workers - 1);
-        for (int w = 1; w < workers; ++w) {
-            pool.emplace_back([&, w] {
-                try {
-                    if (!sessions_[w]) {
-                        sessions_[w] = std::make_unique<SimSession>(
-                            program_, spec_, shared_);
+
+        if (!pool_)
+            pool_ = std::make_unique<Pool>();
+        // Grow the persistent pool to cover this batch; it never
+        // shrinks — an idle parked thread costs nothing, spawning
+        // one per run() call cost every small batch a thread
+        // start-up (the pre-pool design).
+        while (static_cast<int>(pool_->threads.size()) < workers - 1) {
+            int slot = static_cast<int>(pool_->threads.size()) + 1;
+            pool_->threads.emplace_back([this, slot] {
+                std::uint64_t seen = 0;
+                for (;;) {
+                    const std::vector<RunRequest>* reqs;
+                    std::vector<RunResult>* res;
+                    std::vector<std::exception_ptr>* errs;
+                    std::atomic<std::size_t>* idx;
+                    {
+                        std::unique_lock<std::mutex> lock(pool_->mutex);
+                        pool_->workCv.wait(lock, [&] {
+                            return pool_->stop ||
+                                   (pool_->batchId != seen &&
+                                    slot <= pool_->participants);
+                        });
+                        if (pool_->stop)
+                            return;
+                        seen = pool_->batchId;
+                        reqs = pool_->requests;
+                        res = pool_->results;
+                        errs = pool_->errors;
+                        idx = pool_->next;
                     }
-                    drain(*sessions_[w]);
-                } catch (...) {
-                    workerErrors[w] = std::current_exception();
+                    try {
+                        if (!sessions_[slot]) {
+                            sessions_[slot] = std::make_unique<SimSession>(
+                                program_, spec_, shared_);
+                        }
+                        for (std::size_t i = idx->fetch_add(1);
+                             i < reqs->size(); i = idx->fetch_add(1)) {
+                            (*res)[i] = sessions_[slot]->run((*reqs)[i]);
+                        }
+                    } catch (...) {
+                        (*errs)[slot] = std::current_exception();
+                    }
+                    {
+                        std::lock_guard<std::mutex> lock(pool_->mutex);
+                        if (++pool_->finished == pool_->participants)
+                            pool_->doneCv.notify_all();
+                    }
                 }
             });
         }
+
+        // Publish the batch and wake the participating workers.
+        {
+            std::lock_guard<std::mutex> lock(pool_->mutex);
+            ++pool_->batchId;
+            pool_->participants = workers - 1;
+            pool_->finished = 0;
+            pool_->requests = &requests;
+            pool_->results = &results;
+            pool_->errors = &workerErrors;
+            pool_->next = &next;
+        }
+        pool_->workCv.notify_all();
+
         try {
             drain(lead);
         } catch (...) {
             workerErrors[0] = std::current_exception();
         }
-        for (std::thread& t : pool)
-            t.join();
+        {
+            std::unique_lock<std::mutex> lock(pool_->mutex);
+            pool_->doneCv.wait(lock, [&] {
+                return pool_->finished == pool_->participants;
+            });
+            // The batch-local pointers die with this frame; no
+            // parked worker reads them again (a worker only reads
+            // them after observing a *new* batchId).
+            pool_->requests = nullptr;
+            pool_->results = nullptr;
+            pool_->errors = nullptr;
+            pool_->next = nullptr;
+        }
         for (const std::exception_ptr& error : workerErrors) {
             if (error)
                 std::rethrow_exception(error);

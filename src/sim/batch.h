@@ -106,9 +106,12 @@ SweepSummary summarizeSweep(std::vector<RunResult> results,
  * Threaded sweep driver. Construct once per (program, machine,
  * session-config) triple, then run() any number of request batches —
  * the per-worker SimSessions are built on first use and cached across
- * batches, so repeated run() calls pay no recompilation. The program
- * and spec must outlive the runner. run() itself is not reentrant
- * (one sweep at a time per runner).
+ * batches, so repeated run() calls pay no recompilation, and the
+ * worker threads themselves persist: the first threaded run() spawns
+ * them, later batches are handed over a request queue, so sweeping
+ * many small batches pays thread start-up once instead of per call.
+ * The program and spec must outlive the runner. run() itself is not
+ * reentrant (one sweep at a time per runner).
  */
 class SweepRunner
 {
@@ -117,13 +120,22 @@ class SweepRunner
                 SessionOptions session = {}, SweepOptions options = {});
     ~SweepRunner();
 
+    SweepRunner(const SweepRunner&) = delete;
+    SweepRunner& operator=(const SweepRunner&) = delete;
+
     /** Fan the requests across the workers and aggregate. */
     SweepSummary run(const std::vector<RunRequest>& requests);
 
     /** Worker count a run() with this many requests would use. */
     int workersFor(std::size_t num_requests) const;
 
+    /** Persistent worker threads currently alive (0 before the first
+     *  threaded batch; they are spawned on demand and never shed). */
+    int pooledWorkers() const;
+
   private:
+    struct Pool; // the persistent worker pool (batch.cpp)
+
     const Program& program_;
     const MachineSpec& spec_;
     SessionOptions session_;
@@ -136,6 +148,7 @@ class SweepRunner
     SessionOptions shared_;
     /** Cached per-slot sessions; slot 0 is the calling thread's. */
     std::vector<std::unique_ptr<SimSession>> sessions_;
+    std::unique_ptr<Pool> pool_;
 };
 
 } // namespace syscomm::sim

@@ -1,5 +1,6 @@
 #include "sim/link_state.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace syscomm::sim {
@@ -27,14 +28,33 @@ LinkState::resetRun()
     }
 }
 
+namespace {
+
+/** First crossing_index_ entry with message >= msg. */
+std::vector<std::pair<MessageId, int>>::const_iterator
+indexSeek(const std::vector<std::pair<MessageId, int>>& index,
+          MessageId msg)
+{
+    return std::lower_bound(
+        index.begin(), index.end(), msg,
+        [](const std::pair<MessageId, int>& entry, MessageId m) {
+            return entry.first < m;
+        });
+}
+
+} // namespace
+
 void
 LinkState::addCrossing(MessageId msg, LinkDir dir, int hop_index, int words)
 {
-    if (msg >= static_cast<MessageId>(crossing_index_.size()))
-        crossing_index_.resize(msg + 1, -1);
-    assert(crossing_index_[msg] == -1 &&
+    auto it = indexSeek(crossing_index_, msg);
+    assert((it == crossing_index_.end() || it->first != msg) &&
            "a route crosses each link at most once");
-    crossing_index_[msg] = static_cast<int>(crossings_.size());
+    // crossings_ keeps registration order (the policies' scan order);
+    // only the lookup index is sorted by message.
+    crossing_index_.insert(
+        crossing_index_.begin() + (it - crossing_index_.begin()),
+        {msg, static_cast<int>(crossings_.size())});
     Crossing c;
     c.msg = msg;
     c.dir = dir;
@@ -47,21 +67,21 @@ Crossing&
 LinkState::crossing(MessageId msg)
 {
     assert(hasCrossing(msg));
-    return crossings_[crossing_index_[msg]];
+    return crossings_[indexSeek(crossing_index_, msg)->second];
 }
 
 const Crossing&
 LinkState::crossing(MessageId msg) const
 {
     assert(hasCrossing(msg));
-    return crossings_[crossing_index_[msg]];
+    return crossings_[indexSeek(crossing_index_, msg)->second];
 }
 
 bool
 LinkState::hasCrossing(MessageId msg) const
 {
-    return msg >= 0 && msg < static_cast<MessageId>(crossing_index_.size()) &&
-           crossing_index_[msg] != -1;
+    auto it = indexSeek(crossing_index_, msg);
+    return it != crossing_index_.end() && it->first == msg;
 }
 
 int
@@ -103,7 +123,7 @@ LinkState::assignMsg(MessageId msg, int queue_id, Cycle now)
     c.phase = CrossingPhase::kAssigned;
     c.queueId = queue_id;
     c.assignedAt = now;
-    queues_[queue_id].assign(msg, c.dir, c.words, now);
+    queues_[queue_id].assign(msg, c.dir, c.words, now, c.finalHop);
 }
 
 void

@@ -32,6 +32,13 @@ struct Crossing
     int hopIndex = 0;
     /** Total words of the message. */
     int words = 0;
+    /**
+     * Is this the route's last hop (the receiver pops here)? Static
+     * route information stamped by the session at compile time and
+     * copied into the queue at assignment, so the kernels' hot hooks
+     * never need a crossing lookup to answer it.
+     */
+    bool finalHop = false;
 
     CrossingPhase phase = CrossingPhase::kIdle;
     int queueId = -1;
@@ -99,8 +106,14 @@ class LinkState
     LinkIndex index_;
     std::vector<HwQueue> queues_;
     std::vector<Crossing> crossings_;
-    /** msg -> index in crossings_, or -1. Grown on demand. */
-    std::vector<int> crossing_index_;
+    /**
+     * (msg, index in crossings_) sorted by msg; crossing() is a
+     * binary search over the few messages that cross this link. The
+     * dense by-MessageId vector this replaces cost O(links x
+     * messages) memory and construction time machine-wide —
+     * quadratic on large arrays where both scale with cell count.
+     */
+    std::vector<std::pair<MessageId, int>> crossing_index_;
 };
 
 } // namespace syscomm::sim

@@ -38,6 +38,7 @@ HwQueue::reset()
 {
     assigned_ = kInvalidMessage;
     dir_ = LinkDir::kForward;
+    final_hop_ = false;
     words_remaining_ = 0;
     head_ = 0;
     ring_count_ = 0;
@@ -68,13 +69,15 @@ HwQueue::settleStats(Cycle now)
 }
 
 void
-HwQueue::assign(MessageId msg, LinkDir dir, int total_words, Cycle now)
+HwQueue::assign(MessageId msg, LinkDir dir, int total_words, Cycle now,
+                bool final_hop)
 {
     assert(isFree() && "queue already assigned");
     assert(total_words > 0);
     settleStats(now);
     assigned_ = msg;
     dir_ = dir;
+    final_hop_ = final_hop;
     words_remaining_ = total_words;
     ++assignments_;
 }
@@ -85,6 +88,7 @@ HwQueue::release(Cycle now)
     assert(canRelease());
     settleStats(now);
     assigned_ = kInvalidMessage;
+    final_hop_ = false;
     words_remaining_ = 0;
 }
 

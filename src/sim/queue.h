@@ -60,9 +60,16 @@ class HwQueue
     bool isFree() const { return assigned_ == kInvalidMessage; }
     MessageId assignedMsg() const { return assigned_; }
     LinkDir dir() const { return dir_; }
+    /** Is the assigned message on its final hop here (see Crossing)? */
+    bool finalHop() const { return final_hop_; }
 
-    /** Assign to a message; @p total_words of it will pass through. */
-    void assign(MessageId msg, LinkDir dir, int total_words, Cycle now);
+    /**
+     * Assign to a message; @p total_words of it will pass through.
+     * @p final_hop mirrors the crossing's route position so per-word
+     * bookkeeping can read it off the queue.
+     */
+    void assign(MessageId msg, LinkDir dir, int total_words, Cycle now,
+                bool final_hop = false);
 
     /** Words of the current message that have not yet passed. */
     int wordsRemaining() const { return words_remaining_; }
@@ -162,6 +169,7 @@ class HwQueue
 
     MessageId assigned_ = kInvalidMessage;
     LinkDir dir_ = LinkDir::kForward;
+    bool final_hop_ = false;
     int words_remaining_ = 0;
 
     /** Hardware slots: ring of power-of-two length, masked indexing. */

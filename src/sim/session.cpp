@@ -53,8 +53,12 @@ opText(const Program& program, const Op& op)
            program.message(op.msg).name + ")";
 }
 
-using LinkSet = SortedIndexSet<LinkIndex, kInvalidLink>;
-using CellSet = SortedIndexSet<CellId, kInvalidCell>;
+// Hierarchical bitmaps: O(1) insert/erase and O(levels) cursor seeks
+// regardless of how many cells/links are active, so dense-active
+// phases on 100k-cell arrays cost the same per mutation as sparse
+// ones (the sorted-vector predecessor went quadratic there).
+using LinkSet = BitIndexSet<LinkIndex, kInvalidLink>;
+using CellSet = BitIndexSet<CellId, kInvalidCell>;
 
 const std::vector<std::int64_t> kNoLabels;
 
@@ -100,6 +104,18 @@ struct SimSession::Impl
      * step them), so they bound the per-run cell reset.
      */
     std::vector<CellId> programCells;
+
+    /**
+     * Flat per-message route endpoints: the first/last hop's link and
+     * the crossing's index in that link's crossing list. The sender
+     * and receiver fast paths (executeWrite/executeRead) run once per
+     * word per cell visit; two contiguous array loads replace a Route
+     * pointer chase plus a crossing binary search there.
+     */
+    std::vector<LinkIndex> firstHopLink;
+    std::vector<LinkIndex> lastHopLink;
+    std::vector<int> firstHopCross;
+    std::vector<int> lastHopCross;
 
     bool eventMode = false;
     int runs = 0;
@@ -160,16 +176,24 @@ struct SimSession::Impl
     std::vector<LinkIndex> cellWaitLink;
     /** Cells to wake on any queue event of a link (at most ~2 each). */
     std::vector<std::vector<CellId>> linkWaiters;
-    /** (cycle, cell) wake-ups for purely time-driven queue readiness;
-     *  a min-heap over contiguous storage so it clears in O(1). */
+    /**
+     * (cycle, cell) wake-ups for purely time-driven queue readiness.
+     * Bucketed by distance: almost every timed wake is for the very
+     * next cycle (a word pushed this cycle is consumable the next),
+     * so those go into a flat buffer drained wholesale at the next
+     * executed cycle — O(1) per wake instead of a heap push/pop on a
+     * machine-sized heap. Only far wakes (extension penalties) use
+     * the min-heap. The buffer never survives a fast-forward jump: a
+     * non-empty buffer forces nextInterestingCycle to now + 1, so the
+     * kernel cannot skip the cycle the buffer is due.
+     */
+    std::vector<CellId> nextCycleWakes;
+    std::vector<CellId> wakeScratch;
     std::vector<std::pair<Cycle, CellId>> timedWakes;
 
     /** Per link: assigned, non-empty, non-final-hop queues ("hot"). */
     std::vector<int> fwdCount;
     LinkSet fwdLinks;
-    /** Per link: non-empty queues (timed-event scan scope). */
-    std::vector<int> nonEmptyCount;
-    LinkSet nonEmptyLinks;
     /** Per link: crossings in kRequested phase (policy must run). */
     std::vector<int> pendingCount;
     LinkSet pendingLinks;
@@ -178,12 +202,51 @@ struct SimSession::Impl
     std::vector<LinkIndex> recheckList;
     std::vector<LinkIndex> tickScratch;
 
+    /**
+     * Queue timed events: one (ready cycle, link, queue) entry per
+     * queue front that will mature by time alone, kept as a min-heap
+     * over contiguous storage. An entry is live while its queue is
+     * non-empty and the front's ready cycle still equals the recorded
+     * one; stale entries (the front was popped or replaced) are
+     * discarded lazily at the top. This replaces the per-link
+     * full-queue scans of the old timed-event check: the fast-forward
+     * target is the heap top, O(1) plus amortized stale pops, instead
+     * of O(non-empty links x queues per link).
+     */
+    struct QueueTimedEvent
+    {
+        Cycle ready;
+        LinkIndex link;
+        int queue;
+    };
+    std::vector<QueueTimedEvent> queueEvents;
+    /**
+     * Heap-ordered prefix of queueEvents; entries past it are an
+     * unsorted tail appended since the last query. Scheduling on the
+     * hot path is therefore a plain push_back — the heap property is
+     * restored lazily (ensureQueueEventHeap) only when a
+     * zero-progress cycle actually asks for the minimum.
+     */
+    std::size_t queueEventsHeaped = 0;
+    /** Compact (drop stale entries in bulk) past this size. */
+    std::size_t queueEventCompactLimit = 64;
+
     /** Out-params of the executors for sleep registration. */
     LinkIndex blockLink = kInvalidLink;
     Cycle blockTimedWake = -1;
 
     /** Per-tick scratch; tickLink runs on the per-cycle hot path. */
     std::vector<AssignmentDecision> decisionScratch;
+
+    /**
+     * High-water marks of the opt-in result vectors across this
+     * session's runs: each run's vectors are moved out to the caller,
+     * so without a reserve every collecting run would regrow them
+     * from scratch. Reserving the largest size seen makes the reuse
+     * path allocation-free in steady state.
+     */
+    std::size_t hwEvents = 0;
+    std::size_t hwReleases = 0;
 
     Impl(const Program& p, const MachineSpec& s, SessionOptions o)
         : program(p), spec(s), options(std::move(o))
@@ -205,11 +268,28 @@ struct SimSession::Impl
                                spec.extensionCapacity,
                                spec.extensionPenalty);
         }
+        firstHopLink.assign(program.numMessages(), kInvalidLink);
+        lastHopLink.assign(program.numMessages(), kInvalidLink);
+        firstHopCross.assign(program.numMessages(), -1);
+        lastHopCross.assign(program.numMessages(), -1);
         for (MessageId m = 0; m < program.numMessages(); ++m) {
             const Route& route = competing.route(m);
             for (int h = 0; h < route.numHops(); ++h) {
-                links[route.hops[h].link].addCrossing(
-                    m, route.hops[h].dir, h, program.messageLength(m));
+                LinkState& link = links[route.hops[h].link];
+                link.addCrossing(m, route.hops[h].dir, h,
+                                 program.messageLength(m));
+                int crossIdx =
+                    static_cast<int>(link.crossings().size()) - 1;
+                link.crossings().back().finalHop =
+                    h + 1 == route.numHops();
+                if (h == 0) {
+                    firstHopLink[m] = route.hops[h].link;
+                    firstHopCross[m] = crossIdx;
+                }
+                if (h + 1 == route.numHops()) {
+                    lastHopLink[m] = route.hops[h].link;
+                    lastHopCross[m] = crossIdx;
+                }
             }
         }
         for (LinkIndex l = 0; l < spec.topo.numLinks(); ++l) {
@@ -234,9 +314,11 @@ struct SimSession::Impl
         cellWaitLink.assign(cells.size(), kInvalidLink);
         linkWaiters.resize(links.size());
         fwdCount.assign(links.size(), 0);
-        nonEmptyCount.assign(links.size(), 0);
         pendingCount.assign(links.size(), 0);
         recheckFlag.assign(links.size(), 0);
+        activeCells.resize(static_cast<CellId>(cells.size()));
+        fwdLinks.resize(static_cast<LinkIndex>(links.size()));
+        pendingLinks.resize(static_cast<LinkIndex>(links.size()));
     }
 
     /** The session's default labels, computed at most once. */
@@ -314,14 +396,25 @@ struct SimSession::Impl
         result.releases.clear();
         result.audit = AuditReport{};
         result.labelsUsed = *runLabels;
+        // The result vectors were moved out to the previous caller;
+        // reserve this session's high-water marks so collecting runs
+        // stop reallocating on the reuse path.
+        if (needEvents)
+            result.events.reserve(hwEvents);
+        if (collectReleases)
+            result.releases.reserve(hwReleases);
         if (collectTiming)
             result.msgTiming.assign(program.numMessages(), {-1, -1});
         else
             result.msgTiming.clear();
         if (collectReceived) {
             result.received.resize(program.numMessages());
-            for (std::vector<double>& r : result.received)
-                r.clear();
+            for (MessageId m = 0; m < program.numMessages(); ++m) {
+                result.received[m].clear();
+                // A message delivers exactly messageLength words.
+                result.received[m].reserve(
+                    static_cast<std::size_t>(program.messageLength(m)));
+            }
         } else {
             result.received.clear();
         }
@@ -334,15 +427,17 @@ struct SimSession::Impl
             for (LinkIndex l : routedLinksDesc) {
                 linkWaiters[l].clear();
                 fwdCount[l] = 0;
-                nonEmptyCount[l] = 0;
                 pendingCount[l] = 0;
                 recheckFlag[l] = 0;
             }
+            nextCycleWakes.clear();
             timedWakes.clear();
             fwdLinks.clear();
-            nonEmptyLinks.clear();
             pendingLinks.clear();
             recheckList.clear();
+            queueEvents.clear();
+            queueEventsHeaped = 0;
+            queueEventCompactLimit = 64;
         }
     }
 
@@ -351,13 +446,6 @@ struct SimSession::Impl
     // of these so the active sets stay exact. All are no-ops for the
     // reference kernel.
     // -----------------------------------------------------------------
-
-    bool
-    isFinalHop(const LinkState& link, MessageId msg) const
-    {
-        const Crossing& c = link.crossing(msg);
-        return c.hopIndex + 1 >= competing.route(msg).numHops();
-    }
 
     void
     wakeCell(CellId cell)
@@ -396,6 +484,81 @@ struct SimSession::Impl
         wakeWaiters(l);
     }
 
+    /**
+     * A queue's front word changed (push into empty, or pop exposing
+     * the next word): record when the new front matures. Every
+     * non-empty queue has a live heap entry, which is what makes the
+     * heap-based timed-event check exact.
+     */
+    void
+    scheduleQueueEvent(const LinkState& link, const HwQueue& q)
+    {
+        queueEvents.push_back(
+            {q.frontReadyCycle(), link.index(), q.id()});
+        if (queueEvents.size() > queueEventCompactLimit)
+            compactQueueEvents();
+    }
+
+    /** Restore the heap property over the appended tail. */
+    void
+    ensureQueueEventHeap()
+    {
+        std::size_t tail = queueEvents.size() - queueEventsHeaped;
+        if (tail == 0)
+            return;
+        if (tail <= 64) {
+            // A short tail is cheaper to sift in one by one than to
+            // re-heapify everything.
+            while (queueEventsHeaped < queueEvents.size()) {
+                ++queueEventsHeaped;
+                std::push_heap(queueEvents.begin(),
+                               queueEvents.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       queueEventsHeaped),
+                               laterReady);
+            }
+        } else {
+            std::make_heap(queueEvents.begin(), queueEvents.end(),
+                           laterReady);
+            queueEventsHeaped = queueEvents.size();
+        }
+    }
+
+    static bool
+    laterReady(const QueueTimedEvent& a, const QueueTimedEvent& b)
+    {
+        return a.ready > b.ready; // min-heap on ready cycle
+    }
+
+    bool
+    queueEventLive(const QueueTimedEvent& e) const
+    {
+        const HwQueue& q =
+            links[e.link].queues()[static_cast<std::size_t>(e.queue)];
+        return !q.empty() && q.frontReadyCycle() == e.ready;
+    }
+
+    /**
+     * Drop stale entries in bulk so the heap stays proportional to
+     * the number of in-flight queue fronts, not to the total words a
+     * long run ever forwarded. Amortized O(1) per scheduled event.
+     */
+    void
+    compactQueueEvents()
+    {
+        queueEvents.erase(
+            std::remove_if(queueEvents.begin(), queueEvents.end(),
+                           [this](const QueueTimedEvent& e) {
+                               return !queueEventLive(e);
+                           }),
+            queueEvents.end());
+        // The survivors are in arbitrary order now; re-heapify on the
+        // next query.
+        queueEventsHeaped = 0;
+        queueEventCompactLimit =
+            std::max<std::size_t>(64, 2 * queueEvents.size());
+    }
+
     /** After a queue push left @p q non-empty for the first time. */
     void
     onPush(LinkState& link, const HwQueue& q)
@@ -404,9 +567,8 @@ struct SimSession::Impl
             return;
         LinkIndex l = link.index();
         if (q.size() == 1) {
-            if (nonEmptyCount[l]++ == 0)
-                nonEmptyLinks.insert(l);
-            if (!isFinalHop(link, q.assignedMsg())) {
+            scheduleQueueEvent(link, q);
+            if (!q.finalHop()) {
                 if (fwdCount[l]++ == 0)
                     fwdLinks.insert(l);
             }
@@ -422,12 +584,12 @@ struct SimSession::Impl
             return;
         LinkIndex l = link.index();
         if (q.empty()) {
-            if (--nonEmptyCount[l] == 0)
-                nonEmptyLinks.erase(l);
-            if (!isFinalHop(link, q.assignedMsg())) {
+            if (!q.finalHop()) {
                 if (--fwdCount[l] == 0)
                     fwdLinks.erase(l);
             }
+        } else {
+            scheduleQueueEvent(link, q); // a new word surfaced
         }
         wakeWaiters(l);
     }
@@ -526,11 +688,11 @@ struct SimSession::Impl
         for (HwQueue& q : link.queues()) {
             if (q.isFree() || q.empty())
                 continue;
+            if (q.finalHop())
+                continue; // final hop: the receiver pops it
             MessageId msg = q.assignedMsg();
             const Crossing& c = link.crossing(msg);
             const Route& route = competing.route(msg);
-            if (c.hopIndex + 1 >= route.numHops())
-                continue; // final hop: the receiver pops it
             const Hop& next_hop = route.hops[c.hopIndex + 1];
             LinkState& next_link = links[next_hop.link];
             Crossing& nc = next_link.crossing(msg);
@@ -584,9 +746,8 @@ struct SimSession::Impl
             }
         }
 
-        const Route& route = competing.route(op.msg);
-        LinkState& link = links[route.hops[0].link];
-        Crossing& c = link.crossing(op.msg);
+        LinkState& link = links[firstHopLink[op.msg]];
+        Crossing& c = link.crossings()[firstHopCross[op.msg]];
         if (c.phase == CrossingPhase::kIdle) {
             link.request(op.msg, now);
             onRequest(link.index());
@@ -636,10 +797,8 @@ struct SimSession::Impl
             return 1;
         }
 
-        const Route& route = competing.route(op.msg);
-        const Hop& last_hop = route.hops.back();
-        LinkState& link = links[last_hop.link];
-        Crossing& c = link.crossing(op.msg);
+        LinkState& link = links[lastHopLink[op.msg]];
+        Crossing& c = link.crossings()[lastHopCross[op.msg]];
         if (c.phase != CrossingPhase::kAssigned) {
             cell.lastBlock = c.phase == CrossingPhase::kRequested
                                  ? BlockReason::kQueueNotAssigned
@@ -883,7 +1042,7 @@ struct SimSession::Impl
     }
 
     void
-    registerWait(CellId cell, LinkIndex link, Cycle timed)
+    registerWait(CellId cell, LinkIndex link, Cycle timed, Cycle now)
     {
         if (cellWaitLink[cell] != link) {
             removeWaiter(cell);
@@ -892,7 +1051,9 @@ struct SimSession::Impl
                 linkWaiters[link].push_back(cell);
             }
         }
-        if (timed >= 0) {
+        if (timed == now + 1) {
+            nextCycleWakes.push_back(cell); // the common case: O(1)
+        } else if (timed >= 0) {
             timedWakes.emplace_back(timed, cell);
             std::push_heap(timedWakes.begin(), timedWakes.end(),
                            std::greater<std::pair<Cycle, CellId>>());
@@ -902,8 +1063,10 @@ struct SimSession::Impl
     std::int64_t
     assignmentPhaseEvent(Cycle now)
     {
-        tickScratch.assign(pendingLinks.items().begin(),
-                           pendingLinks.items().end());
+        tickScratch.clear();
+        for (LinkIndex l = pendingLinks.firstAtLeast(0);
+             l != kInvalidLink; l = pendingLinks.firstAtLeast(l + 1))
+            tickScratch.push_back(l);
         for (LinkIndex l : recheckList) {
             recheckFlag[l] = 0;
             tickScratch.push_back(l);
@@ -941,6 +1104,15 @@ struct SimSession::Impl
     std::int64_t
     cellPhaseEvent(Cycle now)
     {
+        // Wakes bucketed for "the next executed cycle" — which is
+        // exactly this one: a non-empty bucket pins the fast-forward
+        // target to now, so no jump can overshoot it. Swap first:
+        // cells re-blocking during the scan refill the bucket for the
+        // *next* cycle.
+        wakeScratch.swap(nextCycleWakes);
+        for (CellId c : wakeScratch)
+            wakeCell(c);
+        wakeScratch.clear();
         while (!timedWakes.empty() && timedWakes.front().first <= now) {
             CellId c = timedWakes.front().second;
             std::pop_heap(timedWakes.begin(), timedWakes.end(),
@@ -976,7 +1148,7 @@ struct SimSession::Impl
                 ++result.stats.cellBlockedCycles;
                 ++result.stats.perCellBlocked[id];
                 if (blockLink != kInvalidLink) {
-                    registerWait(id, blockLink, blockTimedWake);
+                    registerWait(id, blockLink, blockTimedWake, now);
                     activeCells.erase(id);
                 }
                 // else: no known wake condition — stay active (never
@@ -990,60 +1162,71 @@ struct SimSession::Impl
         return progress;
     }
 
-    bool
-    timedEventPendingEvent(Cycle now) const
+    /**
+     * Pop heap entries that are stale (their front was popped or
+     * replaced) or already mature (the queue is consumable at @p now
+     * — not a *timed* event). Only called at zero-progress cycles, so
+     * no queue was pushed or popped at @p now: for every non-empty
+     * queue the front's maturity is exactly frontReadyCycle(), and
+     * after pruning the heap top is the earliest live timed event.
+     */
+    void
+    pruneQueueEvents(Cycle now)
     {
-        for (LinkIndex l : nonEmptyLinks.items()) {
-            for (const HwQueue& q : links[l].queues()) {
-                if (q.pendingTimedEvent(now))
-                    return true;
-            }
+        ensureQueueEventHeap();
+        while (!queueEvents.empty()) {
+            const QueueTimedEvent& top = queueEvents.front();
+            if (top.ready > now && queueEventLive(top))
+                break;
+            std::pop_heap(queueEvents.begin(), queueEvents.end(),
+                          laterReady);
+            queueEvents.pop_back();
+            --queueEventsHeaped;
         }
-        return false;
+    }
+
+    bool
+    timedEventPendingEvent(Cycle now)
+    {
+        pruneQueueEvents(now);
+        return !queueEvents.empty();
     }
 
     /**
      * True when cycles after a zero-progress cycle may be skipped
-     * wholesale: no cell is runnable, no policy re-tick is queued,
-     * and skipping policy ticks cannot desynchronize the random
-     * policy's RNG stream (std::shuffle draws nothing for fewer than
-     * two pending requests).
+     * wholesale: no cell is runnable and no policy re-tick is queued.
+     * Pending-request links need no special case for any policy —
+     * a tick that could change link state always makes progress (so
+     * its cycle is never skipped), and RandomPolicy's per-link
+     * counted streams draw nothing on ticks that cannot assign, so
+     * skipped idle cycles cannot desynchronize its shuffles.
      */
     bool
-    canFastForward(PolicyKind kind) const
+    canFastForward() const
     {
-        if (!activeCells.empty() || !recheckList.empty())
-            return false;
-        if (kind != PolicyKind::kRandom)
-            return true;
-        for (LinkIndex l : pendingLinks.items()) {
-            if (pendingCount[l] >= 2)
-                return false;
-        }
-        return true;
+        return activeCells.empty() && recheckList.empty();
     }
 
     /** Earliest future cycle any queue front or cell wake matures. */
     Cycle
-    nextInterestingCycle(Cycle now) const
+    nextInterestingCycle(Cycle now)
     {
+        if (!nextCycleWakes.empty())
+            return now + 1; // a wake is due immediately: no jump
         Cycle next = -1;
         if (!timedWakes.empty())
             next = timedWakes.front().first;
-        for (LinkIndex l : nonEmptyLinks.items()) {
-            for (const HwQueue& q : links[l].queues()) {
-                if (q.empty() || !q.pendingTimedEvent(now))
-                    continue;
-                Cycle ready = std::max(q.frontReadyCycle(), now + 1);
-                if (next < 0 || ready < next)
-                    next = ready;
-            }
+        pruneQueueEvents(now);
+        if (!queueEvents.empty()) {
+            Cycle ready = queueEvents.front().ready; // > now, live
+            if (next < 0 || ready < next)
+                next = ready;
         }
         return next < 0 ? now + 1 : std::max(next, now + 1);
     }
 
     void
-    runEventDriven(PolicyKind kind)
+    runEventDriven()
     {
         for (Cycle now = 1; now <= maxCycles; ++now) {
             std::int64_t progress = 0;
@@ -1067,7 +1250,7 @@ struct SimSession::Impl
                 result.cycles = now;
                 break;
             }
-            if (progress == 0 && canFastForward(kind)) {
+            if (progress == 0 && canFastForward()) {
                 // Bulk-advance: everything is waiting on queue
                 // timing; jump straight to the first cycle where a
                 // front word matures. The skipped cycles are provably
@@ -1148,12 +1331,14 @@ struct SimSession::Impl
         }
 
         if (eventMode)
-            runEventDriven(request.policy);
+            runEventDriven();
         else
             runReference();
 
         result.stats.cycles = result.cycles;
         collectQueueStats();
+        hwEvents = std::max(hwEvents, result.events.size());
+        hwReleases = std::max(hwReleases, result.releases.size());
         if (doAudit && !runLabels->empty()) {
             result.audit = auditAssignments(program, competing, *runLabels,
                                             result.events);

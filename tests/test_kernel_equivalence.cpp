@@ -307,6 +307,79 @@ TEST(KernelEquivalence, SweepRunnerAgreesAcrossKernels)
     EXPECT_EQ(evtSweep.p99Cycles, refSweep.p99Cycles);
 }
 
+TEST(KernelEquivalence, LargeArrayPhasesAt4kCells)
+{
+    // The bench_large_array workloads at the smallest "large" size:
+    // 4096 cells is well past anything the rest of the suite touches
+    // and exercises three summary levels of the active-set bitmaps,
+    // the bucketed next-cycle wakes, and the queue-event heap at
+    // scale — against the dense oracle.
+    const int kCells = 4096;
+    Topology topo = Topology::linearArray(kCells);
+    for (ArrayPhase phase : {ArrayPhase::kSparse, ArrayPhase::kStreaming,
+                             ArrayPhase::kDenseActive}) {
+        LargeArrayOptions gen;
+        gen.phase = phase;
+        gen.messages = 8;
+        gen.wordsPerMessage = phase == ArrayPhase::kDenseActive ? 6 : 16;
+        gen.computeGap = 4;
+        Program p = largeArrayProgram(kCells, gen);
+        for (PolicyKind policy : {PolicyKind::kCompatible,
+                                  PolicyKind::kRandom}) {
+            SimOptions options;
+            options.policy = policy;
+            options.seed = 9 + static_cast<int>(phase);
+            expectKernelsAgree(p, spec(topo, 2, 2), options);
+        }
+    }
+}
+
+TEST(KernelEquivalence, RandomPolicyMultiPendingFastForward)
+{
+    // The regime the per-link counted RNG exists for: several
+    // messages hold >= 2 simultaneous pending requests on a shared
+    // link under the random policy while extension penalties create
+    // long idle stretches the event kernel fast-forwards over. The
+    // old global-stream RNG forced the kernel to disable fast-forward
+    // here (a skipped cycle skipped a shuffle and desynchronized the
+    // stream); with counted per-link streams the kernels must stay
+    // bit-identical with no special case. Depending on the seed these
+    // programs complete or deadlock — both outcomes must agree.
+    Topology topo = Topology::linearArray(8);
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        Program p(8);
+        // Three messages from distinct senders funnel into cell 6
+        // through the shared links (4,5) and (5,6); with one queue
+        // per link, two of them are always pending behind the third.
+        MessageId m0 = p.declareMessage("A", 0, 6);
+        MessageId m1 = p.declareMessage("B", 1, 6);
+        MessageId m2 = p.declareMessage("C", 2, 6);
+        const int kWords = 4;
+        for (MessageId m : {m0, m1, m2}) {
+            const MessageDecl& decl = p.message(m);
+            for (int w = 0; w < kWords; ++w)
+                p.write(decl.sender, m);
+        }
+        for (MessageId m : {m0, m1, m2}) {
+            for (int w = 0; w < kWords; ++w)
+                p.read(6, m);
+        }
+        SimOptions options;
+        options.policy = PolicyKind::kRandom;
+        options.seed = seed;
+        options.maxCycles = 50'000;
+        // Queue capacity 1 with a deep, slow extension: every surfaced
+        // word stalls the whole pipeline for 6 cycles, giving the
+        // event kernel plenty of provably inert stretches to skip
+        // while the two losing messages sit in kRequested.
+        expectKernelsAgree(
+            p, spec(topo, 1, 1, /*ext=*/3, /*penalty=*/6), options);
+        // Same shape with room for simultaneous assignment churn.
+        expectKernelsAgree(
+            p, spec(topo, 2, 1, /*ext=*/2, /*penalty=*/4), options);
+    }
+}
+
 TEST(KernelEquivalence, LongStreamSparseArray)
 {
     // The streaming case the active-set kernel is built for: a few

@@ -282,6 +282,49 @@ TEST(SweepRunner, MatchesSerialLoop)
     }
 }
 
+TEST(SweepRunner, PersistentPoolKeepsBatchesDeterministic)
+{
+    // Many small batches through one runner: the pool threads are
+    // spawned by the first threaded batch and reused by every later
+    // one (pooledWorkers never shrinks), interleaved batch shapes —
+    // including single-request batches that run inline — do not
+    // perturb results, and every batch matches the serial loop
+    // bit for bit.
+    Program p = perturbedProgram(7);
+    MachineSpec spec = smallSpec(5, 2, 1);
+    std::vector<RunRequest> requests = mixedRequests();
+
+    SimSession serial(p, spec);
+    std::vector<RunResult> serialResults;
+    for (const RunRequest& request : requests)
+        serialResults.push_back(serial.run(request));
+
+    SweepOptions sweepOptions;
+    sweepOptions.numWorkers = 3;
+    SweepRunner runner(p, spec, {}, sweepOptions);
+    EXPECT_EQ(runner.pooledWorkers(), 0); // lazily spawned
+
+    for (int batch = 0; batch < 4; ++batch) {
+        SweepSummary summary = runner.run(requests);
+        EXPECT_EQ(runner.pooledWorkers(), 2); // workers - 1, persistent
+        ASSERT_EQ(summary.results.size(), requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            expectSameResult(summary.results[i], serialResults[i],
+                             "batch=" + std::to_string(batch) +
+                                 " request=" + std::to_string(i));
+        }
+
+        // An inline single-request batch between threaded ones.
+        std::vector<RunRequest> one{requests[batch]};
+        SweepSummary single = runner.run(one);
+        ASSERT_EQ(single.results.size(), 1u);
+        EXPECT_EQ(single.workersUsed, 1);
+        expectSameResult(single.results.front(), serialResults[batch],
+                         "inline batch=" + std::to_string(batch));
+        EXPECT_EQ(runner.pooledWorkers(), 2); // pool never shed
+    }
+}
+
 TEST(SweepRunner, StatusHistogramCoversDeadlocks)
 {
     // Fig. 7 at one queue per link: the compatible policy completes,

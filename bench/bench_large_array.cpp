@@ -10,7 +10,13 @@
  * story — near-constant ns/cell-cycle across sizes means the kernel
  * scales linearly, a growing value means the set machinery is
  * super-linear. The reference kernel is timed at the smaller sizes
- * for an absolute anchor. Appends JSON lines to
+ * for an absolute anchor. Each row also reports memory next to the
+ * time — the arena/SoA layout work moves both: `rss(MB)` is the
+ * process's *current* resident set right after the timed runs (the
+ * live cost of that row's sessions + program), and `peakRSS(MB)` the
+ * process-wide high-water mark (monotone over the whole sweep — it
+ * only moves when a row out-sizes everything before it, so compare
+ * rss per row and peak across the run). Appends JSON lines to
  * BENCH_large_array.json.
  *
  * Usage: bench_large_array [--quick]
@@ -23,6 +29,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 #include "bench_util.h"
 #include "core/program_gen.h"
 #include "core/topology.h"
@@ -32,6 +43,45 @@ namespace {
 
 using namespace syscomm;
 using Clock = std::chrono::steady_clock;
+
+/** Current resident set size of this process in MiB (0 if unknown). */
+double
+currentRssMb()
+{
+#if defined(__linux__)
+    // /proc/self/statm: total and resident size in pages.
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr)
+        return 0.0;
+    long total = 0, resident = 0;
+    int fields = std::fscanf(f, "%ld %ld", &total, &resident);
+    std::fclose(f);
+    if (fields != 2)
+        return 0.0;
+    return static_cast<double>(resident) *
+           static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+#else
+    return 0.0;
+#endif
+}
+
+/** Peak resident set size of this process in MiB (0 if unknown). */
+double
+peakRssMb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0.0;
+#if defined(__APPLE__)
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(usage.ru_maxrss) / 1024.0; // KiB -> MiB
+#endif
+#else
+    return 0.0;
+#endif
+}
 
 MachineSpec
 makeSpec(int cells)
@@ -124,9 +174,9 @@ main(int argc, char** argv)
                                  ArrayPhase::kDenseActive};
 
     bench::row({"phase", "cells", "kernel", "cycles", "seconds",
-                "cyc/sec", "ns/cell-cyc"},
+                "cyc/sec", "ns/cell-cyc", "rss(MB)", "peakRSS(MB)"},
                13);
-    bench::rule(7, 13);
+    bench::rule(9, 13);
     for (ArrayPhase phase : phases) {
         for (int cells : sizes) {
             Program program =
@@ -151,12 +201,15 @@ main(int argc, char** argv)
                     1e9 * t.seconds /
                     (static_cast<double>(t.cycles) *
                      static_cast<double>(cells));
+                double rssMb = currentRssMb();
+                double peakMb = peakRssMb();
                 bench::row({arrayPhaseName(phase),
                             std::to_string(cells),
                             sim::kernelKindName(kernel),
                             std::to_string(t.cycles),
                             bench::fmt(t.seconds), bench::fmt(cycPerSec),
-                            bench::fmt(nsPerCellCycle)},
+                            bench::fmt(nsPerCellCycle),
+                            bench::fmt(rssMb), bench::fmt(peakMb)},
                            13);
                 json.record("seconds", t.seconds,
                             {{"phase", arrayPhaseName(phase)},
@@ -167,9 +220,17 @@ main(int argc, char** argv)
                             {{"phase", arrayPhaseName(phase)},
                              {"cells", std::to_string(cells)},
                              {"kernel", sim::kernelKindName(kernel)}});
+                json.record("rss_mb", rssMb,
+                            {{"phase", arrayPhaseName(phase)},
+                             {"cells", std::to_string(cells)},
+                             {"kernel", sim::kernelKindName(kernel)}});
+                json.record("peak_rss_mb", peakMb,
+                            {{"phase", arrayPhaseName(phase)},
+                             {"cells", std::to_string(cells)},
+                             {"kernel", sim::kernelKindName(kernel)}});
             }
         }
-        bench::rule(7, 13);
+        bench::rule(9, 13);
     }
     std::printf(
         "linear scaling <=> ns/cell-cyc stays flat as cells grow\n");

@@ -69,6 +69,9 @@ summarizeSweep(std::vector<RunResult> results,
           case RunStatus::kConfigError:
             ++ps.configErrors;
             break;
+          case RunStatus::kPaused:
+            ++ps.paused;
+            break;
         }
     }
 
@@ -125,6 +128,8 @@ SweepSummary::str() const
             os << ", " << ps.budgetExhausted << " max-cycles";
         if (ps.configErrors > 0)
             os << ", " << ps.configErrors << " config-error";
+        if (ps.paused > 0)
+            os << ", " << ps.paused << " paused";
         os << "\n";
     }
     return os.str();

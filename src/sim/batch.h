@@ -8,7 +8,9 @@
  * over seeds, policies, queue counts and cycle budgets — and a sweep
  * is embarrassingly parallel: every RunRequest is independent. The
  * runner fans a request vector across worker threads, giving each
- * worker its own SimSession (compile once per worker, run many), and
+ * worker its own SimSession — and with it its own SimArena, so the
+ * hot machine state of concurrent runs lives in disjoint per-worker
+ * pools (compile once per worker, run many) — and
  * aggregates a SweepSummary: per-request results in request order, a
  * status histogram, cycle percentiles, and per-policy statistics.
  *
@@ -49,6 +51,8 @@ struct PolicySummary
     int deadlocked = 0;
     int budgetExhausted = 0;
     int configErrors = 0;
+    /** Truncated runs (RunRequest::pauseAt; sweeps normally use 0). */
+    int paused = 0;
     /** Mean completion cycles over completed runs (0 when none). */
     double meanCycles = 0.0;
     /** Mean queue-request wait over completed runs (0 when none). */
@@ -62,7 +66,7 @@ struct SweepSummary
     std::vector<RunResult> results;
 
     /** Runs per terminal status, indexed by RunStatus. */
-    std::int64_t statusCounts[kNumRunStatuses] = {0, 0, 0, 0};
+    std::int64_t statusCounts[kNumRunStatuses] = {};
 
     /**
      * Cycle-count distribution over runs that simulated (config

@@ -6,12 +6,14 @@
  * it also implements the CellContext visible to compute callbacks.
  */
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/cell_context.h"
 #include "core/op.h"
 #include "core/types.h"
+#include "sim/fnv.h"
 
 namespace syscomm::sim {
 
@@ -31,17 +33,33 @@ const char* blockReasonName(BlockReason reason);
 class CellRuntime : public CellContext
 {
   public:
+    /**
+     * @p ops must stay alive and unchanged for the cell's lifetime
+     * (SimSession points cells at the Program's op lists). The data
+     * pointer and length are cached flat: currentOp() on the kernel
+     * hot path must not chase the vector header — a dependent load
+     * into a scattered heap block, one per cell per cycle on
+     * dense-active workloads.
+     */
     CellRuntime(CellId id, const std::vector<Op>* ops)
-        : id_(id), ops_(ops)
+        : ops_(ops->data()),
+          num_ops_(static_cast<int>(ops->size())),
+          id_(id)
     {}
 
     // ------------------------------------------------------------------
     // Program counter
     // ------------------------------------------------------------------
 
-    bool done() const { return pc_ >= static_cast<int>(ops_->size()); }
+    bool done() const { return pc_ >= num_ops_; }
     int pc() const { return pc_; }
-    const Op& currentOp() const { return (*ops_)[pc_]; }
+    const Op& currentOp() const { return ops_[pc_]; }
+    /**
+     * Address of the current op without touching the op array — the
+     * kernels' software-prefetch stages compute prefetch targets from
+     * already-resident cell lines only.
+     */
+    const Op* currentOpAddr() const { return ops_ + pc_; }
 
     /** Move to the next op, resetting per-op staging state. */
     void advance()
@@ -68,6 +86,49 @@ class CellRuntime : public CellContext
         read_completed_ = false;
         lastBlock = BlockReason::kNone;
         lastVisitCycle = 0;
+    }
+
+    /**
+     * Adopt the mid-run state of @p other, a cell running the same
+     * program position in another session. Part of the machine-state
+     * copy behind SimSession::adoptState (the sampled-oracle
+     * harness); the op list and cell id are construction-time and
+     * must already match.
+     */
+    void copyStateFrom(const CellRuntime& other)
+    {
+        pc_ = other.pc_;
+        now_ = other.now_;
+        last_read_ = other.last_read_;
+        next_write_ = other.next_write_;
+        has_staged_write_ = other.has_staged_write_;
+        locals_ = other.locals_;
+        stall_remaining_ = other.stall_remaining_;
+        read_completed_ = other.read_completed_;
+        lastBlock = other.lastBlock;
+        lastVisitCycle = other.lastVisitCycle;
+    }
+
+    /**
+     * Fold the kernel-independent machine state into an FNV digest:
+     * program position, staged values and locals — but not the
+     * visit-time bookkeeping (now_, lastBlock, lastVisitCycle), which
+     * legitimately differs between the dense kernel (touches every
+     * cell every cycle) and the event kernel (lets blocked cells
+     * sleep) without any observable divergence.
+     */
+    std::uint64_t digestState(std::uint64_t h) const
+    {
+        h = fnv(h, static_cast<std::uint64_t>(pc_));
+        h = fnvDouble(h, last_read_);
+        h = fnvDouble(h, next_write_);
+        h = fnv(h, has_staged_write_ ? 1 : 0);
+        h = fnv(h, static_cast<std::uint64_t>(stall_remaining_));
+        h = fnv(h, read_completed_ ? 1 : 0);
+        h = fnv(h, locals_.size());
+        for (double v : locals_)
+            h = fnvDouble(h, v);
+        return h;
     }
 
     // ------------------------------------------------------------------
@@ -130,18 +191,24 @@ class CellRuntime : public CellContext
     Cycle lastVisitCycle = 0;
 
   private:
-    CellId id_;
-    const std::vector<Op>* ops_;
-    int pc_ = 0;
+    // Field order is deliberate: everything a non-compute cell step
+    // reads or writes (op cursor, clock, staged values) packs into
+    // the leading cache line together with lastBlock/lastVisitCycle
+    // above; the compute-only locals vector and the rarely-consulted
+    // memory-to-memory staging land at the back. On dense-active
+    // 100k-cell sweeps the cells pool is walked end to end every
+    // cycle, so lines that never need touching are lines saved.
+    const Op* ops_;
     Cycle now_ = 0;
-
+    int num_ops_ = 0;
+    int pc_ = 0;
     double last_read_ = 0.0;
     double next_write_ = 0.0;
+    CellId id_;
     bool has_staged_write_ = false;
-    std::vector<double> locals_;
-
-    int stall_remaining_ = -1;
     bool read_completed_ = false;
+    int stall_remaining_ = -1;
+    std::vector<double> locals_;
 };
 
 } // namespace syscomm::sim

@@ -1,0 +1,39 @@
+#pragma once
+
+/**
+ * @file
+ * FNV-1a folding, shared by every machine-state digest.
+ *
+ * The cross-kernel bit-identity checks (HwQueue/CellRuntime
+ * digestState, SimArena::machineDigest, SimSession::machineDigest)
+ * must all fold with the same step, or a drift in one of them would
+ * silently weaken the sampled oracle's digest comparison — so the
+ * step lives here exactly once.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+namespace syscomm::sim {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/** One FNV-1a fold step. */
+inline std::uint64_t
+fnv(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 0x100000001b3ull;
+}
+
+/** Fold a double by bit pattern (-0.0 vs 0.0 is a real divergence). */
+inline std::uint64_t
+fnvDouble(std::uint64_t h, double d)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof d, "double is 64-bit");
+    std::memcpy(&bits, &d, sizeof bits);
+    return fnv(h, bits);
+}
+
+} // namespace syscomm::sim

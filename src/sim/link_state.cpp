@@ -2,17 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace syscomm::sim {
 
-LinkState::LinkState(LinkIndex index, int num_queues, int capacity,
-                     int ext_capacity, int ext_penalty)
-    : index_(index)
+LinkState::LinkState(LinkIndex index, Span<HwQueue> queues,
+                     Span<Crossing> crossing_storage,
+                     Span<std::pair<MessageId, int>> index_storage)
+    : index_(index),
+      queues_(queues),
+      crossings_(crossing_storage.data()),
+      crossing_index_(index_storage.data()),
+      max_crossings_(static_cast<int>(crossing_storage.size()))
 {
-    assert(num_queues >= 1);
-    queues_.reserve(num_queues);
-    for (int q = 0; q < num_queues; ++q)
-        queues_.emplace_back(q, index, capacity, ext_capacity, ext_penalty);
+    assert(!queues_.empty());
+    assert(crossing_storage.size() == index_storage.size());
 }
 
 void
@@ -20,7 +25,8 @@ LinkState::resetRun()
 {
     for (HwQueue& q : queues_)
         q.reset();
-    for (Crossing& c : crossings_) {
+    for (int i = 0; i < num_crossings_; ++i) {
+        Crossing& c = crossings_[i];
         c.phase = CrossingPhase::kIdle;
         c.queueId = -1;
         c.requestedAt = -1;
@@ -30,13 +36,12 @@ LinkState::resetRun()
 
 namespace {
 
-/** First crossing_index_ entry with message >= msg. */
-std::vector<std::pair<MessageId, int>>::const_iterator
-indexSeek(const std::vector<std::pair<MessageId, int>>& index,
-          MessageId msg)
+/** First crossing-index entry with message >= msg. */
+const std::pair<MessageId, int>*
+indexSeek(const std::pair<MessageId, int>* index, int count, MessageId msg)
 {
     return std::lower_bound(
-        index.begin(), index.end(), msg,
+        index, index + count, msg,
         [](const std::pair<MessageId, int>& entry, MessageId m) {
             return entry.first < m;
         });
@@ -47,48 +52,67 @@ indexSeek(const std::vector<std::pair<MessageId, int>>& index,
 void
 LinkState::addCrossing(MessageId msg, LinkDir dir, int hop_index, int words)
 {
-    auto it = indexSeek(crossing_index_, msg);
-    assert((it == crossing_index_.end() || it->first != msg) &&
+    // Unconditional (not assert): the crossing span is a fixed arena
+    // slice — where the owning vector this replaced would have grown,
+    // writing past capacity now lands in the *next link's* pool slots.
+    // Registration runs once at session build, so the branch is free,
+    // and silent cross-link corruption in NDEBUG builds is not.
+    if (num_crossings_ >= max_crossings_) {
+        std::fprintf(stderr,
+                     "LinkState::addCrossing: link %d crossing span "
+                     "full (%d) — arena sized from a different route "
+                     "set?\n",
+                     static_cast<int>(index_), max_crossings_);
+        std::abort();
+    }
+    const std::pair<MessageId, int>* it =
+        indexSeek(crossing_index_, num_crossings_, msg);
+    assert((it == crossing_index_ + num_crossings_ || it->first != msg) &&
            "a route crosses each link at most once");
-    // crossings_ keeps registration order (the policies' scan order);
-    // only the lookup index is sorted by message.
-    crossing_index_.insert(
-        crossing_index_.begin() + (it - crossing_index_.begin()),
-        {msg, static_cast<int>(crossings_.size())});
+    // Shift the sorted index tail up one slot to open the insertion
+    // point (the few messages per link make this cheap).
+    auto* slot = const_cast<std::pair<MessageId, int>*>(it);
+    std::move_backward(slot, crossing_index_ + num_crossings_,
+                       crossing_index_ + num_crossings_ + 1);
+    *slot = {msg, num_crossings_};
     Crossing c;
     c.msg = msg;
     c.dir = dir;
     c.hopIndex = hop_index;
     c.words = words;
-    crossings_.push_back(c);
+    crossings_[num_crossings_] = c;
+    ++num_crossings_;
 }
 
 Crossing&
 LinkState::crossing(MessageId msg)
 {
     assert(hasCrossing(msg));
-    return crossings_[indexSeek(crossing_index_, msg)->second];
+    return crossings_[indexSeek(crossing_index_, num_crossings_, msg)
+                          ->second];
 }
 
 const Crossing&
 LinkState::crossing(MessageId msg) const
 {
     assert(hasCrossing(msg));
-    return crossings_[indexSeek(crossing_index_, msg)->second];
+    return crossings_[indexSeek(crossing_index_, num_crossings_, msg)
+                          ->second];
 }
 
 bool
 LinkState::hasCrossing(MessageId msg) const
 {
-    auto it = indexSeek(crossing_index_, msg);
-    return it != crossing_index_.end() && it->first == msg;
+    const std::pair<MessageId, int>* it =
+        indexSeek(crossing_index_, num_crossings_, msg);
+    return it != crossing_index_ + num_crossings_ && it->first == msg;
 }
 
 int
 LinkState::numFreeQueues() const
 {
     int free = 0;
-    for (const HwQueue& q : queues_) {
+    for (const HwQueue& q : queues()) {
         if (q.isFree())
             ++free;
     }
@@ -98,7 +122,7 @@ LinkState::numFreeQueues() const
 int
 LinkState::findFreeQueue() const
 {
-    for (const HwQueue& q : queues_) {
+    for (const HwQueue& q : queues()) {
         if (q.isFree())
             return q.id();
     }
@@ -123,7 +147,8 @@ LinkState::assignMsg(MessageId msg, int queue_id, Cycle now)
     c.phase = CrossingPhase::kAssigned;
     c.queueId = queue_id;
     c.assignedAt = now;
-    queues_[queue_id].assign(msg, c.dir, c.words, now, c.finalHop);
+    queues_[static_cast<std::size_t>(queue_id)].assign(msg, c.dir, c.words,
+                                                       now, c.finalHop);
 }
 
 void
@@ -131,7 +156,7 @@ LinkState::finishMsg(MessageId msg, Cycle now)
 {
     Crossing& c = crossing(msg);
     assert(c.phase == CrossingPhase::kAssigned);
-    queues_[c.queueId].release(now);
+    queues_[static_cast<std::size_t>(c.queueId)].release(now);
     c.phase = CrossingPhase::kDone;
     c.queueId = -1;
 }

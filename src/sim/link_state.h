@@ -4,13 +4,23 @@
  * @file
  * Run-time state of one link: its pool of hardware queues and the
  * request/assignment lifecycle of every message crossing it.
+ *
+ * A LinkState owns nothing. Its queues, crossing records and crossing
+ * lookup index are spans over SimArena pools (sim/arena.h) shared by
+ * every link of the machine, so the per-link state of a 100k-link
+ * array is three contiguous allocations instead of hundreds of
+ * thousands — the layout the dense-active scaling curve needs. The
+ * spans are fixed at arena build time: the crossing span is sized to
+ * the number of routes the session registers (addCrossing fills it,
+ * up to capacity), and the queue span to MachineSpec::queuesPerLink.
  */
 
-#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
 #include "sim/queue.h"
+#include "sim/span.h"
 
 namespace syscomm::sim {
 
@@ -46,12 +56,19 @@ struct Crossing
     Cycle assignedAt = -1;
 };
 
-/** Queue pool + crossings of one link. */
+/** Queue pool + crossings of one link (views into the SimArena). */
 class LinkState
 {
   public:
-    LinkState(LinkIndex index, int num_queues, int capacity,
-              int ext_capacity, int ext_penalty);
+    /**
+     * @p queues / @p crossing_storage / @p index_storage are arena
+     * slices that must outlive the link; crossing/index storage is
+     * capacity — crossings() reports only the registered prefix.
+     * SimArena is the only production caller.
+     */
+    LinkState(LinkIndex index, Span<HwQueue> queues,
+              Span<Crossing> crossing_storage,
+              Span<std::pair<MessageId, int>> index_storage);
 
     LinkIndex index() const { return index_; }
 
@@ -66,17 +83,26 @@ class LinkState
     /** Register a message that will cross this link (machine setup). */
     void addCrossing(MessageId msg, LinkDir dir, int hop_index, int words);
 
-    std::vector<Crossing>& crossings() { return crossings_; }
-    const std::vector<Crossing>& crossings() const { return crossings_; }
+    Span<Crossing> crossings()
+    {
+        return {crossings_, static_cast<std::size_t>(num_crossings_)};
+    }
+    Span<const Crossing> crossings() const
+    {
+        return {crossings_, static_cast<std::size_t>(num_crossings_)};
+    }
 
     /** The crossing record for @p msg (must exist). */
     Crossing& crossing(MessageId msg);
     const Crossing& crossing(MessageId msg) const;
     bool hasCrossing(MessageId msg) const;
 
-    std::vector<HwQueue>& queues() { return queues_; }
-    const std::vector<HwQueue>& queues() const { return queues_; }
-    HwQueue& queue(int id) { return queues_[id]; }
+    Span<HwQueue> queues() { return queues_; }
+    Span<const HwQueue> queues() const
+    {
+        return {queues_.data(), queues_.size()};
+    }
+    HwQueue& queue(int id) { return queues_[static_cast<std::size_t>(id)]; }
 
     int numFreeQueues() const;
     /** Lowest-id free queue, or -1. */
@@ -104,16 +130,19 @@ class LinkState
 
   private:
     LinkIndex index_;
-    std::vector<HwQueue> queues_;
-    std::vector<Crossing> crossings_;
+    Span<HwQueue> queues_;
     /**
-     * (msg, index in crossings_) sorted by msg; crossing() is a
-     * binary search over the few messages that cross this link. The
-     * dense by-MessageId vector this replaces cost O(links x
-     * messages) memory and construction time machine-wide —
-     * quadratic on large arrays where both scale with cell count.
+     * Crossings in registration order (the policies' scan order);
+     * only the lookup index is sorted by message. Both are arena
+     * slices of capacity max_crossings_, filled to num_crossings_.
+     * crossing() is a binary search over the few messages that cross
+     * this link — the dense by-MessageId vector this replaces cost
+     * O(links x messages) memory machine-wide.
      */
-    std::vector<std::pair<MessageId, int>> crossing_index_;
+    Crossing* crossings_;
+    std::pair<MessageId, int>* crossing_index_;
+    int num_crossings_ = 0;
+    int max_crossings_;
 };
 
 } // namespace syscomm::sim

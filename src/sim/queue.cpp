@@ -2,35 +2,47 @@
 
 #include <cassert>
 
+#include "sim/fnv.h"
+
 namespace syscomm::sim {
 
 namespace {
 
-std::uint32_t
-nextPow2(std::uint32_t v)
+inline std::uint64_t
+fnvWord(std::uint64_t h, const Word& w)
 {
-    std::uint32_t p = 1;
-    while (p < v)
-        p <<= 1;
-    return p;
+    h = fnv(h, static_cast<std::uint64_t>(w.msg));
+    h = fnv(h, static_cast<std::uint64_t>(w.seq));
+    h = fnvDouble(h, w.value);
+    h = fnv(h, static_cast<std::uint64_t>(w.enqueuedAt));
+    h = fnv(h, w.wasExtended ? 1 : 0);
+    return h;
 }
 
 } // namespace
 
 HwQueue::HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
-                 int ext_penalty)
+                 int ext_penalty, Word* ring, std::uint32_t ring_size,
+                 Word* spill, std::uint32_t spill_size)
     : id_(id),
       link_(link),
       capacity_(capacity),
       ext_capacity_(ext_capacity),
-      ext_penalty_(ext_penalty)
+      ext_penalty_(ext_penalty),
+      ring_(ring),
+      mask_(ring_size - 1),
+      spill_(spill),
+      spill_mask_(spill_size == 0 ? 0 : spill_size - 1)
 {
     assert(capacity >= 1 && "a queue buffers at least one word");
     assert(ext_capacity >= 0 && ext_penalty >= 0);
-    std::uint32_t ring_size = nextPow2(static_cast<std::uint32_t>(capacity));
-    ring_.resize(ring_size);
-    mask_ = ring_size - 1;
-    spill_.reserve(static_cast<std::size_t>(ext_capacity));
+    assert(ring != nullptr && (ring_size & mask_) == 0 &&
+           static_cast<int>(ring_size) >= capacity &&
+           "ring must be a pow2 slice covering the capacity");
+    assert((ext_capacity == 0 ||
+            (spill != nullptr && (spill_size & spill_mask_) == 0 &&
+             static_cast<int>(spill_size) >= ext_capacity)) &&
+           "spill must be a pow2 slice covering the extension");
 }
 
 void
@@ -42,8 +54,8 @@ HwQueue::reset()
     words_remaining_ = 0;
     head_ = 0;
     ring_count_ = 0;
-    spill_.clear(); // keeps the reserved extension capacity
     spill_head_ = 0;
+    spill_count_ = 0;
     front_ready_at_ = 0;
     last_push_cycle_ = -1;
     last_pop_cycle_ = -1;
@@ -53,6 +65,35 @@ HwQueue::reset()
     words_pushed_ = 0;
     extended_words_ = 0;
     assignments_ = 0;
+}
+
+void
+HwQueue::copyStateFrom(const HwQueue& other)
+{
+    assert(capacity_ == other.capacity_ &&
+           ext_capacity_ == other.ext_capacity_ &&
+           ext_penalty_ == other.ext_penalty_ && mask_ == other.mask_ &&
+           spill_mask_ == other.spill_mask_ && "queue shapes must match");
+    // The ring/spill *contents* travel with the arena's word pool
+    // (SimArena::copyMachineStateFrom copies it wholesale before the
+    // per-queue scalar pass), so only the scalars move here.
+    assigned_ = other.assigned_;
+    dir_ = other.dir_;
+    final_hop_ = other.final_hop_;
+    words_remaining_ = other.words_remaining_;
+    head_ = other.head_;
+    ring_count_ = other.ring_count_;
+    spill_head_ = other.spill_head_;
+    spill_count_ = other.spill_count_;
+    front_ready_at_ = other.front_ready_at_;
+    last_push_cycle_ = other.last_push_cycle_;
+    last_pop_cycle_ = other.last_pop_cycle_;
+    settled_ = other.settled_;
+    busy_cycles_ = other.busy_cycles_;
+    occupancy_sum_ = other.occupancy_sum_;
+    words_pushed_ = other.words_pushed_;
+    extended_words_ = other.extended_words_;
+    assignments_ = other.assignments_;
 }
 
 void
@@ -106,7 +147,9 @@ HwQueue::push(Word word, Cycle now)
     bool was_empty = empty();
     if (word.wasExtended) {
         ++extended_words_;
-        spill_.push_back(word);
+        spill_[(spill_head_ + static_cast<std::uint32_t>(spill_count_)) &
+               spill_mask_] = word;
+        ++spill_count_;
     } else {
         ring_[(head_ + static_cast<std::uint32_t>(ring_count_)) & mask_] =
             word;
@@ -148,23 +191,12 @@ HwQueue::pop(Cycle now)
     last_pop_cycle_ = now;
     --words_remaining_;
     // A spilled word surfaces into the freed hardware slot.
-    if (spill_head_ < spill_.size()) {
+    if (spill_count_ > 0) {
         ring_[(head_ + static_cast<std::uint32_t>(ring_count_)) & mask_] =
             spill_[spill_head_];
         ++ring_count_;
-        ++spill_head_;
-        if (spill_head_ == spill_.size()) {
-            spill_.clear();
-            spill_head_ = 0;
-        } else if (spill_head_ >= static_cast<std::size_t>(ext_capacity_)) {
-            // Compact the consumed prefix so spill_ stays
-            // O(ext_capacity) even when the extension never fully
-            // drains during a long stream (amortized O(1) per word).
-            spill_.erase(spill_.begin(),
-                         spill_.begin() +
-                             static_cast<std::ptrdiff_t>(spill_head_));
-            spill_head_ = 0;
-        }
+        spill_head_ = (spill_head_ + 1) & spill_mask_;
+        --spill_count_;
     }
     if (!empty())
         refreshFrontReady(now);
@@ -177,6 +209,33 @@ HwQueue::refreshFrontReady(Cycle now)
     // A word that spilled into the memory extension pays the extension
     // access penalty when it surfaces at the front.
     front_ready_at_ = now + (front().wasExtended ? ext_penalty_ : 0);
+}
+
+std::uint64_t
+HwQueue::digestState(std::uint64_t h) const
+{
+    h = fnv(h, static_cast<std::uint64_t>(assigned_));
+    h = fnv(h, static_cast<std::uint64_t>(dir_));
+    h = fnv(h, final_hop_ ? 1 : 0);
+    h = fnv(h, static_cast<std::uint64_t>(words_remaining_));
+    h = fnv(h, static_cast<std::uint64_t>(ring_count_));
+    h = fnv(h, static_cast<std::uint64_t>(spill_count_));
+    for (int i = 0; i < ring_count_; ++i)
+        h = fnvWord(h, ring_[(head_ + static_cast<std::uint32_t>(i)) &
+                             mask_]);
+    for (int i = 0; i < spill_count_; ++i)
+        h = fnvWord(h,
+                    spill_[(spill_head_ + static_cast<std::uint32_t>(i)) &
+                           spill_mask_]);
+    h = fnv(h, static_cast<std::uint64_t>(front_ready_at_));
+    h = fnv(h, static_cast<std::uint64_t>(last_push_cycle_));
+    h = fnv(h, static_cast<std::uint64_t>(last_pop_cycle_));
+    h = fnv(h, static_cast<std::uint64_t>(busy_cycles_));
+    h = fnv(h, static_cast<std::uint64_t>(occupancy_sum_));
+    h = fnv(h, static_cast<std::uint64_t>(words_pushed_));
+    h = fnv(h, static_cast<std::uint64_t>(extended_words_));
+    h = fnv(h, static_cast<std::uint64_t>(assignments_));
+    return h;
 }
 
 } // namespace syscomm::sim

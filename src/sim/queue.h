@@ -17,8 +17,14 @@
  * they surface at the front.
  *
  * Storage is a fixed-capacity ring buffer (power-of-two mask indexing)
- * for the hardware slots plus a spillover vector for the extension
- * words, so steady-state push/pop never allocates.
+ * for the hardware slots plus a second fixed ring for the extension
+ * words. A queue does not own either: both rings are slices of the
+ * session's SimArena word pool (sim/arena.h), so every queue of a
+ * machine shares one contiguous allocation — the dense-active scaling
+ * work showed the former queue-owned vectors (two heap blocks per
+ * queue, hundreds of thousands of blocks on a 100k-cell array) cost
+ * more in cache misses than in cycles executed. Push/pop never
+ * allocates, ever.
  *
  * All per-cycle bookkeeping is lazy and cycle-stamped: the one-push/
  * one-pop interlocks compare stored cycle stamps against the caller's
@@ -30,28 +36,46 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <vector>
 
 #include "core/types.h"
 #include "sim/word.h"
 
 namespace syscomm::sim {
 
-/** One hardware queue. */
+/** One hardware queue: a view over SimArena-owned ring storage. */
 class HwQueue
 {
   public:
+    /**
+     * @p ring / @p ring_size: hardware slots, power-of-two sized, at
+     * least @p capacity. @p spill / @p spill_size: extension slots,
+     * power-of-two sized and at least @p ext_capacity, or null/0 when
+     * the machine has no extension. Both are arena slices that must
+     * outlive the queue; SimArena is the only production caller.
+     */
     HwQueue(int id, LinkIndex link, int capacity, int ext_capacity,
-            int ext_penalty);
+            int ext_penalty, Word* ring, std::uint32_t ring_size,
+            Word* spill, std::uint32_t spill_size);
 
     int id() const { return id_; }
     LinkIndex link() const { return link_; }
 
     /**
-     * Return to the freshly-constructed state, keeping the ring and
-     * spill storage for reuse (SimSession's run-many reset path).
+     * Return to the freshly-constructed state; the arena-backed ring
+     * and spill storage is untouched (SimSession's run-many reset
+     * path never reallocates).
      */
     void reset();
+
+    /**
+     * Adopt the dynamic state (assignment, ring/spill contents and
+     * positions, interlock stamps, statistics) of @p other, a queue
+     * of identical shape from another session over the same machine.
+     * Together with SimArena::copyMachineStateFrom this is what lets
+     * the sampled-oracle harness restart the dense reference kernel
+     * from an event-kernel checkpoint.
+     */
+    void copyStateFrom(const HwQueue& other);
 
     // ------------------------------------------------------------------
     // Assignment lifecycle
@@ -88,7 +112,7 @@ class HwQueue
     // Data movement
     // ------------------------------------------------------------------
 
-    int size() const { return ring_count_ + spillSize(); }
+    int size() const { return ring_count_ + spill_count_; }
     bool empty() const { return size() == 0; }
     int totalCapacity() const { return capacity_ + ext_capacity_; }
     bool isFull() const { return size() >= totalCapacity(); }
@@ -142,6 +166,15 @@ class HwQueue
     /** Legacy per-cycle entry point; now just settles lazy stats. */
     void beginCycle(Cycle now) { settleStats(now); }
 
+    /**
+     * Fold the queue's machine-visible state (assignment, live FIFO
+     * contents in order, interlock stamps, statistics) into an FNV
+     * digest. Physical ring positions are excluded: two queues that
+     * went through the same push/pop history digest identically no
+     * matter where their heads sit.
+     */
+    std::uint64_t digestState(std::uint64_t h) const;
+
     // ------------------------------------------------------------------
     // Statistics
     // ------------------------------------------------------------------
@@ -156,31 +189,28 @@ class HwQueue
     /** Recompute when the (new) front word becomes consumable. */
     void refreshFrontReady(Cycle now);
 
-    int spillSize() const
-    {
-        return static_cast<int>(spill_.size() - spill_head_);
-    }
-
     int id_;
     LinkIndex link_;
     int capacity_;
     int ext_capacity_;
     int ext_penalty_;
 
+    /** Hardware slots: arena ring of power-of-two length. */
+    Word* ring_;
+    std::uint32_t mask_ = 0;
+    /** Extension slots (iWarp spillover): arena ring, FIFO. */
+    Word* spill_;
+    std::uint32_t spill_mask_ = 0;
+
     MessageId assigned_ = kInvalidMessage;
     LinkDir dir_ = LinkDir::kForward;
     bool final_hop_ = false;
     int words_remaining_ = 0;
 
-    /** Hardware slots: ring of power-of-two length, masked indexing. */
-    std::vector<Word> ring_;
-    std::uint32_t mask_ = 0;
     std::uint32_t head_ = 0;
     int ring_count_ = 0;
-
-    /** Extension words (iWarp spillover), FIFO via a head index. */
-    std::vector<Word> spill_;
-    std::size_t spill_head_ = 0;
+    std::uint32_t spill_head_ = 0;
+    int spill_count_ = 0;
 
     Cycle front_ready_at_ = 0;
     Cycle last_push_cycle_ = -1;

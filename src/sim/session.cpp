@@ -9,7 +9,9 @@
 #include "core/competing.h"
 #include "core/labeling.h"
 #include "sim/active_set.h"
+#include "sim/arena.h"
 #include "sim/cell_exec.h"
+#include "sim/fnv.h"
 #include "sim/link_state.h"
 
 namespace syscomm::sim {
@@ -26,6 +28,8 @@ runStatusName(RunStatus status)
         return "max-cycles";
       case RunStatus::kConfigError:
         return "config-error";
+      case RunStatus::kPaused:
+        return "paused";
     }
     return "?";
 }
@@ -124,8 +128,16 @@ struct SimSession::Impl
     // Machine state (reset in place per run)
     // -----------------------------------------------------------------
 
-    std::vector<LinkState> links;
-    std::vector<CellRuntime> cells;
+    /**
+     * Owner of every hot-state object: links, queues, queue ring
+     * storage, crossings and their lookup index, per-cell runtimes —
+     * each a single contiguous pool (see arena.h for why). The spans
+     * below are stable views into it, kept so the kernels read
+     * exactly as they did when these were owning vectors.
+     */
+    SimArena arena;
+    Span<LinkState> links;
+    Span<CellRuntime> cells;
 
     /** Next word index each sender will write / receiver will read. */
     std::vector<int> writeSeq;
@@ -162,6 +174,30 @@ struct SimSession::Impl
     std::array<CachedPolicy, kNumPolicyKinds> policyCache;
 
     // -----------------------------------------------------------------
+    // Pause/resume state (the sampled-oracle checkpoint machinery)
+    // -----------------------------------------------------------------
+
+    /** A paused run is waiting for resume(). */
+    bool isPaused = false;
+    /** Pause target of the executing run segment (0 = none). */
+    Cycle pauseTarget = 0;
+    /** First cycle the next run segment executes. */
+    Cycle resumeFrom = 1;
+    /**
+     * Owned copy of the run labels, filled at pause (the RunRequest
+     * that lent runLabels its storage may die before resume) and by
+     * adoptState (the donor's labels must survive the donor).
+     */
+    std::vector<std::int64_t> ownedLabels;
+    /**
+     * Policy cloned from an adoptState donor mid-run; lives outside
+     * the per-kind cache because its internal state (e.g. the random
+     * policy's per-link decision counters) belongs to the adopted
+     * run, not to a fresh seed.
+     */
+    std::unique_ptr<AssignmentPolicy> adoptedPolicy;
+
+    // -----------------------------------------------------------------
     // Event-driven kernel state (unused by the reference kernel).
     //
     // The invariant behind every set here: it is always safe to wake
@@ -174,8 +210,19 @@ struct SimSession::Impl
     int doneCells = 0;
     /** Link a sleeping cell waits on (kInvalidLink = none). */
     std::vector<LinkIndex> cellWaitLink;
-    /** Cells to wake on any queue event of a link (at most ~2 each). */
-    std::vector<std::vector<CellId>> linkWaiters;
+    /**
+     * Cells to wake on any queue event of a link, as intrusive singly
+     * linked lists over two flat arrays: waiterHead[link] is the
+     * first waiting cell (kInvalidCell = none), waiterNext[cell] the
+     * next. A cell waits on at most one link, so the arrays are exact
+     * — and they replace a vector-of-vectors whose ~per-link heap
+     * blocks were the last scattered allocations on the wake path.
+     * Wake order differs from the old vector order, but waiters only
+     * ever get inserted into the activeCells bitmap, which is
+     * order-insensitive.
+     */
+    std::vector<CellId> waiterHead;
+    std::vector<CellId> waiterNext;
     /**
      * (cycle, cell) wake-ups for purely time-driven queue readiness.
      * Bucketed by distance: almost every timed wake is for the very
@@ -262,12 +309,20 @@ struct SimSession::Impl
         if (options.precomputeLabels)
             defaultLabels();
 
-        links.reserve(spec.topo.numLinks());
-        for (LinkIndex l = 0; l < spec.topo.numLinks(); ++l) {
-            links.emplace_back(l, spec.queuesPerLink, spec.queueCapacity,
-                               spec.extensionCapacity,
-                               spec.extensionPenalty);
+        // Two passes over the route set: count crossings per link so
+        // the arena can carve exact contiguous spans, then register
+        // them. The counting pass is O(total hops), trivial next to
+        // the analyses above.
+        std::vector<int> crossingsPerLink(spec.topo.numLinks(), 0);
+        for (MessageId m = 0; m < program.numMessages(); ++m) {
+            const Route& route = competing.route(m);
+            for (int h = 0; h < route.numHops(); ++h)
+                ++crossingsPerLink[route.hops[h].link];
         }
+        arena.build(spec, program, crossingsPerLink);
+        links = arena.links();
+        cells = arena.cells();
+
         firstHopLink.assign(program.numMessages(), kInvalidLink);
         lastHopLink.assign(program.numMessages(), kInvalidLink);
         firstHopCross.assign(program.numMessages(), -1);
@@ -299,10 +354,8 @@ struct SimSession::Impl
         std::sort(routedLinksDesc.begin(), routedLinksDesc.end(),
                   std::greater<LinkIndex>());
 
-        cells.reserve(program.numCells());
         for (CellId c = 0; c < program.numCells(); ++c) {
-            cells.emplace_back(c, &program.cellOps(c));
-            if (!cells.back().done())
+            if (!cells[c].done())
                 programCells.push_back(c);
         }
 
@@ -312,7 +365,8 @@ struct SimSession::Impl
         eventMode = options.kernel == KernelKind::kEventDriven;
 
         cellWaitLink.assign(cells.size(), kInvalidLink);
-        linkWaiters.resize(links.size());
+        waiterHead.assign(links.size(), kInvalidCell);
+        waiterNext.assign(cells.size(), kInvalidCell);
         fwdCount.assign(links.size(), 0);
         pendingCount.assign(links.size(), 0);
         recheckFlag.assign(links.size(), 0);
@@ -422,10 +476,12 @@ struct SimSession::Impl
         if (eventMode) {
             activeCells.clear();
             doneCells = 0;
-            for (CellId c : programCells)
+            for (CellId c : programCells) {
                 cellWaitLink[c] = kInvalidLink;
+                waiterNext[c] = kInvalidCell;
+            }
             for (LinkIndex l : routedLinksDesc) {
-                linkWaiters[l].clear();
+                waiterHead[l] = kInvalidCell;
                 fwdCount[l] = 0;
                 pendingCount[l] = 0;
                 recheckFlag[l] = 0;
@@ -457,7 +513,8 @@ struct SimSession::Impl
     void
     wakeWaiters(LinkIndex l)
     {
-        for (CellId c : linkWaiters[l])
+        for (CellId c = waiterHead[l]; c != kInvalidCell;
+             c = waiterNext[c])
             wakeCell(c);
     }
 
@@ -920,17 +977,24 @@ struct SimSession::Impl
         return report;
     }
 
+    /**
+     * Settle every routed queue through the run's current cycle and
+     * add the (cumulative-since-run-start) totals into @p into. The
+     * final result and every pause snapshot go through this; settling
+     * early is safe — the lazy stats just continue from the settled
+     * point when the run resumes.
+     */
     void
-    collectQueueStats()
+    accumulateQueueStats(SimStats& into)
     {
         // Unrouted links' queues are never assigned: every contribution
         // from them is zero, so only routed links need settling.
         for (LinkIndex l : routedLinksDesc) {
             for (HwQueue& q : links[l].queues()) {
                 q.settleStats(result.cycles);
-                result.stats.queueBusyCycles += q.busyCycles();
-                result.stats.queueOccupancySum += q.occupancySum();
-                result.stats.extendedWords += q.extendedWords();
+                into.queueBusyCycles += q.busyCycles();
+                into.queueOccupancySum += q.occupancySum();
+                into.extendedWords += q.extendedWords();
             }
         }
     }
@@ -987,9 +1051,9 @@ struct SimSession::Impl
     }
 
     void
-    runReference()
+    runReference(Cycle from)
     {
-        for (Cycle now = 1; now <= maxCycles; ++now) {
+        for (Cycle now = from; now <= maxCycles; ++now) {
             std::int64_t progress = 0;
             progress += assignmentPhaseDense(now);
             progress += forwardingPhaseDense(now);
@@ -1009,6 +1073,15 @@ struct SimSession::Impl
             if (now == maxCycles) {
                 result.status = RunStatus::kMaxCycles;
                 result.cycles = now;
+                break;
+            }
+            // Pause checks come after every terminal check so that a
+            // pause target landing on the final cycle still reports
+            // the terminal status, identically to an unpaused run.
+            if (pauseTarget > 0 && now >= pauseTarget) {
+                result.status = RunStatus::kPaused;
+                result.cycles = now;
+                break;
             }
         }
     }
@@ -1036,8 +1109,12 @@ struct SimSession::Impl
         LinkIndex l = cellWaitLink[cell];
         if (l == kInvalidLink)
             return;
-        auto& w = linkWaiters[l];
-        w.erase(std::remove(w.begin(), w.end(), cell), w.end());
+        // Unlink from the (short) intrusive waiter list.
+        CellId* slot = &waiterHead[l];
+        while (*slot != cell)
+            slot = &waiterNext[*slot];
+        *slot = waiterNext[cell];
+        waiterNext[cell] = kInvalidCell;
         cellWaitLink[cell] = kInvalidLink;
     }
 
@@ -1048,7 +1125,8 @@ struct SimSession::Impl
             removeWaiter(cell);
             if (link != kInvalidLink) {
                 cellWaitLink[cell] = link;
-                linkWaiters[link].push_back(cell);
+                waiterNext[cell] = waiterHead[link];
+                waiterHead[link] = cell;
             }
         }
         if (timed == now + 1) {
@@ -1226,9 +1304,9 @@ struct SimSession::Impl
     }
 
     void
-    runEventDriven()
+    runEventDriven(Cycle from)
     {
-        for (Cycle now = 1; now <= maxCycles; ++now) {
+        for (Cycle now = from; now <= maxCycles; ++now) {
             std::int64_t progress = 0;
             progress += assignmentPhaseEvent(now);
             progress += forwardingPhaseEvent(now);
@@ -1250,28 +1328,61 @@ struct SimSession::Impl
                 result.cycles = now;
                 break;
             }
+            // After the terminal checks, like the dense kernel: a
+            // pause target on the final cycle reports the terminal
+            // status.
+            if (pauseTarget > 0 && now >= pauseTarget) {
+                result.status = RunStatus::kPaused;
+                result.cycles = now;
+                break;
+            }
             if (progress == 0 && canFastForward()) {
                 // Bulk-advance: everything is waiting on queue
                 // timing; jump straight to the first cycle where a
                 // front word matures. The skipped cycles are provably
                 // inert, and the lazy queue/cell accounting charges
-                // their spans exactly as the dense kernel would.
+                // their spans exactly as the dense kernel would. A
+                // pending pause target caps the jump: the machine
+                // state at the pause cycle equals the state at `now`
+                // (the skipped stretch is inert), so pausing inside
+                // it is exact.
                 Cycle next = nextInterestingCycle(now);
+                Cycle cap = maxCycles;
+                if (pauseTarget > 0 && pauseTarget < cap)
+                    cap = pauseTarget;
                 if (next > now + 1)
-                    now = std::min(next, maxCycles) - 1;
+                    now = std::min(next, cap) - 1;
             }
         }
         // Charge sleeping cells the blocked cycles the dense kernel
-        // would have accumulated through the final cycle.
-        if (result.status != RunStatus::kCompleted) {
-            for (CellRuntime& cell : cells) {
-                if (cell.done())
-                    continue;
-                Cycle span = result.cycles - cell.lastVisitCycle;
-                if (span > 0) {
-                    result.stats.cellBlockedCycles += span;
-                    result.stats.perCellBlocked[cell.cellId()] += span;
-                }
+        // would have accumulated through the final cycle. (A pause is
+        // not the final cycle: the pause snapshot settles these spans
+        // into its own copy and the run continues lazily.)
+        if (result.status != RunStatus::kCompleted &&
+            result.status != RunStatus::kPaused)
+            chargeLazyBlockedSpans(result.cycles, result.stats);
+    }
+
+    /**
+     * Dense-normalize the event kernel's lazy blocked-cycle
+     * accounting: add, for every live cell, the span it has slept
+     * since its last visit — [lastVisitCycle+1, through] — into
+     * @p into, exactly what the dense kernel accumulates one cycle
+     * at a time. Visit cursors are left untouched: the end-of-run
+     * and pause-snapshot callers keep accumulating lazily, and
+     * adoptFrom moves the cursors itself after charging.
+     */
+    void
+    chargeLazyBlockedSpans(Cycle through, SimStats& into)
+    {
+        for (CellId c : programCells) {
+            const CellRuntime& cell = cells[c];
+            if (cell.done())
+                continue;
+            Cycle span = through - cell.lastVisitCycle;
+            if (span > 0) {
+                into.cellBlockedCycles += span;
+                into.perCellBlocked[c] += span;
             }
         }
     }
@@ -1282,6 +1393,7 @@ struct SimSession::Impl
     run(const RunRequest& request)
     {
         ++runs;
+        isPaused = false; // a new run abandons any paused one
         if (!validation.empty()) {
             RunResult bad;
             bad.status = RunStatus::kConfigError;
@@ -1292,8 +1404,10 @@ struct SimSession::Impl
         doAudit = collects(request.collect, Collect::kAudit);
         runLabels = &resolveLabels(request, runNeedsLabels(request));
         policy = &getPolicy(request.policy, *runLabels, request.seed);
+        adoptedPolicy.reset();
         observer = request.observer;
         maxCycles = request.maxCycles;
+        pauseTarget = request.pauseAt;
         collectEvents = collects(request.collect, Collect::kEvents);
         needEvents = collectEvents || doAudit;
         collectReleases = collects(request.collect, Collect::kReleases);
@@ -1330,13 +1444,31 @@ struct SimSession::Impl
             applyDecisions(link, decisionScratch, 0);
         }
 
-        if (eventMode)
-            runEventDriven();
-        else
-            runReference();
+        resumeFrom = 1;
+        return execute();
+    }
 
+    /** Run the configured segment; finish or snapshot-and-pause. */
+    RunResult
+    execute()
+    {
+        if (eventMode)
+            runEventDriven(resumeFrom);
+        else
+            runReference(resumeFrom);
+
+        if (result.status == RunStatus::kPaused)
+            return pauseSnapshot();
+        return finish();
+    }
+
+    /** Terminal-status tail: settle, audit, move the result out. */
+    RunResult
+    finish()
+    {
+        isPaused = false;
         result.stats.cycles = result.cycles;
-        collectQueueStats();
+        accumulateQueueStats(result.stats);
         hwEvents = std::max(hwEvents, result.events.size());
         hwReleases = std::max(hwReleases, result.releases.size());
         if (doAudit && !runLabels->empty()) {
@@ -1346,6 +1478,191 @@ struct SimSession::Impl
         if (!collectEvents)
             result.events.clear();
         return std::move(result);
+    }
+
+    /**
+     * Pause tail: keep the in-flight result accumulating internally
+     * and hand the caller a *copy*, normalized to exactly what the
+     * dense reference kernel would report at this cycle — queue stats
+     * settled through the pause cycle, sleeping cells charged their
+     * lazy blocked spans (into the copy only; the internal lazy
+     * accounting continues untouched when the run resumes).
+     */
+    RunResult
+    pauseSnapshot()
+    {
+        isPaused = true;
+        resumeFrom = result.cycles + 1;
+        // The labels may be borrowed from the caller's RunRequest,
+        // which can die before resume(); own them now. (The audit at
+        // finish() and adoptState both read them later.)
+        if (runLabels != &ownedLabels) {
+            ownedLabels = *runLabels;
+            runLabels = &ownedLabels;
+        }
+
+        // Audit-only runs accumulate the full event log internally
+        // (needEvents) but must not hand it out: stash it across the
+        // copy instead of deep-copying it into the snapshot only to
+        // clear it — on large runs with many pause windows that copy
+        // would dominate the pause cost.
+        std::vector<AssignmentEvent> stash;
+        if (!collectEvents)
+            result.events.swap(stash);
+        RunResult snap = result;
+        if (!collectEvents)
+            result.events.swap(stash);
+        snap.stats.cycles = snap.cycles;
+        accumulateQueueStats(snap.stats);
+        if (eventMode)
+            chargeLazyBlockedSpans(snap.cycles, snap.stats);
+        return snap;
+    }
+
+    RunResult
+    resume(Cycle pause_at)
+    {
+        if (!isPaused) {
+            RunResult bad;
+            bad.status = RunStatus::kConfigError;
+            bad.error = "resume() called with no paused run";
+            return bad;
+        }
+        isPaused = false;
+        pauseTarget = pause_at;
+        return execute();
+    }
+
+    /**
+     * Rebuild the event kernel's auxiliary sets from adopted machine
+     * state. Conservative where exactness costs nothing: every
+     * non-done cell wakes (a spurious visit blocks again and accounts
+     * identically to the dense kernel) and every routed link gets a
+     * policy recheck (the dense kernel ticks every link every cycle);
+     * the queue-event calendar and hot/pending link sets are rebuilt
+     * exactly from the queues and crossings.
+     */
+    void
+    rebuildEventState()
+    {
+        activeCells.clear();
+        nextCycleWakes.clear();
+        wakeScratch.clear();
+        timedWakes.clear();
+        fwdLinks.clear();
+        pendingLinks.clear();
+        recheckList.clear();
+        queueEvents.clear();
+        queueEventsHeaped = 0;
+        queueEventCompactLimit = 64;
+
+        doneCells = static_cast<int>(cells.size() - programCells.size());
+        for (CellId c : programCells) {
+            cellWaitLink[c] = kInvalidLink;
+            waiterNext[c] = kInvalidCell;
+            if (cells[c].done())
+                ++doneCells;
+            else
+                activeCells.insert(c);
+        }
+        for (LinkIndex l : routedLinksDesc) {
+            waiterHead[l] = kInvalidCell;
+            recheckFlag[l] = 0;
+        }
+        for (LinkIndex l : routedLinksDesc) {
+            LinkState& link = links[l];
+            int fwd = 0;
+            for (HwQueue& q : link.queues()) {
+                if (q.empty())
+                    continue;
+                // Every non-empty queue gets a live calendar entry
+                // (the invariant the timed-event check relies on). A
+                // non-empty queue is necessarily assigned.
+                scheduleQueueEvent(link, q);
+                if (!q.finalHop())
+                    ++fwd;
+            }
+            fwdCount[l] = fwd;
+            if (fwd > 0)
+                fwdLinks.insert(l);
+            int pend = 0;
+            for (const Crossing& c : link.crossings()) {
+                if (c.phase == CrossingPhase::kRequested)
+                    ++pend;
+            }
+            pendingCount[l] = pend;
+            if (pend > 0)
+                pendingLinks.insert(l);
+            markRecheck(l);
+        }
+    }
+
+    bool
+    adoptFrom(const Impl& o)
+    {
+        if (!o.isPaused || !validation.empty() || !o.validation.empty())
+            return false;
+        // Same machine, same semantics; only the kernel may differ.
+        if (&program != &o.program || &spec != &o.spec)
+            return false;
+        if (options.memoryToMemory != o.options.memoryToMemory ||
+            options.memAccessCost != o.options.memAccessCost)
+            return false;
+
+        arena.copyMachineStateFrom(o.arena);
+        writeSeq = o.writeSeq;
+        readSeq = o.readSeq;
+        result = o.result; // the accumulated partial result, deep copy
+
+        ownedLabels = *o.runLabels;
+        runLabels = &ownedLabels;
+        adoptedPolicy = o.policy->clone();
+        policy = adoptedPolicy.get();
+        observer = o.observer;
+        maxCycles = o.maxCycles;
+        doAudit = o.doAudit;
+        collectEvents = o.collectEvents;
+        needEvents = o.needEvents;
+        collectReleases = o.collectReleases;
+        collectTiming = o.collectTiming;
+        collectReceived = o.collectReceived;
+
+        resumeFrom = o.resumeFrom;
+        pauseTarget = 0;
+        isPaused = true;
+
+        // Dense-normalize the blocked-cycle accounting. An
+        // event-driven donor charges sleeping cells lazily at their
+        // next visit, so its internal stats are short the spans
+        // [lastVisitCycle+1, pause]; charge those now. A dense donor
+        // already charged every cycle (and never moves the visit
+        // cursor), so only the cursor is brought up to date. Either
+        // way, every live cell leaves here with its cursor at the
+        // pause cycle and stats exactly as the dense kernel would
+        // report them — the common baseline both kernels accumulate
+        // identically from.
+        const Cycle pauseCycle = resumeFrom - 1;
+        if (o.eventMode)
+            chargeLazyBlockedSpans(pauseCycle, result.stats);
+        for (CellId c : programCells) {
+            if (!cells[c].done())
+                cells[c].lastVisitCycle = pauseCycle;
+        }
+
+        if (eventMode)
+            rebuildEventState();
+        return true;
+    }
+
+    std::uint64_t
+    machineDigest() const
+    {
+        std::uint64_t h = arena.machineDigest();
+        for (int s : writeSeq)
+            h = fnv(h, static_cast<std::uint64_t>(s));
+        for (int s : readSeq)
+            h = fnv(h, static_cast<std::uint64_t>(s));
+        return h;
     }
 };
 
@@ -1362,6 +1679,30 @@ RunResult
 SimSession::run(const RunRequest& request)
 {
     return impl_->run(request);
+}
+
+RunResult
+SimSession::resume(Cycle pauseAt)
+{
+    return impl_->resume(pauseAt);
+}
+
+bool
+SimSession::paused() const
+{
+    return impl_->isPaused;
+}
+
+bool
+SimSession::adoptState(const SimSession& other)
+{
+    return impl_->adoptFrom(*other.impl_);
+}
+
+std::uint64_t
+SimSession::machineDigest() const
+{
+    return impl_->machineDigest();
 }
 
 bool

@@ -7,9 +7,13 @@
  * A SimSession binds a Program to a MachineSpec and performs all the
  * per-program work up front — validation, competing-message analysis,
  * route registration, label computation, and the allocation of every
- * link, queue, cell and kernel-side buffer. Each run(RunRequest) then
- * resets that state in place instead of reallocating it, so sweeps
- * over seeds, policies and cycle budgets pay the compile cost once.
+ * link, queue, cell and kernel-side buffer. The machine hot state
+ * (links, queues and their ring storage, crossings, per-cell
+ * runtimes) lives in one session-owned SimArena (sim/arena.h) of
+ * contiguous pools rather than per-object heap allocations. Each
+ * run(RunRequest) then resets that state in place instead of
+ * reallocating it, so sweeps over seeds, policies and cycle budgets
+ * pay the compile cost once.
  *
  * Result materialization is opt-in: a RunRequest carries a Collect
  * bitmask, and by default a run produces only its status, cycle count
@@ -45,10 +49,18 @@ enum class RunStatus : std::uint8_t
     kDeadlocked,    ///< Zero-progress cycle with unfinished work.
     kMaxCycles,     ///< Cycle budget exhausted (treat as a bug).
     kConfigError,   ///< Invalid program or impossible policy setup.
+    /**
+     * RunRequest::pauseAt reached: the run stopped mid-flight with
+     * full machine state retained. Continue it with
+     * SimSession::resume(), or hand the state to another session
+     * (possibly running the other kernel) via adoptState() — the
+     * mechanism behind the sampled-oracle equivalence harness.
+     */
+    kPaused,
 };
 
-inline constexpr int kNumRunStatuses = 4;
-static_assert(static_cast<int>(RunStatus::kConfigError) + 1 ==
+inline constexpr int kNumRunStatuses = 5;
+static_assert(static_cast<int>(RunStatus::kPaused) + 1 ==
                   kNumRunStatuses,
               "update kNumRunStatuses when adding a RunStatus — it "
               "sizes arrays indexed by the enum");
@@ -200,6 +212,20 @@ struct RunRequest
     std::vector<std::int64_t> labels;
     /** Optional streaming sink; must outlive the run. */
     RunObserver* observer = nullptr;
+    /**
+     * 0 = run to a terminal status. Otherwise pause at the first
+     * executed cycle >= pauseAt (termination wins a tie): run()
+     * returns a snapshot result with status kPaused — counters,
+     * collected vectors and queue statistics settled through the
+     * pause cycle exactly as the reference kernel would report them —
+     * and the session keeps the mid-run machine state for resume()
+     * or another session's adoptState(). Pausing never perturbs the
+     * run: resuming to the end produces the bit-identical result an
+     * unpaused run would have. Sweeps should leave this 0 — a paused
+     * worker result is just a truncated run (the pool reuses the
+     * session safely; the paused state dies at its next run()).
+     */
+    Cycle pauseAt = 0;
 };
 
 /**
@@ -267,10 +293,48 @@ class SimSession
     SimSession& operator=(SimSession&&) noexcept;
 
     /**
-     * Run to completion/deadlock/budget, resetting machine state in
-     * place first. Call as many times as you like.
+     * Run to completion/deadlock/budget (or RunRequest::pauseAt),
+     * resetting machine state in place first. Call as many times as
+     * you like; calling it while paused abandons the paused run.
      */
     RunResult run(const RunRequest& request = {});
+
+    /**
+     * Continue a paused run under its original request, to the next
+     * pause point (@p pauseAt, 0 = to a terminal status). Paused
+     * snapshots and the final result are bit-identical to what a
+     * single unpaused run would produce. Returns kConfigError if the
+     * session is not paused.
+     */
+    RunResult resume(Cycle pauseAt = 0);
+
+    /** Is a paused run waiting for resume()? */
+    bool paused() const;
+
+    /**
+     * Adopt the complete mid-run state of @p other — machine state
+     * (queues, crossings, cells), accumulated results and statistics,
+     * policy state, and the original run configuration — leaving this
+     * session paused at the same cycle, ready to resume(). Both
+     * sessions must be built over the same Program and MachineSpec
+     * objects with the same memory model; the *kernels may differ*,
+     * which is the point: the sampled-oracle harness checkpoints the
+     * fast event-driven kernel and replays sampled cycle windows
+     * under the dense reference kernel from the same state. Returns
+     * false (leaving this session untouched) when @p other is not
+     * paused or the sessions are incompatible.
+     */
+    bool adoptState(const SimSession& other);
+
+    /**
+     * FNV digest of the kernel-independent machine state (crossing
+     * phases, queue contents and counters, cell runtimes, stream
+     * positions). Two sessions that executed the same machine history
+     * digest identically regardless of kernel — compare at matching
+     * pause cycles for an O(machine) bit-identity check that needs no
+     * result materialization.
+     */
+    std::uint64_t machineDigest() const;
 
     /** Did construction-time validation pass? */
     bool valid() const;

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * A minimal contiguous view, the currency of the arena layout.
+ *
+ * The simulation hot state (queues, crossings, cells) lives in
+ * SimArena's contiguous pools; LinkState and friends hold Span views
+ * into those pools instead of owning std::vectors. A Span is two
+ * words — pointer and length — and deliberately supports only what
+ * the kernels and tests use: indexing, iteration, size/empty/back.
+ * (C++17 tree; std::span is C++20.)
+ */
+
+#include <cassert>
+#include <cstddef>
+
+namespace syscomm::sim {
+
+template <typename T>
+class Span
+{
+  public:
+    Span() = default;
+    Span(T* data, std::size_t size) : data_(data), size_(size) {}
+
+    T* begin() const { return data_; }
+    T* end() const { return data_ + size_; }
+    T* data() const { return data_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    T& operator[](std::size_t i) const
+    {
+        assert(i < size_);
+        return data_[i];
+    }
+
+    T& front() const
+    {
+        assert(size_ > 0);
+        return data_[0];
+    }
+
+    T& back() const
+    {
+        assert(size_ > 0);
+        return data_[size_ - 1];
+    }
+
+  private:
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+} // namespace syscomm::sim

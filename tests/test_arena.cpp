@@ -1,0 +1,426 @@
+/**
+ * @file
+ * The arena/SoA hot-state layout under stress.
+ *
+ * SimArena owns every per-run-mutable simulation object in contiguous
+ * pools, and LinkState/HwQueue/CellRuntime are views over it. The
+ * properties that must hold:
+ *
+ *  - results are bit-identical to a freshly built session no matter
+ *    how many build/run/reset cycles an arena-backed session has been
+ *    through (randomized sequences of seeds, policies, collect masks
+ *    and kernels against a fresh-session oracle),
+ *  - no pool ever moves after build (the reset-in-place guarantee the
+ *    kernels' cached spans rely on),
+ *  - pause/resume never perturbs a run, and adoptState transplants a
+ *    mid-run machine bit-exactly across sessions and across kernels
+ *    (machineDigest agreement plus full result agreement),
+ *  - the opt-in result vectors keep their high-water reserve behavior
+ *    across collecting and non-collecting runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/program_gen.h"
+#include "sim/arena.h"
+#include "sim/batch.h"
+#include "sim/session.h"
+#include "test_support.h"
+
+namespace syscomm {
+namespace {
+
+using sim::Collect;
+using sim::HwQueue;
+using sim::KernelKind;
+using sim::LinkState;
+using sim::PolicyKind;
+using sim::RunRequest;
+using sim::RunResult;
+using sim::RunStatus;
+using sim::SessionOptions;
+using sim::SimArena;
+using sim::SimSession;
+using sim::Word;
+
+MachineSpec
+spec(Topology topo, int queues, int capacity, int ext = 0, int penalty = 4)
+{
+    MachineSpec s;
+    s.topo = std::move(topo);
+    s.queuesPerLink = queues;
+    s.queueCapacity = capacity;
+    s.extensionCapacity = ext;
+    s.extensionPenalty = penalty;
+    return s;
+}
+
+// expectSameRunResult (test_support.h) is the shared comparator.
+
+// ---------------------------------------------------------------------
+// Pool-level properties
+// ---------------------------------------------------------------------
+
+TEST(SimArena, PoolsNeverMoveAfterBuild)
+{
+    SimArena arena;
+    LinkState& link = arena.buildSingleLink(/*num_queues=*/2,
+                                            /*capacity=*/2,
+                                            /*ext_capacity=*/3,
+                                            /*ext_penalty=*/2,
+                                            /*max_crossings=*/4);
+    const Word* words = arena.wordPool();
+    const HwQueue* queues = arena.queuePool();
+    const auto* crossings = arena.crossingPool();
+    const HwQueue* q0 = &link.queue(0);
+
+    for (MessageId m = 0; m < 4; ++m)
+        link.addCrossing(m, LinkDir::kForward, 0, 3);
+    for (int round = 0; round < 5; ++round) {
+        link.assignMsg(0, 0, 1);
+        Word w;
+        w.msg = 0;
+        for (int i = 0; i < 3; ++i)
+            link.queue(0).push(w, 2 + i);
+        link.resetRun();
+        EXPECT_EQ(arena.wordPool(), words);
+        EXPECT_EQ(arena.queuePool(), queues);
+        EXPECT_EQ(arena.crossingPool(), crossings);
+        EXPECT_EQ(&link.queue(0), q0);
+    }
+    EXPECT_GT(arena.bytesReserved(), 0u);
+}
+
+TEST(SimArena, DigestTracksMachineStateAndCopyRestoresIt)
+{
+    auto build = [](SimArena& arena) -> LinkState& {
+        LinkState& link = arena.buildSingleLink(2, 2, 0, 0, 2);
+        link.addCrossing(0, LinkDir::kForward, 0, 2);
+        link.addCrossing(1, LinkDir::kBackward, 0, 1);
+        return link;
+    };
+    SimArena a, b;
+    LinkState& la = build(a);
+    LinkState& lb = build(b);
+    EXPECT_EQ(a.machineDigest(), b.machineDigest());
+
+    // Same history -> same digest.
+    la.request(0, 1);
+    lb.request(0, 1);
+    la.assignMsg(0, 1, 2);
+    lb.assignMsg(0, 1, 2);
+    Word w;
+    w.msg = 0;
+    la.queue(1).push(w, 3);
+    lb.queue(1).push(w, 3);
+    EXPECT_EQ(a.machineDigest(), b.machineDigest());
+
+    // Divergence -> different digest; copy -> equal again.
+    lb.request(1, 4);
+    EXPECT_NE(a.machineDigest(), b.machineDigest());
+    a.copyMachineStateFrom(b);
+    EXPECT_EQ(a.machineDigest(), b.machineDigest());
+    EXPECT_EQ(la.crossing(1).phase, sim::CrossingPhase::kRequested);
+    EXPECT_EQ(la.crossing(1).requestedAt, 4);
+}
+
+// ---------------------------------------------------------------------
+// Session-level stress: arena reuse vs fresh-build oracle
+// ---------------------------------------------------------------------
+
+/**
+ * Randomized build/run/reset sequences: one arena-backed session per
+ * (kernel, program) endures a shuffled stream of requests — seeds,
+ * policies, collect masks interleaved — and every result must be
+ * bit-identical to a session built fresh for that one request (the
+ * heap-layout-equivalent oracle: a first run on a fresh build never
+ * touches the reset or reserve paths).
+ */
+TEST(ArenaStress, RandomizedRunResetSequencesMatchFreshBuilds)
+{
+    std::mt19937_64 rng(20260728);
+    const PolicyKind policies[] = {PolicyKind::kCompatible,
+                                   PolicyKind::kCompatibleEager,
+                                   PolicyKind::kFcfs, PolicyKind::kRandom};
+    const Collect collects[] = {Collect::kNone, Collect::kAll,
+                                Collect::kEvents | Collect::kMsgTiming,
+                                Collect::kReceived | Collect::kAudit};
+
+    for (int shape = 0; shape < 3; ++shape) {
+        Topology topo = shape == 0 ? Topology::linearArray(6)
+                                   : shape == 1 ? Topology::mesh(3, 3)
+                                                : Topology::torus(3, 3);
+        GenOptions gen;
+        gen.numMessages = 7;
+        gen.maxWords = 5;
+        gen.seed = 900 + static_cast<std::uint64_t>(shape);
+        gen.interleave = 0.4;
+        Program program = randomDeadlockFreeProgram(topo, gen);
+        MachineSpec s =
+            spec(topo, 2, 1 + shape % 3, /*ext=*/shape, /*penalty=*/3);
+
+        for (KernelKind kernel :
+             {KernelKind::kEventDriven, KernelKind::kReference}) {
+            SessionOptions options;
+            options.kernel = kernel;
+            SimSession reused(program, s, options);
+            ASSERT_TRUE(reused.valid());
+
+            for (int step = 0; step < 10; ++step) {
+                RunRequest request;
+                request.policy = policies[rng() % 4];
+                request.seed = 1 + rng() % 5;
+                request.maxCycles = 20'000;
+                request.collect = collects[rng() % 4];
+
+                RunResult r = reused.run(request);
+                SimSession fresh(program, s, options);
+                RunResult f = fresh.run(request);
+                expectSameRunResult(f, r,
+                                 "shape " + std::to_string(shape) +
+                                     " kernel " +
+                                     std::string(kernelKindName(kernel)) +
+                                     " step " + std::to_string(step));
+            }
+        }
+    }
+}
+
+/**
+ * High-water reserve behavior: a collecting run, a stats-only run and
+ * another collecting run through one session must reproduce the fresh
+ * session's vectors exactly — the reused (reserved) vectors must not
+ * leak stale entries or change sizes.
+ */
+TEST(ArenaStress, HighWaterReservesStayInvisible)
+{
+    Topology topo = Topology::linearArray(5);
+    GenOptions gen;
+    gen.numMessages = 6;
+    gen.maxWords = 5;
+    gen.seed = 41;
+    gen.interleave = 0.2; // modest label groups: completes at 2 queues
+    Program program = randomDeadlockFreeProgram(topo, gen);
+    MachineSpec s = spec(topo, 2, 2);
+
+    SimSession session(program, s);
+    RunRequest collecting;
+    collecting.collect = Collect::kAll;
+    RunRequest statsOnly;
+
+    RunResult first = session.run(collecting);
+    ASSERT_EQ(first.status, RunStatus::kCompleted);
+    EXPECT_FALSE(first.events.empty());
+    RunResult lean = session.run(statsOnly);
+    EXPECT_TRUE(lean.events.empty());
+    EXPECT_TRUE(lean.received.empty());
+    RunResult again = session.run(collecting);
+    expectSameRunResult(first, again, "collect after stats-only reuse");
+
+    SimSession fresh(program, s);
+    expectSameRunResult(fresh.run(collecting), first, "fresh oracle");
+}
+
+// ---------------------------------------------------------------------
+// Pause / resume / adoptState (the checkpoint machinery the sampled
+// oracle is built on)
+// ---------------------------------------------------------------------
+
+TEST(ArenaCheckpoint, PauseResumeNeverPerturbsARun)
+{
+    Topology topo = Topology::linearArray(6);
+    GenOptions gen;
+    gen.numMessages = 6;
+    gen.maxWords = 6;
+    gen.seed = 7;
+    gen.interleave = 0.4;
+    Program program = randomDeadlockFreeProgram(topo, gen);
+    MachineSpec s = spec(topo, 2, 1, /*ext=*/2, /*penalty=*/3);
+
+    for (KernelKind kernel :
+         {KernelKind::kEventDriven, KernelKind::kReference}) {
+        SessionOptions options;
+        options.kernel = kernel;
+        SimSession plain(program, s, options);
+        RunRequest request;
+        request.collect = Collect::kAll;
+        RunResult whole = plain.run(request);
+        ASSERT_EQ(whole.status, RunStatus::kCompleted);
+
+        // Chop the same run into pause windows at every stride.
+        for (Cycle stride : {1, 3, 7}) {
+            SimSession chopped(program, s, options);
+            RunRequest paused = request;
+            paused.pauseAt = stride;
+            RunResult part = chopped.run(paused);
+            int guard = 0;
+            while (part.status == RunStatus::kPaused) {
+                ASSERT_TRUE(chopped.paused());
+                part = chopped.resume(part.cycles + stride);
+                ASSERT_LT(++guard, 10'000);
+            }
+            EXPECT_FALSE(chopped.paused());
+            expectSameRunResult(whole, part,
+                             "stride " + std::to_string(stride) +
+                                 " kernel " + kernelKindName(kernel));
+        }
+    }
+}
+
+TEST(ArenaCheckpoint, PausedSnapshotMatchesFreshRunOfSameLength)
+{
+    // A pause snapshot must report exactly what a fresh run with
+    // maxCycles-sized visibility would: compare its stats against the
+    // dense kernel's snapshot at the same cycle via adoptState.
+    Topology topo = Topology::linearArray(6);
+    GenOptions gen;
+    gen.numMessages = 6;
+    gen.maxWords = 5;
+    gen.seed = 11;
+    gen.interleave = 0.3;
+    Program program = randomDeadlockFreeProgram(topo, gen);
+    MachineSpec s = spec(topo, 2, 1);
+
+    SessionOptions evtOptions;
+    evtOptions.kernel = KernelKind::kEventDriven;
+    SessionOptions refOptions;
+    refOptions.kernel = KernelKind::kReference;
+
+    SimSession evt(program, s, evtOptions);
+    SimSession ref(program, s, refOptions);
+
+    RunRequest request;
+    request.collect = Collect::kAll;
+    RunResult full = evt.run(request);
+    ASSERT_EQ(full.status, RunStatus::kCompleted);
+
+    for (Cycle at = 2; at + 2 < full.cycles; at += 3) {
+        RunRequest untilAt = request;
+        untilAt.pauseAt = at;
+        RunResult evtSnap = evt.run(untilAt);
+        ASSERT_EQ(evtSnap.status, RunStatus::kPaused);
+        ASSERT_EQ(evtSnap.cycles, at);
+
+        ASSERT_TRUE(ref.adoptState(evt));
+        EXPECT_EQ(ref.machineDigest(), evt.machineDigest())
+            << "digest after adopt at " << at;
+
+        // Both continue one window; snapshots and digests must agree.
+        RunResult evtNext = evt.resume(at + 2);
+        RunResult refNext = ref.resume(at + 2);
+        expectSameRunResult(evtNext, refNext,
+                         "window from " + std::to_string(at));
+        EXPECT_EQ(ref.machineDigest(), evt.machineDigest())
+            << "digest after window from " << at;
+    }
+}
+
+TEST(ArenaCheckpoint, AdoptStateRejectsIncompatibleSessions)
+{
+    Topology topo = Topology::linearArray(4);
+    GenOptions gen;
+    gen.numMessages = 4;
+    gen.maxWords = 3;
+    gen.seed = 3;
+    Program a = randomDeadlockFreeProgram(topo, gen);
+    gen.seed = 4;
+    Program b = randomDeadlockFreeProgram(topo, gen);
+    MachineSpec s = spec(topo, 2, 1);
+
+    SimSession donor(a, s);
+    SimSession twin(a, s);
+    SimSession stranger(b, s);
+
+    // Not paused yet: nothing to adopt.
+    EXPECT_FALSE(twin.adoptState(donor));
+
+    RunRequest request;
+    request.pauseAt = 3;
+    RunResult r = donor.run(request);
+    ASSERT_EQ(r.status, RunStatus::kPaused);
+    EXPECT_FALSE(stranger.adoptState(donor)); // different program
+    EXPECT_TRUE(twin.adoptState(donor));
+    EXPECT_TRUE(twin.paused());
+
+    // Both finish identically from the shared checkpoint.
+    RunResult fromDonor = donor.resume();
+    RunResult fromTwin = twin.resume();
+    expectSameRunResult(fromDonor, fromTwin, "donor vs twin");
+}
+
+TEST(ArenaCheckpoint, RandomPolicyStateTravelsWithAdopt)
+{
+    // The counted-stream random policy's per-link decision counters
+    // are run state: an adopted session must reproduce the donor's
+    // future shuffles exactly. Deadlocking programs included.
+    Topology topo = Topology::linearArray(5);
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        GenOptions gen;
+        gen.numMessages = 6;
+        gen.maxWords = 4;
+        gen.seed = 600 + seed;
+        gen.interleave = 0.5;
+        Program program = perturbProgram(
+            randomDeadlockFreeProgram(topo, gen), 2, seed);
+        MachineSpec s = spec(topo, 1 + seed % 2, 1);
+
+        SessionOptions options; // event kernel
+        SimSession donor(program, s, options);
+        SimSession twin(program, s, options);
+        RunRequest request;
+        request.policy = PolicyKind::kRandom;
+        request.seed = seed;
+        request.maxCycles = 20'000;
+        request.collect = Collect::kEvents | Collect::kReleases;
+        request.pauseAt = 5;
+
+        RunResult r = donor.run(request);
+        if (r.status != RunStatus::kPaused)
+            continue; // run ended before the checkpoint; nothing to test
+        ASSERT_TRUE(twin.adoptState(donor));
+        expectSameRunResult(donor.resume(), twin.resume(),
+                         "random policy seed " + std::to_string(seed));
+    }
+}
+
+TEST(ArenaCheckpoint, SweepWorkersUnaffectedByPausedRequests)
+{
+    // A pauseAt request in a sweep just yields a truncated result;
+    // the pooled worker session must reset cleanly for whoever gets
+    // it next.
+    Topology topo = Topology::linearArray(5);
+    GenOptions gen;
+    gen.numMessages = 5;
+    gen.maxWords = 4;
+    gen.seed = 13;
+    Program program = randomDeadlockFreeProgram(topo, gen);
+    MachineSpec s = spec(topo, 2, 1);
+
+    std::vector<RunRequest> requests;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        RunRequest request;
+        request.seed = seed;
+        if (seed % 3 == 0)
+            request.pauseAt = 4;
+        requests.push_back(request);
+    }
+    sim::SweepOptions threads;
+    threads.numWorkers = 2;
+    sim::SweepSummary sweep =
+        sim::SweepRunner(program, s, {}, threads).run(requests);
+
+    SimSession serial(program, s);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        RunResult expected = serial.run(requests[i]);
+        expectSameRunResult(expected, sweep.results[i],
+                         "request " + std::to_string(i));
+    }
+    EXPECT_EQ(sweep.statusCounts[static_cast<int>(RunStatus::kPaused)], 2);
+}
+
+} // namespace
+} // namespace syscomm

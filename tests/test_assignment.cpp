@@ -5,20 +5,31 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/arena.h"
 #include "sim/assignment.h"
 
 namespace syscomm::sim {
 namespace {
 
-LinkState
-makeLink(int queues)
+/**
+ * Arena-backed free-standing link: LinkState is a view over SimArena
+ * pools, so the arena must live alongside it.
+ */
+struct TestLink
 {
-    return LinkState(0, queues, 1, 0, 0);
-}
+    SimArena arena;
+    LinkState& link;
+    explicit TestLink(int queues)
+        : link(arena.buildSingleLink(queues, /*capacity=*/1,
+                                     /*ext_capacity=*/0,
+                                     /*ext_penalty=*/0))
+    {}
+};
 
 TEST(StaticPolicyT, AssignsEverythingUpFront)
 {
-    LinkState link = makeLink(3);
+    TestLink tl(3);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 2);
     link.addCrossing(1, LinkDir::kForward, 0, 2);
     link.addCrossing(2, LinkDir::kBackward, 0, 1);
@@ -33,7 +44,8 @@ TEST(StaticPolicyT, AssignsEverythingUpFront)
 
 TEST(StaticPolicyT, FailsWhenShortOnQueues)
 {
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     StaticPolicy policy;
@@ -43,7 +55,8 @@ TEST(StaticPolicyT, FailsWhenShortOnQueues)
 
 TEST(FcfsPolicyT, ServesInRequestOrder)
 {
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(1, 1); // message 1 asks first
@@ -57,7 +70,8 @@ TEST(FcfsPolicyT, ServesInRequestOrder)
 
 TEST(FcfsPolicyT, TieBrokenByMessageId)
 {
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(2, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(2, 5);
@@ -73,7 +87,8 @@ TEST(CompatiblePolicyT, OrderedByLabelNotArrival)
 {
     // Message 1 (label 2) requests first, but message 0 (label 1) must
     // be served first.
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(1, 1);
@@ -95,7 +110,8 @@ TEST(CompatiblePolicyT, OrderedByLabelNotArrival)
 
 TEST(CompatiblePolicyT, SameLabelAssignedSimultaneously)
 {
-    LinkState link = makeLink(2);
+    TestLink tl(2);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(0, 1);
@@ -109,7 +125,8 @@ TEST(CompatiblePolicyT, SameLabelAssignedSimultaneously)
 
 TEST(CompatiblePolicyT, SameLabelGroupWaitsForEnoughQueues)
 {
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(0, 1);
@@ -122,7 +139,8 @@ TEST(CompatiblePolicyT, SameLabelGroupWaitsForEnoughQueues)
 
 TEST(CompatiblePolicyT, EagerReservesBeforeRequest)
 {
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     CompatiblePolicy policy({1}, true);
     std::vector<AssignmentDecision> decisions;
@@ -133,7 +151,8 @@ TEST(CompatiblePolicyT, EagerReservesBeforeRequest)
 
 TEST(CompatiblePolicyT, LargerLabelProceedsAfterRelease)
 {
-    LinkState link = makeLink(1);
+    TestLink tl(1);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(0, 1);
@@ -161,7 +180,8 @@ TEST(CompatiblePolicyT, LargerLabelProceedsAfterRelease)
 
 TEST(RandomPolicyT, EventuallyServesEveryRequest)
 {
-    LinkState link = makeLink(2);
+    TestLink tl(2);
+    LinkState& link = tl.link;
     link.addCrossing(0, LinkDir::kForward, 0, 1);
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     link.request(0, 1);

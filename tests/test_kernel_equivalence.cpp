@@ -12,21 +12,28 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
 #include <sstream>
 
 #include "algos/paper_figures.h"
 #include "core/program_gen.h"
 #include "sim/batch.h"
 #include "sim/machine.h"
+#include "test_support.h"
 
 namespace syscomm {
 namespace {
 
+using sim::Collect;
 using sim::KernelKind;
 using sim::PolicyKind;
+using sim::RunRequest;
 using sim::RunResult;
 using sim::RunStatus;
+using sim::SessionOptions;
 using sim::SimOptions;
+using sim::SimSession;
 using sim::simulateProgram;
 
 std::string
@@ -378,6 +385,187 @@ TEST(KernelEquivalence, RandomPolicyMultiPendingFastForward)
         expectKernelsAgree(
             p, spec(topo, 2, 1, /*ext=*/2, /*penalty=*/4), options);
     }
+}
+
+// ---------------------------------------------------------------------
+// Sampled oracle: dense-kernel bit-identity at sizes where a full
+// dense run blows the test budget.
+//
+// The dense reference kernel costs O(machine) per cycle, which capped
+// full-run equivalence coverage at ~16k cells. The sampled harness
+// runs the *event* kernel end to end (cheap), pauses it at randomly
+// sampled cycles, hands each checkpoint to a reference-kernel session
+// via SimSession::adoptState, and replays only the sampled window
+// under the dense oracle — so the dense cost is windows x window
+// length, not the whole run, and 64k-100k cells fit the budget. At
+// each window edge the two sessions must agree on the full result
+// accumulated so far AND on the machine-state digest; afterwards the
+// event run is driven to its end and must be bit-identical to an
+// unpaused run (pausing may never perturb a run).
+// ---------------------------------------------------------------------
+
+struct OracleWindows
+{
+    int count = 3;
+    Cycle length = 16;
+    std::uint64_t seed = 1;
+};
+
+void
+expectSampledOracleAgrees(const Program& program, const MachineSpec& s,
+                          const RunRequest& base, OracleWindows w,
+                          const std::string& ctx)
+{
+    SessionOptions evtOpt;
+    evtOpt.kernel = KernelKind::kEventDriven;
+    SessionOptions refOpt;
+    refOpt.kernel = KernelKind::kReference;
+    SimSession evt(program, s, evtOpt);
+    SimSession ref(program, s, refOpt);
+    ASSERT_TRUE(evt.valid()) << ctx << ": " << evt.error();
+
+    // Full event run: the window sampler's cycle range, and the
+    // result the windowed journey below must reproduce exactly.
+    RunResult whole = evt.run(base);
+    ASSERT_NE(whole.status, RunStatus::kConfigError) << ctx;
+    const Cycle total = whole.cycles;
+    if (total < 4)
+        return; // too short to sample a window
+
+    // Non-overlapping window starts, uniform over [1, total-1]: a
+    // pause target at the terminal cycle would just terminate (the
+    // tie goes to the terminal status), replaying nothing.
+    std::mt19937_64 rng(w.seed);
+    std::vector<Cycle> starts;
+    for (int attempt = 0;
+         attempt < 8 * w.count &&
+         static_cast<int>(starts.size()) < w.count;
+         ++attempt) {
+        Cycle c = 1 + static_cast<Cycle>(
+                          rng() % static_cast<std::uint64_t>(total - 1));
+        bool clear = true;
+        for (Cycle t : starts) {
+            if (c < t + w.length + 2 && t < c + w.length + 2)
+                clear = false;
+        }
+        if (clear)
+            starts.push_back(c);
+    }
+    ASSERT_FALSE(starts.empty()) << ctx;
+    std::sort(starts.begin(), starts.end());
+
+    RunRequest untilFirst = base;
+    untilFirst.pauseAt = starts.front();
+    RunResult part = evt.run(untilFirst);
+    int replayed = 0;
+    for (std::size_t i = 0;
+         i < starts.size() && part.status == RunStatus::kPaused; ++i) {
+        ASSERT_TRUE(ref.adoptState(evt)) << ctx;
+        EXPECT_EQ(ref.machineDigest(), evt.machineDigest())
+            << ctx << " adopt at " << starts[i];
+        Cycle end = starts[i] + w.length;
+        RunResult evtWin = evt.resume(end);
+        RunResult refWin = ref.resume(end);
+        expectSameRunResult(evtWin, refWin,
+                           ctx + " window " + std::to_string(starts[i]) +
+                               ".." + std::to_string(end));
+        EXPECT_EQ(ref.machineDigest(), evt.machineDigest())
+            << ctx << " window end " << end;
+        ++replayed;
+        part = evtWin;
+        if (part.status == RunStatus::kPaused && i + 1 < starts.size())
+            part = evt.resume(starts[i + 1]);
+    }
+    EXPECT_GT(replayed, 0) << ctx;
+    if (part.status == RunStatus::kPaused)
+        part = evt.resume();
+    expectSameRunResult(whole, part, ctx + " windowed journey vs whole");
+}
+
+TEST(SampledOracle, HarnessAgreesOnSmallRandomPrograms)
+{
+    // Shake the harness itself where full-run equivalence is already
+    // proven: policies, deadlocks (perturbed programs), the extension
+    // and many small windows. Any disagreement here is a checkpoint
+    // bug, not a kernel bug.
+    const PolicyKind policies[] = {PolicyKind::kCompatible,
+                                   PolicyKind::kFcfs, PolicyKind::kRandom};
+    for (PolicyKind policy : policies) {
+        for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+            Topology topo = Topology::linearArray(6);
+            GenOptions gen;
+            gen.numMessages = 6;
+            gen.maxWords = 5;
+            gen.seed = 700 + seed;
+            gen.interleave = 0.4;
+            Program p = randomDeadlockFreeProgram(topo, gen);
+            Program mutated =
+                perturbProgram(p, static_cast<int>(seed % 3), seed);
+            RunRequest base;
+            base.policy = policy;
+            base.seed = seed;
+            base.maxCycles = 20'000;
+            base.collect = Collect::kAll;
+            OracleWindows w;
+            w.count = 4;
+            w.length = 5;
+            w.seed = seed;
+            expectSampledOracleAgrees(
+                mutated, spec(topo, 2, 1, /*ext=*/seed % 3, /*penalty=*/3),
+                base, w,
+                "policy " + std::string(policyKindName(policy)) +
+                    " seed " + std::to_string(seed));
+        }
+    }
+}
+
+TEST(SampledOracle, LargeArrayPhasesAt64kCells)
+{
+    // The satellite the harness exists for: dense-oracle bit-identity
+    // at 65536 cells — 4x past the old full-run oracle cap — across
+    // all three large-array phases. The dense kernel only ever runs
+    // inside the sampled windows.
+    const int kCells = 65536;
+    Topology topo = Topology::linearArray(kCells);
+    for (ArrayPhase phase : {ArrayPhase::kSparse, ArrayPhase::kStreaming,
+                             ArrayPhase::kDenseActive}) {
+        LargeArrayOptions gen;
+        gen.phase = phase;
+        gen.messages = 32;
+        gen.wordsPerMessage = phase == ArrayPhase::kDenseActive ? 12 : 24;
+        gen.computeGap = 4;
+        Program p = largeArrayProgram(kCells, gen);
+        RunRequest base;
+        base.seed = 17 + static_cast<int>(phase);
+        OracleWindows w;
+        w.count = 3;
+        w.length = phase == ArrayPhase::kDenseActive ? 8 : 16;
+        w.seed = 90 + static_cast<std::uint64_t>(phase);
+        expectSampledOracleAgrees(p, spec(topo, 2, 2), base, w,
+                                  std::string("64k ") +
+                                      arrayPhaseName(phase));
+    }
+}
+
+TEST(SampledOracle, DenseActiveAt100kCells)
+{
+    // The headline scale: the full 100k-cell dense-active machine,
+    // every cell live, checked against the dense oracle inside two
+    // sampled windows plus the final-state digest.
+    const int kCells = 100000;
+    Topology topo = Topology::linearArray(kCells);
+    LargeArrayOptions gen;
+    gen.phase = ArrayPhase::kDenseActive;
+    gen.wordsPerMessage = 10;
+    Program p = largeArrayProgram(kCells, gen);
+    RunRequest base;
+    base.seed = 23;
+    OracleWindows w;
+    w.count = 2;
+    w.length = 6;
+    w.seed = 23;
+    expectSampledOracleAgrees(p, spec(topo, 2, 2), base, w,
+                              "100k dense-active");
 }
 
 TEST(KernelEquivalence, LongStreamSparseArray)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/arena.h"
 #include "sim/link_state.h"
 #include "sim/queue.h"
 
@@ -22,9 +23,32 @@ word(MessageId msg, int seq)
     return w;
 }
 
+/**
+ * Arena-backed free-standing queue/link: HwQueue and LinkState are
+ * views over SimArena pools, so each test carries its own arena.
+ */
+struct TestQueue
+{
+    SimArena arena;
+    HwQueue& q;
+    TestQueue(int capacity, int ext_capacity, int ext_penalty)
+        : q(arena.buildSingleQueue(capacity, ext_capacity, ext_penalty))
+    {}
+};
+
+struct TestLink
+{
+    SimArena arena;
+    LinkState& link;
+    TestLink(int queues, int capacity)
+        : link(arena.buildSingleLink(queues, capacity, 0, 0))
+    {}
+};
+
 TEST(HwQueue, AssignmentLifecycle)
 {
-    HwQueue q(0, 0, 1, 0, 0);
+    TestQueue tq(1, 0, 0);
+    HwQueue& q = tq.q;
     EXPECT_TRUE(q.isFree());
     q.assign(3, LinkDir::kForward, 2, 0);
     EXPECT_FALSE(q.isFree());
@@ -49,7 +73,8 @@ TEST(HwQueue, AssignmentLifecycle)
 
 TEST(HwQueue, WordNotVisibleSameCycle)
 {
-    HwQueue q(0, 0, 2, 0, 0);
+    TestQueue tq(2, 0, 0);
+    HwQueue& q = tq.q;
     q.assign(1, LinkDir::kForward, 1, 0);
     q.beginCycle(1);
     q.push(word(1, 0), 1);
@@ -60,7 +85,8 @@ TEST(HwQueue, WordNotVisibleSameCycle)
 
 TEST(HwQueue, OnePushOnePopPerCycle)
 {
-    HwQueue q(0, 0, 4, 0, 0);
+    TestQueue tq(4, 0, 0);
+    HwQueue& q = tq.q;
     q.assign(1, LinkDir::kForward, 4, 0);
     q.beginCycle(1);
     q.push(word(1, 0), 1);
@@ -74,7 +100,8 @@ TEST(HwQueue, OnePushOnePopPerCycle)
 
 TEST(HwQueue, CapacityIncludesExtension)
 {
-    HwQueue q(0, 0, 1, 2, 0);
+    TestQueue tq(1, 2, 0);
+    HwQueue& q = tq.q;
     q.assign(1, LinkDir::kForward, 3, 0);
     EXPECT_EQ(q.totalCapacity(), 3);
     q.beginCycle(1);
@@ -89,7 +116,8 @@ TEST(HwQueue, CapacityIncludesExtension)
 
 TEST(HwQueue, ExtensionPenaltyDelaysFront)
 {
-    HwQueue q(0, 0, 1, 1, 3);
+    TestQueue tq(1, 1, 3);
+    HwQueue& q = tq.q;
     q.assign(1, LinkDir::kForward, 2, 0);
     q.beginCycle(1);
     q.push(word(1, 0), 1); // hardware slot
@@ -109,7 +137,8 @@ TEST(HwQueue, ExtensionPenaltyDelaysFront)
 
 TEST(HwQueue, StatsAccumulate)
 {
-    HwQueue q(0, 0, 2, 0, 0);
+    TestQueue tq(2, 0, 0);
+    HwQueue& q = tq.q;
     q.beginCycle(1); // free: no busy cycle
     q.assign(1, LinkDir::kForward, 1, 1);
     q.beginCycle(2);
@@ -122,7 +151,8 @@ TEST(HwQueue, StatsAccumulate)
 
 TEST(LinkStateT, RequestAssignFinish)
 {
-    LinkState link(0, 2, 1, 0, 0);
+    TestLink tl(2, 1);
+    LinkState& link = tl.link;
     link.addCrossing(5, LinkDir::kForward, 0, 1);
     EXPECT_TRUE(link.hasCrossing(5));
     EXPECT_FALSE(link.hasCrossing(6));
@@ -148,7 +178,8 @@ TEST(LinkStateT, RequestAssignFinish)
 
 TEST(LinkStateT, FindFreeQueuePrefersLowestId)
 {
-    LinkState link(0, 3, 1, 0, 0);
+    TestLink tl(3, 1);
+    LinkState& link = tl.link;
     link.addCrossing(1, LinkDir::kForward, 0, 1);
     EXPECT_EQ(link.findFreeQueue(), 0);
     link.assignMsg(1, 0, 0);

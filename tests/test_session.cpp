@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <iterator>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "sim/batch.h"
 #include "sim/machine.h"
 #include "sim/session.h"
+#include "test_support.h"
 
 namespace syscomm {
 namespace {
@@ -39,28 +41,6 @@ using sim::simulateProgram;
 using sim::SweepOptions;
 using sim::SweepRunner;
 using sim::SweepSummary;
-
-/** Field-by-field equality of two results (bit-identical contract). */
-void
-expectSameResult(const RunResult& a, const RunResult& b,
-                 const std::string& ctx)
-{
-    ASSERT_EQ(a.status, b.status) << ctx;
-    EXPECT_EQ(a.cycles, b.cycles) << ctx;
-    EXPECT_EQ(a.error, b.error) << ctx;
-    EXPECT_TRUE(a.stats == b.stats) << ctx << "\na:\n"
-                                    << a.stats.summary() << "b:\n"
-                                    << b.stats.summary();
-    EXPECT_EQ(a.events, b.events) << ctx;
-    EXPECT_EQ(a.releases, b.releases) << ctx;
-    EXPECT_EQ(a.received, b.received) << ctx;
-    EXPECT_EQ(a.msgTiming, b.msgTiming) << ctx;
-    EXPECT_EQ(a.labelsUsed, b.labelsUsed) << ctx;
-    EXPECT_EQ(a.deadlock.deadlocked, b.deadlock.deadlocked) << ctx;
-    EXPECT_EQ(a.deadlock.render(), b.deadlock.render()) << ctx;
-    EXPECT_EQ(a.audit.compatible, b.audit.compatible) << ctx;
-    EXPECT_EQ(a.audit.violations.size(), b.audit.violations.size()) << ctx;
-}
 
 /** A seed-sensitive workload: perturbed program under unsafe policies
  *  (covers both completed and deadlocked runs). */
@@ -126,9 +106,9 @@ TEST(SimSession, RerunIsBitIdenticalToFreshSimulator)
             std::string ctx =
                 std::string("kernel=") + sim::kernelKindName(kernel) +
                 " policy=" + sim::policyKindName(policy);
-            expectSameResult(second, first, ctx + " (2nd vs 1st)");
-            expectSameResult(third, first, ctx + " (3rd vs 1st)");
-            expectSameResult(first, fresh, ctx + " (session vs fresh)");
+            expectSameRunResult(second, first, ctx + " (2nd vs 1st)");
+            expectSameRunResult(third, first, ctx + " (3rd vs 1st)");
+            expectSameRunResult(first, fresh, ctx + " (session vs fresh)");
         }
     }
     EXPECT_NE(perturbedProgram(3).numMessages(), 0);
@@ -165,7 +145,7 @@ TEST(SimSession, InterleavedSeedsDoNotLeakState)
         request.maxCycles = 20'000;
         request.collect = Collect::kAll;
         RunResult r = session.run(request);
-        expectSameResult(r, fresh[i],
+        expectSameRunResult(r, fresh[i],
                          "seed=" + std::to_string(seeds[i]) + " pos=" +
                              std::to_string(i));
     }
@@ -196,7 +176,7 @@ TEST(SimSession, InterleavedPoliciesDoNotLeakState)
         legacy.maxCycles = 20'000;
         legacy.audit = true; // Collect::kAll audits too
         RunResult fresh = simulateProgram(p, spec, legacy);
-        expectSameResult(r, fresh,
+        expectSameRunResult(r, fresh,
                          std::string("policy=") +
                              sim::policyKindName(policy));
     }
@@ -248,7 +228,7 @@ TEST(SweepRunner, MatchesSerialLoop)
                   std::min<int>(workers,
                                 static_cast<int>(requests.size())));
         for (std::size_t i = 0; i < requests.size(); ++i) {
-            expectSameResult(summary.results[i], serialResults[i],
+            expectSameRunResult(summary.results[i], serialResults[i],
                              "workers=" + std::to_string(workers) +
                                  " request=" + std::to_string(i));
         }
@@ -309,7 +289,7 @@ TEST(SweepRunner, PersistentPoolKeepsBatchesDeterministic)
         EXPECT_EQ(runner.pooledWorkers(), 2); // workers - 1, persistent
         ASSERT_EQ(summary.results.size(), requests.size());
         for (std::size_t i = 0; i < requests.size(); ++i) {
-            expectSameResult(summary.results[i], serialResults[i],
+            expectSameRunResult(summary.results[i], serialResults[i],
                              "batch=" + std::to_string(batch) +
                                  " request=" + std::to_string(i));
         }
@@ -319,7 +299,7 @@ TEST(SweepRunner, PersistentPoolKeepsBatchesDeterministic)
         SweepSummary single = runner.run(one);
         ASSERT_EQ(single.results.size(), 1u);
         EXPECT_EQ(single.workersUsed, 1);
-        expectSameResult(single.results.front(), serialResults[batch],
+        expectSameRunResult(single.results.front(), serialResults[batch],
                          "inline batch=" + std::to_string(batch));
         EXPECT_EQ(runner.pooledWorkers(), 2); // pool never shed
     }
@@ -502,7 +482,7 @@ TEST(SimSession, RecoversAfterPolicyConfigError)
     legacy.policy = PolicyKind::kCompatible;
     legacy.maxCycles = 20'000;
     RunResult fresh = simulateProgram(p, spec, legacy);
-    expectSameResult(after, fresh, "run after config error");
+    expectSameRunResult(after, fresh, "run after config error");
 }
 
 TEST(SimSession, StaticCycleZeroEventsKeepAscendingLinkOrder)
@@ -601,7 +581,7 @@ TEST(SimSession, RunLabelOverridesDoNotStickToTheSession)
     EXPECT_EQ(overridden.labelsUsed, trivial.labels);
 
     RunResult after = session.run(plain);
-    expectSameResult(after, before, "after label override");
+    expectSameRunResult(after, before, "after label override");
 }
 
 TEST(SimSession, LabelFreeRunsAreHistoryIndependent)
@@ -625,7 +605,7 @@ TEST(SimSession, LabelFreeRunsAreHistoryIndependent)
     // ...but an identical label-free request still reports none, and
     // matches both its own first run and a fresh simulator.
     RunResult after = session.run(fcfs);
-    expectSameResult(after, before, "fcfs after compatible");
+    expectSameRunResult(after, before, "fcfs after compatible");
 
     SimOptions legacy;
     legacy.policy = PolicyKind::kFcfs;
@@ -642,6 +622,74 @@ TEST(SimSession, LabelFreeRunsAreHistoryIndependent)
     withLabels.labels.assign(p.numMessages(), 0);
     EXPECT_EQ(simulateProgram(p, spec, withLabels).labelsUsed,
               withLabels.labels);
+}
+
+// ---------------------------------------------------------------------
+// (h) pooled workers with per-worker arenas, interleaved across
+//     machine shapes
+// ---------------------------------------------------------------------
+
+TEST(SweepRunner, InterleavedMultiShapeBatchesMatchSerial)
+{
+    // Three runners over three machine *shapes* (queue count /
+    // capacity / extension ladders), each with its own persistent
+    // worker pool and per-worker arena-backed sessions. Batches are
+    // fed to the runners round-robin — the interleaving a
+    // shape-ladder sweep produces — and every result must equal a
+    // serial SimSession loop. Run under TSan in CI: any sharing of
+    // hot arena state between workers (or stale state surviving the
+    // request-queue hand-off between batches) is a race or a
+    // mismatch here.
+    Program p = perturbedProgram(6);
+    const MachineSpec shapes[] = {
+        smallSpec(5, 1, 1),
+        smallSpec(5, 2, 2),
+        [] {
+            MachineSpec s = smallSpec(5, 2, 1);
+            s.extensionCapacity = 2;
+            s.extensionPenalty = 3;
+            return s;
+        }(),
+    };
+
+    SweepOptions threaded;
+    threaded.numWorkers = 3;
+    std::vector<std::unique_ptr<SweepRunner>> runners;
+    std::vector<std::unique_ptr<SimSession>> serials;
+    for (const MachineSpec& shape : shapes) {
+        runners.push_back(std::make_unique<SweepRunner>(
+            p, shape, SessionOptions{}, threaded));
+        serials.push_back(std::make_unique<SimSession>(p, shape));
+    }
+
+    const PolicyKind policies[] = {PolicyKind::kCompatible,
+                                   PolicyKind::kFcfs, PolicyKind::kRandom};
+    for (int round = 0; round < 3; ++round) {
+        std::vector<RunRequest> batch;
+        for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+            RunRequest request;
+            request.policy = policies[(round + seed) % 3];
+            request.seed = 100 * (round + 1) + seed;
+            request.maxCycles = 20'000;
+            request.collect =
+                seed % 2 ? Collect::kAll
+                         : Collect::kEvents | Collect::kMsgTiming;
+            batch.push_back(request);
+        }
+        for (std::size_t shape = 0; shape < runners.size(); ++shape) {
+            SweepSummary sweep = runners[shape]->run(batch);
+            ASSERT_EQ(sweep.results.size(), batch.size());
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                expectSameRunResult(serials[shape]->run(batch[i]),
+                                 sweep.results[i],
+                                 "round " + std::to_string(round) +
+                                     " shape " + std::to_string(shape) +
+                                     " request " + std::to_string(i));
+            }
+        }
+    }
+    for (const auto& runner : runners)
+        EXPECT_EQ(runner->pooledWorkers(), 2); // 3 workers - lead thread
 }
 
 } // namespace

@@ -12,7 +12,7 @@
 #include "algos/streams.h"
 #include "bench_util.h"
 #include "core/crossoff.h"
-#include "sim/session.h"
+#include "sim/shape_sweep.h"
 
 using namespace syscomm;
 using namespace syscomm::bench;
@@ -67,23 +67,33 @@ main()
 
     auto sweep = [&](const std::string& name, const Program& p,
                      Topology topo, int queues) {
-        std::vector<std::string> cells{name};
+        // The capacity ladder is a machine-shape sweep: compile the
+        // program once (ShapeSweep) and vary only the hardware. The
+        // default stats-only request is all the sweep wants — cycles,
+        // not event logs.
+        std::vector<sim::ShapeSpec> shapes;
         for (int capacity : {1, 2, 4, 8, 16}) {
-            MachineSpec spec;
-            spec.topo = topo;
-            spec.queuesPerLink = queues;
-            spec.queueCapacity = capacity;
-            // Stats-only session run: the sweep wants cycles, not
-            // event logs.
-            sim::SimSession session(p, spec);
-            sim::RunResult r = session.run({});
+            sim::ShapeSpec shape;
+            shape.name = "cap=" + std::to_string(capacity);
+            shape.queuesPerLink = queues;
+            shape.queueCapacity = capacity;
+            shapes.push_back(std::move(shape));
+        }
+        sim::ShapeSweep shapeSweep(p, topo, shapes);
+        sim::ShapeSweepResult result =
+            shapeSweep.run(std::vector<sim::RunRequest>(1));
+
+        std::vector<std::string> cells{name};
+        for (std::size_t s = 0; s < shapes.size(); ++s) {
+            const sim::RunResult& r = result.row(s, 0).result;
             cells.push_back(r.completed() ? std::to_string(r.cycles)
                                           : r.statusStr());
             json.record("completion_cycles",
                         r.completed() ? static_cast<double>(r.cycles)
                                       : -1.0,
                         {{"workload", name},
-                         {"capacity", std::to_string(capacity)},
+                         {"capacity",
+                          std::to_string(shapes[s].queueCapacity)},
                          {"queues", std::to_string(queues)},
                          {"status", r.statusStr()}});
         }

@@ -33,7 +33,13 @@ struct Workload
 void
 report(JsonWriter& json, const Workload& w)
 {
-    auto analysis = CompetingAnalysis::analyze(w.program, w.topo);
+    // One compile pass serves every labeling: validation and the
+    // competing analysis do not depend on labels, so the per-labeling
+    // sessions share a CompiledProgram (labels stay per-session
+    // config) and the feasibility probe reads the shared analysis.
+    auto compiled = sim::CompiledProgram::compile(
+        w.program, w.topo, /*labels=*/{}, /*precompute_labels=*/false);
+    const CompetingAnalysis& analysis = compiled->competing();
     Labeling section6 = labelMessages(w.program);
     Labeling graph = graphLabeling(w.program);
     Labeling trivial = trivialLabeling(w.program);
@@ -57,7 +63,7 @@ report(JsonWriter& json, const Workload& w)
         // skips its own labeler and uses these labels for every run.
         sim::SessionOptions options;
         options.labels = labeling->normalized();
-        sim::SimSession session(w.program, spec, options);
+        sim::SimSession session(compiled, spec, options);
         sim::RunResult r = session.run({});
         row({w.name, label_name,
              std::to_string(f.requiredQueuesPerLink), r.statusStr(),

@@ -9,6 +9,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -195,11 +196,18 @@ class JsonWriter
         return out;
     }
 
-    /** JSON has no Inf/NaN literals; map them to null. */
+    /**
+     * JSON has no Inf/NaN literals; map them to null. Exactly the
+     * non-finite values and nothing else — the old range test
+     * (|v| < 1e308) also nulled finite values up to DBL_MAX, and a
+     * sloppier check here is how raw nan/inf tokens end up breaking
+     * every consumer of a BENCH_*.json file.
+     * tests/test_bench_json.cpp parses every emitted line.
+     */
     static std::string
     numStr(double v)
     {
-        if (!(v > -1e308 && v < 1e308))
+        if (!std::isfinite(v))
             return "null";
         char buf[40];
         std::snprintf(buf, sizeof buf, "%.17g", v);

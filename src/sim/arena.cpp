@@ -161,6 +161,49 @@ SimArena::copyMachineStateFrom(const SimArena& other)
         cells_[i].copyStateFrom(other.cells_[i]);
 }
 
+void
+SimArena::serializeMachineState(std::vector<std::uint8_t>& out) const
+{
+    ByteWriter w(out);
+    // Pool element counts lead the stream: deserialization into a
+    // machine of a different shape must fail loudly, never memcpy.
+    w.put(static_cast<std::uint64_t>(words_.size()));
+    w.put(static_cast<std::uint64_t>(queues_.size()));
+    w.put(static_cast<std::uint64_t>(crossings_.size()));
+    w.put(static_cast<std::uint64_t>(cells_.size()));
+    w.putVector(words_);
+    w.putVector(crossings_);
+    for (const HwQueue& q : queues_)
+        q.saveState(w);
+    for (const CellRuntime& cell : cells_)
+        cell.saveState(w);
+}
+
+bool
+SimArena::deserializeMachineState(const std::uint8_t* data,
+                                  std::size_t size)
+{
+    ByteReader r(data, size);
+    if (r.get<std::uint64_t>() != words_.size() ||
+        r.get<std::uint64_t>() != queues_.size() ||
+        r.get<std::uint64_t>() != crossings_.size() ||
+        r.get<std::uint64_t>() != cells_.size() || !r.ok())
+        return false;
+    // Exact-size reads into the existing pools: nothing may resize —
+    // every LinkState/HwQueue span points into this storage.
+    if (!r.getVectorExact(words_) || !r.getVectorExact(crossings_))
+        return false;
+    for (HwQueue& q : queues_) {
+        if (!q.loadState(r))
+            return false;
+    }
+    for (CellRuntime& cell : cells_) {
+        if (!cell.loadState(r))
+            return false;
+    }
+    return r.ok() && r.remaining() == 0;
+}
+
 std::uint64_t
 SimArena::machineDigest() const
 {

@@ -94,6 +94,29 @@ class SimArena
     void copyMachineStateFrom(const SimArena& other);
 
     /**
+     * Append the complete mid-run machine state — the same state
+     * copyMachineStateFrom moves between live arenas — to @p out as a
+     * flat byte stream: word and crossing pools wholesale, then the
+     * per-queue and per-cell scalars. The stream is consumed by
+     * deserializeMachineState on an arena built from the same program
+     * and machine spec; it is the storage format behind ShapeSweep's
+     * crash-resume journal.
+     */
+    void serializeMachineState(std::vector<std::uint8_t>& out) const;
+
+    /**
+     * Restore machine state serialized by serializeMachineState.
+     * Returns false when the stream is torn or was produced by a
+     * differently-shaped machine (pool sizes disagree); the arena
+     * contents are unspecified after a failure and the caller must
+     * not run on them. Callers wanting a stronger guarantee compare
+     * machineDigest() against a digest recorded at save time —
+     * SimSession::restoreCheckpoint does exactly that.
+     */
+    bool deserializeMachineState(const std::uint8_t* data,
+                                 std::size_t size);
+
+    /**
      * FNV-1a digest of the kernel-independent machine state. Two
      * sessions over the same program/spec that executed the same
      * machine history digest identically regardless of which kernel

@@ -61,6 +61,30 @@ class AssignmentPolicy
     virtual void resetRun(std::uint64_t seed) { (void)seed; }
 
     /**
+     * Append the mid-run decision state clone() would carry — for the
+     * counted-stream random policy, its per-link decision counters —
+     * as plain words. The checkpoint machinery persists this next to
+     * the machine pools so a run restored from disk makes exactly the
+     * decisions the interrupted one would have made. The compatible,
+     * static and FCFS policies are pure functions of the link state
+     * and save nothing.
+     */
+    virtual void saveState(std::vector<std::uint64_t>& out) const
+    {
+        (void)out;
+    }
+
+    /**
+     * Restore state written by saveState into a policy freshly reset
+     * with the original run's seed. Returns false on a word count the
+     * policy cannot interpret (a torn or mismatched checkpoint).
+     */
+    virtual bool loadState(const std::vector<std::uint64_t>& state)
+    {
+        return state.empty();
+    }
+
+    /**
      * Called once per link before cycle 0. Static assignment happens
      * here. Returns false if the policy cannot set this link up (e.g.
      * not enough queues for a static assignment).
@@ -180,6 +204,18 @@ class RandomPolicy : public AssignmentPolicy
     {
         seed_ = seed;
         std::fill(decisions_.begin(), decisions_.end(), 0);
+    }
+    void saveState(std::vector<std::uint64_t>& out) const override
+    {
+        out.insert(out.end(), decisions_.begin(), decisions_.end());
+    }
+    bool loadState(const std::vector<std::uint64_t>& state) override
+    {
+        // decisions_ grows lazily per link touched; a checkpoint may
+        // carry any prefix length up to the link count, which this
+        // policy cannot know — accept what was saved verbatim.
+        decisions_ = state;
+        return true;
     }
     void tick(LinkState& link, Cycle now,
               std::vector<AssignmentDecision>& decisions) override;

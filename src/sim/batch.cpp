@@ -12,10 +12,17 @@ namespace syscomm::sim {
 
 namespace {
 
-/** Nearest-rank percentile over an ascending vector (non-empty). */
+/**
+ * Nearest-rank percentile over an ascending vector. An empty vector
+ * has no order statistics: -1, the same "no distribution" marker
+ * SweepSummary uses (indexing into it would be UB, and 0 is a legal
+ * cycle count).
+ */
 Cycle
 percentile(const std::vector<Cycle>& sorted, double p)
 {
+    if (sorted.empty())
+        return -1;
     std::size_t rank = static_cast<std::size_t>(
         p / 100.0 * static_cast<double>(sorted.size()) + 0.999999);
     if (rank < 1)
@@ -86,6 +93,9 @@ summarizeSweep(std::vector<RunResult> results,
         summary.perPolicy.push_back(ps);
     }
 
+    // An all-config-error (or empty) batch has no cycle distribution;
+    // the summary keeps its -1 "absent" markers rather than computing
+    // percentiles of nothing.
     if (!cycles.empty()) {
         std::sort(cycles.begin(), cycles.end());
         summary.minCycles = cycles.front();
@@ -105,12 +115,17 @@ std::string
 SweepSummary::str() const
 {
     std::ostringstream os;
-    os << "runs: " << results.size() << " (completed " << completed()
-       << ", deadlocked " << deadlocked() << ", max-cycles "
-       << statusCounts[static_cast<int>(RunStatus::kMaxCycles)]
-       << ", config-error "
-       << statusCounts[static_cast<int>(RunStatus::kConfigError)]
-       << ") on " << workersUsed << " worker(s) in " << wallSeconds
+    // Every status bucket prints, by name, from the same table the
+    // simulator maintains — a RunStatus added later (as kPaused was)
+    // can never silently vanish from sweep reports again.
+    os << "runs: " << results.size() << " (";
+    for (int s = 0; s < kNumRunStatuses; ++s) {
+        if (s > 0)
+            os << ", ";
+        os << runStatusName(static_cast<RunStatus>(s)) << " "
+           << statusCounts[s];
+    }
+    os << ") on " << workersUsed << " worker(s) in " << wallSeconds
        << "s\n";
     os << "cycles: min " << minCycles << " p50 " << p50Cycles << " p90 "
        << p90Cycles << " p99 " << p99Cycles << " max " << maxCycles
@@ -136,16 +151,16 @@ SweepSummary::str() const
 }
 
 /**
- * The persistent worker pool. Threads are spawned by the first
- * threaded batch and live until the runner is destroyed; run() hands
- * them work by publishing a batch (requests/results pointers plus a
- * shared work-stealing index) under the mutex and bumping batchId.
- * A worker participates when its slot is within the batch's worker
- * count; between batches every worker is parked on workCv, so the
- * calling thread may freely mutate sessions_/shared_ — the mutex
- * hand-off orders those writes before the workers' next reads.
+ * Shared pool state. Threads are spawned by the first dispatch that
+ * needs them and live until the pool is destroyed; dispatch() hands
+ * them work by publishing a batch (the job plus a shared
+ * work-stealing index) under the mutex and bumping batchId. A worker
+ * participates when its slot is within the batch's worker count;
+ * between batches every worker is parked on workCv, so the calling
+ * thread may freely mutate per-slot state — the mutex hand-off orders
+ * those writes before the workers' next reads.
  */
-struct SweepRunner::Pool
+struct WorkerPool::State
 {
     std::mutex mutex;
     std::condition_variable workCv;
@@ -157,52 +172,172 @@ struct SweepRunner::Pool
     std::uint64_t batchId = 0;
     int participants = 0; ///< pool threads active in current batch
     int finished = 0;
-    const std::vector<RunRequest>* requests = nullptr;
-    std::vector<RunResult>* results = nullptr;
+    std::size_t count = 0;
+    const std::function<void(int, std::size_t)>* job = nullptr;
     std::vector<std::exception_ptr>* errors = nullptr;
     std::atomic<std::size_t>* next = nullptr;
 };
+
+WorkerPool::WorkerPool() : state_(std::make_unique<State>()) {}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        state_->stop = true;
+    }
+    state_->workCv.notify_all();
+    for (std::thread& t : state_->threads)
+        t.join();
+}
+
+int
+WorkerPool::pooledWorkers() const
+{
+    return static_cast<int>(state_->threads.size());
+}
+
+void
+WorkerPool::dispatch(int workers, std::size_t count,
+                     const std::function<void(int, std::size_t)>& job)
+{
+    if (workers < 1)
+        workers = 1;
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&](int slot) {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1)) {
+            job(slot, i);
+        }
+    };
+
+    if (workers == 1) {
+        drain(0); // inline: a single-worker batch spawns nothing
+        return;
+    }
+
+    // Exceptions (a throwing ComputeFn, OOM) are parked per slot and
+    // rethrown after the batch joins, so the threaded path fails the
+    // same way the serial path does instead of std::terminate-ing
+    // the process.
+    std::vector<std::exception_ptr> slotErrors(workers);
+
+    // Grow the pool to cover this batch; it never shrinks — an idle
+    // parked thread costs nothing, while spawning per dispatch cost
+    // every small batch a thread start-up (the pre-pool design).
+    while (static_cast<int>(state_->threads.size()) < workers - 1) {
+        int slot = static_cast<int>(state_->threads.size()) + 1;
+        state_->threads.emplace_back([this, slot] {
+            std::uint64_t seen = 0;
+            for (;;) {
+                const std::function<void(int, std::size_t)>* batchJob;
+                std::vector<std::exception_ptr>* errs;
+                std::atomic<std::size_t>* idx;
+                std::size_t n;
+                {
+                    std::unique_lock<std::mutex> lock(state_->mutex);
+                    state_->workCv.wait(lock, [&] {
+                        return state_->stop ||
+                               (state_->batchId != seen &&
+                                slot <= state_->participants);
+                    });
+                    if (state_->stop)
+                        return;
+                    seen = state_->batchId;
+                    batchJob = state_->job;
+                    errs = state_->errors;
+                    idx = state_->next;
+                    n = state_->count;
+                }
+                try {
+                    for (std::size_t i = idx->fetch_add(1); i < n;
+                         i = idx->fetch_add(1)) {
+                        (*batchJob)(slot, i);
+                    }
+                } catch (...) {
+                    (*errs)[slot] = std::current_exception();
+                }
+                {
+                    std::lock_guard<std::mutex> lock(state_->mutex);
+                    if (++state_->finished == state_->participants)
+                        state_->doneCv.notify_all();
+                }
+            }
+        });
+    }
+
+    // Publish the batch and wake the participating workers.
+    {
+        std::lock_guard<std::mutex> lock(state_->mutex);
+        ++state_->batchId;
+        state_->participants = workers - 1;
+        state_->finished = 0;
+        state_->count = count;
+        state_->job = &job;
+        state_->errors = &slotErrors;
+        state_->next = &next;
+    }
+    state_->workCv.notify_all();
+
+    try {
+        drain(0);
+    } catch (...) {
+        slotErrors[0] = std::current_exception();
+    }
+    {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->doneCv.wait(lock, [&] {
+            return state_->finished == state_->participants;
+        });
+        // The batch-local pointers die with this frame; no parked
+        // worker reads them again (a worker only reads them after
+        // observing a *new* batchId).
+        state_->job = nullptr;
+        state_->errors = nullptr;
+        state_->next = nullptr;
+        state_->count = 0;
+    }
+    for (const std::exception_ptr& error : slotErrors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+}
 
 SweepRunner::SweepRunner(const Program& program, const MachineSpec& spec,
                          SessionOptions session, SweepOptions options)
     : program_(program),
       spec_(spec),
       session_(std::move(session)),
-      options_(options),
-      shared_(session_)
+      options_(options)
 {}
 
-SweepRunner::~SweepRunner()
-{
-    if (!pool_)
-        return;
-    {
-        std::lock_guard<std::mutex> lock(pool_->mutex);
-        pool_->stop = true;
-    }
-    pool_->workCv.notify_all();
-    for (std::thread& t : pool_->threads)
-        t.join();
-}
+SweepRunner::~SweepRunner() = default;
 
 int
 SweepRunner::pooledWorkers() const
 {
-    return pool_ ? static_cast<int>(pool_->threads.size()) : 0;
+    return pool_.pooledWorkers();
+}
+
+int
+clampWorkers(int requested, std::size_t work_items)
+{
+    int workers = requested > 0
+                      ? requested
+                      : static_cast<int>(
+                            std::thread::hardware_concurrency());
+    if (workers < 1)
+        workers = 1;
+    if (work_items < static_cast<std::size_t>(workers))
+        workers = static_cast<int>(work_items);
+    return std::max(workers, 1);
 }
 
 int
 SweepRunner::workersFor(std::size_t num_requests) const
 {
-    int workers = options_.numWorkers > 0
-                      ? options_.numWorkers
-                      : static_cast<int>(
-                            std::thread::hardware_concurrency());
-    if (workers < 1)
-        workers = 1;
-    if (num_requests < static_cast<std::size_t>(workers))
-        workers = static_cast<int>(num_requests);
-    return std::max(workers, 1);
+    return clampWorkers(options_.numWorkers, num_requests);
 }
 
 SweepSummary
@@ -214,144 +349,31 @@ SweepRunner::run(const std::vector<RunRequest>& requests)
     int workers = workersFor(requests.size());
     std::vector<RunResult> results(requests.size());
 
-    // The lead session (slot 0) lives in the calling thread; its
-    // resolved labels are handed to the worker slots so the labeler
-    // runs once per runner, not once per worker. Label-free sweeps
-    // (unsafe baselines, no audit) skip the labeler entirely — and
-    // must not hand workers labels the lead never resolved, or
-    // RunResult::labelsUsed would depend on which worker ran a
-    // request.
-    if (sessions_.empty())
-        sessions_.push_back(
-            std::make_unique<SimSession>(program_, spec_, shared_));
-    SimSession& lead = *sessions_.front();
-    if (shared_.labels.empty()) {
-        bool needsLabels = session_.precomputeLabels;
-        for (const RunRequest& r : requests) {
-            if (needsLabels)
-                break;
-            needsLabels = r.labels.empty() && runNeedsLabels(r);
-        }
-        if (needsLabels && lead.valid()) {
-            shared_.labels = lead.labels();
-            // Worker sessions cached from earlier label-free batches
-            // were built without these labels and would each re-run
-            // the labeler lazily; rebuild them with the shared copy
-            // so the labeler stays once-per-runner.
-            if (sessions_.size() > 1)
-                sessions_.resize(1);
-        }
-    }
+    // Compile once per runner; every slot's session shares the result.
+    // The lazy default labeling inside it is once-flag guarded, so the
+    // first request that needs labels resolves them exactly once no
+    // matter which worker it lands on — and every slot's
+    // RunResult::labelsUsed reads the same vector, so results cannot
+    // depend on which worker ran a request.
+    if (!compiled_)
+        compiled_ = CompiledProgram::compile(program_, spec_.topo,
+                                             session_.labels,
+                                             session_.precomputeLabels);
+    // Size the slot vector up front; each participating slot then
+    // only touches its own entry, constructing its session there on
+    // first use (in parallel, for pool slots) and reusing it on later
+    // batches.
+    if (static_cast<int>(sessions_.size()) < workers)
+        sessions_.resize(workers);
 
-    std::atomic<std::size_t> next{0};
-    auto drain = [&](SimSession& session) {
-        for (std::size_t i = next.fetch_add(1); i < requests.size();
-             i = next.fetch_add(1)) {
-            results[i] = session.run(requests[i]);
+    auto job = [&](int slot, std::size_t i) {
+        if (!sessions_[slot]) {
+            sessions_[slot] =
+                std::make_unique<SimSession>(compiled_, spec_, session_);
         }
+        results[i] = sessions_[slot]->run(requests[i]);
     };
-
-    if (workers <= 1) {
-        drain(lead);
-    } else {
-        // Size the slot vector up front; each participating worker
-        // then only touches its own slot, constructing the session
-        // there on first use (parallel construction) and reusing it
-        // on later batches. Exceptions (a throwing ComputeFn, OOM)
-        // are parked per slot and rethrown after the batch joins, so
-        // the threaded path fails the same way the serial path does
-        // instead of std::terminate-ing the process.
-        if (static_cast<int>(sessions_.size()) < workers)
-            sessions_.resize(workers);
-        std::vector<std::exception_ptr> workerErrors(workers);
-
-        if (!pool_)
-            pool_ = std::make_unique<Pool>();
-        // Grow the persistent pool to cover this batch; it never
-        // shrinks — an idle parked thread costs nothing, spawning
-        // one per run() call cost every small batch a thread
-        // start-up (the pre-pool design).
-        while (static_cast<int>(pool_->threads.size()) < workers - 1) {
-            int slot = static_cast<int>(pool_->threads.size()) + 1;
-            pool_->threads.emplace_back([this, slot] {
-                std::uint64_t seen = 0;
-                for (;;) {
-                    const std::vector<RunRequest>* reqs;
-                    std::vector<RunResult>* res;
-                    std::vector<std::exception_ptr>* errs;
-                    std::atomic<std::size_t>* idx;
-                    {
-                        std::unique_lock<std::mutex> lock(pool_->mutex);
-                        pool_->workCv.wait(lock, [&] {
-                            return pool_->stop ||
-                                   (pool_->batchId != seen &&
-                                    slot <= pool_->participants);
-                        });
-                        if (pool_->stop)
-                            return;
-                        seen = pool_->batchId;
-                        reqs = pool_->requests;
-                        res = pool_->results;
-                        errs = pool_->errors;
-                        idx = pool_->next;
-                    }
-                    try {
-                        if (!sessions_[slot]) {
-                            sessions_[slot] = std::make_unique<SimSession>(
-                                program_, spec_, shared_);
-                        }
-                        for (std::size_t i = idx->fetch_add(1);
-                             i < reqs->size(); i = idx->fetch_add(1)) {
-                            (*res)[i] = sessions_[slot]->run((*reqs)[i]);
-                        }
-                    } catch (...) {
-                        (*errs)[slot] = std::current_exception();
-                    }
-                    {
-                        std::lock_guard<std::mutex> lock(pool_->mutex);
-                        if (++pool_->finished == pool_->participants)
-                            pool_->doneCv.notify_all();
-                    }
-                }
-            });
-        }
-
-        // Publish the batch and wake the participating workers.
-        {
-            std::lock_guard<std::mutex> lock(pool_->mutex);
-            ++pool_->batchId;
-            pool_->participants = workers - 1;
-            pool_->finished = 0;
-            pool_->requests = &requests;
-            pool_->results = &results;
-            pool_->errors = &workerErrors;
-            pool_->next = &next;
-        }
-        pool_->workCv.notify_all();
-
-        try {
-            drain(lead);
-        } catch (...) {
-            workerErrors[0] = std::current_exception();
-        }
-        {
-            std::unique_lock<std::mutex> lock(pool_->mutex);
-            pool_->doneCv.wait(lock, [&] {
-                return pool_->finished == pool_->participants;
-            });
-            // The batch-local pointers die with this frame; no
-            // parked worker reads them again (a worker only reads
-            // them after observing a *new* batchId).
-            pool_->requests = nullptr;
-            pool_->results = nullptr;
-            pool_->errors = nullptr;
-            pool_->next = nullptr;
-        }
-        for (const std::exception_ptr& error : workerErrors) {
-            if (error)
-                std::rethrow_exception(error);
-        }
-    }
+    pool_.dispatch(workers, requests.size(), job);
 
     SweepSummary summary = summarizeSweep(std::move(results), requests);
     summary.workersUsed = workers;

@@ -25,11 +25,62 @@
  * calls and must be thread-safe.
  */
 
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/session.h"
 
 namespace syscomm::sim {
+
+/**
+ * A persistent pool of worker threads with work-stealing dispatch:
+ * the thread-management half of SweepRunner, split out so drivers
+ * whose work items are not "one request on my one machine" — above
+ * all ShapeSweep, whose items are whole per-shape sessions — can fan
+ * out over the same machinery. Threads are spawned on demand by the
+ * first dispatch that needs them and parked between batches; the
+ * mutex hand-off orders everything the caller wrote before dispatch()
+ * against the workers' reads, so callers may freely prepare per-slot
+ * state (sessions, buffers) between batches.
+ */
+class WorkerPool
+{
+  public:
+    WorkerPool();
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool&) = delete;
+    WorkerPool& operator=(const WorkerPool&) = delete;
+
+    /**
+     * Run @p job(slot, index) for every index in [0, count), spread
+     * over @p workers slots by a shared work-stealing counter. Slot 0
+     * is the calling thread; slots 1..workers-1 are pool threads. The
+     * call blocks until every index completed; an exception thrown by
+     * any slot is parked and rethrown here after the join (first slot
+     * wins), so a throwing job fails the dispatch, not the process.
+     * Not reentrant — one dispatch at a time per pool.
+     */
+    void dispatch(int workers, std::size_t count,
+                  const std::function<void(int, std::size_t)>& job);
+
+    /** Pool threads currently alive (spawned on demand, never shed). */
+    int pooledWorkers() const;
+
+  private:
+    struct State;
+    std::unique_ptr<State> state_;
+};
+
+/**
+ * Worker count a dispatch over @p work_items should use: the shared
+ * sizing policy of every WorkerPool client (SweepRunner, ShapeSweep).
+ * @p requested <= 0 picks std::thread::hardware_concurrency(); the
+ * result is clamped to the number of work items and floored at 1.
+ */
+int clampWorkers(int requested, std::size_t work_items);
 
 /** Sweep-wide knobs. */
 struct SweepOptions
@@ -70,13 +121,17 @@ struct SweepSummary
 
     /**
      * Cycle-count distribution over runs that simulated (config
-     * errors excluded). Percentiles are nearest-rank.
+     * errors excluded). Percentiles are nearest-rank. When *no* run
+     * simulated (every run was a config error, or the batch was
+     * empty) there is no distribution: the five order statistics are
+     * -1 — never a fabricated 0, which is a legal cycle count —
+     * and meanCycles is 0.
      */
-    Cycle minCycles = 0;
-    Cycle maxCycles = 0;
-    Cycle p50Cycles = 0;
-    Cycle p90Cycles = 0;
-    Cycle p99Cycles = 0;
+    Cycle minCycles = -1;
+    Cycle maxCycles = -1;
+    Cycle p50Cycles = -1;
+    Cycle p90Cycles = -1;
+    Cycle p99Cycles = -1;
     double meanCycles = 0.0;
 
     /** Per-policy aggregates, ascending PolicyKind, used kinds only. */
@@ -138,21 +193,22 @@ class SweepRunner
     int pooledWorkers() const;
 
   private:
-    struct Pool; // the persistent worker pool (batch.cpp)
-
     const Program& program_;
     const MachineSpec& spec_;
     SessionOptions session_;
     SweepOptions options_;
     /**
-     * Session config handed to worker slots: session_ plus the
-     * pre-resolved labels once some batch needed them (so the
-     * labeler runs once per runner, not once per worker).
+     * Program-side analyses shared by every worker session: built on
+     * the first run() and handed to each slot, so validation, the
+     * competing analysis and the labeler run once per runner — not
+     * once per worker (CompiledProgram's lazy labeling is once-flag
+     * guarded, so label-needing batches resolve labels exactly once
+     * even when the first resolver is a worker thread).
      */
-    SessionOptions shared_;
+    std::shared_ptr<const CompiledProgram> compiled_;
     /** Cached per-slot sessions; slot 0 is the calling thread's. */
     std::vector<std::unique_ptr<SimSession>> sessions_;
-    std::unique_ptr<Pool> pool_;
+    WorkerPool pool_;
 };
 
 } // namespace syscomm::sim

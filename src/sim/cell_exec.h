@@ -14,6 +14,7 @@
 #include "core/op.h"
 #include "core/types.h"
 #include "sim/fnv.h"
+#include "sim/serial.h"
 
 namespace syscomm::sim {
 
@@ -107,6 +108,42 @@ class CellRuntime : public CellContext
         read_completed_ = other.read_completed_;
         lastBlock = other.lastBlock;
         lastVisitCycle = other.lastVisitCycle;
+    }
+
+    /**
+     * Serialize / restore the same mid-run state copyStateFrom moves.
+     * SimArena wraps both with pool-shape checks and a whole-machine
+     * digest; on a short stream loadState returns false and the cell
+     * must be discarded.
+     */
+    void
+    saveState(ByteWriter& out) const
+    {
+        out.put(pc_);
+        out.put(now_);
+        out.put(last_read_);
+        out.put(next_write_);
+        out.put(has_staged_write_);
+        out.put(stall_remaining_);
+        out.put(read_completed_);
+        out.put(lastBlock);
+        out.put(lastVisitCycle);
+        out.putVector(locals_);
+    }
+
+    bool
+    loadState(ByteReader& in)
+    {
+        pc_ = in.get<int>();
+        now_ = in.get<Cycle>();
+        last_read_ = in.get<double>();
+        next_write_ = in.get<double>();
+        has_staged_write_ = in.get<bool>();
+        stall_remaining_ = in.get<int>();
+        read_completed_ = in.get<bool>();
+        lastBlock = in.get<BlockReason>();
+        lastVisitCycle = in.get<Cycle>();
+        return in.getVector(locals_) && pc_ >= 0 && pc_ <= num_ops_;
     }
 
     /**

@@ -97,6 +97,51 @@ HwQueue::copyStateFrom(const HwQueue& other)
 }
 
 void
+HwQueue::saveState(ByteWriter& out) const
+{
+    out.put(assigned_);
+    out.put(dir_);
+    out.put(final_hop_);
+    out.put(words_remaining_);
+    out.put(head_);
+    out.put(ring_count_);
+    out.put(spill_head_);
+    out.put(spill_count_);
+    out.put(front_ready_at_);
+    out.put(last_push_cycle_);
+    out.put(last_pop_cycle_);
+    out.put(settled_);
+    out.put(busy_cycles_);
+    out.put(occupancy_sum_);
+    out.put(words_pushed_);
+    out.put(extended_words_);
+    out.put(assignments_);
+}
+
+bool
+HwQueue::loadState(ByteReader& in)
+{
+    assigned_ = in.get<MessageId>();
+    dir_ = in.get<LinkDir>();
+    final_hop_ = in.get<bool>();
+    words_remaining_ = in.get<int>();
+    head_ = in.get<std::uint32_t>();
+    ring_count_ = in.get<int>();
+    spill_head_ = in.get<std::uint32_t>();
+    spill_count_ = in.get<int>();
+    front_ready_at_ = in.get<Cycle>();
+    last_push_cycle_ = in.get<Cycle>();
+    last_pop_cycle_ = in.get<Cycle>();
+    settled_ = in.get<Cycle>();
+    busy_cycles_ = in.get<Cycle>();
+    occupancy_sum_ = in.get<std::int64_t>();
+    words_pushed_ = in.get<std::int64_t>();
+    extended_words_ = in.get<std::int64_t>();
+    assignments_ = in.get<std::int64_t>();
+    return in.ok();
+}
+
+void
 HwQueue::settleStats(Cycle now)
 {
     if (now <= settled_)

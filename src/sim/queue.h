@@ -38,6 +38,7 @@
 #include <cstdint>
 
 #include "core/types.h"
+#include "sim/serial.h"
 #include "sim/word.h"
 
 namespace syscomm::sim {
@@ -76,6 +77,18 @@ class HwQueue
      * from an event-kernel checkpoint.
      */
     void copyStateFrom(const HwQueue& other);
+
+    /**
+     * Serialize / restore the same dynamic state copyStateFrom moves
+     * (the ring/spill *contents* travel with the arena word pool, so
+     * only the scalars live here). loadState fails — leaving the
+     * queue in a partially-written state the caller must discard —
+     * when the byte stream runs short; SimArena wraps both with shape
+     * checks and a whole-machine digest, so a torn or mismatched
+     * checkpoint is rejected before any kernel sees it.
+     */
+    void saveState(ByteWriter& out) const;
+    bool loadState(ByteReader& in);
 
     // ------------------------------------------------------------------
     // Assignment lifecycle

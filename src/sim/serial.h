@@ -1,0 +1,175 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal byte-stream (de)serialization for simulation checkpoints.
+ *
+ * The crash-resume path (SimSession::saveCheckpoint, ShapeSweep's
+ * journal) needs to move machine state — arena pools, queue scalars,
+ * cell runtimes, accumulated statistics — through a flat byte buffer
+ * that can be written to disk and read back on another invocation of
+ * the same binary. The format is deliberately dumb: native-endian
+ * little records with explicit lengths, no schema evolution. A
+ * checkpoint is only ever consumed by a session built over the same
+ * program and machine spec (SimSession verifies a machine digest on
+ * restore), so portability across builds is a non-goal; detecting
+ * torn or mismatched input without invoking UB is the whole contract.
+ *
+ * ByteReader never reads past the end: every get() checks remaining
+ * bytes and latches ok() = false on underrun, after which all reads
+ * return zero values. Callers check ok() once at the end instead of
+ * wrapping every field.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace syscomm::sim {
+
+/** Appends trivially-copyable values to a growing byte buffer. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+    template <typename T>
+    void
+    put(const T& value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "ByteWriter::put needs a trivially copyable type");
+        const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+        out_.insert(out_.end(), bytes, bytes + sizeof(T));
+    }
+
+    /** Length-prefixed vector of trivially-copyable elements. */
+    template <typename T>
+    void
+    putVector(const std::vector<T>& values)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "putVector needs trivially copyable elements");
+        put(static_cast<std::uint64_t>(values.size()));
+        if (!values.empty()) {
+            const auto* bytes =
+                reinterpret_cast<const std::uint8_t*>(values.data());
+            out_.insert(out_.end(), bytes,
+                        bytes + values.size() * sizeof(T));
+        }
+    }
+
+    void
+    putString(const std::string& s)
+    {
+        put(static_cast<std::uint64_t>(s.size()));
+        out_.insert(out_.end(), s.begin(), s.end());
+    }
+
+    std::size_t size() const { return out_.size(); }
+
+  private:
+    std::vector<std::uint8_t>& out_;
+};
+
+/** Reads values back; latches ok() = false on any underrun. */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t* data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return size_ - at_; }
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "ByteReader::get needs a trivially copyable type");
+        T value{};
+        if (!take(sizeof(T)))
+            return value;
+        std::memcpy(&value, data_ + at_ - sizeof(T), sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    bool
+    getVector(std::vector<T>& out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "getVector needs trivially copyable elements");
+        const auto n = get<std::uint64_t>();
+        if (!ok_ || n > remaining() / sizeof(T)) {
+            ok_ = false;
+            return false;
+        }
+        out.resize(static_cast<std::size_t>(n));
+        if (n > 0) {
+            std::memcpy(out.data(), data_ + at_,
+                        static_cast<std::size_t>(n) * sizeof(T));
+            at_ += static_cast<std::size_t>(n) * sizeof(T);
+        }
+        return true;
+    }
+
+    /**
+     * Read a length-prefixed vector into an *existing* buffer of the
+     * same size (arena pools must never resize — every kernel span
+     * points into them). Fails without touching @p out on mismatch.
+     */
+    template <typename T>
+    bool
+    getVectorExact(std::vector<T>& out)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "getVectorExact needs trivially copyable elements");
+        const auto n = get<std::uint64_t>();
+        if (!ok_ || n != out.size() ||
+            !take(static_cast<std::size_t>(n) * sizeof(T)))
+            return false;
+        if (n > 0) {
+            std::memcpy(out.data(),
+                        data_ + at_ -
+                            static_cast<std::size_t>(n) * sizeof(T),
+                        static_cast<std::size_t>(n) * sizeof(T));
+        }
+        return true;
+    }
+
+    bool
+    getString(std::string& out)
+    {
+        const auto n = get<std::uint64_t>();
+        if (!ok_ || !take(static_cast<std::size_t>(n)))
+            return false;
+        out.assign(reinterpret_cast<const char*>(data_ + at_ -
+                                                 static_cast<std::size_t>(n)),
+                   static_cast<std::size_t>(n));
+        return true;
+    }
+
+  private:
+    bool
+    take(std::size_t n)
+    {
+        if (!ok_ || n > remaining()) {
+            ok_ = false;
+            return false;
+        }
+        at_ += n;
+        return true;
+    }
+
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t at_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace syscomm::sim

@@ -2,17 +2,18 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <functional>
 #include <utility>
 
-#include "core/competing.h"
 #include "core/labeling.h"
 #include "sim/active_set.h"
 #include "sim/arena.h"
 #include "sim/cell_exec.h"
 #include "sim/fnv.h"
 #include "sim/link_state.h"
+#include "sim/serial.h"
 
 namespace syscomm::sim {
 
@@ -66,7 +67,250 @@ using CellSet = BitIndexSet<CellId, kInvalidCell>;
 
 const std::vector<std::int64_t> kNoLabels;
 
+/** Process-wide analysis-pass counter behind CompiledProgram::buildCount. */
+std::atomic<std::int64_t> compiledBuilds{0};
+
+/** Structural topology equality: same cells, same links, same order. */
+bool
+sameTopology(const Topology& a, const Topology& b)
+{
+    if (a.numCells() != b.numCells() || a.numLinks() != b.numLinks())
+        return false;
+    for (LinkIndex l = 0; l < a.numLinks(); ++l) {
+        if (a.link(l).a != b.link(l).a || a.link(l).b != b.link(l).b)
+            return false;
+    }
+    return true;
+}
+
+// Checkpoint stream framing (SimSession::saveCheckpoint).
+constexpr std::uint32_t kCheckpointMagic = 0x53594b43u; // "CKYS"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void
+saveStats(ByteWriter& w, const SimStats& s)
+{
+    w.put(s.cycles);
+    w.put(s.wordsDelivered);
+    w.put(s.wordsForwarded);
+    w.put(s.opsExecuted);
+    w.put(s.computeOps);
+    w.put(s.assignments);
+    w.put(s.releases);
+    w.put(s.requests);
+    w.put(s.requestWaitCycles);
+    w.put(s.cellBlockedCycles);
+    w.put(s.memAccesses);
+    w.put(s.memStallCycles);
+    w.put(s.queueBusyCycles);
+    w.put(s.queueOccupancySum);
+    w.put(s.extendedWords);
+    w.putVector(s.perCellBlocked);
+}
+
+bool
+loadStats(ByteReader& r, SimStats& s)
+{
+    s.cycles = r.get<Cycle>();
+    s.wordsDelivered = r.get<std::int64_t>();
+    s.wordsForwarded = r.get<std::int64_t>();
+    s.opsExecuted = r.get<std::int64_t>();
+    s.computeOps = r.get<std::int64_t>();
+    s.assignments = r.get<std::int64_t>();
+    s.releases = r.get<std::int64_t>();
+    s.requests = r.get<std::int64_t>();
+    s.requestWaitCycles = r.get<std::int64_t>();
+    s.cellBlockedCycles = r.get<std::int64_t>();
+    s.memAccesses = r.get<std::int64_t>();
+    s.memStallCycles = r.get<std::int64_t>();
+    s.queueBusyCycles = r.get<std::int64_t>();
+    s.queueOccupancySum = r.get<std::int64_t>();
+    s.extendedWords = r.get<std::int64_t>();
+    return r.getVector(s.perCellBlocked) && r.ok();
+}
+
 } // namespace
+
+void
+saveRunResult(ByteWriter& w, const RunResult& result)
+{
+    w.put(result.status);
+    w.put(result.cycles);
+    w.putString(result.error);
+    saveStats(w, result.stats);
+    w.putVector(result.labelsUsed);
+    const DeadlockReport& d = result.deadlock;
+    w.put(d.deadlocked);
+    w.put(d.atCycle);
+    w.put(static_cast<std::uint64_t>(d.cells.size()));
+    for (const CellBlockInfo& c : d.cells) {
+        w.put(c.cell);
+        w.put(c.pc);
+        w.putString(c.op);
+        w.putString(c.reason);
+    }
+    w.put(static_cast<std::uint64_t>(d.links.size()));
+    for (const LinkSnapshot& l : d.links) {
+        w.put(l.link);
+        w.put(l.a);
+        w.put(l.b);
+        w.put(static_cast<std::uint64_t>(l.queues.size()));
+        for (const QueueSnapshot& q : l.queues) {
+            w.put(q.id);
+            w.putString(q.msg);
+            w.put(q.occupancy);
+            w.put(q.capacity);
+        }
+        w.put(static_cast<std::uint64_t>(l.waiting.size()));
+        for (const std::string& s : l.waiting)
+            w.putString(s);
+    }
+}
+
+bool
+loadRunResult(ByteReader& r, RunResult& result)
+{
+    result = RunResult{};
+    result.status = r.get<RunStatus>();
+    result.cycles = r.get<Cycle>();
+    if (!r.getString(result.error) || !loadStats(r, result.stats) ||
+        !r.getVector(result.labelsUsed))
+        return false;
+    DeadlockReport& d = result.deadlock;
+    d.deadlocked = r.get<bool>();
+    d.atCycle = r.get<Cycle>();
+    const auto numCells = r.get<std::uint64_t>();
+    if (!r.ok() || numCells > r.remaining())
+        return false;
+    d.cells.resize(static_cast<std::size_t>(numCells));
+    for (CellBlockInfo& c : d.cells) {
+        c.cell = r.get<CellId>();
+        c.pc = r.get<int>();
+        if (!r.getString(c.op) || !r.getString(c.reason))
+            return false;
+    }
+    const auto numLinks = r.get<std::uint64_t>();
+    if (!r.ok() || numLinks > r.remaining())
+        return false;
+    d.links.resize(static_cast<std::size_t>(numLinks));
+    for (LinkSnapshot& l : d.links) {
+        l.link = r.get<LinkIndex>();
+        l.a = r.get<CellId>();
+        l.b = r.get<CellId>();
+        const auto numQueues = r.get<std::uint64_t>();
+        if (!r.ok() || numQueues > r.remaining())
+            return false;
+        l.queues.resize(static_cast<std::size_t>(numQueues));
+        for (QueueSnapshot& q : l.queues) {
+            q.id = r.get<int>();
+            if (!r.getString(q.msg))
+                return false;
+            q.occupancy = r.get<int>();
+            q.capacity = r.get<int>();
+        }
+        const auto numWaiting = r.get<std::uint64_t>();
+        if (!r.ok() || numWaiting > r.remaining())
+            return false;
+        l.waiting.resize(static_cast<std::size_t>(numWaiting));
+        for (std::string& s : l.waiting) {
+            if (!r.getString(s))
+                return false;
+        }
+    }
+    return r.ok() &&
+           static_cast<int>(result.status) < kNumRunStatuses;
+}
+
+// ---------------------------------------------------------------------
+// CompiledProgram
+// ---------------------------------------------------------------------
+
+CompiledProgram::CompiledProgram(const Program& program,
+                                 const Topology& topo,
+                                 std::vector<std::int64_t> labels,
+                                 bool precompute_labels)
+    : program_(program), topo_(topo)
+{
+    ++compiledBuilds;
+    if (!labels.empty()) {
+        labels_ = std::move(labels);
+        labelsGiven_ = true;
+    }
+    validation_ = program.validate(topo_.numCells());
+    if (!validation_.empty()) {
+        firstError_ = "invalid program: " + validation_.front();
+        return;
+    }
+    competing_ = CompetingAnalysis::analyze(program, topo_);
+
+    // One pass over the route set derives every registration table a
+    // session needs: crossings per link (arena span sizes), the
+    // first/last-hop endpoints with their crossing indices (the
+    // crossing index is simply the number of crossings registered on
+    // that link so far — sessions register in this same (message,
+    // hop) order), the routed links, and the program-bearing cells.
+    crossingsPerLink_.assign(topo_.numLinks(), 0);
+    firstHopLink_.assign(program.numMessages(), kInvalidLink);
+    lastHopLink_.assign(program.numMessages(), kInvalidLink);
+    firstHopCross_.assign(program.numMessages(), -1);
+    lastHopCross_.assign(program.numMessages(), -1);
+    for (MessageId m = 0; m < program.numMessages(); ++m) {
+        const Route& route = competing_.route(m);
+        for (int h = 0; h < route.numHops(); ++h) {
+            const LinkIndex l = route.hops[h].link;
+            const int crossIdx = crossingsPerLink_[l]++;
+            if (h == 0) {
+                firstHopLink_[m] = l;
+                firstHopCross_[m] = crossIdx;
+            }
+            if (h + 1 == route.numHops()) {
+                lastHopLink_[m] = l;
+                lastHopCross_[m] = crossIdx;
+            }
+        }
+    }
+    for (LinkIndex l = 0; l < topo_.numLinks(); ++l) {
+        if (crossingsPerLink_[l] > 0)
+            routedLinksDesc_.push_back(l);
+    }
+    std::sort(routedLinksDesc_.begin(), routedLinksDesc_.end(),
+              std::greater<LinkIndex>());
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        if (!program.cellOps(c).empty())
+            programCells_.push_back(c);
+    }
+    if (precompute_labels && !labelsGiven_)
+        (void)this->labels();
+}
+
+std::shared_ptr<const CompiledProgram>
+CompiledProgram::compile(const Program& program, const Topology& topo,
+                         std::vector<std::int64_t> labels,
+                         bool precompute_labels)
+{
+    return std::make_shared<const CompiledProgram>(
+        program, topo, std::move(labels), precompute_labels);
+}
+
+const std::vector<std::int64_t>&
+CompiledProgram::labels() const
+{
+    if (labelsGiven_ || !valid())
+        return labels_;
+    std::call_once(labelsOnce_, [this] {
+        Labeling labeling = labelMessages(program_);
+        if (!labeling.success)
+            labeling = trivialLabeling(program_);
+        labels_ = labeling.normalized();
+    });
+    return labels_;
+}
+
+std::int64_t
+CompiledProgram::buildCount()
+{
+    return compiledBuilds.load();
+}
 
 /**
  * The simulation engine. Everything allocated here is sized once at
@@ -76,38 +320,44 @@ const std::vector<std::int64_t> kNoLabels;
  */
 struct SimSession::Impl
 {
+    // -----------------------------------------------------------------
+    // Compile-once state (immutable across runs)
+    //
+    // The program-side analyses live in a CompiledProgram that may be
+    // shared with other sessions (ShapeSweep builds one per sweep and
+    // hands it to every per-shape session); the references below are
+    // stable aliases into it, kept so the kernels read exactly as
+    // they did when Impl owned these tables directly.
+    // -----------------------------------------------------------------
+
+    std::shared_ptr<const CompiledProgram> compiled;
+
     const Program& program;
     const MachineSpec& spec;
     SessionOptions options;
 
-    // -----------------------------------------------------------------
-    // Compile-once state (immutable across runs)
-    // -----------------------------------------------------------------
-
-    std::vector<std::string> validation;
+    /** Compiled program valid *and* the spec matches its topology. */
+    bool configOk = false;
     std::string firstError;
-    CompetingAnalysis competing;
 
-    /** Session default labels; computed lazily at most once. */
-    std::vector<std::int64_t> sessionLabels;
-    bool sessionLabelsReady = false;
+    const CompetingAnalysis& competing;
 
     /**
      * Links at least one route crosses, descending index: the
      * forwarding order. Descending means that, for ascending routes,
      * downstream queues drain before upstream ones push into them.
-     * Computed once from the route set; links no message ever crosses
-     * are never scanned — and never need resetting either, so the
-     * per-run reset cost is O(routed links), not O(machine).
+     * Links no message ever crosses are never scanned — and never
+     * need resetting either, so the per-run reset cost is O(routed
+     * links), not O(machine).
      */
-    std::vector<LinkIndex> routedLinksDesc;
+    const std::vector<LinkIndex>& routedLinksDesc;
 
     /**
      * Cells with a non-empty program, ascending. Only these ever
      * mutate (empty-program cells are born done and the kernels never
      * step them), so they bound the per-run cell reset.
      */
-    std::vector<CellId> programCells;
+    const std::vector<CellId>& programCells;
 
     /**
      * Flat per-message route endpoints: the first/last hop's link and
@@ -116,10 +366,10 @@ struct SimSession::Impl
      * word per cell visit; two contiguous array loads replace a Route
      * pointer chase plus a crossing binary search there.
      */
-    std::vector<LinkIndex> firstHopLink;
-    std::vector<LinkIndex> lastHopLink;
-    std::vector<int> firstHopCross;
-    std::vector<int> lastHopCross;
+    const std::vector<LinkIndex>& firstHopLink;
+    const std::vector<LinkIndex>& lastHopLink;
+    const std::vector<int>& firstHopCross;
+    const std::vector<int>& lastHopCross;
 
     bool eventMode = false;
     int runs = 0;
@@ -295,68 +545,51 @@ struct SimSession::Impl
     std::size_t hwEvents = 0;
     std::size_t hwReleases = 0;
 
-    Impl(const Program& p, const MachineSpec& s, SessionOptions o)
-        : program(p), spec(s), options(std::move(o))
+    Impl(std::shared_ptr<const CompiledProgram> c, const MachineSpec& s,
+         SessionOptions o)
+        : compiled(std::move(c)),
+          program(compiled->program()),
+          spec(s),
+          options(std::move(o)),
+          competing(compiled->competing()),
+          routedLinksDesc(compiled->routedLinksDesc()),
+          programCells(compiled->programCells()),
+          firstHopLink(compiled->firstHopLink()),
+          lastHopLink(compiled->lastHopLink()),
+          firstHopCross(compiled->firstHopCross()),
+          lastHopCross(compiled->lastHopCross())
     {
-        validation = program.validate(spec.topo.numCells());
-        if (!validation.empty()) {
-            firstError = "invalid program: " + validation.front();
+        if (!compiled->valid()) {
+            firstError = compiled->error();
             return;
         }
-
-        competing = CompetingAnalysis::analyze(program, spec.topo);
-
-        if (options.precomputeLabels)
-            defaultLabels();
-
-        // Two passes over the route set: count crossings per link so
-        // the arena can carve exact contiguous spans, then register
-        // them. The counting pass is O(total hops), trivial next to
-        // the analyses above.
-        std::vector<int> crossingsPerLink(spec.topo.numLinks(), 0);
-        for (MessageId m = 0; m < program.numMessages(); ++m) {
-            const Route& route = competing.route(m);
-            for (int h = 0; h < route.numHops(); ++h)
-                ++crossingsPerLink[route.hops[h].link];
+        // A shared CompiledProgram binds routes to one topology; a
+        // spec with different links would send every route to the
+        // wrong machine. (Sessions built the classic way compile
+        // against spec.topo itself, so this always passes for them.)
+        if (!sameTopology(spec.topo, compiled->topo())) {
+            firstError = "machine spec topology does not match the "
+                         "compiled program's";
+            return;
         }
-        arena.build(spec, program, crossingsPerLink);
+        configOk = true;
+
+        arena.build(spec, program, compiled->crossingsPerLink());
         links = arena.links();
         cells = arena.cells();
 
-        firstHopLink.assign(program.numMessages(), kInvalidLink);
-        lastHopLink.assign(program.numMessages(), kInvalidLink);
-        firstHopCross.assign(program.numMessages(), -1);
-        lastHopCross.assign(program.numMessages(), -1);
+        // Register every route crossing in (message, hop) order — the
+        // order CompiledProgram counted, so its first/last-hop
+        // crossing indices match the lists built here.
         for (MessageId m = 0; m < program.numMessages(); ++m) {
             const Route& route = competing.route(m);
             for (int h = 0; h < route.numHops(); ++h) {
                 LinkState& link = links[route.hops[h].link];
                 link.addCrossing(m, route.hops[h].dir, h,
                                  program.messageLength(m));
-                int crossIdx =
-                    static_cast<int>(link.crossings().size()) - 1;
                 link.crossings().back().finalHop =
                     h + 1 == route.numHops();
-                if (h == 0) {
-                    firstHopLink[m] = route.hops[h].link;
-                    firstHopCross[m] = crossIdx;
-                }
-                if (h + 1 == route.numHops()) {
-                    lastHopLink[m] = route.hops[h].link;
-                    lastHopCross[m] = crossIdx;
-                }
             }
-        }
-        for (LinkIndex l = 0; l < spec.topo.numLinks(); ++l) {
-            if (!links[l].crossings().empty())
-                routedLinksDesc.push_back(l);
-        }
-        std::sort(routedLinksDesc.begin(), routedLinksDesc.end(),
-                  std::greater<LinkIndex>());
-
-        for (CellId c = 0; c < program.numCells(); ++c) {
-            if (!cells[c].done())
-                programCells.push_back(c);
         }
 
         writeSeq.assign(program.numMessages(), 0);
@@ -375,22 +608,17 @@ struct SimSession::Impl
         pendingLinks.resize(static_cast<LinkIndex>(links.size()));
     }
 
-    /** The session's default labels, computed at most once. */
+    /**
+     * The session's default labels: a SessionOptions override wins,
+     * else the shared CompiledProgram's (lazy, computed at most once
+     * per compiled program — not per session).
+     */
     const std::vector<std::int64_t>&
-    defaultLabels()
+    defaultLabels() const
     {
-        if (!sessionLabelsReady) {
-            if (!options.labels.empty()) {
-                sessionLabels = options.labels;
-            } else {
-                Labeling labeling = labelMessages(program);
-                if (!labeling.success)
-                    labeling = trivialLabeling(program);
-                sessionLabels = labeling.normalized();
-            }
-            sessionLabelsReady = true;
-        }
-        return sessionLabels;
+        if (!options.labels.empty())
+            return options.labels;
+        return compiled->labels();
     }
 
     /**
@@ -1394,7 +1622,7 @@ struct SimSession::Impl
     {
         ++runs;
         isPaused = false; // a new run abandons any paused one
-        if (!validation.empty()) {
+        if (!configOk) {
             RunResult bad;
             bad.status = RunStatus::kConfigError;
             bad.error = firstError;
@@ -1600,7 +1828,7 @@ struct SimSession::Impl
     bool
     adoptFrom(const Impl& o)
     {
-        if (!o.isPaused || !validation.empty() || !o.validation.empty())
+        if (!o.isPaused || !configOk || !o.configOk)
             return false;
         // Same machine, same semantics; only the kernel may differ.
         if (&program != &o.program || &spec != &o.spec)
@@ -1664,11 +1892,154 @@ struct SimSession::Impl
             h = fnv(h, static_cast<std::uint64_t>(s));
         return h;
     }
+
+    // -----------------------------------------------------------------
+    // Checkpoint persistence (crash resume across processes)
+    // -----------------------------------------------------------------
+
+    bool
+    saveCheckpointTo(std::vector<std::uint8_t>& out) const
+    {
+        if (!isPaused)
+            return false;
+        // Only stats-level runs are persistable: the opt-in result
+        // vectors (events, releases, timing, received, audit input)
+        // are not serialized, and silently resuming without them
+        // would break the bit-identity contract.
+        if (needEvents || collectReleases || collectTiming ||
+            collectReceived || doAudit)
+            return false;
+        ByteWriter w(out);
+        w.put(kCheckpointMagic);
+        w.put(kCheckpointVersion);
+        w.put(machineDigest());
+        // The restoring session needs to know whether these stats
+        // were accumulated lazily (event kernel: sleeping cells are
+        // charged at their next visit) to dense-normalize them — the
+        // same boundary adjustment adoptFrom makes.
+        w.put(static_cast<std::uint8_t>(eventMode ? 1 : 0));
+        w.put(resumeFrom);
+        w.put(result.cycles);
+        w.putVector(writeSeq);
+        w.putVector(readSeq);
+        // The *internal* lazily-accumulated statistics, not the
+        // dense-normalized snapshot run() handed out: restore
+        // continues the lazy accounting exactly where it stopped
+        // (queue stat cursors and cell visit clocks travel with the
+        // machine pools below).
+        saveStats(w, result.stats);
+        std::vector<std::uint64_t> policyState;
+        policy->saveState(policyState);
+        w.putVector(policyState);
+        arena.serializeMachineState(out);
+        return true;
+    }
+
+    bool
+    restoreCheckpointFrom(const RunRequest& request,
+                          const std::uint8_t* data, std::size_t size)
+    {
+        isPaused = false; // failure must not leave a bogus paused run
+        if (!configOk || request.collect != Collect::kNone)
+            return false;
+        ByteReader r(data, size);
+        if (r.get<std::uint32_t>() != kCheckpointMagic ||
+            r.get<std::uint32_t>() != kCheckpointVersion)
+            return false;
+        const std::uint64_t digest = r.get<std::uint64_t>();
+        const bool writerWasEventKernel = r.get<std::uint8_t>() != 0;
+        const Cycle resume_from = r.get<Cycle>();
+        const Cycle cycles = r.get<Cycle>();
+        std::vector<int> wseq;
+        std::vector<int> rseq;
+        if (!r.getVector(wseq) || !r.getVector(rseq) ||
+            wseq.size() != writeSeq.size() ||
+            rseq.size() != readSeq.size())
+            return false;
+        SimStats stats;
+        if (!loadStats(r, stats) ||
+            stats.perCellBlocked.size() != cells.size())
+            return false;
+        std::vector<std::uint64_t> policyState;
+        if (!r.getVector(policyState) || !r.ok())
+            return false;
+        if (!arena.deserializeMachineState(data + (size - r.remaining()),
+                                           r.remaining()))
+            return false;
+        writeSeq = std::move(wseq);
+        readSeq = std::move(rseq);
+        // The digest recorded at save time covers everything restored
+        // above; recomputing it is the end-to-end torn/mismatched-
+        // checkpoint check (a failed restore leaves machine state
+        // unspecified — the next run() resets it all anyway).
+        if (machineDigest() != digest)
+            return false;
+
+        ++runs;
+        doAudit = false;
+        collectEvents = false;
+        needEvents = false;
+        collectReleases = false;
+        collectTiming = false;
+        collectReceived = false;
+        observer = request.observer;
+        maxCycles = request.maxCycles;
+        ownedLabels = resolveLabels(request, runNeedsLabels(request));
+        runLabels = &ownedLabels;
+        adoptedPolicy.reset();
+        policy = &getPolicy(request.policy, *runLabels, request.seed);
+        if (!policy->loadState(policyState))
+            return false;
+
+        result.status = RunStatus::kPaused;
+        result.cycles = cycles;
+        result.error.clear();
+        result.stats = std::move(stats);
+        result.deadlock = DeadlockReport{};
+        result.events.clear();
+        result.releases.clear();
+        result.audit = AuditReport{};
+        result.msgTiming.clear();
+        result.received.clear();
+        result.labelsUsed = *runLabels;
+
+        resumeFrom = resume_from;
+        pauseTarget = 0;
+
+        // Dense-normalize the blocked-cycle accounting exactly as
+        // adoptFrom does: an event-kernel writer's stats are short
+        // the spans its sleeping cells had not yet been charged
+        // (their visit cursors travelled with the cell pool); a dense
+        // writer's are already complete. Either way every live cell
+        // leaves here with its cursor at the pause cycle — the common
+        // baseline both kernels continue identically from.
+        const Cycle pauseCycle = resumeFrom - 1;
+        if (writerWasEventKernel)
+            chargeLazyBlockedSpans(pauseCycle, result.stats);
+        for (CellId c : programCells) {
+            if (!cells[c].done())
+                cells[c].lastVisitCycle = pauseCycle;
+        }
+
+        isPaused = true;
+        if (eventMode)
+            rebuildEventState();
+        return true;
+    }
 };
 
 SimSession::SimSession(const Program& program, const MachineSpec& spec,
                        SessionOptions options)
-    : impl_(std::make_unique<Impl>(program, spec, std::move(options)))
+    : impl_(std::make_unique<Impl>(
+          CompiledProgram::compile(program, spec.topo, options.labels,
+                                   options.precomputeLabels),
+          spec, std::move(options)))
+{}
+
+SimSession::SimSession(std::shared_ptr<const CompiledProgram> compiled,
+                       const MachineSpec& spec, SessionOptions options)
+    : impl_(std::make_unique<Impl>(std::move(compiled), spec,
+                                   std::move(options)))
 {}
 
 SimSession::~SimSession() = default;
@@ -1708,7 +2079,7 @@ SimSession::machineDigest() const
 bool
 SimSession::valid() const
 {
-    return impl_->validation.empty();
+    return impl_->configOk;
 }
 
 const std::string&
@@ -1717,10 +2088,37 @@ SimSession::error() const
     return impl_->firstError;
 }
 
+const std::shared_ptr<const CompiledProgram>&
+SimSession::compiled() const
+{
+    return impl_->compiled;
+}
+
+bool
+SimSession::saveCheckpoint(std::vector<std::uint8_t>& out) const
+{
+    return impl_->saveCheckpointTo(out);
+}
+
+bool
+SimSession::restoreCheckpoint(const RunRequest& request,
+                              const std::uint8_t* data, std::size_t size)
+{
+    return impl_->restoreCheckpointFrom(request, data, size);
+}
+
+bool
+SimSession::restoreCheckpoint(const RunRequest& request,
+                              const std::vector<std::uint8_t>& bytes)
+{
+    return impl_->restoreCheckpointFrom(request, bytes.data(),
+                                        bytes.size());
+}
+
 const std::vector<std::int64_t>&
 SimSession::labels()
 {
-    if (!impl_->validation.empty())
+    if (!impl_->configOk)
         return kNoLabels;
     return impl_->defaultLabels();
 }

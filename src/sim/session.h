@@ -29,18 +29,141 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/competing.h"
 #include "core/machine_spec.h"
 #include "core/program.h"
 #include "sim/assignment.h"
 #include "sim/audit.h"
 #include "sim/deadlock.h"
+#include "sim/serial.h"
 #include "sim/stats.h"
 
 namespace syscomm::sim {
+
+/**
+ * The program-side compile analyses a SimSession runs over: program
+ * validation, the competing-message analysis (routes), the default
+ * labeling, and the route-derived registration tables (crossings per
+ * link, first/last-hop endpoints, routed links, program-bearing
+ * cells). None of it depends on the machine's queue resources — only
+ * on the Program and the Topology — so a sweep over machine *shapes*
+ * (queue count / capacity / buffering ladders, the paper's central
+ * experiments) can compile once and hand the same CompiledProgram to
+ * every per-shape session instead of re-running the analyses per
+ * shape. ShapeSweep (sim/shape_sweep.h) is built on exactly that.
+ *
+ * Thread-safety: a CompiledProgram is immutable after construction
+ * except for the lazily computed default labeling, which is guarded
+ * by a once-flag — concurrent sessions on different threads may share
+ * one instance freely (SweepRunner's workers do).
+ *
+ * The Program must outlive the CompiledProgram; the Topology is
+ * copied so per-shape MachineSpecs (which hold their own Topology by
+ * value) need not keep the original alive.
+ */
+class CompiledProgram
+{
+  public:
+    /**
+     * Run the analyses. @p labels, when non-empty, becomes the
+     * default labeling verbatim; otherwise @p precompute_labels picks
+     * between computing the section 6 labeling now or on first use.
+     */
+    CompiledProgram(const Program& program, const Topology& topo,
+                    std::vector<std::int64_t> labels = {},
+                    bool precompute_labels = true);
+
+    /** Convenience: compile into a shareable handle. */
+    static std::shared_ptr<const CompiledProgram>
+    compile(const Program& program, const Topology& topo,
+            std::vector<std::int64_t> labels = {},
+            bool precompute_labels = true);
+
+    const Program& program() const { return program_; }
+    const Topology& topo() const { return topo_; }
+
+    /** Did program validation pass? */
+    bool valid() const { return validation_.empty(); }
+    /** First validation error ("" when valid). */
+    const std::string& error() const { return firstError_; }
+    /** All validation errors. */
+    const std::vector<std::string>& validation() const
+    {
+        return validation_;
+    }
+
+    const CompetingAnalysis& competing() const { return competing_; }
+
+    /**
+     * The default labeling (explicit labels, else section 6 with
+     * trivial fallback). Computed at most once; safe to call from
+     * concurrent sessions.
+     */
+    const std::vector<std::int64_t>& labels() const;
+
+    /** Route crossings per link (sizes each arena's crossing spans). */
+    const std::vector<int>& crossingsPerLink() const
+    {
+        return crossingsPerLink_;
+    }
+    /** Links at least one route crosses, descending (forward order). */
+    const std::vector<LinkIndex>& routedLinksDesc() const
+    {
+        return routedLinksDesc_;
+    }
+    /** Cells with a non-empty program, ascending. */
+    const std::vector<CellId>& programCells() const
+    {
+        return programCells_;
+    }
+    /** Per message: link of the route's first / last hop. */
+    const std::vector<LinkIndex>& firstHopLink() const
+    {
+        return firstHopLink_;
+    }
+    const std::vector<LinkIndex>& lastHopLink() const
+    {
+        return lastHopLink_;
+    }
+    /** Per message: crossing index on that link (registration order). */
+    const std::vector<int>& firstHopCross() const
+    {
+        return firstHopCross_;
+    }
+    const std::vector<int>& lastHopCross() const { return lastHopCross_; }
+
+    /**
+     * Process-wide count of CompiledProgram constructions, i.e. of
+     * full program-side analysis passes. Tests assert compile sharing
+     * with it: a ShapeSweep over N shapes must advance it by exactly
+     * one.
+     */
+    static std::int64_t buildCount();
+
+  private:
+    const Program& program_;
+    Topology topo_;
+    std::vector<std::string> validation_;
+    std::string firstError_;
+    CompetingAnalysis competing_;
+    std::vector<int> crossingsPerLink_;
+    std::vector<LinkIndex> routedLinksDesc_;
+    std::vector<CellId> programCells_;
+    std::vector<LinkIndex> firstHopLink_;
+    std::vector<LinkIndex> lastHopLink_;
+    std::vector<int> firstHopCross_;
+    std::vector<int> lastHopCross_;
+
+    /** Lazy default labeling; see labels(). */
+    mutable std::once_flag labelsOnce_;
+    mutable std::vector<std::int64_t> labels_;
+    bool labelsGiven_ = false;
+};
 
 /** Terminal state of a run. */
 enum class RunStatus : std::uint8_t
@@ -276,6 +399,19 @@ struct RunResult
 };
 
 /**
+ * Serialize the stats-level portion of a RunResult — status, cycles,
+ * error, SimStats, labels used, and the deadlock report; NOT the
+ * opt-in Collect vectors (events, releases, timing, received values)
+ * or the audit. A stats-only run (Collect::kNone) round-trips
+ * losslessly, which is what ShapeSweep's crash-resume journal relies
+ * on to replay finished rows bit-identically.
+ */
+void saveRunResult(ByteWriter& out, const RunResult& result);
+
+/** Restore saveRunResult() bytes; false on a torn stream. */
+bool loadRunResult(ByteReader& in, RunResult& result);
+
+/**
  * A compiled, reusable simulator instance. The program and spec must
  * outlive the session. Not thread-safe: one session serves one thread
  * (SweepRunner gives each worker its own).
@@ -285,6 +421,20 @@ class SimSession
   public:
     SimSession(const Program& program, const MachineSpec& spec,
                SessionOptions options = {});
+
+    /**
+     * Build over shared compile analyses instead of re-running them:
+     * the shape-sweep constructor. @p compiled must be non-null and
+     * its topology must structurally match @p spec.topo (same cells,
+     * same links) — a mismatch makes the session invalid, it never
+     * runs on foreign routes. SessionOptions::labels still overrides
+     * the compiled default labeling for this session;
+     * SessionOptions::precomputeLabels is ignored (the shared object
+     * owns that choice).
+     */
+    SimSession(std::shared_ptr<const CompiledProgram> compiled,
+               const MachineSpec& spec, SessionOptions options = {});
+
     ~SimSession();
 
     SimSession(const SimSession&) = delete;
@@ -336,10 +486,40 @@ class SimSession
      */
     std::uint64_t machineDigest() const;
 
+    /**
+     * Serialize the paused run — machine pools, run progress and
+     * statistics, policy decision state — into @p out for crash
+     * resume across process invocations (ShapeSweep's journal is the
+     * production consumer). Returns false, appending nothing, unless
+     * the session is paused on a stats-only run (RunRequest::collect
+     * was kNone; the opt-in result vectors are not serialized).
+     * Restore with restoreCheckpoint() on a session built over the
+     * same program, topology and machine spec — resuming then yields
+     * results bit-identical to the uninterrupted run.
+     */
+    bool saveCheckpoint(std::vector<std::uint8_t>& out) const;
+
+    /**
+     * Rebuild a paused run from saveCheckpoint() bytes, leaving the
+     * session paused at the checkpoint cycle ready for resume().
+     * @p request must be the interrupted run's original RunRequest
+     * (policy, seed, budget, labels; collect must be kNone) — the
+     * checkpoint stores machine state, not run configuration. Returns
+     * false, abandoning any restored fragments, when the stream is
+     * torn, was produced by a differently-shaped machine, or the
+     * restored state fails its recorded machine digest.
+     */
+    bool restoreCheckpoint(const RunRequest& request,
+                           const std::uint8_t* data, std::size_t size);
+    bool restoreCheckpoint(const RunRequest& request,
+                           const std::vector<std::uint8_t>& bytes);
+
     /** Did construction-time validation pass? */
     bool valid() const;
     /** First validation error ("" when valid). */
     const std::string& error() const;
+    /** The compile analyses this session runs over (never null). */
+    const std::shared_ptr<const CompiledProgram>& compiled() const;
     /**
      * The session's default labels (computes them on first use if
      * construction skipped them).

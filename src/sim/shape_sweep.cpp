@@ -1,0 +1,552 @@
+#include "sim/shape_sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/fnv.h"
+#include "sim/serial.h"
+
+namespace syscomm::sim {
+
+namespace {
+
+// Journal framing: a fixed header naming the sweep configuration,
+// then self-delimiting records, each trailed by a digest of its
+// payload so a record torn by a crash (or a concurrent writer's
+// partial flush) is detected and everything from it on is ignored —
+// the rows it would have carried simply re-run, which is safe because
+// runs are deterministic.
+constexpr std::uint32_t kJournalMagic = 0x4c4a5353u; // "SSJL"
+constexpr std::uint32_t kJournalVersion = 1;
+constexpr std::uint8_t kRecRowDone = 1;
+constexpr std::uint8_t kRecCheckpoint = 2;
+/** kind byte + payload length + trailing payload digest. */
+constexpr std::size_t kRecordOverhead = 1 + 8 + 8;
+
+std::uint64_t
+fnvBytes(std::uint64_t h, const std::uint8_t* data, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        h = fnv(h, data[i]);
+    return h;
+}
+
+std::uint64_t
+fnvString(std::uint64_t h, const std::string& s)
+{
+    h = fnv(h, s.size());
+    return fnvBytes(h, reinterpret_cast<const std::uint8_t*>(s.data()),
+                    s.size());
+}
+
+/**
+ * Digest of everything that defines the sweep — the program (cells,
+ * messages, and every op's kind/message; compute *functions* are
+ * code and cannot be hashed, the one acknowledged blind spot), the
+ * topology, the session options that shape results (memory model,
+ * label override; the kernel is excluded because results are
+ * bit-identical across kernels by contract), the shape ladder, and
+ * the request batch. A journal written for any other sweep must
+ * never be resumed; run() restarts the file when this digest
+ * disagrees with the header.
+ */
+std::uint64_t
+configDigest(const Program& program, const Topology& topo,
+             const SessionOptions& session,
+             const std::vector<ShapeSpec>& shapes,
+             const std::vector<RunRequest>& requests)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    h = fnv(h, static_cast<std::uint64_t>(program.numCells()));
+    h = fnv(h, static_cast<std::uint64_t>(program.numMessages()));
+    for (MessageId m = 0; m < program.numMessages(); ++m)
+        h = fnv(h, static_cast<std::uint64_t>(program.messageLength(m)));
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        const std::vector<Op>& ops = program.cellOps(c);
+        h = fnv(h, ops.size());
+        for (const Op& op : ops) {
+            h = fnv(h, static_cast<std::uint64_t>(op.kind));
+            h = fnv(h, static_cast<std::uint64_t>(op.msg));
+        }
+    }
+    h = fnv(h, session.memoryToMemory ? 1 : 0);
+    h = fnv(h, static_cast<std::uint64_t>(session.memAccessCost));
+    h = fnv(h, session.labels.size());
+    for (std::int64_t label : session.labels)
+        h = fnv(h, static_cast<std::uint64_t>(label));
+    h = fnv(h, static_cast<std::uint64_t>(topo.numCells()));
+    h = fnv(h, static_cast<std::uint64_t>(topo.numLinks()));
+    for (LinkIndex l = 0; l < topo.numLinks(); ++l) {
+        h = fnv(h, static_cast<std::uint64_t>(topo.link(l).a));
+        h = fnv(h, static_cast<std::uint64_t>(topo.link(l).b));
+    }
+    h = fnv(h, shapes.size());
+    for (const ShapeSpec& s : shapes) {
+        h = fnvString(h, s.name);
+        h = fnv(h, static_cast<std::uint64_t>(s.queuesPerLink));
+        h = fnv(h, static_cast<std::uint64_t>(s.queueCapacity));
+        h = fnv(h, static_cast<std::uint64_t>(s.extensionCapacity));
+        h = fnv(h, static_cast<std::uint64_t>(s.extensionPenalty));
+    }
+    h = fnv(h, requests.size());
+    for (const RunRequest& r : requests) {
+        h = fnv(h, static_cast<std::uint64_t>(r.policy));
+        h = fnv(h, r.seed);
+        h = fnv(h, static_cast<std::uint64_t>(r.maxCycles));
+        h = fnv(h, static_cast<std::uint64_t>(r.collect));
+        h = fnv(h, static_cast<std::uint64_t>(r.pauseAt));
+        h = fnv(h, r.labels.size());
+        for (std::int64_t label : r.labels)
+            h = fnv(h, static_cast<std::uint64_t>(label));
+    }
+    return h;
+}
+
+void
+truncateFile(const std::string& path, std::size_t size)
+{
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    // Best-effort: on failure the stranded tail costs re-computation
+    // of the rows behind it, never correctness (their records are
+    // simply not found and the rows re-run deterministically).
+    (void)ec;
+}
+
+std::vector<std::uint8_t>
+readWholeFile(const std::string& path)
+{
+    std::vector<std::uint8_t> bytes;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return bytes;
+    std::uint8_t buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+} // namespace
+
+/**
+ * Crash-resume journal: the rows and mid-run checkpoints loaded from
+ * a previous invocation, plus the append handle the current one
+ * writes through. Appends are serialized by the mutex (workers on
+ * different shapes commit rows concurrently) and flushed per record
+ * so a kill loses at most the record being written — which the
+ * per-record digest detects on the next load.
+ */
+struct ShapeSweep::Journal
+{
+    std::mutex mutex;
+    std::FILE* file = nullptr;
+    /** Records this run() may still write; 0 = unlimited. */
+    std::size_t budget = 0;
+    std::size_t written = 0;
+    bool stopped = false;
+
+    struct Checkpoint
+    {
+        Cycle pauseCycle = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+    /** Grid index -> finished row replayed from a previous run. */
+    std::unordered_map<std::size_t, ShapeSweepRow> done;
+    /** Grid index -> latest mid-run machine checkpoint. */
+    std::unordered_map<std::size_t, Checkpoint> checkpoints;
+
+    ~Journal()
+    {
+        if (file != nullptr)
+            std::fclose(file);
+    }
+
+    /**
+     * Append one record; returns false once the record budget is
+     * exhausted (the record that hit the limit is still written, so
+     * a resume finds it).
+     */
+    bool
+    append(std::uint8_t kind, const std::vector<std::uint8_t>& payload)
+    {
+        // The digest walk can cover a multi-MB checkpoint; do it
+        // before taking the mutex so it never stalls other workers'
+        // row commits.
+        const auto len = static_cast<std::uint64_t>(payload.size());
+        const std::uint64_t digest =
+            fnvBytes(kFnvOffsetBasis, payload.data(), payload.size());
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopped)
+            return false;
+        std::fwrite(&kind, sizeof kind, 1, file);
+        std::fwrite(&len, sizeof len, 1, file);
+        if (!payload.empty())
+            std::fwrite(payload.data(), 1, payload.size(), file);
+        std::fwrite(&digest, sizeof digest, 1, file);
+        std::fflush(file);
+        ++written;
+        if (budget > 0 && written >= budget)
+            stopped = true;
+        return !stopped;
+    }
+
+    /**
+     * Parse a journal image. Returns false when the header does not
+     * name this exact sweep (then the caller restarts the file).
+     * Record parsing stops at the first torn or corrupt record —
+     * everything before it is still replayed, and @p valid_prefix
+     * reports how many leading bytes were sound so the caller can
+     * truncate the tail away before appending (appending *after*
+     * garbage would strand every later record behind it on the next
+     * load).
+     */
+    bool
+    load(const std::vector<std::uint8_t>& bytes, std::uint64_t cfg,
+         std::size_t num_shapes, std::size_t num_requests,
+         std::size_t& valid_prefix)
+    {
+        constexpr std::size_t kHeader = 4 + 4 + 8;
+        valid_prefix = 0;
+        if (bytes.size() < kHeader)
+            return false;
+        std::uint32_t magic;
+        std::uint32_t version;
+        std::uint64_t fileCfg;
+        std::memcpy(&magic, bytes.data(), 4);
+        std::memcpy(&version, bytes.data() + 4, 4);
+        std::memcpy(&fileCfg, bytes.data() + 8, 8);
+        if (magic != kJournalMagic || version != kJournalVersion ||
+            fileCfg != cfg)
+            return false;
+        valid_prefix = kHeader;
+
+        std::size_t at = kHeader;
+        while (bytes.size() - at >= kRecordOverhead) {
+            const std::uint8_t kind = bytes[at];
+            std::uint64_t len;
+            std::memcpy(&len, bytes.data() + at + 1, 8);
+            if (len > bytes.size() - at - kRecordOverhead)
+                break; // torn tail
+            const std::uint8_t* payload = bytes.data() + at + 9;
+            std::uint64_t want;
+            std::memcpy(&want, payload + len, 8);
+            if (fnvBytes(kFnvOffsetBasis, payload,
+                         static_cast<std::size_t>(len)) != want)
+                break; // corrupt record: ignore it and the rest
+
+            ByteReader r(payload, static_cast<std::size_t>(len));
+            const auto shape = r.get<std::uint64_t>();
+            const auto request = r.get<std::uint64_t>();
+            const bool inGrid = r.ok() && shape < num_shapes &&
+                                request < num_requests;
+            const std::size_t idx =
+                static_cast<std::size_t>(shape) * num_requests +
+                static_cast<std::size_t>(request);
+            if (kind == kRecRowDone) {
+                ShapeSweepRow row;
+                row.shape = static_cast<std::size_t>(shape);
+                row.request = static_cast<std::size_t>(request);
+                row.machineDigest = r.get<std::uint64_t>();
+                if (!loadRunResult(r, row.result))
+                    break;
+                if (inGrid) {
+                    row.fromJournal = true;
+                    row.finished = true;
+                    done[idx] = std::move(row);
+                    checkpoints.erase(idx);
+                }
+            } else if (kind == kRecCheckpoint) {
+                Checkpoint ck;
+                ck.pauseCycle = r.get<Cycle>();
+                if (!r.getVector(ck.bytes))
+                    break;
+                if (inGrid && done.find(idx) == done.end())
+                    checkpoints[idx] = std::move(ck); // latest wins
+            }
+            // Unknown kinds skip harmlessly: forward compatibility.
+            at += kRecordOverhead + static_cast<std::size_t>(len);
+            valid_prefix = at;
+        }
+        return true;
+    }
+};
+
+ShapeSweep::ShapeSweep(const Program& program, const Topology& topo,
+                       std::vector<ShapeSpec> shapes,
+                       ShapeSweepOptions options)
+    : program_(program),
+      topo_(topo),
+      shapes_(std::move(shapes)),
+      options_(std::move(options))
+{
+    specs_.reserve(shapes_.size());
+    for (const ShapeSpec& shape : shapes_) {
+        MachineSpec spec;
+        spec.topo = topo_;
+        spec.queuesPerLink = shape.queuesPerLink;
+        spec.queueCapacity = shape.queueCapacity;
+        spec.extensionCapacity = shape.extensionCapacity;
+        spec.extensionPenalty = shape.extensionPenalty;
+        specs_.push_back(std::move(spec));
+    }
+    sessions_.resize(shapes_.size());
+}
+
+ShapeSweep::~ShapeSweep() = default;
+
+ShapeSweepResult
+ShapeSweep::run(const std::vector<RunRequest>& requests)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+
+    ShapeSweepResult out;
+    out.numShapes = shapes_.size();
+    out.numRequests = requests.size();
+    out.requests = requests;
+    out.rows.resize(shapes_.size() * requests.size());
+    for (std::size_t s = 0; s < shapes_.size(); ++s) {
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            out.rows[s * requests.size() + r].shape = s;
+            out.rows[s * requests.size() + r].request = r;
+        }
+    }
+
+    // The whole point: one compile pass serves every shape.
+    if (!compiled_) {
+        compiled_ = CompiledProgram::compile(
+            program_, topo_, options_.session.labels,
+            options_.session.precomputeLabels);
+    }
+
+    std::unique_ptr<Journal> journal;
+    if (!options_.journalPath.empty() && !requests.empty()) {
+        journal = std::make_unique<Journal>();
+        journal->budget = options_.stopAfterJournalRecords;
+        const std::uint64_t cfg = configDigest(
+            program_, topo_, options_.session, shapes_, requests);
+        const std::vector<std::uint8_t> bytes =
+            readWholeFile(options_.journalPath);
+        std::size_t validPrefix = 0;
+        if (!bytes.empty() &&
+            journal->load(bytes, cfg, shapes_.size(), requests.size(),
+                          validPrefix)) {
+            // A kill mid-append leaves a torn record; cut it off
+            // before appending, or every record this run writes
+            // would sit behind garbage and be unreachable on the
+            // next load.
+            if (validPrefix < bytes.size())
+                truncateFile(options_.journalPath, validPrefix);
+            journal->file =
+                std::fopen(options_.journalPath.c_str(), "ab");
+        } else {
+            // Fresh sweep (or a journal for some other sweep):
+            // restart the file with this sweep's header.
+            journal->done.clear();
+            journal->checkpoints.clear();
+            journal->file =
+                std::fopen(options_.journalPath.c_str(), "wb");
+            if (journal->file != nullptr) {
+                std::fwrite(&kJournalMagic, 4, 1, journal->file);
+                std::fwrite(&kJournalVersion, 4, 1, journal->file);
+                std::fwrite(&cfg, 8, 1, journal->file);
+                std::fflush(journal->file);
+            }
+        }
+        if (journal->file == nullptr)
+            journal.reset(); // unwritable path: sweep without resume
+    }
+
+    if (journal) {
+        for (auto& [idx, row] : journal->done) {
+            out.rows[idx] = std::move(row);
+            ++out.rowsFromJournal;
+        }
+    }
+
+    // Work items are whole shapes (a session serves one thread);
+    // shapes fully satisfied by the journal dispatch nothing.
+    std::vector<std::size_t> work;
+    for (std::size_t s = 0; s < shapes_.size(); ++s) {
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            if (!out.rows[s * requests.size() + r].finished) {
+                work.push_back(s);
+                break;
+            }
+        }
+    }
+
+    const int workers = clampWorkers(options_.numWorkers, work.size());
+
+    std::atomic<std::size_t> restored{0};
+    std::atomic<bool> stop{false};
+
+    auto job = [&](int, std::size_t workIdx) {
+        const std::size_t s = work[workIdx];
+        if (stop.load(std::memory_order_relaxed))
+            return;
+        if (!sessions_[s]) {
+            sessions_[s] = std::make_unique<SimSession>(
+                compiled_, specs_[s], options_.session);
+        }
+        SimSession& session = *sessions_[s];
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            const std::size_t idx = s * requests.size() + r;
+            ShapeSweepRow& row = out.rows[idx];
+            if (row.finished)
+                continue;
+            if (stop.load(std::memory_order_relaxed))
+                return;
+            const RunRequest& request = requests[r];
+            // Only stats-only rows are journaled/checkpointed; rows
+            // materializing result vectors simply re-run on resume
+            // (equally bit-identical, just not incremental). An
+            // attached RunObserver disqualifies a row the same way:
+            // a journal-replayed row executes nothing, so its
+            // callbacks would silently never fire.
+            const bool journalRow = journal != nullptr &&
+                                    request.collect == Collect::kNone &&
+                                    request.observer == nullptr &&
+                                    request.pauseAt == 0;
+            RunResult res;
+            if (journalRow && options_.checkpointEvery > 0) {
+                const Cycle every = options_.checkpointEvery;
+                auto ck = journal->checkpoints.find(idx);
+                if (ck != journal->checkpoints.end() &&
+                    session.restoreCheckpoint(request,
+                                              ck->second.bytes)) {
+                    ++restored;
+                    res = session.resume(ck->second.pauseCycle + every);
+                } else {
+                    // No checkpoint (or a stale/corrupt one the
+                    // session rejected): run from the start.
+                    RunRequest first = request;
+                    first.pauseAt = every;
+                    res = session.run(first);
+                }
+                while (res.status == RunStatus::kPaused) {
+                    // Serialize the machine state straight into the
+                    // record payload (length patched in afterwards)
+                    // — a checkpoint can be tens of MB on large
+                    // machines and does not want an extra copy.
+                    std::vector<std::uint8_t> payload;
+                    ByteWriter w(payload);
+                    w.put(static_cast<std::uint64_t>(s));
+                    w.put(static_cast<std::uint64_t>(r));
+                    w.put(res.cycles);
+                    const std::size_t lenAt = payload.size();
+                    w.put(std::uint64_t{0});
+                    if (session.saveCheckpoint(payload)) {
+                        const std::uint64_t stateLen =
+                            payload.size() - lenAt - sizeof stateLen;
+                        std::memcpy(payload.data() + lenAt, &stateLen,
+                                    sizeof stateLen);
+                        if (!journal->append(kRecCheckpoint, payload)) {
+                            // Budget exhausted mid-run: the row is
+                            // checkpointed; the resume picks it up.
+                            stop.store(true,
+                                       std::memory_order_relaxed);
+                            return;
+                        }
+                    }
+                    res = session.resume(res.cycles + every);
+                }
+            } else {
+                res = session.run(request);
+            }
+            row.result = std::move(res);
+            row.machineDigest = session.machineDigest();
+            row.finished = true;
+            if (journalRow) {
+                std::vector<std::uint8_t> payload;
+                ByteWriter w(payload);
+                w.put(static_cast<std::uint64_t>(s));
+                w.put(static_cast<std::uint64_t>(r));
+                w.put(row.machineDigest);
+                saveRunResult(w, row.result);
+                if (!journal->append(kRecRowDone, payload)) {
+                    stop.store(true, std::memory_order_relaxed);
+                    return;
+                }
+            }
+        }
+    };
+    pool_.dispatch(workers, work.size(), job);
+
+    out.checkpointsRestored = restored.load();
+    out.complete = true;
+    for (const ShapeSweepRow& row : out.rows) {
+        if (!row.finished) {
+            out.complete = false;
+            break;
+        }
+    }
+    out.workersUsed = workers;
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    return out;
+}
+
+SweepSummary
+ShapeSweepResult::shapeSummary(std::size_t shape) const
+{
+    // Unfinished rows (a stopped partial sweep) are excluded rather
+    // than reported as fabricated config errors.
+    std::vector<RunResult> results;
+    std::vector<RunRequest> reqs;
+    results.reserve(numRequests);
+    reqs.reserve(numRequests);
+    for (std::size_t r = 0; r < numRequests; ++r) {
+        const ShapeSweepRow& shapeRow = row(shape, r);
+        if (!shapeRow.finished)
+            continue;
+        results.push_back(shapeRow.result);
+        reqs.push_back(requests[r]);
+    }
+    return summarizeSweep(std::move(results), reqs);
+}
+
+std::string
+ShapeSweepResult::str(const std::vector<ShapeSpec>& shapes) const
+{
+    std::ostringstream os;
+    os << "shape sweep: " << numShapes << " shapes x " << numRequests
+       << " requests on " << workersUsed << " worker(s) in "
+       << wallSeconds << "s";
+    if (rowsFromJournal > 0 || checkpointsRestored > 0) {
+        os << " (resumed: " << rowsFromJournal << " rows, "
+           << checkpointsRestored << " checkpoints)";
+    }
+    if (!complete)
+        os << " [partial]";
+    os << "\n";
+    for (std::size_t s = 0; s < numShapes; ++s) {
+        SweepSummary summary = shapeSummary(s);
+        os << "  "
+           << (s < shapes.size() ? shapes[s].name
+                                 : "#" + std::to_string(s))
+           << ": ";
+        for (int st = 0; st < kNumRunStatuses; ++st) {
+            if (st > 0)
+                os << ", ";
+            os << runStatusName(static_cast<RunStatus>(st)) << " "
+               << summary.statusCounts[st];
+        }
+        os << "; p50 " << summary.p50Cycles << " max "
+           << summary.maxCycles << "\n";
+    }
+    return os.str();
+}
+
+} // namespace syscomm::sim

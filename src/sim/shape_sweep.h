@@ -1,0 +1,192 @@
+#pragma once
+
+/**
+ * @file
+ * ShapeSweep: a shared-compile sweep driver over machine *shapes*.
+ *
+ * The paper's central experiments are ladders of machine shapes —
+ * queue count, queue capacity and buffering variants over one program
+ * — showing where systolic communication deadlocks or degrades. A
+ * SimSession binds one MachineSpec, so those sweeps used to build a
+ * full session per shape and re-pay the program-side compile work
+ * (validation, the competing-message analysis, labeling) for every
+ * rung even though only the hardware differs. ShapeSweep compiles the
+ * program exactly once into a shared CompiledProgram, instantiates
+ * one session per shape over it, and fans the (shape × request) grid
+ * across the WorkerPool machinery SweepRunner uses — a worker claims
+ * a whole shape at a time, since a session serves one thread.
+ *
+ * Crash resume: with ShapeSweepOptions::journalPath set, every
+ * finished row is appended to a journal file (status, cycles, stats,
+ * deadlock report, machine digest), and with checkpointEvery > 0
+ * long in-flight runs are periodically paused (RunRequest::pauseAt)
+ * and their machine pools serialized into the same journal. A killed
+ * sweep rerun with the same program, shapes, requests and journal
+ * path resumes instead of restarting: journaled rows are replayed
+ * verbatim, checkpointed rows continue from their snapshot, missing
+ * rows run from scratch — and because runs are deterministic and
+ * pause/resume is bit-exact, the resumed sweep's results are
+ * bit-identical to an uninterrupted one (tests/test_shape_sweep.cpp
+ * enforces this).
+ *
+ * Every row records SimSession::machineDigest() at its terminal
+ * state, so two sweeps — on different hosts, kernels or worker
+ * counts — can be compared row-for-row with one integer each: the
+ * cheap cross-host determinism check CI runs.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/batch.h"
+#include "sim/session.h"
+
+namespace syscomm::sim {
+
+/** One machine shape: a MachineSpec minus the (shared) topology. */
+struct ShapeSpec
+{
+    /** Row label for reports, e.g. "q=4" or "cap=8". */
+    std::string name;
+    int queuesPerLink = 2;
+    int queueCapacity = 1;
+    int extensionCapacity = 0;
+    int extensionPenalty = 4;
+};
+
+/** Sweep-wide knobs. */
+struct ShapeSweepOptions
+{
+    /**
+     * Session config shared by every per-shape session (kernel,
+     * label override, memory model). The program-side pieces (labels,
+     * precomputeLabels) parameterize the one shared CompiledProgram.
+     */
+    SessionOptions session;
+    /** Worker threads; <= 0 picks hardware_concurrency(). A worker
+     *  claims a whole shape at a time (a session is single-threaded),
+     *  so at most one worker per shape is ever useful. */
+    int numWorkers = 0;
+    /**
+     * Crash-resume journal file; "" disables journaling. When the
+     * file already holds a matching sweep (same program shape,
+     * shapes, requests), run() resumes it; otherwise the file is
+     * restarted. Only stats-only rows (Collect::kNone) are journaled
+     * — rows that materialize result vectors are recomputed on
+     * resume, which is equally bit-identical, just not incremental.
+     */
+    std::string journalPath;
+    /**
+     * With a journal: pause in-flight runs every this many cycles
+     * and checkpoint their machine state, so a kill loses at most
+     * checkpointEvery cycles of the longest run. 0 = journal only
+     * whole rows.
+     */
+    Cycle checkpointEvery = 0;
+    /**
+     * Stop cleanly after this many journal records have been written
+     * by this run() call (0 = unlimited): the crash-injection knob
+     * the kill-and-resume tests use, also handy for bounding
+     * incremental nightly work. The returned result is then partial
+     * (complete == false); rerunning resumes from the journal.
+     */
+    std::size_t stopAfterJournalRecords = 0;
+};
+
+/** One (shape, request) cell of the sweep grid. */
+struct ShapeSweepRow
+{
+    std::size_t shape = 0;
+    std::size_t request = 0;
+    RunResult result;
+    /** SimSession::machineDigest() at the run's terminal state. */
+    std::uint64_t machineDigest = 0;
+    /** Replayed from the resume journal instead of executed. */
+    bool fromJournal = false;
+    /** False only when a stopped/partial sweep never ran this row. */
+    bool finished = false;
+};
+
+/** Everything a shape sweep produced. */
+struct ShapeSweepResult
+{
+    /** Shape-major grid: rows[shape * numRequests + request]. */
+    std::vector<ShapeSweepRow> rows;
+    std::size_t numShapes = 0;
+    std::size_t numRequests = 0;
+    /** The requests the grid ran (for per-shape summaries). */
+    std::vector<RunRequest> requests;
+
+    /** False when stopAfterJournalRecords stopped the sweep early. */
+    bool complete = true;
+    int workersUsed = 1;
+    double wallSeconds = 0.0;
+    std::size_t rowsFromJournal = 0;
+    std::size_t checkpointsRestored = 0;
+
+    const ShapeSweepRow&
+    row(std::size_t shape, std::size_t request) const
+    {
+        return rows[shape * numRequests + request];
+    }
+
+    /** SweepSummary over one shape's finished rows. */
+    SweepSummary shapeSummary(std::size_t shape) const;
+
+    /** Multi-line human-readable dump (one line per shape). */
+    std::string str(const std::vector<ShapeSpec>& shapes) const;
+};
+
+/**
+ * The sweep driver. Construct once per (program, topology, ladder);
+ * run() any number of request batches — the shared CompiledProgram
+ * and the per-shape sessions are built on first use and cached, and
+ * the worker threads persist across batches. The program must
+ * outlive the sweep; the topology is copied. run() is not reentrant.
+ */
+class ShapeSweep
+{
+  public:
+    ShapeSweep(const Program& program, const Topology& topo,
+               std::vector<ShapeSpec> shapes,
+               ShapeSweepOptions options = {});
+    ~ShapeSweep();
+
+    ShapeSweep(const ShapeSweep&) = delete;
+    ShapeSweep& operator=(const ShapeSweep&) = delete;
+
+    /** Run every request on every shape. */
+    ShapeSweepResult run(const std::vector<RunRequest>& requests);
+
+    /** The shared compile analyses (built on first run()). */
+    const std::shared_ptr<const CompiledProgram>& compiled() const
+    {
+        return compiled_;
+    }
+    const std::vector<ShapeSpec>& shapes() const { return shapes_; }
+    /** The full MachineSpec a shape index resolves to. */
+    const MachineSpec& spec(std::size_t shape) const
+    {
+        return specs_[shape];
+    }
+    int pooledWorkers() const { return pool_.pooledWorkers(); }
+
+  private:
+    struct Journal;
+
+    const Program& program_;
+    Topology topo_;
+    std::vector<ShapeSpec> shapes_;
+    ShapeSweepOptions options_;
+    /** One MachineSpec per shape; stable addresses (built once). */
+    std::vector<MachineSpec> specs_;
+    std::shared_ptr<const CompiledProgram> compiled_;
+    /** One cached session per shape, built on first need. */
+    std::vector<std::unique_ptr<SimSession>> sessions_;
+    WorkerPool pool_;
+};
+
+} // namespace syscomm::sim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Regression coverage for the BENCH_*.json emission in
+ * bench/bench_util.h: every line a JsonWriter produces must be a
+ * valid JSON object — including when callers hand it NaN/Inf values,
+ * raw "nan"/"inf" extra tokens, almost-numeric strings ("+5", "0x1f",
+ * "1e"), quotes and control characters. A single invalid line breaks
+ * every downstream consumer of a results file, which is exactly how
+ * the nan/inf hole was found.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cfloat>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../bench/bench_util.h"
+
+namespace syscomm {
+namespace {
+
+/**
+ * A strict validating parser for the subset of JSON the writer emits:
+ * one object of string keys mapping to strings, numbers or null.
+ * Returns false on anything RFC 8259 would reject.
+ */
+class LineParser
+{
+  public:
+    explicit LineParser(const std::string& s) : s_(s) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!parseObject())
+            return false;
+        skipWs();
+        return at_ == s_.size();
+    }
+
+  private:
+    bool
+    parseObject()
+    {
+        if (!eat('{'))
+            return false;
+        skipWs();
+        if (eat('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            if (!parseString())
+                return false;
+            skipWs();
+            if (!eat(':'))
+                return false;
+            skipWs();
+            if (!parseValue())
+                return false;
+            skipWs();
+            if (eat('}'))
+                return true;
+            if (!eat(','))
+                return false;
+        }
+    }
+
+    bool
+    parseValue()
+    {
+        if (at_ < s_.size() && s_[at_] == '"')
+            return parseString();
+        if (matchLiteral("null") || matchLiteral("true") ||
+            matchLiteral("false"))
+            return true;
+        return parseNumber();
+    }
+
+    bool
+    parseString()
+    {
+        if (!eat('"'))
+            return false;
+        while (at_ < s_.size()) {
+            char c = s_[at_];
+            if (c == '"') {
+                ++at_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // raw control char: invalid JSON
+            if (c == '\\') {
+                ++at_;
+                if (at_ >= s_.size())
+                    return false;
+                char e = s_[at_];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (at_ + i >= s_.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s_[at_ + i])))
+                            return false;
+                    }
+                    at_ += 4;
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return false;
+                }
+            }
+            ++at_;
+        }
+        return false; // unterminated
+    }
+
+    bool
+    parseNumber()
+    {
+        std::size_t start = at_;
+        if (at_ < s_.size() && s_[at_] == '-')
+            ++at_;
+        if (at_ < s_.size() && s_[at_] == '0') {
+            ++at_;
+        } else if (!digits()) {
+            return false;
+        }
+        if (at_ < s_.size() && s_[at_] == '.') {
+            ++at_;
+            if (!digits())
+                return false;
+        }
+        if (at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
+            ++at_;
+            if (at_ < s_.size() && (s_[at_] == '+' || s_[at_] == '-'))
+                ++at_;
+            if (!digits())
+                return false;
+        }
+        return at_ > start;
+    }
+
+    bool
+    digits()
+    {
+        std::size_t start = at_;
+        while (at_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[at_])))
+            ++at_;
+        return at_ > start;
+    }
+
+    bool
+    matchLiteral(const char* lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (s_.compare(at_, n, lit) == 0) {
+            at_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    eat(char c)
+    {
+        if (at_ < s_.size() && s_[at_] == c) {
+            ++at_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (at_ < s_.size() &&
+               (s_[at_] == ' ' || s_[at_] == '\t'))
+            ++at_;
+    }
+
+    const std::string& s_;
+    std::size_t at_ = 0;
+};
+
+std::vector<std::string>
+emitAdversarialRecords(const std::string& path)
+{
+    bench::JsonWriter json("torture \"bench\"\n", path);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+
+    json.record("plain", 1.25);
+    json.record("nan_value", nan);
+    json.record("pos_inf", inf);
+    json.record("neg_inf", -inf);
+    json.record("dbl_max", DBL_MAX);
+    json.record("neg_dbl_max", -DBL_MAX);
+    json.record("tiny", std::numeric_limits<double>::denorm_min());
+    // Extras covering the raw-token grammar: strtod-accepted forms
+    // JSON forbids must come out quoted, real numbers bare.
+    json.record("extras", 0.0,
+                {{"nan_token", "nan"},
+                 {"inf_token", "inf"},
+                 {"neg_inf_token", "-inf"},
+                 {"plus", "+5"},
+                 {"hex", "0x1f"},
+                 {"trailing_dot", "5."},
+                 {"leading_dot", ".5"},
+                 {"bare_e", "1e"},
+                 {"leading_zero", "007"},
+                 {"empty", ""},
+                 {"ok_int", "-12"},
+                 {"ok_float", "3.5e-2"},
+                 {"quote", "say \"hi\\there"},
+                 {"control", std::string("a\nb\x01c")}});
+
+    std::vector<std::string> lines;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(BenchJson, EveryEmittedLineParsesAsJson)
+{
+    const std::string path =
+        testing::TempDir() + "bench_json_torture.json";
+    std::remove(path.c_str());
+    std::vector<std::string> lines = emitAdversarialRecords(path);
+    ASSERT_EQ(lines.size(), 8u);
+    for (const std::string& line : lines) {
+        EXPECT_TRUE(LineParser(line).parse()) << "invalid JSON: " << line;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(BenchJson, NonFiniteValuesBecomeNullAndFiniteOnesDoNot)
+{
+    const std::string path =
+        testing::TempDir() + "bench_json_nonfinite.json";
+    std::remove(path.c_str());
+    std::vector<std::string> lines = emitAdversarialRecords(path);
+    ASSERT_EQ(lines.size(), 8u);
+
+    auto lineFor = [&](const std::string& metric) {
+        for (const std::string& line : lines) {
+            if (line.find("\"" + metric + "\"") != std::string::npos)
+                return line;
+        }
+        return std::string();
+    };
+    EXPECT_NE(lineFor("nan_value").find("\"value\": null"),
+              std::string::npos);
+    EXPECT_NE(lineFor("pos_inf").find("\"value\": null"),
+              std::string::npos);
+    EXPECT_NE(lineFor("neg_inf").find("\"value\": null"),
+              std::string::npos);
+    // DBL_MAX is finite: it must survive as a number (the old range
+    // check nulled everything past 1e308).
+    EXPECT_EQ(lineFor("dbl_max").find("null"), std::string::npos);
+    EXPECT_EQ(lineFor("neg_dbl_max").find("null"), std::string::npos);
+
+    // Raw nan/inf extra tokens must be quoted, never bare.
+    const std::string extras = lineFor("extras");
+    EXPECT_NE(extras.find("\"nan_token\": \"nan\""), std::string::npos);
+    EXPECT_NE(extras.find("\"inf_token\": \"inf\""), std::string::npos);
+    EXPECT_NE(extras.find("\"ok_int\": -12"), std::string::npos);
+    EXPECT_NE(extras.find("\"ok_float\": 3.5e-2"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace syscomm

@@ -335,6 +335,50 @@ TEST(SweepRunner, StatusHistogramCoversDeadlocks)
     EXPECT_FALSE(summary.str().empty());
 }
 
+TEST(SweepSummary, PrintedHistogramCoversEveryStatusIncludingPaused)
+{
+    // A paused run in a batch must appear in the printed report: the
+    // histogram line is generated from runStatusName over all
+    // kNumRunStatuses buckets, so a status added later cannot be
+    // silently dropped (kPaused was, before this printed by name).
+    std::vector<RunResult> results(sim::kNumRunStatuses);
+    for (int s = 0; s < sim::kNumRunStatuses; ++s)
+        results[s].status = static_cast<RunStatus>(s);
+    std::vector<RunRequest> requests(results.size());
+    SweepSummary summary =
+        sim::summarizeSweep(std::move(results), requests);
+    const std::string text = summary.str();
+    for (int s = 0; s < sim::kNumRunStatuses; ++s) {
+        const std::string bucket =
+            std::string(sim::runStatusName(static_cast<RunStatus>(s))) +
+            " 1";
+        EXPECT_NE(text.find(bucket), std::string::npos)
+            << "missing bucket '" << bucket << "' in:\n"
+            << text;
+    }
+}
+
+TEST(SweepSummary, AllErrorBatchHasNoFabricatedCycleDistribution)
+{
+    // Every run a config error: there is no cycle distribution, and
+    // the order statistics must say so (-1) instead of computing
+    // percentiles of an empty vector (UB) or faking a 0.
+    std::vector<RunResult> results(3);
+    std::vector<RunRequest> requests(3);
+    SweepSummary summary =
+        sim::summarizeSweep(std::move(results), requests);
+    EXPECT_EQ(summary.minCycles, -1);
+    EXPECT_EQ(summary.maxCycles, -1);
+    EXPECT_EQ(summary.p50Cycles, -1);
+    EXPECT_EQ(summary.p90Cycles, -1);
+    EXPECT_EQ(summary.p99Cycles, -1);
+    EXPECT_DOUBLE_EQ(summary.meanCycles, 0.0);
+    EXPECT_EQ(summary.statusCounts[static_cast<int>(
+                  RunStatus::kConfigError)],
+              3);
+    EXPECT_FALSE(summary.str().empty());
+}
+
 // ---------------------------------------------------------------------
 // (d) Collect flags off => vectors empty, stats unchanged
 // ---------------------------------------------------------------------

@@ -1,0 +1,523 @@
+/**
+ * @file
+ * ShapeSweep / CompiledProgram / checkpoint-persistence coverage.
+ *
+ * The contracts under test, in order of importance:
+ *  - a shared-compile shape sweep is bit-identical to N independent
+ *    SimSession builds, across policies and seeds, while running the
+ *    program-side analyses exactly once (asserted via
+ *    CompiledProgram::buildCount);
+ *  - a sweep killed mid-flight (journal record budget) and resumed
+ *    from its journal reproduces the uninterrupted sweep's results
+ *    bit-identically — finished rows replay, checkpointed rows
+ *    continue from their serialized machine state;
+ *  - saveCheckpoint/restoreCheckpoint round-trips a paused run across
+ *    sessions and across kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/program_gen.h"
+#include "sim/shape_sweep.h"
+#include "test_support.h"
+
+namespace syscomm {
+namespace {
+
+using sim::Collect;
+using sim::CompiledProgram;
+using sim::KernelKind;
+using sim::PolicyKind;
+using sim::RunRequest;
+using sim::RunResult;
+using sim::RunStatus;
+using sim::SessionOptions;
+using sim::ShapeSpec;
+using sim::ShapeSweep;
+using sim::ShapeSweepOptions;
+using sim::ShapeSweepResult;
+using sim::SimSession;
+
+/** Seed-sensitive workload mixing completions and deadlocks. */
+Program
+perturbedProgram(std::uint64_t seed)
+{
+    Topology topo = Topology::linearArray(6);
+    GenOptions gen;
+    gen.numMessages = 8;
+    gen.maxWords = 4;
+    gen.seed = 300 + seed;
+    gen.interleave = 0.5;
+    Program p = randomDeadlockFreeProgram(topo, gen);
+    return perturbProgram(p, static_cast<int>(1 + seed % 3), seed);
+}
+
+/**
+ * One long slow stream (compute gaps between words): a run of a few
+ * hundred cycles, so checkpoint intervals land mid-flight.
+ */
+Program
+longRunProgram()
+{
+    Program p(4);
+    MessageId id = p.declareMessage("S", 0, 3);
+    for (int w = 0; w < 30; ++w) {
+        for (int g = 0; g < 6; ++g) {
+            p.compute(0,
+                      [](CellContext& ctx) { ctx.local(0) += 1.0; });
+        }
+        p.write(0, id);
+    }
+    for (int w = 0; w < 30; ++w)
+        p.read(3, id);
+    return p;
+}
+
+/** The acceptance-criteria ladder: 4 queue counts x 4 capacities. */
+std::vector<ShapeSpec>
+ladder16()
+{
+    std::vector<ShapeSpec> shapes;
+    for (int queues : {1, 2, 3, 4}) {
+        for (int capacity : {1, 2, 4, 8}) {
+            ShapeSpec shape;
+            shape.name = "q=" + std::to_string(queues) +
+                         "/cap=" + std::to_string(capacity);
+            shape.queuesPerLink = queues;
+            shape.queueCapacity = capacity;
+            shapes.push_back(std::move(shape));
+        }
+    }
+    return shapes;
+}
+
+MachineSpec
+specFor(const Topology& topo, const ShapeSpec& shape)
+{
+    MachineSpec spec;
+    spec.topo = topo;
+    spec.queuesPerLink = shape.queuesPerLink;
+    spec.queueCapacity = shape.queueCapacity;
+    spec.extensionCapacity = shape.extensionCapacity;
+    spec.extensionPenalty = shape.extensionPenalty;
+    return spec;
+}
+
+std::string
+tempPath(const std::string& name)
+{
+    return testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------
+// (a) shared compile == independent sessions, one analysis pass
+// ---------------------------------------------------------------------
+
+TEST(ShapeSweep, GoldenMatchesIndependentSessionsAndCompilesOnce)
+{
+    Program p = perturbedProgram(1);
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes = ladder16();
+
+    std::vector<RunRequest> requests;
+    for (PolicyKind policy :
+         {PolicyKind::kCompatible, PolicyKind::kFcfs,
+          PolicyKind::kRandom}) {
+        for (std::uint64_t seed : {1ull, 7ull}) {
+            RunRequest request;
+            request.policy = policy;
+            request.seed = seed;
+            requests.push_back(request);
+        }
+    }
+
+    ShapeSweepOptions options;
+    options.numWorkers = 3;
+    ShapeSweep sweep(p, topo, shapes, options);
+    const std::int64_t before = CompiledProgram::buildCount();
+    ShapeSweepResult result = sweep.run(requests);
+    // >= 16 shapes, exactly one program-side analysis pass.
+    EXPECT_EQ(CompiledProgram::buildCount() - before, 1);
+    ASSERT_TRUE(result.complete);
+    ASSERT_EQ(result.rows.size(), shapes.size() * requests.size());
+
+    bool sawDeadlock = false;
+    bool sawCompleted = false;
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+        // The spec must outlive the session (it is held by
+        // reference).
+        MachineSpec freshSpec = specFor(topo, shapes[s]);
+        SimSession fresh(p, freshSpec);
+        for (std::size_t r = 0; r < requests.size(); ++r) {
+            RunResult want = fresh.run(requests[r]);
+            const std::string ctx = "shape=" + shapes[s].name +
+                                    " request=" + std::to_string(r);
+            expectSameRunResult(result.row(s, r).result, want, ctx);
+            EXPECT_EQ(result.row(s, r).machineDigest,
+                      fresh.machineDigest())
+                << ctx;
+            sawDeadlock |= want.status == RunStatus::kDeadlocked;
+            sawCompleted |= want.status == RunStatus::kCompleted;
+        }
+    }
+    // The workload must exercise both outcomes or the golden check
+    // proves less than it claims.
+    EXPECT_TRUE(sawDeadlock);
+    EXPECT_TRUE(sawCompleted);
+
+    // A second batch on the same sweep reuses sessions and compile.
+    const std::int64_t again = CompiledProgram::buildCount();
+    ShapeSweepResult rerun = sweep.run(requests);
+    EXPECT_EQ(CompiledProgram::buildCount(), again);
+    for (std::size_t i = 0; i < result.rows.size(); ++i) {
+        expectSameRunResult(rerun.rows[i].result, result.rows[i].result,
+                            "rerun row " + std::to_string(i));
+        EXPECT_EQ(rerun.rows[i].machineDigest,
+                  result.rows[i].machineDigest);
+    }
+}
+
+TEST(ShapeSweep, WorkerCountDoesNotChangeResults)
+{
+    Program p = perturbedProgram(2);
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes = ladder16();
+    std::vector<RunRequest> requests(2);
+    requests[1].policy = PolicyKind::kFcfs;
+
+    ShapeSweepOptions serial;
+    serial.numWorkers = 1;
+    ShapeSweep sweepSerial(p, topo, shapes, serial);
+    ShapeSweepResult golden = sweepSerial.run(requests);
+
+    ShapeSweepOptions threaded;
+    threaded.numWorkers = 4;
+    ShapeSweep sweepThreaded(p, topo, shapes, threaded);
+    ShapeSweepResult result = sweepThreaded.run(requests);
+
+    ASSERT_EQ(result.rows.size(), golden.rows.size());
+    for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+        expectSameRunResult(result.rows[i].result, golden.rows[i].result,
+                            "row " + std::to_string(i));
+        EXPECT_EQ(result.rows[i].machineDigest,
+                  golden.rows[i].machineDigest);
+    }
+}
+
+TEST(SimSession, CompiledTopologyMismatchIsConfigError)
+{
+    Program p = perturbedProgram(3);
+    Topology topo = Topology::linearArray(6);
+    auto compiled = CompiledProgram::compile(p, topo);
+    ASSERT_TRUE(compiled->valid());
+
+    MachineSpec other;
+    other.topo = Topology::linearArray(8);
+    SimSession session(compiled, other);
+    EXPECT_FALSE(session.valid());
+    RunResult r = session.run({});
+    EXPECT_EQ(r.status, RunStatus::kConfigError);
+    EXPECT_NE(r.error.find("topology"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// (b) checkpoint save/restore across sessions and kernels
+// ---------------------------------------------------------------------
+
+TEST(SimSession, CheckpointRestoresAcrossSessionsAndKernels)
+{
+    Program p = longRunProgram();
+    MachineSpec spec;
+    spec.topo = Topology::linearArray(4);
+    spec.queuesPerLink = 2;
+
+    for (PolicyKind policy : {PolicyKind::kCompatible, PolicyKind::kRandom,
+                              PolicyKind::kFcfs}) {
+        RunRequest request;
+        request.policy = policy;
+        request.seed = 11;
+
+        SimSession oracle(p, spec);
+        RunResult want = oracle.run(request);
+        ASSERT_EQ(want.status, RunStatus::kCompleted);
+        ASSERT_GT(want.cycles, 60);
+
+        SimSession donor(p, spec);
+        RunRequest paused = request;
+        paused.pauseAt = want.cycles / 2;
+        RunResult snap = donor.run(paused);
+        ASSERT_EQ(snap.status, RunStatus::kPaused);
+        std::vector<std::uint8_t> bytes;
+        ASSERT_TRUE(donor.saveCheckpoint(bytes));
+        ASSERT_FALSE(bytes.empty());
+
+        for (KernelKind kernel :
+             {KernelKind::kEventDriven, KernelKind::kReference}) {
+            SessionOptions options;
+            options.kernel = kernel;
+            SimSession heir(p, spec, options);
+            ASSERT_TRUE(heir.restoreCheckpoint(request, bytes))
+                << sim::kernelKindName(kernel);
+            EXPECT_TRUE(heir.paused());
+            EXPECT_EQ(heir.machineDigest(), donor.machineDigest());
+            RunResult got = heir.resume();
+            expectSameRunResult(
+                got, want,
+                std::string("restored finish on ") +
+                    sim::kernelKindName(kernel) + " policy " +
+                    sim::policyKindName(policy));
+            EXPECT_EQ(heir.machineDigest(), oracle.machineDigest());
+        }
+    }
+}
+
+TEST(SimSession, CheckpointRejectsMisuseAndCorruption)
+{
+    Program p = longRunProgram();
+    MachineSpec spec;
+    spec.topo = Topology::linearArray(4);
+    spec.queuesPerLink = 2;
+
+    SimSession session(p, spec);
+    std::vector<std::uint8_t> bytes;
+    // Not paused: nothing to save.
+    EXPECT_FALSE(session.saveCheckpoint(bytes));
+
+    RunRequest paused;
+    paused.pauseAt = 40;
+    ASSERT_EQ(session.run(paused).status, RunStatus::kPaused);
+    ASSERT_TRUE(session.saveCheckpoint(bytes));
+
+    // A collecting run cannot be checkpointed (vectors are not
+    // serialized) …
+    SimSession collector(p, spec);
+    RunRequest collecting = paused;
+    collecting.collect = Collect::kEvents;
+    ASSERT_EQ(collector.run(collecting).status, RunStatus::kPaused);
+    std::vector<std::uint8_t> unused;
+    EXPECT_FALSE(collector.saveCheckpoint(unused));
+    // … nor restored into one.
+    SimSession heir(p, spec);
+    RunRequest collectingRestore;
+    collectingRestore.collect = Collect::kEvents;
+    EXPECT_FALSE(heir.restoreCheckpoint(collectingRestore, bytes));
+
+    // Truncated and bit-flipped streams are rejected.
+    std::vector<std::uint8_t> truncated(bytes.begin(),
+                                        bytes.end() - bytes.size() / 3);
+    EXPECT_FALSE(heir.restoreCheckpoint({}, truncated));
+    // Flip a bit of the recorded machine digest (bytes 8..15 after
+    // the magic and version): the end-to-end digest check must
+    // refuse the stream.
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[12] ^= 0x40;
+    EXPECT_FALSE(heir.restoreCheckpoint({}, flipped));
+
+    // A machine of a different shape refuses the stream.
+    MachineSpec other = spec;
+    other.queuesPerLink = 3;
+    SimSession mismatched(p, other);
+    EXPECT_FALSE(mismatched.restoreCheckpoint({}, bytes));
+
+    // And the intact stream still restores fine afterwards.
+    ASSERT_TRUE(heir.restoreCheckpoint({}, bytes));
+    RunResult got = heir.resume();
+    SimSession oracle(p, spec);
+    expectSameRunResult(got, oracle.run({}), "post-rejection restore");
+}
+
+// ---------------------------------------------------------------------
+// (c) kill-mid-sweep -> resume -> bit-identical sweep
+// ---------------------------------------------------------------------
+
+/** Drive a journaled sweep to completion across simulated crashes. */
+ShapeSweepResult
+runWithCrashes(const Program& p, const Topology& topo,
+               const std::vector<ShapeSpec>& shapes,
+               const std::vector<RunRequest>& requests,
+               ShapeSweepOptions options, int maxInvocations,
+               std::size_t* totalReplayed = nullptr,
+               std::size_t* totalRestored = nullptr)
+{
+    for (int attempt = 0; attempt < maxInvocations; ++attempt) {
+        ShapeSweep sweep(p, topo, shapes, options);
+        ShapeSweepResult result = sweep.run(requests);
+        if (totalReplayed != nullptr)
+            *totalReplayed += result.rowsFromJournal;
+        if (totalRestored != nullptr)
+            *totalRestored += result.checkpointsRestored;
+        if (result.complete)
+            return result;
+    }
+    ADD_FAILURE() << "sweep did not complete in " << maxInvocations
+                  << " invocations";
+    return {};
+}
+
+TEST(ShapeSweep, KillAndResumeReproducesUninterruptedSweep)
+{
+    Program p = perturbedProgram(4);
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes;
+    for (int queues : {1, 2, 3, 4}) {
+        ShapeSpec shape;
+        shape.name = "q=" + std::to_string(queues);
+        shape.queuesPerLink = queues;
+        shapes.push_back(std::move(shape));
+    }
+    std::vector<RunRequest> requests(3);
+    requests[1].policy = PolicyKind::kFcfs;
+    requests[2].policy = PolicyKind::kRandom;
+    requests[2].seed = 5;
+
+    ShapeSweepOptions plain;
+    plain.numWorkers = 1;
+    ShapeSweep goldenSweep(p, topo, shapes, plain);
+    ShapeSweepResult golden = goldenSweep.run(requests);
+    ASSERT_TRUE(golden.complete);
+
+    const std::string journal =
+        tempPath("shape_sweep_kill_resume.journal");
+    std::remove(journal.c_str());
+    ShapeSweepOptions crashy = plain;
+    crashy.journalPath = journal;
+    crashy.checkpointEvery = 7;
+    crashy.stopAfterJournalRecords = 2; // "crash" every two records
+    std::size_t replayed = 0;
+    ShapeSweepResult resumed = runWithCrashes(
+        p, topo, shapes, requests, crashy, 200, &replayed);
+
+    ASSERT_EQ(resumed.rows.size(), golden.rows.size());
+    EXPECT_GT(replayed, 0u);
+    for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+        expectSameRunResult(resumed.rows[i].result,
+                            golden.rows[i].result,
+                            "resumed row " + std::to_string(i));
+        EXPECT_EQ(resumed.rows[i].machineDigest,
+                  golden.rows[i].machineDigest);
+    }
+    std::remove(journal.c_str());
+}
+
+TEST(ShapeSweep, CheckpointedRowContinuesInsteadOfRestarting)
+{
+    Program p = longRunProgram();
+    Topology topo = Topology::linearArray(4);
+    std::vector<ShapeSpec> shapes(1);
+    shapes[0].name = "q=2";
+    std::vector<RunRequest> requests(1);
+
+    ShapeSweepOptions plain;
+    plain.numWorkers = 1;
+    ShapeSweep goldenSweep(p, topo, shapes, plain);
+    ShapeSweepResult golden = goldenSweep.run(requests);
+    ASSERT_EQ(golden.row(0, 0).result.status, RunStatus::kCompleted);
+    ASSERT_GT(golden.row(0, 0).result.cycles, 60);
+
+    const std::string journal = tempPath("shape_sweep_checkpoint.journal");
+    std::remove(journal.c_str());
+    ShapeSweepOptions crashy = plain;
+    crashy.journalPath = journal;
+    crashy.checkpointEvery = 20;
+    crashy.stopAfterJournalRecords = 2;
+
+    // First invocation: two mid-run checkpoints, then the simulated
+    // crash — the row must be left unfinished but checkpointed.
+    ShapeSweep first(p, topo, shapes, crashy);
+    ShapeSweepResult partial = first.run(requests);
+    EXPECT_FALSE(partial.complete);
+    EXPECT_FALSE(partial.row(0, 0).finished);
+
+    // Resumption must pick the run up mid-flight (a restored
+    // checkpoint, not a restart) and finish bit-identically.
+    std::size_t restored = 0;
+    ShapeSweepResult resumed = runWithCrashes(
+        p, topo, shapes, requests, crashy, 100, nullptr, &restored);
+    EXPECT_GT(restored, 0u);
+    expectSameRunResult(resumed.row(0, 0).result, golden.row(0, 0).result,
+                        "checkpointed row");
+    EXPECT_EQ(resumed.row(0, 0).machineDigest,
+              golden.row(0, 0).machineDigest);
+    std::remove(journal.c_str());
+}
+
+TEST(ShapeSweep, JournalReplayAndTornTailAreHandled)
+{
+    Program p = perturbedProgram(5);
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes;
+    for (int queues : {1, 2}) {
+        ShapeSpec shape;
+        shape.name = "q=" + std::to_string(queues);
+        shape.queuesPerLink = queues;
+        shapes.push_back(std::move(shape));
+    }
+    std::vector<RunRequest> requests(2);
+    requests[1].policy = PolicyKind::kFcfs;
+
+    ShapeSweepOptions plain;
+    plain.numWorkers = 1;
+    ShapeSweep goldenSweep(p, topo, shapes, plain);
+    ShapeSweepResult golden = goldenSweep.run(requests);
+
+    const std::string journal = tempPath("shape_sweep_replay.journal");
+    std::remove(journal.c_str());
+    ShapeSweepOptions journaled = plain;
+    journaled.journalPath = journal;
+    {
+        ShapeSweep sweep(p, topo, shapes, journaled);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.rowsFromJournal, 0u);
+    }
+
+    // Corrupt the tail the way a mid-write kill would.
+    {
+        std::FILE* f = std::fopen(journal.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        const std::uint8_t torn[] = {1, 0xff, 0xff, 0x03};
+        std::fwrite(torn, 1, sizeof torn, f);
+        std::fclose(f);
+    }
+
+    // Replay: every row comes from the journal, bit-identical, and
+    // the torn tail is ignored.
+    ShapeSweep replay(p, topo, shapes, journaled);
+    ShapeSweepResult replayed = replay.run(requests);
+    ASSERT_TRUE(replayed.complete);
+    EXPECT_EQ(replayed.rowsFromJournal, golden.rows.size());
+    for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+        EXPECT_TRUE(replayed.rows[i].fromJournal);
+        expectSameRunResult(replayed.rows[i].result,
+                            golden.rows[i].result,
+                            "replayed row " + std::to_string(i));
+        EXPECT_EQ(replayed.rows[i].machineDigest,
+                  golden.rows[i].machineDigest);
+    }
+
+    // A different request batch must not resume a stale journal …
+    std::vector<RunRequest> other(1);
+    other[0].seed = 99;
+    ShapeSweep fresh(p, topo, shapes, journaled);
+    ShapeSweepResult refreshed = fresh.run(other);
+    ASSERT_TRUE(refreshed.complete);
+    EXPECT_EQ(refreshed.rowsFromJournal, 0u);
+
+    // … and neither may a sweep whose session options change the
+    // results (the memory-to-memory model here): same program,
+    // shapes and requests, different machine semantics.
+    ShapeSweepOptions memModel = journaled;
+    memModel.session.memoryToMemory = true;
+    ShapeSweep differentModel(p, topo, shapes, memModel);
+    ShapeSweepResult recomputed = differentModel.run(other);
+    ASSERT_TRUE(recomputed.complete);
+    EXPECT_EQ(recomputed.rowsFromJournal, 0u);
+    std::remove(journal.c_str());
+}
+
+} // namespace
+} // namespace syscomm

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * F1: survivability under injected faults, with and without the
+ * recovery pipeline (sim/fault.h + sim/recovery.h).
+ *
+ * The workload is a ring of transfer streams — the one topology in
+ * the repertoire with route redundancy, so losing a link is
+ * survivable in principle: the degraded machine still connects every
+ * sender to its receiver the long way around. The sweep axis is fault
+ * intensity (events per seeded random plan); every (intensity, seed)
+ * grid point runs twice:
+ *
+ *  - plain injection: the plan as a ShapeSweep request axis (each
+ *    request carries its own FaultPlan) — runs that freeze under
+ *    faults stay dead (RunStatus::kFaulted);
+ *  - recovery: RecoveryDriver checkpoints the same run, and on
+ *    kFaulted rebuilds the degraded topology, repairs the residual
+ *    program and re-delivers the remaining words.
+ *
+ * Emits BENCH_fault.json: per-intensity completion rates for both
+ * modes, recovered-run slowdown vs the fault-free baseline, and a
+ * machine digest per grid row — CI runs the bench twice and diffs the
+ * digests, extending the cross-host determinism check to faulted runs
+ * and the recovery pipeline.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/fault.h"
+#include "sim/recovery.h"
+#include "sim/shape_sweep.h"
+
+using namespace syscomm;
+using namespace syscomm::bench;
+
+namespace {
+
+const int kIntensities[] = {1, 2, 4, 8};
+constexpr int kSeedsPerIntensity = 8;
+constexpr int kCells = 12;
+constexpr int kStreams = 6;
+constexpr int kWordsPerStream = 24;
+constexpr Cycle kCheckpointEvery = 32;
+
+std::string
+hexDigest(std::uint64_t digest)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+/** Transfer streams around a ring: cell i sends to cell (i+3) mod n,
+ *  so every route has a surviving detour when one link dies. */
+Program
+ringStreams()
+{
+    Program p(kCells);
+    for (int s = 0; s < kStreams; ++s) {
+        CellId from = static_cast<CellId>((s * kCells) / kStreams);
+        CellId to = static_cast<CellId>((from + 3) % kCells);
+        MessageId id =
+            p.declareMessage("S" + std::to_string(s), from, to);
+        for (int w = 0; w < kWordsPerStream; ++w)
+            p.write(from, id);
+        for (int w = 0; w < kWordsPerStream; ++w)
+            p.read(to, id);
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("F1", "fault injection survivability (ring, link faults)");
+    JsonWriter json("fault_sweep", "BENCH_fault.json");
+
+    Program p = ringStreams();
+    Topology topo = Topology::ring(kCells);
+    MachineSpec spec;
+    spec.topo = topo;
+    spec.queuesPerLink = 2;
+    spec.queueCapacity = 2;
+
+    // Fault-free baseline for the slowdown metric.
+    sim::SimSession baselineSession(p, spec);
+    sim::RunResult baseline = baselineSession.run({});
+    if (!baseline.completed()) {
+        std::printf("baseline did not complete (%s) — aborting\n",
+                    baseline.statusStr());
+        return 1;
+    }
+    json.record("baseline_cycles", static_cast<double>(baseline.cycles));
+
+    // The plan grid. Plans live in one stable vector: every
+    // RunRequest (and the recovery driver) keeps a pointer into it
+    // for the whole sweep.
+    std::vector<sim::FaultPlan> plans;
+    plans.reserve(std::size(kIntensities) * kSeedsPerIntensity);
+    std::vector<sim::RunRequest> requests;
+    for (int intensity : kIntensities) {
+        for (int seed = 0; seed < kSeedsPerIntensity; ++seed) {
+            sim::FaultPlanOptions fo;
+            fo.seed = static_cast<std::uint64_t>(1000 * intensity +
+                                                 seed);
+            fo.numEvents = intensity;
+            fo.maxCycle = baseline.cycles; // faults land mid-run
+            plans.push_back(sim::randomFaultPlan(topo, spec, fo));
+        }
+    }
+    for (const sim::FaultPlan& plan : plans) {
+        sim::RunRequest request;
+        request.faults = &plan;
+        requests.push_back(request);
+    }
+
+    // Plain injection over the fault-plan request axis: one shape,
+    // every plan a row, compiled once.
+    std::vector<sim::ShapeSpec> shapes(1);
+    shapes[0].name = "ring-base";
+    shapes[0].queuesPerLink = spec.queuesPerLink;
+    shapes[0].queueCapacity = spec.queueCapacity;
+    sim::ShapeSweep sweep(p, topo, shapes);
+    sim::ShapeSweepResult injected = sweep.run(requests);
+
+    std::printf("\nper-intensity survivability (%d seeds each)\n\n",
+                kSeedsPerIntensity);
+    row({"faults", "inj-complete", "inj-faulted", "recovered",
+         "unrecoverable", "mean-slowdown"});
+    rule(6);
+
+    sim::RecoveryDriver driver(p, spec);
+    std::size_t at = 0;
+    for (int intensity : kIntensities) {
+        int injCompleted = 0;
+        int injFaulted = 0;
+        int recovered = 0;
+        int unrecoverable = 0;
+        double slowdownSum = 0.0;
+        int slowdownRuns = 0;
+        for (int seed = 0; seed < kSeedsPerIntensity; ++seed, ++at) {
+            const sim::ShapeSweepRow& gridRow = injected.row(0, at);
+            const sim::RunResult& inj = gridRow.result;
+            injCompleted += inj.completed();
+            injFaulted += inj.status == sim::RunStatus::kFaulted;
+            json.record(
+                "injected_cycles", static_cast<double>(inj.cycles),
+                {{"intensity", std::to_string(intensity)},
+                 {"seed", std::to_string(seed)},
+                 {"status", inj.statusStr()},
+                 {"machine_digest", hexDigest(gridRow.machineDigest)}});
+
+            // The recovery pipeline on the identical plan.
+            sim::RecoveryOptions ro;
+            ro.faults = &plans[at];
+            ro.checkpointEvery = kCheckpointEvery;
+            sim::RecoveryReport rec = driver.run(ro);
+            if (rec.faulted) {
+                recovered += rec.recovered;
+                unrecoverable += !rec.recoverable;
+                if (rec.recovered) {
+                    const double total = static_cast<double>(
+                        rec.primary.cycles + rec.recovery.cycles);
+                    slowdownSum +=
+                        total / static_cast<double>(baseline.cycles);
+                    ++slowdownRuns;
+                }
+            }
+            json.record(
+                "recovery_outcome",
+                rec.faulted ? (rec.recovered ? 1.0 : 0.0) : -1.0,
+                {{"intensity", std::to_string(intensity)},
+                 {"seed", std::to_string(seed)},
+                 {"faulted", rec.faulted ? "yes" : "no"},
+                 {"recoverable", rec.recoverable ? "yes" : "no"},
+                 {"residual_words",
+                  std::to_string(rec.residualWords)},
+                 {"dead_links", std::to_string(rec.deadLinks)},
+                 {"recovery_digest",
+                  hexDigest(rec.recoveryMachineDigest)},
+                 {"error", rec.error}});
+        }
+        const double meanSlowdown =
+            slowdownRuns > 0 ? slowdownSum / slowdownRuns : 0.0;
+        row({std::to_string(intensity), std::to_string(injCompleted),
+             std::to_string(injFaulted), std::to_string(recovered),
+             std::to_string(unrecoverable), fmt(meanSlowdown)});
+        json.record(
+            "completion_rate",
+            static_cast<double>(injCompleted) / kSeedsPerIntensity,
+            {{"intensity", std::to_string(intensity)},
+             {"mode", "injected"}});
+        json.record(
+            "completion_rate",
+            static_cast<double>(injCompleted + recovered) /
+                kSeedsPerIntensity,
+            {{"intensity", std::to_string(intensity)},
+             {"mode", "recovered"}});
+        if (slowdownRuns > 0) {
+            json.record("mean_recovered_slowdown", meanSlowdown,
+                        {{"intensity", std::to_string(intensity)}});
+        }
+    }
+
+    std::printf("\nshape check: plain injection loses runs as intensity\n"
+                "grows; the recovery pipeline completes the remaining\n"
+                "words over surviving ring routes, at a slowdown that\n"
+                "reflects re-sent post-checkpoint traffic and detours.\n");
+    return 0;
+}

@@ -79,6 +79,9 @@ summarizeSweep(std::vector<RunResult> results,
           case RunStatus::kPaused:
             ++ps.paused;
             break;
+          case RunStatus::kFaulted:
+            ++ps.faulted;
+            break;
         }
     }
 
@@ -145,6 +148,8 @@ SweepSummary::str() const
             os << ", " << ps.configErrors << " config-error";
         if (ps.paused > 0)
             os << ", " << ps.paused << " paused";
+        if (ps.faulted > 0)
+            os << ", " << ps.faulted << " faulted";
         os << "\n";
     }
     return os.str();

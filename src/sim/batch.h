@@ -104,6 +104,8 @@ struct PolicySummary
     int configErrors = 0;
     /** Truncated runs (RunRequest::pauseAt; sweeps normally use 0). */
     int paused = 0;
+    /** Runs frozen with injected faults implicated (kFaulted). */
+    int faulted = 0;
     /** Mean completion cycles over completed runs (0 when none). */
     double meanCycles = 0.0;
     /** Mean queue-request wait over completed runs (0 when none). */

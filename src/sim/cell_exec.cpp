@@ -16,6 +16,12 @@ blockReasonName(BlockReason reason)
         return "input word not available";
       case BlockReason::kMemoryStall:
         return "local memory access";
+      case BlockReason::kLinkDead:
+        return "link killed by fault";
+      case BlockReason::kLinkStalled:
+        return "link stalled by fault";
+      case BlockReason::kCellDead:
+        return "cell killed by fault";
     }
     return "?";
 }

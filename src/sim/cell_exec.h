@@ -26,6 +26,9 @@ enum class BlockReason : std::uint8_t
     kQueueFull,        ///< Output queue (incl. extension) is full.
     kWordNotArrived,   ///< Input queue empty or word not consumable yet.
     kMemoryStall,      ///< Memory-to-memory model staging cycles.
+    kLinkDead,         ///< Fault injection killed the op's link.
+    kLinkStalled,      ///< Fault injection is stalling the op's link.
+    kCellDead,         ///< Fault injection killed this cell.
 };
 
 const char* blockReasonName(BlockReason reason);

@@ -30,6 +30,13 @@ DeadlockReport::render() const
         }
         os << "\n";
     }
+    if (!faults.empty()) {
+        os << "implicated faults:\n";
+        for (const FaultAttribution& f : faults) {
+            os << "  [" << f.eventIndex << "] " << f.event << " -- "
+               << f.why << "\n";
+        }
+    }
     return os.str();
 }
 

@@ -44,6 +44,23 @@ struct LinkSnapshot
     std::vector<std::string> waiting;
 };
 
+/**
+ * One injected fault implicated in the frozen state: the event still
+ * holds unfinished traffic or an unfinished cell hostage at the stall
+ * cycle. Attribution is computed from kernel-independent machine state
+ * (crossing phases, cell program counters), so both kernels report the
+ * same set.
+ */
+struct FaultAttribution
+{
+    /** Index into the run's FaultPlan::events(). */
+    int eventIndex = -1;
+    /** FaultEvent::describe() text (self-contained for rendering). */
+    std::string event;
+    /** Why the event is implicated, e.g. "2 unfinished crossings". */
+    std::string why;
+};
+
 /** Full deadlock snapshot. */
 struct DeadlockReport
 {
@@ -51,6 +68,8 @@ struct DeadlockReport
     Cycle atCycle = 0;
     std::vector<CellBlockInfo> cells;
     std::vector<LinkSnapshot> links;
+    /** Non-empty exactly when the run ended RunStatus::kFaulted. */
+    std::vector<FaultAttribution> faults;
 
     /** Multi-line rendering of the blocked machine state. */
     std::string render() const;

@@ -1,0 +1,185 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "core/mix.h"
+#include "sim/fnv.h"
+
+namespace syscomm::sim {
+
+const char*
+faultKindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::kKillLink:
+        return "kill-link";
+    case FaultKind::kKillCell:
+        return "kill-cell";
+    case FaultKind::kDegradeQueue:
+        return "degrade-queue";
+    case FaultKind::kStallLink:
+        return "stall-link";
+    }
+    return "?";
+}
+
+std::string
+FaultEvent::describe() const
+{
+    std::string s = "cycle " + std::to_string(cycle) + ": " +
+                    faultKindName(kind);
+    switch (kind) {
+    case FaultKind::kKillLink:
+        s += " L" + std::to_string(link);
+        break;
+    case FaultKind::kKillCell:
+        s += " cell " + std::to_string(cell);
+        break;
+    case FaultKind::kDegradeQueue:
+        s += " L" + std::to_string(link) + " q" + std::to_string(queue) +
+             " -> cap " + std::to_string(arg);
+        break;
+    case FaultKind::kStallLink:
+        s += " L" + std::to_string(link) + " for " + std::to_string(arg) +
+             " cycles";
+        break;
+    }
+    return s;
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+    // Stable: same-cycle events keep their given order, so application
+    // order — and therefore the machine state — is fully determined by
+    // the plan's contents.
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& x, const FaultEvent& y) {
+                         return x.cycle < y.cycle;
+                     });
+}
+
+void
+FaultPlan::add(const FaultEvent& e)
+{
+    auto it = std::upper_bound(events_.begin(), events_.end(), e,
+                               [](const FaultEvent& x, const FaultEvent& y) {
+                                   return x.cycle < y.cycle;
+                               });
+    events_.insert(it, e);
+}
+
+std::string
+FaultPlan::validate(const Topology& topo, const MachineSpec& spec) const
+{
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const FaultEvent& e = events_[i];
+        std::string where = "fault event " + std::to_string(i) + " (" +
+                            e.describe() + "): ";
+        if (e.cycle < 0)
+            return where + "negative cycle";
+        bool needs_link = e.kind != FaultKind::kKillCell;
+        if (needs_link && (e.link < 0 || e.link >= topo.numLinks()))
+            return where + "link out of range";
+        switch (e.kind) {
+        case FaultKind::kKillLink:
+            break;
+        case FaultKind::kKillCell:
+            if (e.cell < 0 || e.cell >= topo.numCells())
+                return where + "cell out of range";
+            break;
+        case FaultKind::kDegradeQueue:
+            if (e.queue < 0 || e.queue >= spec.queuesPerLink)
+                return where + "queue out of range";
+            if (e.arg < 1)
+                return where + "degraded capacity must be >= 1";
+            break;
+        case FaultKind::kStallLink:
+            if (e.arg < 1)
+                return where + "stall length must be >= 1";
+            break;
+        }
+    }
+    return "";
+}
+
+std::uint64_t
+FaultPlan::digest() const
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    h = fnv(h, events_.size());
+    for (const FaultEvent& e : events_) {
+        h = fnv(h, static_cast<std::uint64_t>(e.cycle));
+        h = fnv(h, static_cast<std::uint64_t>(e.kind));
+        h = fnv(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(e.link)));
+        h = fnv(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(e.cell)));
+        h = fnv(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(e.queue)));
+        h = fnv(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(e.arg)));
+    }
+    return h;
+}
+
+FaultPlan
+randomFaultPlan(const Topology& topo, const MachineSpec& spec,
+                const FaultPlanOptions& options)
+{
+    std::vector<FaultKind> kinds;
+    if (options.killLinks)
+        kinds.push_back(FaultKind::kKillLink);
+    if (options.killCells)
+        kinds.push_back(FaultKind::kKillCell);
+    if (options.degradeQueues)
+        kinds.push_back(FaultKind::kDegradeQueue);
+    if (options.stallLinks)
+        kinds.push_back(FaultKind::kStallLink);
+
+    std::vector<FaultEvent> events;
+    if (kinds.empty() || topo.numLinks() == 0 || options.numEvents <= 0)
+        return FaultPlan(std::move(events));
+
+    std::uint64_t state = mix64(options.seed ^ 0xfa417ull);
+    Cycle span = options.maxCycle > 0 ? options.maxCycle : 1;
+    int total_cap = spec.queueCapacity + spec.extensionCapacity;
+    if (total_cap < 1)
+        total_cap = 1;
+    for (int i = 0; i < options.numEvents; ++i) {
+        FaultEvent e;
+        e.cycle = 1 + static_cast<Cycle>(splitmix64(state) %
+                                         static_cast<std::uint64_t>(span));
+        e.kind = kinds[splitmix64(state) % kinds.size()];
+        e.link = static_cast<LinkIndex>(
+            splitmix64(state) % static_cast<std::uint64_t>(topo.numLinks()));
+        switch (e.kind) {
+        case FaultKind::kKillLink:
+            break;
+        case FaultKind::kKillCell:
+            e.cell = static_cast<CellId>(
+                splitmix64(state) %
+                static_cast<std::uint64_t>(topo.numCells()));
+            break;
+        case FaultKind::kDegradeQueue:
+            e.queue = static_cast<int>(
+                splitmix64(state) %
+                static_cast<std::uint64_t>(spec.queuesPerLink));
+            e.arg = 1 + static_cast<int>(
+                            splitmix64(state) %
+                            static_cast<std::uint64_t>(total_cap));
+            break;
+        case FaultKind::kStallLink:
+            e.arg = 1 + static_cast<int>(
+                            splitmix64(state) %
+                            static_cast<std::uint64_t>(
+                                options.maxStall > 0 ? options.maxStall
+                                                     : 1));
+            break;
+        }
+        events.push_back(e);
+    }
+    return FaultPlan(std::move(events));
+}
+
+} // namespace syscomm::sim

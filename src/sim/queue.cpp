@@ -52,6 +52,7 @@ HwQueue::reset()
     dir_ = LinkDir::kForward;
     final_hop_ = false;
     words_remaining_ = 0;
+    cap_limit_ = 0;
     head_ = 0;
     ring_count_ = 0;
     spill_head_ = 0;
@@ -81,6 +82,7 @@ HwQueue::copyStateFrom(const HwQueue& other)
     dir_ = other.dir_;
     final_hop_ = other.final_hop_;
     words_remaining_ = other.words_remaining_;
+    cap_limit_ = other.cap_limit_;
     head_ = other.head_;
     ring_count_ = other.ring_count_;
     spill_head_ = other.spill_head_;
@@ -103,6 +105,7 @@ HwQueue::saveState(ByteWriter& out) const
     out.put(dir_);
     out.put(final_hop_);
     out.put(words_remaining_);
+    out.put(cap_limit_);
     out.put(head_);
     out.put(ring_count_);
     out.put(spill_head_);
@@ -125,6 +128,7 @@ HwQueue::loadState(ByteReader& in)
     dir_ = in.get<LinkDir>();
     final_hop_ = in.get<bool>();
     words_remaining_ = in.get<int>();
+    cap_limit_ = in.get<int>();
     head_ = in.get<std::uint32_t>();
     ring_count_ = in.get<int>();
     spill_head_ = in.get<std::uint32_t>();
@@ -263,6 +267,8 @@ HwQueue::digestState(std::uint64_t h) const
     h = fnv(h, static_cast<std::uint64_t>(dir_));
     h = fnv(h, final_hop_ ? 1 : 0);
     h = fnv(h, static_cast<std::uint64_t>(words_remaining_));
+    h = fnv(h, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(cap_limit_)));
     h = fnv(h, static_cast<std::uint64_t>(ring_count_));
     h = fnv(h, static_cast<std::uint64_t>(spill_count_));
     for (int i = 0; i < ring_count_; ++i)

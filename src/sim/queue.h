@@ -127,8 +127,22 @@ class HwQueue
 
     int size() const { return ring_count_ + spill_count_; }
     bool empty() const { return size() == 0; }
-    int totalCapacity() const { return capacity_ + ext_capacity_; }
+    /** Physical capacity, clamped by any fault-injected degrade. */
+    int totalCapacity() const
+    {
+        int cap = capacity_ + ext_capacity_;
+        return cap_limit_ > 0 ? std::min(cap, cap_limit_) : cap;
+    }
     bool isFull() const { return size() >= totalCapacity(); }
+
+    /**
+     * Fault injection (FaultKind::kDegradeQueue): clamp the effective
+     * capacity to @p cap words (>= 1). Words already buffered above
+     * the clamp stay and drain normally; only new pushes obey it.
+     * Cleared by reset(). 0 removes the clamp.
+     */
+    void setCapacityLimit(int cap) { cap_limit_ = cap; }
+    int capacityLimit() const { return cap_limit_; }
 
     /** Can a word be pushed at cycle @p now? */
     bool canPush(Cycle now) const
@@ -219,6 +233,8 @@ class HwQueue
     LinkDir dir_ = LinkDir::kForward;
     bool final_hop_ = false;
     int words_remaining_ = 0;
+    /** Degraded effective capacity (fault injection); 0 = no clamp. */
+    int cap_limit_ = 0;
 
     std::uint32_t head_ = 0;
     int ring_count_ = 0;

@@ -31,6 +31,8 @@ runStatusName(RunStatus status)
         return "config-error";
       case RunStatus::kPaused:
         return "paused";
+      case RunStatus::kFaulted:
+        return "faulted";
     }
     return "?";
 }
@@ -84,8 +86,10 @@ sameTopology(const Topology& a, const Topology& b)
 }
 
 // Checkpoint stream framing (SimSession::saveCheckpoint).
+// Version history: 2 added the fault-plan digest to the header and the
+// degraded-capacity clamp to each queue's serialized scalars.
 constexpr std::uint32_t kCheckpointMagic = 0x53594b43u; // "CKYS"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 void
 saveStats(ByteWriter& w, const SimStats& s)
@@ -165,6 +169,12 @@ saveRunResult(ByteWriter& w, const RunResult& result)
         for (const std::string& s : l.waiting)
             w.putString(s);
     }
+    w.put(static_cast<std::uint64_t>(d.faults.size()));
+    for (const FaultAttribution& f : d.faults) {
+        w.put(f.eventIndex);
+        w.putString(f.event);
+        w.putString(f.why);
+    }
 }
 
 bool
@@ -217,8 +227,35 @@ loadRunResult(ByteReader& r, RunResult& result)
                 return false;
         }
     }
+    const auto numFaults = r.get<std::uint64_t>();
+    if (!r.ok() || numFaults > r.remaining())
+        return false;
+    d.faults.resize(static_cast<std::size_t>(numFaults));
+    for (FaultAttribution& f : d.faults) {
+        f.eventIndex = r.get<int>();
+        if (!r.getString(f.event) || !r.getString(f.why))
+            return false;
+    }
     return r.ok() &&
            static_cast<int>(result.status) < kNumRunStatuses;
+}
+
+bool
+peekCheckpointInfo(const std::uint8_t* data, std::size_t size,
+                   CheckpointInfo& info)
+{
+    ByteReader r(data, size);
+    if (r.get<std::uint32_t>() != kCheckpointMagic ||
+        r.get<std::uint32_t>() != kCheckpointVersion)
+        return false;
+    info.machineDigest = r.get<std::uint64_t>();
+    info.eventKernel = r.get<std::uint8_t>() != 0;
+    info.faultPlanDigest = r.get<std::uint64_t>();
+    info.resumeFrom = r.get<Cycle>();
+    info.cycles = r.get<Cycle>();
+    if (!r.getVector(info.writeSeq) || !r.getVector(info.readSeq))
+        return false;
+    return r.ok();
 }
 
 // ---------------------------------------------------------------------
@@ -448,6 +485,46 @@ struct SimSession::Impl
     std::unique_ptr<AssignmentPolicy> adoptedPolicy;
 
     // -----------------------------------------------------------------
+    // Fault-injection state (RunRequest::faults). Both kernels apply
+    // due plan events at the top of every executed cycle and consult
+    // the derived flags below at exactly the same points, so faulted
+    // runs stay bit-identical across kernels. Everything here is a
+    // pure function of (plan, current cycle): checkpoints persist only
+    // the machine pools (plus each queue's capacity clamp, which lives
+    // in HwQueue), and restore/adopt rebuild the flags by replaying
+    // the plan's already-due events.
+    // -----------------------------------------------------------------
+
+    /** The active run's plan (borrowed, like the observer). */
+    const FaultPlan* faults = nullptr;
+    /** Plan present and non-empty: gates every hot-path fault check. */
+    bool faultsActive = false;
+    /** Next plan event to apply (plan events are sorted by cycle). */
+    std::size_t faultCursor = 0;
+    /** Per link: killed by a fault (permanently unusable). */
+    std::vector<char> linkDead;
+    /** Per cell: killed by a fault (frozen, never steps again). */
+    std::vector<char> cellDead;
+    /** Per link: unusable while now < this (transient stall). */
+    std::vector<Cycle> linkStallUntil;
+    /** Stalls whose expiry still owes a wake/recheck. */
+    struct ActiveStall
+    {
+        LinkIndex link;
+        Cycle until;
+    };
+    std::vector<ActiveStall> activeStalls;
+    /**
+     * Targets the current run's plan actually touched, so the per-run
+     * reset stays O(affected hardware + plan), not O(machine) — the
+     * same discipline resetRun() applies to routed links. Duplicates
+     * are possible (a link both stalled and killed) and harmless.
+     */
+    std::vector<LinkIndex> faultTouchedLinks;
+    std::vector<CellId> faultTouchedCells;
+    std::vector<std::pair<LinkIndex, int>> degradedQueues;
+
+    // -----------------------------------------------------------------
     // Event-driven kernel state (unused by the reference kernel).
     //
     // The invariant behind every set here: it is always safe to wake
@@ -597,6 +674,10 @@ struct SimSession::Impl
 
         eventMode = options.kernel == KernelKind::kEventDriven;
 
+        linkDead.assign(links.size(), 0);
+        cellDead.assign(cells.size(), 0);
+        linkStallUntil.assign(links.size(), 0);
+
         cellWaitLink.assign(cells.size(), kInvalidLink);
         waiterHead.assign(links.size(), kInvalidCell);
         waiterNext.assign(cells.size(), kInvalidCell);
@@ -659,6 +740,7 @@ struct SimSession::Impl
     void
     resetRun()
     {
+        clearFaultState();
         // Only routed links and program-bearing cells ever mutate, so
         // the reset is O(program activity), not O(machine) — the rest
         // of the array is still in its start-of-run state.
@@ -726,6 +808,293 @@ struct SimSession::Impl
     }
 
     // -----------------------------------------------------------------
+    // Fault injection (see the fault-state section above for the
+    // design). killLink/killCell/degradeQueue/stallLink mutate only
+    // kernel-independent flags plus the event kernel's wake sets —
+    // waking too much is always safe, so the dense kernel simply
+    // ignores those calls.
+    // -----------------------------------------------------------------
+
+    /** Undo the previous run's fault effects; O(affected + plan). */
+    void
+    clearFaultState()
+    {
+        for (LinkIndex l : faultTouchedLinks) {
+            linkDead[l] = 0;
+            linkStallUntil[l] = 0;
+        }
+        for (CellId c : faultTouchedCells)
+            cellDead[c] = 0;
+        // Queues of routed links reset their clamp in HwQueue::reset();
+        // this also covers degrades aimed at unrouted links.
+        for (const auto& [l, q] : degradedQueues)
+            links[l].queue(q).setCapacityLimit(0);
+        faultTouchedLinks.clear();
+        faultTouchedCells.clear();
+        degradedQueues.clear();
+        activeStalls.clear();
+        faultCursor = 0;
+    }
+
+    /** Is the link currently unable to do anything at all? */
+    bool
+    linkUnusable(LinkIndex l, Cycle now) const
+    {
+        return linkDead[l] != 0 || linkStallUntil[l] > now;
+    }
+
+    void
+    killLink(LinkIndex l)
+    {
+        if (linkDead[l])
+            return;
+        linkDead[l] = 1;
+        faultTouchedLinks.push_back(l);
+        // Cells blocked here re-step once and re-block with
+        // kLinkDead, keeping deadlock snapshots identical to the
+        // dense kernel's (which re-steps blocked cells every cycle).
+        if (eventMode)
+            wakeWaiters(l);
+    }
+
+    void
+    killCell(CellId c)
+    {
+        if (!cellDead[c]) {
+            cellDead[c] = 1;
+            faultTouchedCells.push_back(c);
+            // The cell never steps again; pin the snapshot reason now
+            // (the dense kernel skips dead cells, so nothing would
+            // otherwise update it).
+            cells[c].lastBlock = BlockReason::kCellDead;
+            if (eventMode) {
+                removeWaiter(c);
+                activeCells.erase(c);
+            }
+        }
+        // A dead cell takes its links with it.
+        for (CellId nbr : spec.topo.neighbors(c)) {
+            if (auto l = spec.topo.linkBetween(c, nbr))
+                killLink(*l);
+        }
+    }
+
+    void
+    degradeQueue(LinkIndex l, int qid, int cap)
+    {
+        // Track by membership, not by clamp-was-zero: on the
+        // checkpoint-restore replay path the clamp arrives pre-set
+        // from the arena pools, yet must still be registered so the
+        // next clearFaultState() resets it (the queue may belong to
+        // an unrouted link, which resetRun() never touches).
+        HwQueue& q = links[l].queue(qid);
+        bool tracked = false;
+        for (const auto& [tl, tq] : degradedQueues) {
+            if (tl == l && tq == qid) {
+                tracked = true;
+                break;
+            }
+        }
+        if (!tracked)
+            degradedQueues.push_back({l, qid});
+        q.setCapacityLimit(cap);
+        // A later degrade may *raise* the clamp back up: writers
+        // blocked kQueueFull must get a fresh look.
+        if (eventMode)
+            wakeWaiters(l);
+    }
+
+    void
+    stallLink(LinkIndex l, Cycle until)
+    {
+        if (linkStallUntil[l] == 0)
+            faultTouchedLinks.push_back(l);
+        if (until > linkStallUntil[l])
+            linkStallUntil[l] = until;
+        activeStalls.push_back({l, until});
+        // Blocked cells re-report kLinkStalled (snapshot parity).
+        if (eventMode)
+            wakeWaiters(l);
+    }
+
+    /**
+     * Apply every plan event due at @p now and expire finished stalls.
+     * Called at the top of each executed cycle (and with now = 0
+     * before policy setup), identically in both kernels. Fault cycles
+     * are never skipped: the event kernel's fast-forward caps its
+     * jumps at nextFaultCycle().
+     */
+    void
+    applyFaultsDue(Cycle now)
+    {
+        if (!activeStalls.empty()) {
+            std::size_t w = 0;
+            for (const ActiveStall& s : activeStalls) {
+                if (s.until <= now) {
+                    // The link revives this cycle, before any phase.
+                    if (eventMode && !linkDead[s.link]) {
+                        wakeWaiters(s.link);
+                        markRecheck(s.link);
+                    }
+                } else {
+                    activeStalls[w++] = s;
+                }
+            }
+            activeStalls.resize(w);
+        }
+        while (faults != nullptr && faultCursor < faults->size() &&
+               faults->events()[faultCursor].cycle <= now) {
+            const FaultEvent& e = faults->events()[faultCursor++];
+            switch (e.kind) {
+              case FaultKind::kKillLink:
+                killLink(e.link);
+                break;
+              case FaultKind::kKillCell:
+                killCell(e.cell);
+                break;
+              case FaultKind::kDegradeQueue:
+                degradeQueue(e.link, e.queue, e.arg);
+                break;
+              case FaultKind::kStallLink:
+                // Anchored to the event's cycle (== now on the live
+                // path; may be < now only during checkpoint replay).
+                stallLink(e.link, e.cycle + e.arg);
+                break;
+            }
+        }
+    }
+
+    /**
+     * Will future fault activity still change the machine? While true
+     * a zero-progress cycle is not terminal: pending plan events will
+     * mutate hardware, and an unexpired stall revives its link. After
+     * applyFaultsDue(now) every surviving stall has until > now.
+     */
+    bool
+    faultEventPending() const
+    {
+        if (!faultsActive)
+            return false;
+        return (faults != nullptr && faultCursor < faults->size()) ||
+               !activeStalls.empty();
+    }
+
+    /** Earliest future cycle a plan event applies or a stall expires
+     *  (-1 when neither is pending). Caps fast-forward jumps. */
+    Cycle
+    nextFaultCycle() const
+    {
+        Cycle next = -1;
+        if (faults != nullptr && faultCursor < faults->size())
+            next = faults->events()[faultCursor].cycle;
+        for (const ActiveStall& s : activeStalls) {
+            if (next < 0 || s.until < next)
+                next = s.until;
+        }
+        return next;
+    }
+
+    /** Crossings on @p l whose message has not fully passed it. */
+    int
+    unfinishedCrossings(LinkIndex l) const
+    {
+        int open = 0;
+        for (const Crossing& c : links[l].crossings()) {
+            if (c.phase != CrossingPhase::kDone)
+                ++open;
+        }
+        return open;
+    }
+
+    /**
+     * Decide kDeadlocked vs kFaulted at a terminal stall and fill the
+     * report's fault attribution: an applied event is implicated when
+     * the frozen state still shows work it holds hostage. The rules
+     * are deliberately liberal heuristics (a dead link with any
+     * unfinished crossing is implicated even if that traffic would
+     * have deadlocked anyway) — attribution names suspects, it does
+     * not prove causality. All inputs are kernel-independent machine
+     * state, so both kernels attribute identically. Expired stalls
+     * are never implicated: terminality already implies every stall
+     * ran out.
+     */
+    void
+    attributeFaults(DeadlockReport& report)
+    {
+        if (faults == nullptr)
+            return;
+        const std::vector<FaultEvent>& evs = faults->events();
+        const int physicalCap =
+            spec.queueCapacity + spec.extensionCapacity;
+        for (std::size_t i = 0; i < faultCursor; ++i) {
+            const FaultEvent& e = evs[i];
+            std::string why;
+            switch (e.kind) {
+              case FaultKind::kKillLink: {
+                int open = unfinishedCrossings(e.link);
+                if (open > 0)
+                    why = std::to_string(open) +
+                          " unfinished crossing(s) on the dead link";
+                break;
+              }
+              case FaultKind::kKillCell: {
+                if (!cells[e.cell].done()) {
+                    why = "cell froze with unfinished program (pc " +
+                          std::to_string(cells[e.cell].pc()) + ")";
+                    break;
+                }
+                int open = 0;
+                for (CellId nbr : spec.topo.neighbors(e.cell)) {
+                    if (auto l = spec.topo.linkBetween(e.cell, nbr))
+                        open += unfinishedCrossings(*l);
+                }
+                if (open > 0)
+                    why = std::to_string(open) +
+                          " unfinished crossing(s) on its dead links";
+                break;
+              }
+              case FaultKind::kDegradeQueue: {
+                const HwQueue& q = links[e.link].queue(e.queue);
+                if (q.capacityLimit() > 0 &&
+                    q.capacityLimit() < physicalCap &&
+                    unfinishedCrossings(e.link) > 0)
+                    why = "capacity clamped to " +
+                          std::to_string(q.capacityLimit()) + " of " +
+                          std::to_string(physicalCap) +
+                          " with unfinished crossings on the link";
+                break;
+              }
+              case FaultKind::kStallLink:
+                break;
+            }
+            if (!why.empty())
+                report.faults.push_back(
+                    {static_cast<int>(i), e.describe(), std::move(why)});
+        }
+        if (!report.faults.empty())
+            result.status = RunStatus::kFaulted;
+    }
+
+    /**
+     * Rebuild the fault-derived flags for a run paused at
+     * @p pauseCycle by replaying the plan's due events — the
+     * restore/adopt path. Event-kernel side effects (wakes, active-set
+     * erases) land on state rebuildEventState() redoes afterwards.
+     */
+    void
+    reapplyFaultsThrough(Cycle pauseCycle)
+    {
+        applyFaultsDue(pauseCycle);
+        // Expired stalls owe no wake (every cell wakes on rebuild).
+        activeStalls.erase(
+            std::remove_if(activeStalls.begin(), activeStalls.end(),
+                           [&](const ActiveStall& s) {
+                               return s.until <= pauseCycle;
+                           }),
+            activeStalls.end());
+    }
+
+    // -----------------------------------------------------------------
     // Event hooks. Every queue/crossing mutation funnels through one
     // of these so the active sets stay exact. All are no-ops for the
     // reference kernel.
@@ -734,7 +1103,9 @@ struct SimSession::Impl
     void
     wakeCell(CellId cell)
     {
-        if (!cells[cell].done())
+        // A dead cell never re-enters the active set: stale entries in
+        // the timed-wake buffers or waiter lists must not revive it.
+        if (!cells[cell].done() && !cellDead[cell])
             activeCells.insert(cell);
     }
 
@@ -960,6 +1331,12 @@ struct SimSession::Impl
     std::int64_t
     tickLink(LinkState& link, Cycle now)
     {
+        // A dead or stalled link makes no decisions. Skipping the
+        // whole tick (rather than emitting empty decisions) keeps the
+        // policy's counted RNG streams aligned across kernels: neither
+        // kernel draws for this link while it is down.
+        if (faultsActive && linkUnusable(link.index(), now))
+            return 0;
         decisionScratch.clear();
         policy->tick(link, now, decisionScratch);
         return applyDecisions(link, decisionScratch, now);
@@ -969,6 +1346,8 @@ struct SimSession::Impl
     std::int64_t
     forwardOneLink(LinkState& link, Cycle now)
     {
+        if (faultsActive && linkUnusable(link.index(), now))
+            return 0;
         std::int64_t progress = 0;
         for (HwQueue& q : link.queues()) {
             if (q.isFree() || q.empty())
@@ -980,6 +1359,9 @@ struct SimSession::Impl
             const Route& route = competing.route(msg);
             const Hop& next_hop = route.hops[c.hopIndex + 1];
             LinkState& next_link = links[next_hop.link];
+            // No requests to and no pushes into a downed next hop.
+            if (faultsActive && linkUnusable(next_link.index(), now))
+                continue;
             Crossing& nc = next_link.crossing(msg);
             if (nc.phase == CrossingPhase::kIdle) {
                 // The message header arrived at the intermediate
@@ -1032,6 +1414,13 @@ struct SimSession::Impl
         }
 
         LinkState& link = links[firstHopLink[op.msg]];
+        if (faultsActive && linkUnusable(link.index(), now)) {
+            cell.lastBlock = linkDead[link.index()]
+                                 ? BlockReason::kLinkDead
+                                 : BlockReason::kLinkStalled;
+            blockLink = link.index();
+            return 0;
+        }
         Crossing& c = link.crossings()[firstHopCross[op.msg]];
         if (c.phase == CrossingPhase::kIdle) {
             link.request(op.msg, now);
@@ -1083,6 +1472,15 @@ struct SimSession::Impl
         }
 
         LinkState& link = links[lastHopLink[op.msg]];
+        // Even reads drain through the final-hop queue's read port;
+        // a downed link blocks them too.
+        if (faultsActive && linkUnusable(link.index(), now)) {
+            cell.lastBlock = linkDead[link.index()]
+                                 ? BlockReason::kLinkDead
+                                 : BlockReason::kLinkStalled;
+            blockLink = link.index();
+            return 0;
+        }
         Crossing& c = link.crossings()[lastHopCross[op.msg]];
         if (c.phase != CrossingPhase::kAssigned) {
             cell.lastBlock = c.phase == CrossingPhase::kRequested
@@ -1256,6 +1654,13 @@ struct SimSession::Impl
         for (CellRuntime& cell : cells) {
             if (cell.done())
                 continue;
+            // A dead cell never steps; it just accrues blocked time
+            // (its lastBlock was pinned to kCellDead at kill time).
+            if (faultsActive && cellDead[cell.cellId()]) {
+                ++result.stats.cellBlockedCycles;
+                ++result.stats.perCellBlocked[cell.cellId()];
+                continue;
+            }
             std::int64_t delta = cellStep(cell, now);
             if (delta == 0) {
                 ++result.stats.cellBlockedCycles;
@@ -1282,6 +1687,8 @@ struct SimSession::Impl
     runReference(Cycle from)
     {
         for (Cycle now = from; now <= maxCycles; ++now) {
+            if (faultsActive)
+                applyFaultsDue(now);
             std::int64_t progress = 0;
             progress += assignmentPhaseDense(now);
             progress += forwardingPhaseDense(now);
@@ -1292,10 +1699,13 @@ struct SimSession::Impl
                 result.cycles = now;
                 break;
             }
-            if (progress == 0 && !timedEventPendingDense(now)) {
+            if (progress == 0 && !timedEventPendingDense(now) &&
+                !faultEventPending()) {
                 result.status = RunStatus::kDeadlocked;
                 result.cycles = now;
                 result.deadlock = snapshot(now);
+                if (faultsActive)
+                    attributeFaults(result.deadlock);
                 break;
             }
             if (now == maxCycles) {
@@ -1442,6 +1852,17 @@ struct SimSession::Impl
                 result.stats.perCellBlocked[id] += span;
             }
             cell.lastVisitCycle = now;
+            // A cell killed while in the active set (or woken by a
+            // stale timed wake) is charged like the dense kernel's
+            // skip and put back to sleep forever.
+            if (faultsActive && cellDead[id]) {
+                ++result.stats.cellBlockedCycles;
+                ++result.stats.perCellBlocked[id];
+                removeWaiter(id);
+                activeCells.erase(id);
+                id = activeCells.firstAtLeast(id + 1);
+                continue;
+            }
             blockLink = kInvalidLink;
             blockTimedWake = -1;
             std::int64_t delta = cellStep(cell, now);
@@ -1535,6 +1956,8 @@ struct SimSession::Impl
     runEventDriven(Cycle from)
     {
         for (Cycle now = from; now <= maxCycles; ++now) {
+            if (faultsActive)
+                applyFaultsDue(now);
             std::int64_t progress = 0;
             progress += assignmentPhaseEvent(now);
             progress += forwardingPhaseEvent(now);
@@ -1545,10 +1968,13 @@ struct SimSession::Impl
                 result.cycles = now;
                 break;
             }
-            if (progress == 0 && !timedEventPendingEvent(now)) {
+            if (progress == 0 && !timedEventPendingEvent(now) &&
+                !faultEventPending()) {
                 result.status = RunStatus::kDeadlocked;
                 result.cycles = now;
                 result.deadlock = snapshot(now);
+                if (faultsActive)
+                    attributeFaults(result.deadlock);
                 break;
             }
             if (now == maxCycles) {
@@ -1575,6 +2001,14 @@ struct SimSession::Impl
                 // (the skipped stretch is inert), so pausing inside
                 // it is exact.
                 Cycle next = nextInterestingCycle(now);
+                // Fault cycles are interesting too: a plan event or
+                // stall expiry mutates hardware, so the jump must land
+                // on (not past) it.
+                if (faultsActive) {
+                    Cycle fc = nextFaultCycle();
+                    if (fc > now && fc < next)
+                        next = fc;
+                }
                 Cycle cap = maxCycles;
                 if (pauseTarget > 0 && pauseTarget < cap)
                     cap = pauseTarget;
@@ -1629,6 +2063,17 @@ struct SimSession::Impl
             return bad;
         }
 
+        if (request.faults != nullptr) {
+            std::string ferr =
+                request.faults->validate(spec.topo, spec);
+            if (!ferr.empty()) {
+                RunResult bad;
+                bad.status = RunStatus::kConfigError;
+                bad.error = "invalid fault plan: " + ferr;
+                return bad;
+            }
+        }
+
         doAudit = collects(request.collect, Collect::kAudit);
         runLabels = &resolveLabels(request, runNeedsLabels(request));
         policy = &getPolicy(request.policy, *runLabels, request.seed);
@@ -1641,11 +2086,20 @@ struct SimSession::Impl
         collectReleases = collects(request.collect, Collect::kReleases);
         collectTiming = collects(request.collect, Collect::kMsgTiming);
         collectReceived = collects(request.collect, Collect::kReceived);
+        faults = request.faults;
+        faultsActive = faults != nullptr && !faults->empty();
 
         resetRun();
 
         if (eventMode)
             initActiveState();
+
+        // Cycle-0 faults land before policy setup. initLink below
+        // still runs on dead links — once, identically in both
+        // kernels, so determinism holds — only the per-cycle tickLink
+        // path is gated.
+        if (faultsActive)
+            applyFaultsDue(0);
 
         // Cycle 0: policy setup (static assignment happens here).
         // Unrouted links have no crossings, so initLink is a no-op on
@@ -1790,8 +2244,8 @@ struct SimSession::Impl
             waiterNext[c] = kInvalidCell;
             if (cells[c].done())
                 ++doneCells;
-            else
-                activeCells.insert(c);
+            else if (!(faultsActive && cellDead[c]))
+                activeCells.insert(c); // dead cells never re-activate
         }
         for (LinkIndex l : routedLinksDesc) {
             waiterHead[l] = kInvalidCell;
@@ -1841,6 +2295,25 @@ struct SimSession::Impl
         writeSeq = o.writeSeq;
         readSeq = o.readSeq;
         result = o.result; // the accumulated partial result, deep copy
+
+        // Adopt the donor's fault state wholesale. The plan pointer is
+        // shared (the caller owns its lifetime); the derived flags are
+        // copied sparsely via the donor's touched lists. Queue clamps
+        // travelled with the arena copy above.
+        clearFaultState();
+        faults = o.faults;
+        faultsActive = o.faultsActive;
+        faultCursor = o.faultCursor;
+        faultTouchedLinks = o.faultTouchedLinks;
+        faultTouchedCells = o.faultTouchedCells;
+        degradedQueues = o.degradedQueues;
+        activeStalls = o.activeStalls;
+        for (LinkIndex l : faultTouchedLinks) {
+            linkDead[l] = o.linkDead[l];
+            linkStallUntil[l] = o.linkStallUntil[l];
+        }
+        for (CellId c : faultTouchedCells)
+            cellDead[c] = o.cellDead[c];
 
         ownedLabels = *o.runLabels;
         runLabels = &ownedLabels;
@@ -1918,6 +2391,13 @@ struct SimSession::Impl
         // charged at their next visit) to dense-normalize them — the
         // same boundary adjustment adoptFrom makes.
         w.put(static_cast<std::uint8_t>(eventMode ? 1 : 0));
+        // The fault plan itself is not serialized — the restoring
+        // caller must supply the identical plan in its RunRequest and
+        // this digest is the end-to-end check. Derived flags are
+        // rebuilt by replaying the plan up to the pause cycle; the
+        // queue capacity clamps travel with the arena pools.
+        w.put(faults != nullptr ? faults->digest()
+                                : std::uint64_t{0});
         w.put(resumeFrom);
         w.put(result.cycles);
         w.putVector(writeSeq);
@@ -1948,6 +2428,11 @@ struct SimSession::Impl
             return false;
         const std::uint64_t digest = r.get<std::uint64_t>();
         const bool writerWasEventKernel = r.get<std::uint8_t>() != 0;
+        const std::uint64_t planDigest = r.get<std::uint64_t>();
+        if (planDigest != (request.faults != nullptr
+                               ? request.faults->digest()
+                               : std::uint64_t{0}))
+            return false; // wrong/missing plan: refuse, don't diverge
         const Cycle resume_from = r.get<Cycle>();
         const Cycle cycles = r.get<Cycle>();
         std::vector<int> wseq;
@@ -2005,6 +2490,17 @@ struct SimSession::Impl
 
         resumeFrom = resume_from;
         pauseTarget = 0;
+
+        // Rebuild the fault-derived flags by replaying the plan's due
+        // events. Queue clamps were already restored with the arena
+        // pools (degradeQueue just re-applies the same values); the
+        // event-kernel side effects land on state rebuildEventState()
+        // redoes below.
+        clearFaultState();
+        faults = request.faults;
+        faultsActive = faults != nullptr && !faults->empty();
+        if (faultsActive)
+            reapplyFaultsThrough(resumeFrom - 1);
 
         // Dense-normalize the blocked-cycle accounting exactly as
         // adoptFrom does: an event-kernel writer's stats are short

@@ -40,6 +40,7 @@
 #include "sim/assignment.h"
 #include "sim/audit.h"
 #include "sim/deadlock.h"
+#include "sim/fault.h"
 #include "sim/serial.h"
 #include "sim/stats.h"
 
@@ -180,10 +181,19 @@ enum class RunStatus : std::uint8_t
      * mechanism behind the sampled-oracle equivalence harness.
      */
     kPaused,
+    /**
+     * Zero-progress cycle with unfinished work where injected faults
+     * (RunRequest::faults) are implicated in the frozen state: the
+     * run did not deadlock on its own, the hardware died under it.
+     * RunResult::deadlock carries the snapshot plus fault attribution
+     * (DeadlockReport::faults). The recovery pipeline (sim/recovery.h)
+     * turns these into degraded-topology reruns.
+     */
+    kFaulted,
 };
 
-inline constexpr int kNumRunStatuses = 5;
-static_assert(static_cast<int>(RunStatus::kPaused) + 1 ==
+inline constexpr int kNumRunStatuses = 6;
+static_assert(static_cast<int>(RunStatus::kFaulted) + 1 ==
                   kNumRunStatuses,
               "update kNumRunStatuses when adding a RunStatus — it "
               "sizes arrays indexed by the enum");
@@ -349,6 +359,17 @@ struct RunRequest
      * session safely; the paused state dies at its next run()).
      */
     Cycle pauseAt = 0;
+    /**
+     * Deterministic fault schedule, or nullptr for healthy hardware.
+     * Must outlive the run (and any resume/adoptState/
+     * restoreCheckpoint chain continuing it — a restore replays the
+     * plan's already-due events to rebuild the dead-link/dead-cell
+     * state the checkpoint's machine pools do not carry). Both kernels
+     * apply the plan identically, so faulted runs stay bit-identical
+     * across kernels and pause boundaries. An invalid plan (targets
+     * outside the machine) is a kConfigError.
+     */
+    const FaultPlan* faults = nullptr;
 };
 
 /**
@@ -410,6 +431,38 @@ void saveRunResult(ByteWriter& out, const RunResult& result);
 
 /** Restore saveRunResult() bytes; false on a torn stream. */
 bool loadRunResult(ByteReader& in, RunResult& result);
+
+/**
+ * The run-progress header of a saveCheckpoint() stream, readable
+ * without a session: what a recovery pipeline needs to know about an
+ * interrupted run — how far it got (cycles, per-message stream
+ * positions) and what it was running (machine digest, fault-plan
+ * digest, kernel). The machine pools themselves are not parsed.
+ */
+struct CheckpointInfo
+{
+    std::uint64_t machineDigest = 0;
+    /** FaultPlan::digest() of the run's plan (0 = no faults). */
+    std::uint64_t faultPlanDigest = 0;
+    /** Checkpoint written by the event-driven kernel? */
+    bool eventKernel = false;
+    /** First cycle a resumed run executes. */
+    Cycle resumeFrom = 0;
+    /** Pause cycle the checkpoint captured. */
+    Cycle cycles = 0;
+    /** Per message: words the sender has pushed into the network. */
+    std::vector<int> writeSeq;
+    /** Per message: words the receiver has consumed. writeSeq[m] -
+     *  readSeq[m] words were in flight and are LOST if the machine
+     *  is rebuilt from this checkpoint's progress alone — recovery
+     *  re-sends from readSeq (at-least-once delivery). */
+    std::vector<int> readSeq;
+};
+
+/** Parse the header of saveCheckpoint() bytes; false if torn or not
+ *  a checkpoint stream of the current version. */
+bool peekCheckpointInfo(const std::uint8_t* data, std::size_t size,
+                        CheckpointInfo& info);
 
 /**
  * A compiled, reusable simulator instance. The program and spec must

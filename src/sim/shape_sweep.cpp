@@ -26,7 +26,9 @@ namespace {
 // the rows it would have carried simply re-run, which is safe because
 // runs are deterministic.
 constexpr std::uint32_t kJournalMagic = 0x4c4a5353u; // "SSJL"
-constexpr std::uint32_t kJournalVersion = 1;
+// 2 added the per-request fault-plan digest and the opt-in
+// programVersion tag to the config digest.
+constexpr std::uint32_t kJournalVersion = 2;
 constexpr std::uint8_t kRecRowDone = 1;
 constexpr std::uint8_t kRecCheckpoint = 2;
 /** kind byte + payload length + trailing payload digest. */
@@ -54,14 +56,18 @@ fnvString(std::uint64_t h, const std::string& s)
  * code and cannot be hashed, the one acknowledged blind spot), the
  * topology, the session options that shape results (memory model,
  * label override; the kernel is excluded because results are
- * bit-identical across kernels by contract), the shape ladder, and
- * the request batch. A journal written for any other sweep must
- * never be resumed; run() restarts the file when this digest
- * disagrees with the header.
+ * bit-identical across kernels by contract), the shape ladder, the
+ * request batch — including each request's fault-plan digest, so a
+ * faulted sweep never resumes an unfaulted journal or vice versa —
+ * and the caller's opt-in programVersion tag (the escape hatch for
+ * the compute-callback blind spot; see ShapeSweepOptions). A journal
+ * written for any other sweep must never be resumed; run() restarts
+ * the file when this digest disagrees with the header.
  */
 std::uint64_t
 configDigest(const Program& program, const Topology& topo,
              const SessionOptions& session,
+             const std::string& program_version,
              const std::vector<ShapeSpec>& shapes,
              const std::vector<RunRequest>& requests)
 {
@@ -83,6 +89,7 @@ configDigest(const Program& program, const Topology& topo,
     h = fnv(h, session.labels.size());
     for (std::int64_t label : session.labels)
         h = fnv(h, static_cast<std::uint64_t>(label));
+    h = fnvString(h, program_version);
     h = fnv(h, static_cast<std::uint64_t>(topo.numCells()));
     h = fnv(h, static_cast<std::uint64_t>(topo.numLinks()));
     for (LinkIndex l = 0; l < topo.numLinks(); ++l) {
@@ -104,6 +111,10 @@ configDigest(const Program& program, const Topology& topo,
         h = fnv(h, static_cast<std::uint64_t>(r.maxCycles));
         h = fnv(h, static_cast<std::uint64_t>(r.collect));
         h = fnv(h, static_cast<std::uint64_t>(r.pauseAt));
+        // A fault plan is part of what the row computes; its digest
+        // covers every event (cycle, kind, target, argument).
+        h = fnv(h, r.faults != nullptr ? r.faults->digest()
+                                       : std::uint64_t{0});
         h = fnv(h, r.labels.size());
         for (std::int64_t label : r.labels)
             h = fnv(h, static_cast<std::uint64_t>(label));
@@ -335,7 +346,8 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
         journal = std::make_unique<Journal>();
         journal->budget = options_.stopAfterJournalRecords;
         const std::uint64_t cfg = configDigest(
-            program_, topo_, options_.session, shapes_, requests);
+            program_, topo_, options_.session, options_.programVersion,
+            shapes_, requests);
         const std::vector<std::uint8_t> bytes =
             readWholeFile(options_.journalPath);
         std::size_t validPrefix = 0;

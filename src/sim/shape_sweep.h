@@ -94,6 +94,22 @@ struct ShapeSweepOptions
      * (complete == false); rerunning resumes from the journal.
      */
     std::size_t stopAfterJournalRecords = 0;
+    /**
+     * Opt-in version tag folded into the journal's config digest.
+     *
+     * LOUD CAVEAT — the digest's one blind spot is *code*: a
+     * program's compute callbacks are lambdas and cannot be hashed,
+     * so a sweep whose op bodies changed (same cells, same messages,
+     * same op kinds, different arithmetic) looks IDENTICAL to the
+     * journal and would happily replay stale rows from a previous
+     * build. If your program carries compute callbacks whose
+     * behavior can change between invocations, bump this string
+     * (e.g. "fir-v2") whenever they do — any change restarts the
+     * journal instead of resuming it. Programs made only of
+     * transfer ops (W/R) are fully covered by the structural digest
+     * and can leave this "".
+     */
+    std::string programVersion;
 };
 
 /** One (shape, request) cell of the sweep grid. */

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Checkpoint-based fault recovery (sim/recovery.h).
+ *
+ * The contracts under test:
+ *  - a run killed by a routed-link fault on a ring recovers: the
+ *    residual words re-deliver over the surviving detour, at-least-once
+ *    from the adopted checkpoint;
+ *  - unrecoverable losses are refused honestly (dead endpoint cell,
+ *    partitioned route, compute ops) with a specific error;
+ *  - queue degrades survive into the recovery machine as a cycle-0
+ *    plan; checkpointEvery=0 restarts the whole workload;
+ *  - the entire pipeline is deterministic and kernel-independent
+ *    (same options => same digests on both kernels).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/recovery.h"
+
+namespace syscomm {
+namespace {
+
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::KernelKind;
+using sim::RecoveryDriver;
+using sim::RecoveryOptions;
+using sim::RecoveryReport;
+using sim::RunStatus;
+
+constexpr int kCells = 8;
+constexpr int kStreams = 4;
+constexpr int kWords = 16;
+
+/** Ring transfer streams (i -> i+3): one dead link leaves a detour. */
+Program
+ringStreams()
+{
+    Program p(kCells);
+    for (int s = 0; s < kStreams; ++s) {
+        CellId from = static_cast<CellId>((s * kCells) / kStreams);
+        CellId to = static_cast<CellId>((from + 3) % kCells);
+        MessageId id = p.declareMessage("S" + std::to_string(s), from, to);
+        for (int w = 0; w < kWords; ++w)
+            p.write(from, id);
+        for (int w = 0; w < kWords; ++w)
+            p.read(to, id);
+    }
+    return p;
+}
+
+MachineSpec
+ringSpec()
+{
+    MachineSpec spec;
+    spec.topo = Topology::ring(kCells);
+    spec.queuesPerLink = 2;
+    spec.queueCapacity = 2;
+    return spec;
+}
+
+/** Kill S0's first hop (0--1) mid-run: freezes the run, survivable. */
+FaultPlan
+killFirstHop(const MachineSpec& spec, Cycle cycle)
+{
+    FaultPlan plan;
+    FaultEvent e;
+    e.cycle = cycle;
+    e.kind = FaultKind::kKillLink;
+    e.link = *spec.topo.linkBetween(0, 1);
+    plan.add(e);
+    return plan;
+}
+
+TEST(Recovery, RingRerouteRecoversResidualWords)
+{
+    Program p = ringStreams();
+    MachineSpec spec = ringSpec();
+    FaultPlan plan = killFirstHop(spec, 10);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    ro.checkpointEvery = 8;
+    RecoveryReport rep = driver.run(ro);
+
+    ASSERT_EQ(rep.primary.status, RunStatus::kFaulted);
+    EXPECT_TRUE(rep.faulted);
+    ASSERT_TRUE(rep.recoverable) << rep.error;
+    ASSERT_TRUE(rep.recovered) << rep.error;
+    EXPECT_TRUE(rep.completedWorkload());
+    EXPECT_EQ(rep.error, "");
+
+    // The driver adopts the LAST checkpoint — the surviving streams
+    // keep draining after the cycle-10 kill, so it lands well past
+    // the fault, maximizing adopted progress.
+    EXPECT_GT(rep.checkpointCycle, 0);
+    EXPECT_EQ(rep.checkpointCycle % 8, 0);
+    // The degraded machine lost exactly the killed link.
+    EXPECT_EQ(rep.deadLinks, 1);
+    EXPECT_EQ(rep.deadCells, 0);
+    EXPECT_EQ(rep.degradedTopo.numLinks(), spec.topo.numLinks() - 1);
+    // S0's residual words re-deliver the long way around.
+    EXPECT_FALSE(rep.degradedTopo.routePath(0, 3).empty());
+    EXPECT_GT(rep.residualMessages, 0);
+    EXPECT_GT(rep.residualWords, 0);
+    EXPECT_LE(rep.residualWords, kStreams * kWords);
+    EXPECT_EQ(rep.recovery.status, RunStatus::kCompleted);
+    EXPECT_NE(rep.recoveryMachineDigest, 0u);
+}
+
+TEST(Recovery, PipelineIsDeterministicAcrossRunsAndKernels)
+{
+    Program p = ringStreams();
+    MachineSpec spec = ringSpec();
+    FaultPlan plan = killFirstHop(spec, 10);
+    RecoveryDriver driver(p, spec);
+
+    RecoveryReport want;
+    bool first = true;
+    for (KernelKind kernel :
+         {KernelKind::kEventDriven, KernelKind::kEventDriven,
+          KernelKind::kReference}) {
+        RecoveryOptions ro;
+        ro.faults = &plan;
+        ro.checkpointEvery = 8;
+        ro.session.kernel = kernel;
+        RecoveryReport rep = driver.run(ro);
+        ASSERT_TRUE(rep.recovered) << rep.error;
+        if (first) {
+            want = rep;
+            first = false;
+            continue;
+        }
+        const std::string ctx = kernelKindName(kernel);
+        EXPECT_EQ(rep.primary.cycles, want.primary.cycles) << ctx;
+        EXPECT_EQ(rep.checkpointCycle, want.checkpointCycle) << ctx;
+        EXPECT_EQ(rep.residualWords, want.residualWords) << ctx;
+        EXPECT_EQ(rep.recovery.cycles, want.recovery.cycles) << ctx;
+        EXPECT_EQ(rep.recoveryMachineDigest, want.recoveryMachineDigest)
+            << ctx;
+    }
+}
+
+TEST(Recovery, DeadEndpointCellIsRefusedHonestly)
+{
+    Program p = ringStreams();
+    MachineSpec spec = ringSpec();
+    FaultPlan plan;
+    FaultEvent e;
+    e.cycle = 10;
+    e.kind = FaultKind::kKillCell;
+    e.cell = 3; // S0's receiver
+    plan.add(e);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    RecoveryReport rep = driver.run(ro);
+    ASSERT_TRUE(rep.faulted);
+    EXPECT_FALSE(rep.recoverable);
+    EXPECT_FALSE(rep.recovered);
+    EXPECT_FALSE(rep.completedWorkload());
+    EXPECT_NE(rep.error.find("cell is dead"), std::string::npos)
+        << rep.error;
+    EXPECT_EQ(rep.deadCells, 1);
+}
+
+TEST(Recovery, PartitionedLinearArrayIsRefusedHonestly)
+{
+    // A linear array has no detours: killing a middle link cuts the
+    // only route.
+    Program p(4);
+    MessageId id = p.declareMessage("S", 0, 3);
+    for (int w = 0; w < kWords; ++w)
+        p.write(0, id);
+    for (int w = 0; w < kWords; ++w)
+        p.read(3, id);
+    MachineSpec spec;
+    spec.topo = Topology::linearArray(4);
+    spec.queuesPerLink = 2;
+    spec.queueCapacity = 2;
+
+    FaultPlan plan;
+    FaultEvent e;
+    e.cycle = 5;
+    e.kind = FaultKind::kKillLink;
+    e.link = *spec.topo.linkBetween(1, 2);
+    plan.add(e);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    RecoveryReport rep = driver.run(ro);
+    ASSERT_TRUE(rep.faulted);
+    EXPECT_FALSE(rep.recoverable);
+    EXPECT_NE(rep.error.find("no surviving route"), std::string::npos)
+        << rep.error;
+}
+
+TEST(Recovery, QueueDegradesCarryIntoRecoveryMachine)
+{
+    Program p = ringStreams();
+    MachineSpec spec = ringSpec();
+    FaultPlan plan = killFirstHop(spec, 10);
+    // Degrade a queue on a link that survives the kill (2--3 is on
+    // S0's detour and on S1's route).
+    FaultEvent degrade;
+    degrade.cycle = 3;
+    degrade.kind = FaultKind::kDegradeQueue;
+    degrade.link = *spec.topo.linkBetween(2, 3);
+    degrade.queue = 0;
+    degrade.arg = 1;
+    plan.add(degrade);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    ro.checkpointEvery = 8;
+    RecoveryReport rep = driver.run(ro);
+    ASSERT_TRUE(rep.faulted);
+    ASSERT_TRUE(rep.recovered) << rep.error;
+    // The clamp is permanent damage: it rides into the recovery run
+    // as a cycle-0 event on the remapped link.
+    EXPECT_EQ(rep.carriedDegrades, 1);
+    ASSERT_EQ(rep.recoveryPlan.size(), 1u);
+    EXPECT_EQ(rep.recoveryPlan.events()[0].cycle, 0);
+    EXPECT_EQ(rep.recoveryPlan.events()[0].kind,
+              FaultKind::kDegradeQueue);
+    EXPECT_EQ(rep.recoveryPlan.events()[0].arg, 1);
+}
+
+TEST(Recovery, NoCheckpointRestartsWholeWorkload)
+{
+    Program p = ringStreams();
+    MachineSpec spec = ringSpec();
+    FaultPlan plan = killFirstHop(spec, 10);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    ro.checkpointEvery = 0;
+    RecoveryReport rep = driver.run(ro);
+    ASSERT_TRUE(rep.faulted);
+    ASSERT_TRUE(rep.recovered) << rep.error;
+    EXPECT_EQ(rep.checkpointCycle, -1);
+    // With no adopted progress, every word of every message is
+    // residual.
+    EXPECT_EQ(rep.residualMessages, kStreams);
+    EXPECT_EQ(rep.residualWords, kStreams * kWords);
+}
+
+TEST(Recovery, ComputeProgramsAreRefused)
+{
+    // A transfer stream with compute ops mixed in: the fault freezes
+    // it, but compute state cannot be replayed from a progress header.
+    Program p(4);
+    MessageId id = p.declareMessage("S", 0, 3);
+    for (int w = 0; w < kWords; ++w) {
+        p.compute(0, [](CellContext& ctx) { ctx.local(0) += 1.0; });
+        p.write(0, id);
+    }
+    for (int w = 0; w < kWords; ++w)
+        p.read(3, id);
+    MachineSpec spec;
+    spec.topo = Topology::ring(4);
+    spec.queuesPerLink = 2;
+    spec.queueCapacity = 2;
+
+    FaultPlan plan;
+    FaultEvent e;
+    e.cycle = 8;
+    e.kind = FaultKind::kKillLink;
+    e.link = *spec.topo.linkBetween(0, 3); // the stream's (only) hop
+    plan.add(e);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    RecoveryReport rep = driver.run(ro);
+    ASSERT_TRUE(rep.faulted);
+    EXPECT_FALSE(rep.recoverable);
+    EXPECT_NE(rep.error.find("compute"), std::string::npos) << rep.error;
+}
+
+TEST(Recovery, HealthyRunNeverTriggersRecovery)
+{
+    Program p = ringStreams();
+    MachineSpec spec = ringSpec();
+    // A transient stall is not a death: the primary absorbs it.
+    FaultPlan plan;
+    FaultEvent e;
+    e.cycle = 5;
+    e.kind = FaultKind::kStallLink;
+    e.link = *spec.topo.linkBetween(0, 1);
+    e.arg = 24;
+    plan.add(e);
+
+    RecoveryDriver driver(p, spec);
+    RecoveryOptions ro;
+    ro.faults = &plan;
+    RecoveryReport rep = driver.run(ro);
+    EXPECT_EQ(rep.primary.status, RunStatus::kCompleted);
+    EXPECT_FALSE(rep.faulted);
+    EXPECT_TRUE(rep.completedWorkload());
+    EXPECT_EQ(rep.residualWords, 0);
+}
+
+} // namespace
+} // namespace syscomm

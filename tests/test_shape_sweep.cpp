@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/program_gen.h"
+#include "sim/fault.h"
 #include "sim/shape_sweep.h"
 #include "test_support.h"
 
@@ -514,6 +515,160 @@ TEST(ShapeSweep, JournalReplayAndTornTailAreHandled)
     memModel.session.memoryToMemory = true;
     ShapeSweep differentModel(p, topo, shapes, memModel);
     ShapeSweepResult recomputed = differentModel.run(other);
+    ASSERT_TRUE(recomputed.complete);
+    EXPECT_EQ(recomputed.rowsFromJournal, 0u);
+    std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------
+// (d) journal gating on programVersion and fault-plan digests
+// ---------------------------------------------------------------------
+
+TEST(ShapeSweep, ProgramVersionGatesJournalReuse)
+{
+    Program p = perturbedProgram(6);
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes(2);
+    shapes[0].name = "q=1";
+    shapes[0].queuesPerLink = 1;
+    shapes[1].name = "q=2";
+    shapes[1].queuesPerLink = 2;
+    std::vector<RunRequest> requests(2);
+    requests[1].policy = PolicyKind::kFcfs;
+
+    const std::string journal = tempPath("shape_sweep_progver.journal");
+    std::remove(journal.c_str());
+    ShapeSweepOptions v1;
+    v1.numWorkers = 1;
+    v1.journalPath = journal;
+    v1.programVersion = "ops-v1";
+    {
+        ShapeSweep sweep(p, topo, shapes, v1);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.rowsFromJournal, 0u);
+    }
+    {
+        // The same declared version replays everything.
+        ShapeSweep sweep(p, topo, shapes, v1);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.rowsFromJournal,
+                  shapes.size() * requests.size());
+    }
+    {
+        // A bumped version (the op bodies allegedly changed) must
+        // refuse the stale journal and recompute from scratch.
+        ShapeSweepOptions v2 = v1;
+        v2.programVersion = "ops-v2";
+        ShapeSweep sweep(p, topo, shapes, v2);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.rowsFromJournal, 0u);
+    }
+    std::remove(journal.c_str());
+}
+
+/** Two opposed lock-step streams spanning a linear array (each cell
+ *  alternates write/read, so buffering needs stay bounded): killing a
+ *  middle link is guaranteed to freeze both. */
+Program
+opposedStreams()
+{
+    Program p(6);
+    MessageId a = p.declareMessage("A", 0, 5);
+    MessageId b = p.declareMessage("B", 5, 0);
+    for (int w = 0; w < 20; ++w) {
+        p.write(0, a);
+        p.read(0, b);
+        p.write(5, b);
+        p.read(5, a);
+    }
+    return p;
+}
+
+TEST(ShapeSweep, FaultAxisKillAndResumeReproducesUninterruptedSweep)
+{
+    Program p = opposedStreams();
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes(1);
+    shapes[0].name = "q=2";
+    shapes[0].queuesPerLink = 2;
+
+    // The fault-plan request axis: healthy, transient, degraded, and
+    // fatally killed rows in one sweep. Plans must outlive the sweep.
+    const LinkIndex middle = *topo.linkBetween(2, 3);
+    std::vector<sim::FaultPlan> plans(3);
+    {
+        sim::FaultEvent stall;
+        stall.cycle = 5;
+        stall.kind = sim::FaultKind::kStallLink;
+        stall.link = middle;
+        stall.arg = 10;
+        plans[0].add(stall);
+        sim::FaultEvent degrade;
+        degrade.cycle = 3;
+        degrade.kind = sim::FaultKind::kDegradeQueue;
+        degrade.link = middle;
+        degrade.queue = 0;
+        degrade.arg = 1;
+        plans[1].add(degrade);
+        sim::FaultEvent kill;
+        kill.cycle = 8;
+        kill.kind = sim::FaultKind::kKillLink;
+        kill.link = middle;
+        plans[2].add(kill);
+    }
+    std::vector<RunRequest> requests(4);
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        requests[i + 1].faults = &plans[i];
+
+    ShapeSweepOptions plain;
+    plain.numWorkers = 1;
+    ShapeSweep goldenSweep(p, topo, shapes, plain);
+    ShapeSweepResult golden = goldenSweep.run(requests);
+    ASSERT_TRUE(golden.complete);
+    EXPECT_EQ(golden.row(0, 0).result.status, RunStatus::kCompleted);
+    EXPECT_EQ(golden.row(0, 1).result.status, RunStatus::kCompleted);
+    EXPECT_EQ(golden.row(0, 2).result.status, RunStatus::kCompleted);
+    EXPECT_EQ(golden.row(0, 3).result.status, RunStatus::kFaulted);
+
+    // Crash-resume over the faulted axis: mid-run checkpoints land
+    // inside fault schedules, and resumed rows must reproduce the
+    // uninterrupted sweep bit-identically.
+    const std::string journal = tempPath("shape_sweep_fault.journal");
+    std::remove(journal.c_str());
+    ShapeSweepOptions crashy = plain;
+    crashy.journalPath = journal;
+    crashy.checkpointEvery = 6;
+    crashy.stopAfterJournalRecords = 1;
+    std::size_t replayed = 0;
+    std::size_t restored = 0;
+    ShapeSweepResult resumed = runWithCrashes(
+        p, topo, shapes, requests, crashy, 200, &replayed, &restored);
+    ASSERT_EQ(resumed.rows.size(), golden.rows.size());
+    EXPECT_GT(replayed, 0u);
+    EXPECT_GT(restored, 0u);
+    for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+        expectSameRunResult(resumed.rows[i].result,
+                            golden.rows[i].result,
+                            "fault row " + std::to_string(i));
+        EXPECT_EQ(resumed.rows[i].machineDigest,
+                  golden.rows[i].machineDigest);
+    }
+
+    // Editing one plan invalidates the journal: the config digest
+    // folds every request's plan digest.
+    sim::FaultEvent extra;
+    extra.cycle = 9;
+    extra.kind = sim::FaultKind::kStallLink;
+    extra.link = middle;
+    extra.arg = 2;
+    plans[2].add(extra);
+    ShapeSweepOptions journaled = plain;
+    journaled.journalPath = journal;
+    ShapeSweep edited(p, topo, shapes, journaled);
+    ShapeSweepResult recomputed = edited.run(requests);
     ASSERT_TRUE(recomputed.complete);
     EXPECT_EQ(recomputed.rowsFromJournal, 0u);
     std::remove(journal.c_str());

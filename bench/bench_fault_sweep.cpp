@@ -172,19 +172,24 @@ main()
                     ++slowdownRuns;
                 }
             }
-            json.record(
-                "recovery_outcome",
-                rec.faulted ? (rec.recovered ? 1.0 : 0.0) : -1.0,
-                {{"intensity", std::to_string(intensity)},
-                 {"seed", std::to_string(seed)},
-                 {"faulted", rec.faulted ? "yes" : "no"},
-                 {"recoverable", rec.recoverable ? "yes" : "no"},
-                 {"residual_words",
-                  std::to_string(rec.residualWords)},
-                 {"dead_links", std::to_string(rec.deadLinks)},
-                 {"recovery_digest",
-                  hexDigest(rec.recoveryMachineDigest)},
-                 {"error", rec.error}});
+            // A run whose plan never fired has no recovery story to
+            // tell: a -1 "outcome" with an all-zero recovery digest
+            // only pollutes the series, so the record is emitted for
+            // actually-faulted runs alone (the injected_cycles record
+            // above still covers every run).
+            if (rec.faulted) {
+                json.record(
+                    "recovery_outcome", rec.recovered ? 1.0 : 0.0,
+                    {{"intensity", std::to_string(intensity)},
+                     {"seed", std::to_string(seed)},
+                     {"recoverable", rec.recoverable ? "yes" : "no"},
+                     {"residual_words",
+                      std::to_string(rec.residualWords)},
+                     {"dead_links", std::to_string(rec.deadLinks)},
+                     {"recovery_digest",
+                      hexDigest(rec.recoveryMachineDigest)},
+                     {"error", rec.error}});
+            }
         }
         const double meanSlowdown =
             slowdownRuns > 0 ? slowdownSum / slowdownRuns : 0.0;

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Experiment SV1: what the serving layer costs and what its compile
+ * cache buys. Drives an in-process syscommd over a Unix socket with
+ * the client library and measures end-to-end submission throughput
+ * (submit -> terminal status -> result) in three regimes:
+ *
+ *   cold      every submission is a structurally distinct program
+ *             (forced via program_version), so each pays a compile;
+ *   cached    identical submissions, compile served from the LRU;
+ *   shared    several client threads submitting the same program
+ *             concurrently — in-flight dedup keeps it at one build.
+ *
+ * Reports submissions/sec per regime, the cache hit rate, and the
+ * CompiledProgram::buildCount() delta (the compile-sharing receipt).
+ * Appends machine-readable lines to BENCH_serve.json.
+ *
+ * Usage: bench_serve [--quick]
+ *   --quick  CI smoke: fewer submissions per regime.
+ */
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/json.h"
+#include "sim/session.h"
+
+namespace {
+
+using namespace syscomm;
+using serve::JsonValue;
+using serve::ServeClient;
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** The gen-ring-sweep workload at bench scale (see syscomm-cli). */
+std::string
+ringText(int cells, int words)
+{
+    std::ostringstream out;
+    out << "cells " << cells << "\n";
+    for (int c = 0; c < cells; ++c)
+        out << "message m" << c << " " << c << " -> "
+            << (c + 1) % cells << "\n";
+    for (int c = 0; c < cells; ++c) {
+        out << "cell " << c << " {";
+        for (int w = 0; w < words; ++w)
+            out << " W(m" << c << ") R(m" << (c + cells - 1) % cells
+                << ")";
+        out << " }\n";
+    }
+    return out.str();
+}
+
+JsonValue
+runBody(const std::string& program, int cells,
+        const std::string& version)
+{
+    JsonValue body = JsonValue::object();
+    body.set("kind", JsonValue::str("run"));
+    body.set("program", JsonValue::str(program));
+    body.set("topology",
+             JsonValue::object()
+                 .set("kind", JsonValue::str("ring"))
+                 .set("cells", JsonValue::integer(cells)));
+    body.set("shape", JsonValue::object()
+                          .set("name", JsonValue::str("q2c2"))
+                          .set("queues", JsonValue::integer(2))
+                          .set("capacity", JsonValue::integer(2))
+                          .set("extension", JsonValue::integer(0))
+                          .set("penalty", JsonValue::integer(4)));
+    if (!version.empty())
+        body.set("program_version", JsonValue::str(version));
+    return body;
+}
+
+/** Submit and block to terminal; returns false on any failure. */
+bool
+submitToTerminal(ServeClient& client, const JsonValue& body)
+{
+    std::string id;
+    std::string error;
+    JsonValue response;
+    if (!client.submit(body, id, response, error) || id.empty())
+        return false;
+    if (!client.waitTerminal(id, 60'000, response, error))
+        return false;
+    return response.getString("state") == "completed";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bool quick =
+        argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+    const int cells = 6;
+    const int words = 40;
+    const int coldSubs = quick ? 8 : 64;
+    const int cachedSubs = quick ? 16 : 256;
+    const int threads = 4;
+    const int perThread = quick ? 4 : 32;
+
+    bench::banner("SV1", "syscommd serving throughput & compile cache");
+    bench::JsonWriter json("serve", "BENCH_serve.json");
+
+    serve::DaemonOptions options;
+    options.socketPath = "/tmp/bench_serve_" +
+                         std::to_string(::getpid()) + ".sock";
+    options.workers = 4;
+    options.maxQueue = 512;
+    options.cacheCapacity = 16;
+    serve::SyscommDaemon daemon(std::move(options));
+    std::string error;
+    if (!daemon.start(error)) {
+        std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+        return 1;
+    }
+    const std::string socketPath =
+        "/tmp/bench_serve_" + std::to_string(::getpid()) + ".sock";
+
+    const std::string program = ringText(cells, words);
+    bench::row({"regime", "subs", "subs/sec", "builds"});
+    bench::rule(4);
+
+    // -- cold: every submission compiles ---------------------------
+    {
+        ServeClient client;
+        if (!client.connectUnix(socketPath, error)) {
+            std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+            return 1;
+        }
+        const std::int64_t before = sim::CompiledProgram::buildCount();
+        const Clock::time_point start = Clock::now();
+        int ok = 0;
+        for (int i = 0; i < coldSubs; ++i) {
+            // A fresh program_version gives every submission its own
+            // cache key: the all-miss regime (and with more versions
+            // than cache capacity, the LRU churns too).
+            ok += submitToTerminal(
+                client,
+                runBody(program, cells, "v" + std::to_string(i)));
+        }
+        const double elapsed = seconds(start);
+        const std::int64_t builds =
+            sim::CompiledProgram::buildCount() - before;
+        const double rate = ok / elapsed;
+        bench::row({"cold", std::to_string(ok), bench::fmt(rate),
+                    std::to_string(builds)});
+        json.record("submissions_per_sec", rate,
+                    {{"regime", "cold"},
+                     {"submissions", std::to_string(ok)},
+                     {"compile_builds", std::to_string(builds)}});
+    }
+
+    // -- cached: identical submissions, compile from the LRU -------
+    {
+        ServeClient client;
+        if (!client.connectUnix(socketPath, error))
+            return 1;
+        const JsonValue body = runBody(program, cells, "hot");
+        // Prime the entry so the timed loop is all hits.
+        submitToTerminal(client, body);
+        const std::int64_t before = sim::CompiledProgram::buildCount();
+        const Clock::time_point start = Clock::now();
+        int ok = 0;
+        for (int i = 0; i < cachedSubs; ++i)
+            ok += submitToTerminal(client, body);
+        const double elapsed = seconds(start);
+        const std::int64_t builds =
+            sim::CompiledProgram::buildCount() - before;
+        const double rate = ok / elapsed;
+        bench::row({"cached", std::to_string(ok), bench::fmt(rate),
+                    std::to_string(builds)});
+        json.record("submissions_per_sec", rate,
+                    {{"regime", "cached"},
+                     {"submissions", std::to_string(ok)},
+                     {"compile_builds", std::to_string(builds)}});
+    }
+
+    // -- shared: concurrent clients, one program, one build --------
+    {
+        const JsonValue body = runBody(program, cells, "shared");
+        const std::int64_t before = sim::CompiledProgram::buildCount();
+        std::atomic<int> ok{0};
+        const Clock::time_point start = Clock::now();
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+                ServeClient client;
+                std::string err;
+                if (!client.connectUnix(socketPath, err))
+                    return;
+                for (int i = 0; i < perThread; ++i)
+                    ok.fetch_add(submitToTerminal(client, body));
+            });
+        }
+        for (std::thread& t : pool)
+            t.join();
+        const double elapsed = seconds(start);
+        const std::int64_t builds =
+            sim::CompiledProgram::buildCount() - before;
+        const double rate = ok.load() / elapsed;
+        bench::row({"shared", std::to_string(ok.load()),
+                    bench::fmt(rate), std::to_string(builds)});
+        json.record("submissions_per_sec", rate,
+                    {{"regime", "shared"},
+                     {"submissions", std::to_string(ok.load())},
+                     {"clients", std::to_string(threads)},
+                     {"compile_builds", std::to_string(builds)}});
+    }
+
+    // -- cache receipt ---------------------------------------------
+    {
+        ServeClient client;
+        if (!client.connectUnix(socketPath, error))
+            return 1;
+        JsonValue stats;
+        if (client.stats(stats, error)) {
+            const JsonValue* cache = stats.find("cache");
+            if (cache != nullptr) {
+                const double hits =
+                    static_cast<double>(cache->getInt("hits", 0));
+                const double misses =
+                    static_cast<double>(cache->getInt("misses", 0));
+                const double total = hits + misses;
+                const double hitRate =
+                    total > 0.0 ? hits / total : 0.0;
+                std::printf("cache: %.0f hits / %.0f misses "
+                            "(hit rate %.3f), %lld entries\n",
+                            hits, misses, hitRate,
+                            static_cast<long long>(
+                                cache->getInt("entries", 0)));
+                json.record("cache_hit_rate", hitRate,
+                            {{"hits", std::to_string(
+                                          cache->getInt("hits", 0))},
+                             {"misses",
+                              std::to_string(
+                                  cache->getInt("misses", 0))},
+                             {"evictions",
+                              std::to_string(
+                                  cache->getInt("evictions", 0))}});
+            }
+        }
+    }
+
+    daemon.stop();
+    return 0;
+}

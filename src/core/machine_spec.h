@@ -14,7 +14,14 @@ namespace syscomm {
 /** Static description of a programmable systolic array. */
 struct MachineSpec
 {
-    Topology topo;
+    /**
+     * The interconnection graph, shared rather than owned: copying a
+     * spec (or assigning one spec's topo to another) aliases the same
+     * immutable Topology, so a shape ladder of N specs over a
+     * 100k-cell array keeps one topology alive instead of N.
+     * Assigning a plain Topology wraps it in a fresh shared node.
+     */
+    SharedTopology topo;
     /** Hardware queues on each link (shared by both directions). */
     int queuesPerLink = 2;
     /** Words a queue buffers; 1 models the paper's plain latch. */

@@ -6,6 +6,16 @@
 
 namespace syscomm {
 
+SharedTopology::SharedTopology()
+{
+    // Default-constructed MachineSpecs are common and short-lived;
+    // every one of them aliases a single empty graph instead of
+    // allocating its own.
+    static const std::shared_ptr<const Topology> empty =
+        std::make_shared<const Topology>();
+    topo_ = empty;
+}
+
 Topology
 Topology::linearArray(int num_cells)
 {

@@ -8,6 +8,7 @@
  * support linear arrays, rings, 2-D meshes, and custom graphs.
  */
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -110,6 +111,73 @@ class Topology
     // replaces, which capped arrays around 64k cells (a 100k-cell
     // linear array needed a 40 GB table).
     std::vector<std::vector<std::pair<CellId, LinkIndex>>> link_adj_;
+};
+
+/**
+ * A shared, immutable handle to a Topology.
+ *
+ * MachineSpec used to hold its Topology by value, so an N-shape
+ * ladder over a 100k-cell array kept N+2 identical topologies alive
+ * (one per per-shape spec, one in the CompiledProgram, one in the
+ * sweep driver). This handle keeps exactly one: copying a
+ * SharedTopology copies a pointer, and assigning a plain Topology
+ * wraps it in a fresh shared node. The forwarding accessors keep
+ * `spec.topo.numLinks()`-style call sites reading exactly as they did
+ * with the by-value member; a SharedTopology also converts implicitly
+ * to `const Topology&` for APIs that take the graph itself.
+ *
+ * The wrapped Topology is const — shape ladders, compiled programs
+ * and live sessions all alias it concurrently, so nobody mutates it.
+ * To change a machine's topology, assign a new one.
+ */
+class SharedTopology
+{
+  public:
+    /** An empty topology (one process-wide shared instance). */
+    SharedTopology();
+    /** Wrap @p topo in a fresh shared node (one copy/move). */
+    SharedTopology(Topology topo)
+        : topo_(std::make_shared<const Topology>(std::move(topo)))
+    {}
+    /** Adopt an existing shared node (must be non-null). */
+    SharedTopology(std::shared_ptr<const Topology> topo)
+        : topo_(std::move(topo))
+    {}
+
+    /** The underlying graph; never null. */
+    const Topology& get() const { return *topo_; }
+    operator const Topology&() const { return *topo_; }
+    /** The shared node (for sharing assertions and custom aliasing). */
+    const std::shared_ptr<const Topology>& ptr() const { return topo_; }
+
+    // Forwarders mirroring the Topology read API, so the by-value
+    // member's call sites (`spec.topo.numCells()`, ...) are unchanged.
+    int numCells() const { return topo_->numCells(); }
+    int numLinks() const { return topo_->numLinks(); }
+    const Link& link(LinkIndex idx) const { return topo_->link(idx); }
+    std::optional<LinkIndex> linkBetween(CellId x, CellId y) const
+    {
+        return topo_->linkBetween(x, y);
+    }
+    const std::vector<CellId>& neighbors(CellId cell) const
+    {
+        return topo_->neighbors(cell);
+    }
+    std::vector<CellId> routePath(CellId from, CellId to) const
+    {
+        return topo_->routePath(from, to);
+    }
+    bool isMesh() const { return topo_->isMesh(); }
+    int meshRows() const { return topo_->meshRows(); }
+    int meshCols() const { return topo_->meshCols(); }
+    LinkDir directionFrom(LinkIndex idx, CellId from) const
+    {
+        return topo_->directionFrom(idx, from);
+    }
+    const std::string& name() const { return topo_->name(); }
+
+  private:
+    std::shared_ptr<const Topology> topo_;
 };
 
 } // namespace syscomm

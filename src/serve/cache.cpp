@@ -1,0 +1,122 @@
+#include "serve/cache.h"
+
+#include "sim/fnv.h"
+
+namespace syscomm::serve {
+
+CompileCache::CompileCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+std::uint64_t
+CompileCache::keyFor(const Program& program, const Topology& topo,
+                     const std::string& version)
+{
+    using sim::fnv;
+    std::uint64_t h = sim::kFnvOffsetBasis;
+    h = fnv(h, static_cast<std::uint64_t>(program.numCells()));
+    h = fnv(h, static_cast<std::uint64_t>(program.numMessages()));
+    for (MessageId m = 0; m < program.numMessages(); ++m)
+        h = fnv(h,
+                static_cast<std::uint64_t>(program.messageLength(m)));
+    for (CellId c = 0; c < program.numCells(); ++c) {
+        const std::vector<Op>& ops = program.cellOps(c);
+        h = fnv(h, ops.size());
+        for (const Op& op : ops) {
+            h = fnv(h, static_cast<std::uint64_t>(op.kind));
+            h = fnv(h, static_cast<std::uint64_t>(op.msg));
+        }
+    }
+    h = fnv(h, version.size());
+    for (char c : version)
+        h = fnv(h, static_cast<std::uint8_t>(c));
+    h = fnv(h, static_cast<std::uint64_t>(topo.numCells()));
+    h = fnv(h, static_cast<std::uint64_t>(topo.numLinks()));
+    for (LinkIndex l = 0; l < topo.numLinks(); ++l) {
+        h = fnv(h, static_cast<std::uint64_t>(topo.link(l).a));
+        h = fnv(h, static_cast<std::uint64_t>(topo.link(l).b));
+    }
+    return h;
+}
+
+CachedProgram
+CompileCache::get(std::uint64_t key, Program&& program,
+                  SharedTopology topo, bool* wasHit)
+{
+    if (wasHit != nullptr)
+        *wasHit = true;
+    std::shared_future<CachedProgram> wait;
+    std::promise<CachedProgram> build;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto hit = entries_.find(key);
+        if (hit != entries_.end()) {
+            ++hits_;
+            lru_.splice(lru_.begin(), lru_, hit->second.lruPos);
+            return hit->second.value;
+        }
+        auto pending = inflight_.find(key);
+        if (pending != inflight_.end()) {
+            // Someone is already compiling this very program: a hit
+            // from the sharing perspective — we pay a wait, not a
+            // build.
+            ++hits_;
+            wait = pending->second;
+        } else {
+            ++misses_;
+            if (wasHit != nullptr)
+                *wasHit = false;
+            inflight_.emplace(key, build.get_future().share());
+        }
+    }
+    if (wait.valid())
+        return wait.get();
+
+    // We own the build (outside the lock: compiles take milliseconds
+    // to seconds and must not serialize the whole daemon).
+    auto pinned = std::make_shared<const Program>(std::move(program));
+    CachedProgram value;
+    value.program = pinned;
+    value.compiled = sim::CompiledProgram::compile(*pinned, topo);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        lru_.push_front(key);
+        entries_[key] = Entry{value, lru_.begin()};
+        while (entries_.size() > capacity_) {
+            std::uint64_t victim = lru_.back();
+            lru_.pop_back();
+            entries_.erase(victim);
+            ++evictions_;
+        }
+        inflight_.erase(key);
+    }
+    // Waiters hold shared_ptrs after get(); eviction above only drops
+    // the cache's reference, never a client's.
+    build.set_value(value);
+    return value;
+}
+
+CachedProgram
+CompileCache::peek(std::uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto hit = entries_.find(key);
+    return hit != entries_.end() ? hit->second.value : CachedProgram{};
+}
+
+CompileCache::Stats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats out;
+    out.entries = entries_.size();
+    out.capacity = capacity_;
+    out.hits = hits_;
+    out.misses = misses_;
+    out.evictions = evictions_;
+    return out;
+}
+
+} // namespace syscomm::serve

@@ -1,0 +1,264 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+
+namespace syscomm::serve {
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+bool
+ServeClient::connectUnix(const std::string& path, std::string& error)
+{
+    close();
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = "socket: " + std::string(strerror(errno));
+        return false;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long";
+        close();
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "connect(" + path + "): " + strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::connectTcp(const std::string& host, int port,
+                        std::string& error)
+{
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        error = "socket: " + std::string(strerror(errno));
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        error = "bad address: " + host;
+        close();
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        error = "connect(" + host + ":" + std::to_string(port) +
+                "): " + strerror(errno);
+        close();
+        return false;
+    }
+    return true;
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    pending_.clear();
+}
+
+bool
+ServeClient::sendBytes(const std::string& bytes)
+{
+    if (fd_ < 0)
+        return false;
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + sent,
+                           bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+ServeClient::readLine(std::string& line, std::string& error)
+{
+    for (;;) {
+        const std::size_t pos = pending_.find('\n');
+        if (pos != std::string::npos) {
+            line = pending_.substr(0, pos);
+            pending_.erase(0, pos + 1);
+            return true;
+        }
+        char buf[4096];
+        ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            error = n == 0 ? "connection closed by daemon"
+                           : "recv: " + std::string(strerror(errno));
+            return false;
+        }
+        pending_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+ServeClient::roundTrip(const std::string& line,
+                       std::string& responseLine, std::string& error)
+{
+    if (fd_ < 0) {
+        error = "not connected";
+        return false;
+    }
+    if (!sendBytes(line + "\n")) {
+        error = "send failed: " + std::string(strerror(errno));
+        return false;
+    }
+    return readLine(responseLine, error);
+}
+
+bool
+ServeClient::request(const JsonValue& message, JsonValue& response,
+                     std::string& error)
+{
+    std::string line;
+    if (!roundTrip(writeJson(message), line, error))
+        return false;
+    if (!parseJson(line, response, error)) {
+        error = "bad response: " + error;
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::ping(JsonValue& response, std::string& error)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("verb", JsonValue::str("ping"));
+    return request(msg, response, error);
+}
+
+bool
+ServeClient::submit(const JsonValue& submission, std::string& id,
+                    JsonValue& response, std::string& error)
+{
+    JsonValue msg = submission; // body plus the verb
+    msg.set("verb", JsonValue::str("submit"));
+    if (!request(msg, response, error))
+        return false;
+    id = response.getString("id");
+    return true;
+}
+
+namespace {
+
+JsonValue
+idRequest(const char* verb, const std::string& id)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("verb", JsonValue::str(verb));
+    msg.set("id", JsonValue::str(id));
+    return msg;
+}
+
+} // namespace
+
+bool
+ServeClient::status(const std::string& id, JsonValue& response,
+                    std::string& error)
+{
+    return request(idRequest("status", id), response, error);
+}
+
+bool
+ServeClient::result(const std::string& id, JsonValue& response,
+                    std::string& error)
+{
+    return request(idRequest("result", id), response, error);
+}
+
+bool
+ServeClient::cancel(const std::string& id, JsonValue& response,
+                    std::string& error)
+{
+    return request(idRequest("cancel", id), response, error);
+}
+
+bool
+ServeClient::drain(JsonValue& response, std::string& error)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("verb", JsonValue::str("drain"));
+    return request(msg, response, error);
+}
+
+bool
+ServeClient::stats(JsonValue& response, std::string& error)
+{
+    JsonValue msg = JsonValue::object();
+    msg.set("verb", JsonValue::str("stats"));
+    return request(msg, response, error);
+}
+
+bool
+ServeClient::waitTerminal(const std::string& id, int timeoutMs,
+                          JsonValue& response, std::string& error,
+                          bool stopOnParked)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    int sleepMs = 1;
+    for (;;) {
+        if (!status(id, response, error))
+            return false;
+        if (!response.getBool("ok", false)) {
+            error = response.getString("error", "status failed");
+            return false;
+        }
+        const std::string state = response.getString("state");
+        SubmissionState parsed = SubmissionState::kWaiting;
+        if (parseSubmissionState(state, parsed) &&
+            submissionStateTerminal(parsed))
+            return true;
+        if (stopOnParked && parsed == SubmissionState::kWaiting)
+            return true;
+        if (Clock::now() >= deadline) {
+            error = "timeout waiting for " + id + " (state " + state +
+                    ")";
+            return false;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(sleepMs));
+        sleepMs = std::min(sleepMs * 2, 50);
+    }
+}
+
+} // namespace syscomm::serve

@@ -1,0 +1,96 @@
+#pragma once
+
+/**
+ * @file
+ * Client side of the syscommd line-JSON protocol: a blocking
+ * one-request/one-response connection plus typed helpers for each
+ * verb. The CLI (tools/syscomm_cli.cpp), the protocol tests, and the
+ * serving bench all talk through this; anything else that can open a
+ * socket and write JSON lines interoperates just as well — that is
+ * the point of a text protocol.
+ *
+ * Wire caveat for remote (TCP) clients: the daemon's sweep journals
+ * and checkpoint streams are NATIVE-ENDIAN host formats (see
+ * sim/serial.h) — the JSON protocol itself is portable, but a spool
+ * directory only resumes on a host of the same endianness and type
+ * widths as the daemon that wrote it.
+ */
+
+#include <string>
+
+#include "serve/json.h"
+
+namespace syscomm::serve {
+
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient&) = delete;
+    ServeClient& operator=(const ServeClient&) = delete;
+
+    bool connectUnix(const std::string& path, std::string& error);
+    bool connectTcp(const std::string& host, int port,
+                    std::string& error);
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Send one raw line (newline appended) and read one response
+     * line. The transport primitive everything below uses; tests
+     * also use it directly to send malformed bytes.
+     */
+    bool roundTrip(const std::string& line, std::string& responseLine,
+                   std::string& error);
+
+    /** roundTrip with JSON encode/decode on both ends. */
+    bool request(const JsonValue& message, JsonValue& response,
+                 std::string& error);
+
+    // Typed verbs. Each returns false on transport/parse failure;
+    // protocol-level rejection ("ok": false) is the caller's to read
+    // out of @p response.
+    bool ping(JsonValue& response, std::string& error);
+    /** @p submission: the submit body (fields beside "verb"). On
+     *  success @p id carries the daemon-assigned submission id ("" if
+     *  the daemon rejected the submission). */
+    bool submit(const JsonValue& submission, std::string& id,
+                JsonValue& response, std::string& error);
+    bool status(const std::string& id, JsonValue& response,
+                std::string& error);
+    bool result(const std::string& id, JsonValue& response,
+                std::string& error);
+    bool cancel(const std::string& id, JsonValue& response,
+                std::string& error);
+    bool drain(JsonValue& response, std::string& error);
+    bool stats(JsonValue& response, std::string& error);
+
+    /**
+     * Poll status until the submission reaches a terminal state (or
+     * any "waiting" state when @p stopOnParked — note a freshly
+     * admitted submission is also "waiting", so use that flag only
+     * after a drain was requested). @p response holds the last
+     * status response. False on timeout or transport failure.
+     */
+    bool waitTerminal(const std::string& id, int timeoutMs,
+                      JsonValue& response, std::string& error,
+                      bool stopOnParked = false);
+
+    /**
+     * Raw byte escape hatches for the robustness tests: send without
+     * framing (sendBytes) and slam the connection mid-write
+     * (closeAbruptly == close; the abruptness is in when you call it).
+     */
+    bool sendBytes(const std::string& bytes);
+    int fd() const { return fd_; }
+
+  private:
+    bool readLine(std::string& line, std::string& error);
+
+    int fd_ = -1;
+    std::string pending_;
+};
+
+} // namespace syscomm::serve

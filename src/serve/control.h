@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * The daemon's lifecycle control word: one atomic the signal
+ * handlers, the accept loop, the workers and the stats endpoint all
+ * read. Transitions only move "forward" (serving -> draining ->
+ * stopped; reload is a serving-time pulse), so a relaxed store from a
+ * SIGTERM handler and a relaxed load from a worker need no further
+ * coordination — the worst case is observing the old word for one
+ * iteration.
+ */
+
+#include <atomic>
+
+namespace syscomm::serve {
+
+/** What the daemon should be doing. */
+enum class ServiceWant : int
+{
+    /** Constructed but not started: sockets unbound, nothing runs. */
+    kWait = 0,
+    /** Normal operation: accept, admit, execute. */
+    kServe,
+    /**
+     * Re-scan the spool directory for externally dropped submissions
+     * (SIGHUP). Acted on once by the daemon, which then folds the
+     * word back to kServe.
+     */
+    kReload,
+    /**
+     * Graceful drain (SIGTERM / the drain verb): stop admitting,
+     * park journaled in-flight sweeps at their next checkpoint,
+     * requeue the rest. Existing connections keep answering status/
+     * result/stats.
+     */
+    kDrain,
+    /** Full shutdown: close sockets, join threads. */
+    kStop,
+};
+
+/**
+ * The shared control word. set() is async-signal-safe (a plain atomic
+ * store), which is the whole reason this is a word and not a mutex-
+ * guarded state machine.
+ */
+class ServiceControl
+{
+  public:
+    ServiceWant get() const
+    {
+        return want_.load(std::memory_order_relaxed);
+    }
+
+    void set(ServiceWant want)
+    {
+        want_.store(want, std::memory_order_relaxed);
+    }
+
+    /**
+     * Advance to @p want only from @p expected — keeps a late SIGTERM
+     * from resurrecting a daemon that already reached kStop.
+     */
+    bool advance(ServiceWant expected, ServiceWant want)
+    {
+        return want_.compare_exchange_strong(expected, want,
+                                             std::memory_order_relaxed);
+    }
+
+    /** Human-readable state for the stats verb and logs. */
+    const char* status() const
+    {
+        switch (get()) {
+          case ServiceWant::kWait:
+            return "waiting";
+          case ServiceWant::kServe:
+            return "serving";
+          case ServiceWant::kReload:
+            return "reloading";
+          case ServiceWant::kDrain:
+            return "draining";
+          case ServiceWant::kStop:
+            return "stopped";
+        }
+        return "?";
+    }
+
+  private:
+    std::atomic<ServiceWant> want_{ServiceWant::kWait};
+};
+
+} // namespace syscomm::serve

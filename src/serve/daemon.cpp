@@ -1,0 +1,1098 @@
+#include "serve/daemon.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "sim/shape_sweep.h"
+
+namespace syscomm::serve {
+
+namespace fs = std::filesystem;
+
+/** One admitted submission, pinned for the daemon's lifetime. */
+struct SyscommDaemon::Sub
+{
+    std::string id;
+    SubmissionState state = SubmissionState::kWaiting;
+    /** Parsed payload; meaningless for terminal spool-recovered
+     *  entries (payloadValid false), which never execute again. */
+    Submission payload;
+    bool payloadValid = false;
+    /** The original submit request line (what the spool persists). */
+    std::string rawLine;
+    /** Sweep journal path; "" = not journaled (no spool / not a sweep). */
+    std::string journalPath;
+    /** Terminal result body (the result verb's "result" member). */
+    JsonValue result;
+    /**
+     * Stop request for in-flight work: set on cancel and on drain,
+     * polled by ShapeSweep (stopFlag) and the run slice loop.
+     */
+    std::atomic<bool> stop{false};
+    /** Distinguishes cancel from drain (guarded by daemon mutex). */
+    bool cancelRequested = false;
+    /** Was the compile served from the cache? */
+    bool cachedCompile = false;
+    /** Last pause-slice cycle count of a single run (daemon mutex). */
+    Cycle executedCycles = 0;
+};
+
+namespace {
+
+constexpr const char* kSubSuffix = ".sub.json";
+constexpr const char* kDoneSuffix = ".done.json";
+constexpr const char* kJournalSuffix = ".journal";
+
+std::string
+makeId(std::uint64_t n)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "s-%06llu",
+                  static_cast<unsigned long long>(n));
+    return buf;
+}
+
+/** Write-then-rename so a crashed daemon never reads half a file. */
+bool
+writeFileAtomic(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        if (!out)
+            return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    return !ec;
+}
+
+bool
+readWholeFile(const std::string& path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+sendAll(int fd, const std::string& data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        // MSG_NOSIGNAL: a client that disconnected mid-response must
+        // cost us an error return, not a process-wide SIGPIPE.
+        ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+JsonValue
+errorResponse(const std::string& message)
+{
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue::boolean(false));
+    out.set("error", JsonValue::str(message));
+    return out;
+}
+
+JsonValue
+rejectResponse(const char* reason, const std::string& message)
+{
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue::boolean(false));
+    out.set("rejected", JsonValue::str(reason));
+    out.set("state", JsonValue::str(submissionStateName(
+                         SubmissionState::kRejected)));
+    out.set("error", JsonValue::str(message));
+    return out;
+}
+
+/** The wire form of one finished run (shared by run and sweep rows). */
+JsonValue
+runResultJson(const sim::RunResult& result, std::uint64_t machineDigest)
+{
+    JsonValue out = JsonValue::object();
+    out.set("status", JsonValue::str(result.statusStr()));
+    out.set("cycles", JsonValue::integer(result.cycles));
+    if (!result.error.empty())
+        out.set("error", JsonValue::str(result.error));
+    out.set("machine_digest", JsonValue::str(hexDigest(machineDigest)));
+    return out;
+}
+
+} // namespace
+
+SyscommDaemon::SyscommDaemon(DaemonOptions options)
+    : options_(std::move(options)), cache_(options_.cacheCapacity)
+{
+    if (options_.workers < 1)
+        options_.workers = 1;
+    if (options_.sliceCycles < 1)
+        options_.sliceCycles = 1;
+}
+
+SyscommDaemon::~SyscommDaemon()
+{
+    stop();
+}
+
+std::string
+SyscommDaemon::spoolFile(const std::string& id,
+                         const char* suffix) const
+{
+    return options_.spoolDir + "/" + id + suffix;
+}
+
+bool
+SyscommDaemon::start(std::string& error)
+{
+    if (started_) {
+        error = "already started";
+        return false;
+    }
+    if (!recoverSpool(error))
+        return false;
+
+    if (!options_.socketPath.empty()) {
+        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd_ < 0) {
+            error = "socket(AF_UNIX): " + std::string(strerror(errno));
+            return false;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+            error = "socket path too long";
+            return false;
+        }
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(options_.socketPath.c_str());
+        if (::bind(unixFd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(unixFd_, 64) != 0) {
+            error = "bind(" + options_.socketPath +
+                    "): " + strerror(errno);
+            return false;
+        }
+    }
+    if (options_.tcpPort >= 0) {
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tcpFd_ < 0) {
+            error = "socket(AF_INET): " + std::string(strerror(errno));
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(options_.tcpPort));
+        if (::bind(tcpFd_, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(tcpFd_, 64) != 0) {
+            error = "bind(tcp " + std::to_string(options_.tcpPort) +
+                    "): " + strerror(errno);
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(tcpFd_, reinterpret_cast<sockaddr*>(&bound),
+                          &len) == 0)
+            boundTcpPort_ = ntohs(bound.sin_port);
+    }
+    if (::pipe(wakePipe_) != 0) {
+        error = "pipe: " + std::string(strerror(errno));
+        return false;
+    }
+
+    control_.set(ServiceWant::kServe);
+    stopping_ = false;
+    for (int i = 0; i < options_.workers; ++i)
+        workerThreads_.emplace_back(&SyscommDaemon::workerLoop, this);
+    acceptThread_ = std::thread(&SyscommDaemon::acceptLoop, this);
+    started_ = true;
+    return true;
+}
+
+void
+SyscommDaemon::requestDrain()
+{
+    // A late drain must not resurrect a stopped daemon.
+    if (!control_.advance(ServiceWant::kServe, ServiceWant::kDrain))
+        control_.advance(ServiceWant::kReload, ServiceWant::kDrain);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, sub] : subs_) {
+        if (sub->state == SubmissionState::kCompiling ||
+            sub->state == SubmissionState::kRunning)
+            sub->stop.store(true, std::memory_order_relaxed);
+    }
+    workCv_.notify_all();
+}
+
+void
+SyscommDaemon::reload()
+{
+    std::string ignored;
+    recoverSpool(ignored);
+    std::lock_guard<std::mutex> lock(mutex_);
+    workCv_.notify_all();
+}
+
+void
+SyscommDaemon::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_ && workerThreads_.empty())
+            return;
+        stopping_ = true;
+    }
+    control_.set(ServiceWant::kStop);
+    workCv_.notify_all();
+    idleCv_.notify_all();
+    if (wakePipe_[1] >= 0) {
+        char byte = 'x';
+        [[maybe_unused]] ssize_t n = ::write(wakePipe_[1], &byte, 1);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    {
+        std::lock_guard<std::mutex> lock(clientMutex_);
+        for (int fd : clientFds_) {
+            if (fd >= 0)
+                ::shutdown(fd, SHUT_RDWR);
+        }
+    }
+    for (auto& t : clientThreads_) {
+        if (t.joinable())
+            t.join();
+    }
+    clientThreads_.clear();
+    for (auto& t : workerThreads_) {
+        if (t.joinable())
+            t.join();
+    }
+    workerThreads_.clear();
+    if (unixFd_ >= 0) {
+        ::close(unixFd_);
+        unixFd_ = -1;
+        ::unlink(options_.socketPath.c_str());
+    }
+    if (tcpFd_ >= 0) {
+        ::close(tcpFd_);
+        tcpFd_ = -1;
+    }
+    for (int& fd : wakePipe_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    started_ = false;
+}
+
+bool
+SyscommDaemon::waitIdle(int timeoutMs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return idleCv_.wait_for(
+        lock, std::chrono::milliseconds(timeoutMs), [&] {
+            const ServiceWant want = control_.get();
+            const bool draining = want == ServiceWant::kDrain ||
+                                  want == ServiceWant::kStop;
+            return active_ == 0 && (queue_.empty() || draining);
+        });
+}
+
+// ---------------------------------------------------------------
+// Spool
+// ---------------------------------------------------------------
+
+bool
+SyscommDaemon::recoverSpool(std::string& error)
+{
+    if (options_.spoolDir.empty())
+        return true;
+    std::error_code ec;
+    fs::create_directories(options_.spoolDir, ec);
+    if (ec) {
+        error = "spool: cannot create " + options_.spoolDir;
+        return false;
+    }
+
+    std::vector<std::string> ids;
+    for (const auto& entry :
+         fs::directory_iterator(options_.spoolDir, ec)) {
+        const std::string name = entry.path().filename().string();
+        const std::size_t sufLen = std::strlen(kSubSuffix);
+        if (name.size() > sufLen &&
+            name.compare(name.size() - sufLen, sufLen, kSubSuffix) ==
+                0)
+            ids.push_back(name.substr(0, name.size() - sufLen));
+    }
+    // Id order is admission order: recovery requeues the backlog in
+    // the order clients were ack'd, deterministically.
+    std::sort(ids.begin(), ids.end());
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& id : ids) {
+        if (subs_.count(id) != 0)
+            continue; // reload(): already known
+        if (id.size() > 2 && id.compare(0, 2, "s-") == 0) {
+            const std::uint64_t n =
+                std::strtoull(id.c_str() + 2, nullptr, 10);
+            if (n >= nextId_)
+                nextId_ = n + 1;
+        }
+        auto sub = std::make_unique<Sub>();
+        sub->id = id;
+        if (!readWholeFile(spoolFile(id, kSubSuffix), sub->rawLine))
+            continue;
+
+        std::string doneText;
+        if (readWholeFile(spoolFile(id, kDoneSuffix), doneText)) {
+            // Finished in a previous life: re-index the result.
+            JsonValue done;
+            std::string err;
+            SubmissionState state = SubmissionState::kError;
+            if (parseJson(doneText, done, err) &&
+                parseSubmissionState(done.getString("state"), state)) {
+                sub->state = state;
+                const JsonValue* result = done.find("result");
+                if (result != nullptr)
+                    sub->result = *result;
+            } else {
+                sub->state = SubmissionState::kError;
+                sub->result = JsonValue::object().set(
+                    "error",
+                    JsonValue::str("unreadable done marker"));
+            }
+            subs_.emplace(id, std::move(sub));
+            continue;
+        }
+
+        // Unfinished: reparse and requeue. Journaled sweeps resume
+        // from their checkpoints; runs re-execute from scratch (they
+        // are deterministic, so the client observes no difference).
+        JsonValue msg;
+        std::string err;
+        if (!parseJson(sub->rawLine, msg, err) ||
+            !parseSubmission(msg, sub->payload, err)) {
+            sub->state = SubmissionState::kError;
+            sub->result = JsonValue::object().set(
+                "error", JsonValue::str("spool recovery: " + err));
+            writeDoneMarker(*sub);
+            subs_.emplace(id, std::move(sub));
+            continue;
+        }
+        sub->payloadValid = true;
+        if (sub->payload.isSweep)
+            sub->journalPath = spoolFile(id, kJournalSuffix);
+        sub->state = SubmissionState::kWaiting;
+        queue_.push_back(sub.get());
+        subs_.emplace(id, std::move(sub));
+    }
+    return true;
+}
+
+void
+SyscommDaemon::writeDoneMarker(Sub& sub)
+{
+    if (options_.spoolDir.empty())
+        return;
+    JsonValue done = JsonValue::object();
+    done.set("id", JsonValue::str(sub.id));
+    done.set("state",
+             JsonValue::str(submissionStateName(sub.state)));
+    done.set("result", sub.result);
+    writeFileAtomic(spoolFile(sub.id, kDoneSuffix), writeJson(done));
+}
+
+// ---------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------
+
+void
+SyscommDaemon::workerLoop()
+{
+    for (;;) {
+        Sub* sub = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] {
+                if (stopping_)
+                    return true;
+                const ServiceWant want = control_.get();
+                const bool serving = want == ServiceWant::kServe ||
+                                     want == ServiceWant::kReload;
+                return serving && !queue_.empty();
+            });
+            if (stopping_)
+                return;
+            sub = queue_.front();
+            queue_.pop_front();
+            sub->state = SubmissionState::kCompiling;
+            ++active_;
+        }
+        execute(sub);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+SyscommDaemon::finish(Sub* sub, SubmissionState state,
+                      JsonValue result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sub->state = state;
+    sub->result = std::move(result);
+    writeDoneMarker(*sub);
+    idleCv_.notify_all();
+}
+
+void
+SyscommDaemon::execute(Sub* sub)
+{
+    Submission& payload = sub->payload;
+    const std::uint64_t key = CompileCache::keyFor(
+        payload.program, payload.topo, payload.programVersion);
+    // The cache consumes copies: a drain can park this submission and
+    // spool recovery may need the payload intact on a later pass.
+    bool wasHit = false;
+    CachedProgram entry =
+        cache_.get(key, Program(payload.program),
+                   SharedTopology(Topology(payload.topo)), &wasHit);
+    sub->cachedCompile = wasHit;
+
+    if (!entry.compiled->valid()) {
+        finish(sub, SubmissionState::kError,
+               JsonValue::object().set(
+                   "error", JsonValue::str(entry.compiled->error())));
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (sub->cancelRequested) {
+            sub->state = SubmissionState::kCancelled;
+            sub->result = JsonValue::object();
+            writeDoneMarker(*sub);
+            idleCv_.notify_all();
+            return;
+        }
+        sub->state = SubmissionState::kRunning;
+    }
+    if (payload.isSweep)
+        executeSweep(sub, entry);
+    else
+        executeRun(sub, entry);
+}
+
+void
+SyscommDaemon::executeRun(Sub* sub, const CachedProgram& entry)
+{
+    const Submission& payload = sub->payload;
+    MachineSpec spec;
+    spec.topo = entry.compiled->sharedTopo();
+    const sim::ShapeSpec& shape = payload.shapes[0];
+    spec.queuesPerLink = shape.queuesPerLink;
+    spec.queueCapacity = shape.queueCapacity;
+    spec.extensionCapacity = shape.extensionCapacity;
+    spec.extensionPenalty = shape.extensionPenalty;
+
+    sim::SessionOptions sessionOptions;
+    sessionOptions.kernel = payload.kernel;
+    sim::SimSession session(entry.compiled, spec, sessionOptions);
+
+    const Cycle budget = payload.cycleBudget > 0
+                                  ? payload.cycleBudget
+                                  : options_.defaultCycleBudget;
+    const Cycle slice = options_.sliceCycles;
+
+    // The service budget rides on pauseAt slices: the run is never
+    // more than one slice away from noticing a cancel, a drain, or
+    // budget exhaustion, without perturbing the simulation (pausing
+    // is bit-exact by contract).
+    sim::RunRequest request = payload.requests[0];
+    request.pauseAt = std::min(slice, budget);
+    sim::RunResult result = session.run(request);
+    while (result.status == sim::RunStatus::kPaused) {
+        bool cancelled = false;
+        bool draining = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            sub->executedCycles = result.cycles;
+            if (sub->stop.load(std::memory_order_relaxed)) {
+                cancelled = sub->cancelRequested;
+                draining = !cancelled;
+            }
+        }
+        if (cancelled) {
+            finish(sub, SubmissionState::kCancelled,
+                   JsonValue::object().set(
+                       "cycles", JsonValue::integer(result.cycles)));
+            return;
+        }
+        if (draining) {
+            // Single runs carry no checkpoint; park the submission
+            // back at the queue head — a restarted daemon re-runs it
+            // from scratch, which is observably identical because
+            // runs are deterministic.
+            std::lock_guard<std::mutex> lock(mutex_);
+            sub->state = SubmissionState::kWaiting;
+            queue_.push_front(sub);
+            idleCv_.notify_all();
+            return;
+        }
+        if (result.cycles >= budget) {
+            JsonValue body = runResultJson(result,
+                                           session.machineDigest());
+            body.set("status",
+                     JsonValue::str(submissionStateName(
+                         SubmissionState::kBudget)));
+            body.set("cycle_budget", JsonValue::integer(budget));
+            finish(sub, SubmissionState::kBudget, std::move(body));
+            return;
+        }
+        result = session.resume(
+            std::min<Cycle>(result.cycles + slice, budget));
+    }
+
+    JsonValue body = runResultJson(result, session.machineDigest());
+    body.set("cached_compile", JsonValue::boolean(sub->cachedCompile));
+    finish(sub, submissionStateForRun(result.status), std::move(body));
+}
+
+void
+SyscommDaemon::executeSweep(Sub* sub, const CachedProgram& entry)
+{
+    const Submission& payload = sub->payload;
+    sim::ShapeSweepOptions sweepOptions;
+    sweepOptions.session.kernel = payload.kernel;
+    // The daemon's unit of parallelism is the worker thread; one
+    // submission takes one worker, so sweeps run single-threaded
+    // inside it (results are identical at any worker count anyway).
+    sweepOptions.numWorkers = 1;
+    sweepOptions.journalPath = sub->journalPath;
+    sweepOptions.checkpointEvery = payload.checkpointEvery > 0
+                                       ? payload.checkpointEvery
+                                       : options_.sweepCheckpointEvery;
+    sweepOptions.programVersion = payload.programVersion;
+    sweepOptions.stopFlag = &sub->stop;
+
+    sim::ShapeSweep sweep(entry.compiled, payload.shapes,
+                          sweepOptions);
+
+    const Cycle budget = payload.cycleBudget > 0
+                                  ? payload.cycleBudget
+                                  : options_.defaultCycleBudget;
+    std::vector<sim::RunRequest> requests = payload.requests;
+    for (sim::RunRequest& request : requests)
+        request.maxCycles =
+            std::min<Cycle>(request.maxCycles, budget);
+
+    sim::ShapeSweepResult result = sweep.run(requests);
+
+    if (!result.complete) {
+        bool cancelled = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            cancelled = sub->cancelRequested;
+        }
+        if (cancelled) {
+            finish(sub, SubmissionState::kCancelled,
+                   JsonValue::object());
+            return;
+        }
+        // Drain: the sweep parked at its last checkpoint; requeue so
+        // a restarted daemon (or this one, were it un-drained)
+        // resumes from the journal.
+        std::lock_guard<std::mutex> lock(mutex_);
+        sub->state = SubmissionState::kWaiting;
+        queue_.push_front(sub);
+        idleCv_.notify_all();
+        return;
+    }
+
+    JsonValue rows = JsonValue::array();
+    int statusCounts[sim::kNumRunStatuses] = {};
+    for (const sim::ShapeSweepRow& row : result.rows) {
+        JsonValue r = runResultJson(
+            row.result, row.machineDigest);
+        r.set("shape", JsonValue::integer(
+                           static_cast<std::int64_t>(row.shape)));
+        r.set("name",
+              JsonValue::str(payload.shapes[row.shape].name));
+        r.set("request", JsonValue::integer(
+                             static_cast<std::int64_t>(row.request)));
+        r.set("from_journal", JsonValue::boolean(row.fromJournal));
+        rows.push(std::move(r));
+        ++statusCounts[static_cast<int>(row.result.status)];
+    }
+    JsonValue counts = JsonValue::object();
+    for (int i = 0; i < sim::kNumRunStatuses; ++i) {
+        if (statusCounts[i] > 0)
+            counts.set(
+                sim::runStatusName(static_cast<sim::RunStatus>(i)),
+                JsonValue::integer(statusCounts[i]));
+    }
+    JsonValue body = JsonValue::object();
+    body.set("rows", std::move(rows));
+    body.set("status_counts", std::move(counts));
+    body.set("rows_from_journal",
+             JsonValue::integer(static_cast<std::int64_t>(
+                 result.rowsFromJournal)));
+    body.set("cached_compile",
+             JsonValue::boolean(sub->cachedCompile));
+    finish(sub, SubmissionState::kCompleted, std::move(body));
+}
+
+// ---------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------
+
+void
+SyscommDaemon::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[3];
+        int n = 0;
+        fds[n++] = pollfd{wakePipe_[0], POLLIN, 0};
+        if (unixFd_ >= 0)
+            fds[n++] = pollfd{unixFd_, POLLIN, 0};
+        if (tcpFd_ >= 0)
+            fds[n++] = pollfd{tcpFd_, POLLIN, 0};
+        if (::poll(fds, static_cast<nfds_t>(n), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if ((fds[0].revents & POLLIN) != 0) {
+            char byte;
+            [[maybe_unused]] ssize_t r =
+                ::read(wakePipe_[0], &byte, 1);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_)
+                return;
+        }
+        for (int i = 1; i < n; ++i) {
+            if ((fds[i].revents & POLLIN) == 0)
+                continue;
+            int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            std::lock_guard<std::mutex> lock(clientMutex_);
+            clientFds_.push_back(fd);
+            clientThreads_.emplace_back(&SyscommDaemon::clientLoop,
+                                        this, fd);
+        }
+    }
+}
+
+void
+SyscommDaemon::clientLoop(int fd)
+{
+    std::string pending;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            break; // disconnect (possibly mid-line; drop the tail)
+        }
+        pending.append(buf, static_cast<std::size_t>(n));
+        bool fatal = false;
+        std::size_t pos;
+        while ((pos = pending.find('\n')) != std::string::npos) {
+            std::string line = pending.substr(0, pos);
+            pending.erase(0, pos + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            const std::string response = handleLine(line) + "\n";
+            if (!sendAll(fd, response)) {
+                fatal = true;
+                break;
+            }
+        }
+        if (!fatal && pending.size() > options_.maxLineBytes) {
+            // An unterminated line beyond the cap: answer once and
+            // hang up rather than buffer without bound.
+            sendAll(fd,
+                    writeJson(errorResponse("request line too long")) +
+                        "\n");
+            fatal = true;
+        }
+        if (fatal)
+            break;
+    }
+    {
+        // Mark dead before closing: stop() only shutdown()s live
+        // entries, so a recycled fd number can never be hit twice.
+        std::lock_guard<std::mutex> lock(clientMutex_);
+        auto it =
+            std::find(clientFds_.begin(), clientFds_.end(), fd);
+        if (it != clientFds_.end())
+            *it = -1;
+    }
+    ::close(fd);
+}
+
+std::string
+SyscommDaemon::handleLine(const std::string& line)
+{
+    JsonValue msg;
+    std::string err;
+    JsonValue response;
+    if (line.size() > options_.maxLineBytes) {
+        response = errorResponse("request line too long");
+    } else if (!parseJson(line, msg, err)) {
+        response = errorResponse("parse: " + err);
+    } else if (!msg.isObject()) {
+        response = errorResponse("request must be a JSON object");
+    } else {
+        const std::string verbText = msg.getString("verb");
+        Verb verb = Verb::kPing;
+        if (!parseVerb(verbText, verb)) {
+            response = errorResponse(
+                verbText.empty() ? "missing 'verb'"
+                                 : "unknown verb '" + verbText + "'");
+        } else {
+            switch (verb) {
+              case Verb::kPing:
+                response = JsonValue::object()
+                               .set("ok", JsonValue::boolean(true))
+                               .set("verb", JsonValue::str("ping"));
+                break;
+              case Verb::kSubmit:
+                response = handleSubmit(msg, line);
+                break;
+              case Verb::kStatus:
+                response = handleStatus(msg);
+                break;
+              case Verb::kResult:
+                response = handleResult(msg);
+                break;
+              case Verb::kCancel:
+                response = handleCancel(msg);
+                break;
+              case Verb::kDrain:
+                response = handleDrain();
+                break;
+              case Verb::kStats:
+                response = statsJson();
+                break;
+            }
+        }
+    }
+    const JsonValue* tag = msg.find("tag");
+    if (tag != nullptr)
+        response.set("tag", *tag);
+    return writeJson(response);
+}
+
+JsonValue
+SyscommDaemon::handleSubmit(const JsonValue& msg,
+                            const std::string& line)
+{
+    const ServiceWant want = control_.get();
+    if (want != ServiceWant::kServe && want != ServiceWant::kReload) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejectedDraining_;
+        return rejectResponse("draining",
+                              "daemon is not accepting submissions");
+    }
+
+    auto sub = std::make_unique<Sub>();
+    std::string err;
+    if (!parseSubmission(msg, sub->payload, err)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++rejectedBadRequest_;
+        return rejectResponse("bad_request", err);
+    }
+    sub->payloadValid = true;
+    sub->rawLine = line;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Admission control: a full queue answers "queue_full" NOW —
+    // clients never block on a silent backlog.
+    if (queue_.size() >= options_.maxQueue) {
+        ++rejectedQueueFull_;
+        return rejectResponse(
+            "queue_full",
+            "admission queue is full (depth " +
+                std::to_string(queue_.size()) + ")");
+    }
+    const std::string id = makeId(nextId_++);
+    sub->id = id;
+    if (!options_.spoolDir.empty()) {
+        if (sub->payload.isSweep)
+            sub->journalPath = spoolFile(id, kJournalSuffix);
+        // Persist before acknowledging: an id we returned must be an
+        // id a restarted daemon still knows.
+        if (!writeFileAtomic(spoolFile(id, kSubSuffix), line)) {
+            --nextId_;
+            return rejectResponse("spool_error",
+                                  "cannot persist submission");
+        }
+    }
+    Sub* raw = sub.get();
+    subs_.emplace(id, std::move(sub));
+    queue_.push_back(raw);
+    workCv_.notify_one();
+
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("id", JsonValue::str(id));
+    response.set("state", JsonValue::str(submissionStateName(
+                              SubmissionState::kWaiting)));
+    response.set("description",
+                 JsonValue::str(submissionStateDescription(
+                     SubmissionState::kWaiting)));
+    return response;
+}
+
+bool
+SyscommDaemon::journalProgress(const Sub& sub, JsonValue& out)
+{
+    if (sub.journalPath.empty())
+        return false;
+    sim::SweepJournalInfo info;
+    if (!sim::inspectSweepJournal(sub.journalPath, info))
+        return false;
+    out = JsonValue::object();
+    out.set("rows_done", JsonValue::integer(static_cast<std::int64_t>(
+                             info.rowsDone)));
+    JsonValue inflight = JsonValue::array();
+    for (const sim::SweepJournalRow& row : info.inflight) {
+        JsonValue r = JsonValue::object();
+        r.set("shape", JsonValue::integer(
+                           static_cast<std::int64_t>(row.shape)));
+        r.set("request", JsonValue::integer(
+                             static_cast<std::int64_t>(row.request)));
+        r.set("cycles", JsonValue::integer(row.info.cycles));
+        r.set("kernel", JsonValue::str(row.info.eventKernel
+                                           ? "event"
+                                           : "reference"));
+        r.set("machine_digest",
+              JsonValue::str(hexDigest(row.info.machineDigest)));
+        inflight.push(std::move(r));
+    }
+    out.set("inflight", std::move(inflight));
+    return true;
+}
+
+JsonValue
+SyscommDaemon::handleStatus(const JsonValue& msg)
+{
+    const std::string id = msg.getString("id");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = subs_.find(id);
+    if (it == subs_.end())
+        return errorResponse("unknown id '" + id + "'");
+    const Sub& sub = *it->second;
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("id", JsonValue::str(id));
+    response.set("state",
+                 JsonValue::str(submissionStateName(sub.state)));
+    response.set("description",
+                 JsonValue::str(submissionStateDescription(sub.state)));
+    response.set("terminal", JsonValue::boolean(
+                                 submissionStateTerminal(sub.state)));
+    if (sub.state == SubmissionState::kRunning &&
+        sub.payloadValid && !sub.payload.isSweep)
+        response.set("cycles", JsonValue::integer(sub.executedCycles));
+    // Journal-backed progress for a sweep, live or parked: rows done
+    // plus each in-flight row's checkpoint header. Reading the
+    // journal while the sweep appends is safe — a torn tail parses
+    // as "everything sound before it", same as a resume would see.
+    JsonValue progress;
+    if (!submissionStateTerminal(sub.state) &&
+        journalProgress(sub, progress))
+        response.set("progress", std::move(progress));
+    return response;
+}
+
+JsonValue
+SyscommDaemon::handleResult(const JsonValue& msg)
+{
+    const std::string id = msg.getString("id");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = subs_.find(id);
+    if (it == subs_.end())
+        return errorResponse("unknown id '" + id + "'");
+    const Sub& sub = *it->second;
+    if (!submissionStateTerminal(sub.state)) {
+        JsonValue response = errorResponse("not finished");
+        response.set("id", JsonValue::str(id));
+        response.set("state",
+                     JsonValue::str(submissionStateName(sub.state)));
+        return response;
+    }
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("id", JsonValue::str(id));
+    response.set("state",
+                 JsonValue::str(submissionStateName(sub.state)));
+    response.set("result", sub.result);
+    return response;
+}
+
+JsonValue
+SyscommDaemon::handleCancel(const JsonValue& msg)
+{
+    const std::string id = msg.getString("id");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = subs_.find(id);
+    if (it == subs_.end())
+        return errorResponse("unknown id '" + id + "'");
+    Sub& sub = *it->second;
+    JsonValue response = JsonValue::object();
+    if (submissionStateTerminal(sub.state)) {
+        response.set("ok", JsonValue::boolean(false));
+        response.set("error", JsonValue::str("already terminal"));
+        response.set("state",
+                     JsonValue::str(submissionStateName(sub.state)));
+        return response;
+    }
+    if (sub.state == SubmissionState::kWaiting) {
+        queue_.erase(std::remove(queue_.begin(), queue_.end(), &sub),
+                     queue_.end());
+        sub.state = SubmissionState::kCancelled;
+        sub.result = JsonValue::object();
+        writeDoneMarker(sub);
+        idleCv_.notify_all();
+    } else {
+        // In flight: ask it to stop; the worker finishes the
+        // transition at its next slice/checkpoint.
+        sub.cancelRequested = true;
+        sub.stop.store(true, std::memory_order_relaxed);
+    }
+    response.set("ok", JsonValue::boolean(true));
+    response.set("id", JsonValue::str(id));
+    response.set("state",
+                 JsonValue::str(submissionStateName(sub.state)));
+    return response;
+}
+
+JsonValue
+SyscommDaemon::handleDrain()
+{
+    requestDrain();
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("control", JsonValue::str(control_.status()));
+    return response;
+}
+
+JsonValue
+SyscommDaemon::statsJson()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("control", JsonValue::str(control_.status()));
+
+    int counts[kNumSubmissionStates] = {};
+    for (const auto& [id, sub] : subs_)
+        ++counts[static_cast<int>(sub->state)];
+    JsonValue states = JsonValue::object();
+    for (int i = 0; i < kNumSubmissionStates; ++i)
+        states.set(
+            submissionStateName(static_cast<SubmissionState>(i)),
+            JsonValue::integer(counts[i]));
+    response.set("submissions", std::move(states));
+
+    JsonValue queue = JsonValue::object();
+    queue.set("depth", JsonValue::integer(
+                           static_cast<std::int64_t>(queue_.size())));
+    queue.set("capacity",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(options_.maxQueue)));
+    queue.set("rejected_queue_full",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(rejectedQueueFull_)));
+    queue.set("rejected_bad_request",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(rejectedBadRequest_)));
+    queue.set("rejected_draining",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(rejectedDraining_)));
+    response.set("queue", std::move(queue));
+
+    const CompileCache::Stats cacheStats = cache_.stats();
+    JsonValue cache = JsonValue::object();
+    cache.set("entries", JsonValue::integer(static_cast<std::int64_t>(
+                             cacheStats.entries)));
+    cache.set("capacity", JsonValue::integer(static_cast<std::int64_t>(
+                              cacheStats.capacity)));
+    cache.set("hits", JsonValue::integer(
+                          static_cast<std::int64_t>(cacheStats.hits)));
+    cache.set("misses",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(cacheStats.misses)));
+    cache.set("evictions",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(cacheStats.evictions)));
+    response.set("cache", std::move(cache));
+
+    // Journal progress of every non-terminal sweep — how a drained
+    // (or killed-and-restarted) daemon reports parked work without
+    // opening a single session.
+    JsonValue sweeps = JsonValue::array();
+    for (const auto& [id, sub] : subs_) {
+        if (submissionStateTerminal(sub->state))
+            continue;
+        JsonValue progress;
+        if (!journalProgress(*sub, progress))
+            continue;
+        JsonValue entry = JsonValue::object();
+        entry.set("id", JsonValue::str(id));
+        entry.set("state",
+                  JsonValue::str(submissionStateName(sub->state)));
+        entry.set("progress", std::move(progress));
+        sweeps.push(std::move(entry));
+    }
+    response.set("sweeps", std::move(sweeps));
+    return response;
+}
+
+} // namespace syscomm::serve

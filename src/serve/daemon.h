@@ -1,0 +1,195 @@
+#pragma once
+
+/**
+ * @file
+ * syscommd: simulation-as-a-service over a line-JSON socket protocol.
+ *
+ * The daemon accepts program/run/sweep submissions on a Unix and/or
+ * TCP stream socket (docs/protocol.md), admits them into a bounded
+ * queue — a full queue REJECTS with an explicit "queue_full", it
+ * never silently blocks the client — and fans them out to worker
+ * threads. Program compilation goes through a shared CompileCache,
+ * so N clients submitting the same program over the same topology
+ * pay for exactly one CompiledProgram build between them.
+ *
+ * Every submission walks a deterministic status machine:
+ *
+ *   waiting -> compiling -> running -> {completed, deadlocked,
+ *                                       faulted, budget-exhausted,
+ *                                       error}
+ *   (+ rejected at admission, cancelled via the cancel verb, and
+ *    running -> waiting when a drain parks resumable work)
+ *
+ * Durability: with a spool directory configured, every admitted
+ * submission is persisted before it is acknowledged (its original
+ * request line), sweeps journal their progress through ShapeSweep's
+ * crash-resume journal, and terminal results are written as done
+ * markers. A daemon killed outright (SIGKILL) and restarted on the
+ * same spool re-admits unfinished submissions and *resumes* journaled
+ * sweeps from their last checkpoint — producing per-row machine
+ * digests bit-identical to an uninterrupted daemon (CI kills one mid-
+ * sweep to prove it). SIGTERM is the polite version: the lifecycle
+ * control word (serve/control.h) flips to draining, admission stops,
+ * journaled in-flight sweeps park at their next checkpoint, and the
+ * process exits with the spool in a resumable state.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/control.h"
+#include "serve/protocol.h"
+
+namespace syscomm::serve {
+
+struct DaemonOptions
+{
+    /** Unix-domain listening socket path; "" disables. */
+    std::string socketPath;
+    /**
+     * TCP listening port on 127.0.0.1: -1 disables, 0 binds an
+     * ephemeral port (read it back with boundTcpPort()).
+     */
+    int tcpPort = -1;
+    /**
+     * Spool directory for durability (created if missing); "" runs
+     * the daemon in-memory only — no resume after a kill, and drains
+     * cannot park sweeps (nothing to journal into).
+     */
+    std::string spoolDir;
+    /** Executor threads. */
+    int workers = 2;
+    /** Admission bound: waiting submissions beyond this are rejected
+     *  with "queue_full". */
+    std::size_t maxQueue = 64;
+    /** Longest accepted request line; longer closes the connection. */
+    std::size_t maxLineBytes = 4u << 20;
+    /** Compiled-program cache entries (LRU). */
+    std::size_t cacheCapacity = 32;
+    /** Service-side cycle ceiling for submissions that set none. */
+    Cycle defaultCycleBudget = 50'000'000;
+    /**
+     * Single runs execute in RunRequest::pauseAt slices of this many
+     * cycles, so cancel/drain/budget are honored within a slice.
+     */
+    Cycle sliceCycles = 100'000;
+    /** Default sweep journal checkpoint interval (cycles). */
+    Cycle sweepCheckpointEvery = 5'000;
+};
+
+class SyscommDaemon
+{
+  public:
+    explicit SyscommDaemon(DaemonOptions options);
+    ~SyscommDaemon();
+
+    SyscommDaemon(const SyscommDaemon&) = delete;
+    SyscommDaemon& operator=(const SyscommDaemon&) = delete;
+
+    /**
+     * Bind sockets, recover the spool (terminal results re-indexed,
+     * unfinished submissions re-admitted in id order), start the
+     * accept loop and workers. False + @p error on failure.
+     */
+    bool start(std::string& error);
+
+    /**
+     * Graceful drain: stop admitting, ask in-flight work to park.
+     * Async-signal-UNSAFE (takes locks) — signal handlers set the
+     * control word instead and the owner calls this from its main
+     * loop (tools/syscommd_main.cpp does exactly that).
+     */
+    void requestDrain();
+
+    /** Re-scan the spool for externally dropped submissions (SIGHUP). */
+    void reload();
+
+    /** Full shutdown: close sockets, join every thread. Idempotent. */
+    void stop();
+
+    /** The lifecycle control word (signal handlers store into it). */
+    ServiceControl& control() { return control_; }
+
+    /** Actual TCP port when tcpPort was 0 (else the configured one). */
+    int boundTcpPort() const { return boundTcpPort_; }
+
+    /**
+     * Wait until no submission is compiling/running and (unless
+     * draining) the queue is empty. False on timeout.
+     */
+    bool waitIdle(int timeoutMs);
+
+    /** The stats verb's response body (tests introspect through it). */
+    JsonValue statsJson();
+
+  private:
+    struct Sub;
+
+    // -- spool ----------------------------------------------------
+    std::string spoolFile(const std::string& id,
+                          const char* suffix) const;
+    bool recoverSpool(std::string& error);
+    void writeDoneMarker(Sub& sub);
+
+    // -- execution ------------------------------------------------
+    void workerLoop();
+    void execute(Sub* sub);
+    void executeRun(Sub* sub, const CachedProgram& entry);
+    void executeSweep(Sub* sub, const CachedProgram& entry);
+    /** Terminal transition + done marker + idle wakeup. */
+    void finish(Sub* sub, SubmissionState state, JsonValue result);
+
+    // -- protocol -------------------------------------------------
+    void acceptLoop();
+    void clientLoop(int fd);
+    std::string handleLine(const std::string& line);
+    JsonValue handleSubmit(const JsonValue& msg,
+                           const std::string& line);
+    JsonValue handleStatus(const JsonValue& msg);
+    JsonValue handleResult(const JsonValue& msg);
+    JsonValue handleCancel(const JsonValue& msg);
+    JsonValue handleDrain();
+    /** Journal-derived progress of a sweep submission (running or
+     *  parked): rows done + per-row checkpoint headers, via
+     *  inspectSweepJournal — no sessions are opened. */
+    bool journalProgress(const Sub& sub, JsonValue& out);
+
+    DaemonOptions options_;
+    ServiceControl control_;
+    CompileCache cache_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    /** id -> submission; ids are dense ("s-000001", ...). */
+    std::map<std::string, std::unique_ptr<Sub>> subs_;
+    std::deque<Sub*> queue_;
+    std::uint64_t nextId_ = 1;
+    int active_ = 0; ///< submissions in kCompiling/kRunning
+    bool stopping_ = false;
+    std::uint64_t rejectedQueueFull_ = 0;
+    std::uint64_t rejectedBadRequest_ = 0;
+    std::uint64_t rejectedDraining_ = 0;
+
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    int boundTcpPort_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::thread acceptThread_;
+    std::vector<std::thread> workerThreads_;
+    std::mutex clientMutex_;
+    std::vector<std::thread> clientThreads_;
+    std::vector<int> clientFds_;
+    bool started_ = false;
+};
+
+} // namespace syscomm::serve

@@ -1,0 +1,125 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal JSON values for the syscommd wire protocol (serve/).
+ *
+ * The daemon speaks newline-delimited JSON; this is the small,
+ * dependency-free value type both ends parse into and render from.
+ * Scope is deliberately narrow: UTF-8 pass-through (no surrogate
+ * validation), numbers as int64 when the token is integral (seeds and
+ * cycle counts must round-trip exactly) and double otherwise, objects
+ * as insertion-ordered member vectors (responses render in a stable
+ * order, and the linear find is fine at protocol-object sizes).
+ * Parsing is defensive, never trusting the peer: depth-limited,
+ * length-checked, and every failure is a clean error string — a
+ * malformed or truncated line must never take the daemon down.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace syscomm::serve {
+
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        kNull = 0,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default; ///< null
+
+    static JsonValue boolean(bool v);
+    static JsonValue number(double v);
+    static JsonValue integer(std::int64_t v);
+    static JsonValue str(std::string v);
+    static JsonValue array();
+    static JsonValue object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::kNull; }
+    bool isBool() const { return kind_ == Kind::kBool; }
+    bool isNumber() const { return kind_ == Kind::kNumber; }
+    bool isString() const { return kind_ == Kind::kString; }
+    bool isArray() const { return kind_ == Kind::kArray; }
+    bool isObject() const { return kind_ == Kind::kObject; }
+
+    bool asBool() const { return bool_; }
+    double asDouble() const { return integral_ ? double(int_) : num_; }
+    std::int64_t asInt64() const
+    {
+        return integral_ ? int_ : static_cast<std::int64_t>(num_);
+    }
+    /** Was the number written without fraction/exponent? */
+    bool isIntegral() const { return kind_ == Kind::kNumber && integral_; }
+    const std::string& asString() const { return string_; }
+
+    std::vector<JsonValue>& items() { return items_; }
+    const std::vector<JsonValue>& items() const { return items_; }
+    std::vector<Member>& members() { return members_; }
+    const std::vector<Member>& members() const { return members_; }
+
+    /** Append to an array (coerces a null to an array first). */
+    JsonValue& push(JsonValue v);
+
+    /**
+     * Set a member on an object (coerces a null to an object first;
+     * replaces an existing key, else appends). Returns *this so
+     * response-building chains.
+     */
+    JsonValue& set(std::string key, JsonValue v);
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(std::string_view key) const;
+
+    // Typed member getters with defaults — the protocol reader's
+    // bread and butter. A present-but-wrong-typed member returns the
+    // default like an absent one; strict checks live in the protocol
+    // parser where the error message can say which field.
+    bool getBool(std::string_view key, bool def) const;
+    std::int64_t getInt(std::string_view key, std::int64_t def) const;
+    double getNumber(std::string_view key, double def) const;
+    std::string getString(std::string_view key,
+                          const std::string& def = "") const;
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    bool integral_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+struct JsonParseOptions
+{
+    /** Nesting limit; protocol objects are ~3 deep. */
+    std::size_t maxDepth = 32;
+};
+
+/**
+ * Parse one JSON document from @p text (surrounding whitespace
+ * allowed, trailing garbage is an error). On failure @p error names
+ * the problem and byte offset and @p out is left null.
+ */
+bool parseJson(std::string_view text, JsonValue& out, std::string& error,
+               const JsonParseOptions& options = {});
+
+/** Render compactly on one line (the wire format; no newline added). */
+std::string writeJson(const JsonValue& value);
+
+} // namespace syscomm::serve

@@ -263,10 +263,10 @@ peekCheckpointInfo(const std::uint8_t* data, std::size_t size,
 // ---------------------------------------------------------------------
 
 CompiledProgram::CompiledProgram(const Program& program,
-                                 const Topology& topo,
+                                 SharedTopology topo,
                                  std::vector<std::int64_t> labels,
                                  bool precompute_labels)
-    : program_(program), topo_(topo)
+    : program_(program), topo_(std::move(topo))
 {
     ++compiledBuilds;
     if (!labels.empty()) {
@@ -321,12 +321,12 @@ CompiledProgram::CompiledProgram(const Program& program,
 }
 
 std::shared_ptr<const CompiledProgram>
-CompiledProgram::compile(const Program& program, const Topology& topo,
+CompiledProgram::compile(const Program& program, SharedTopology topo,
                          std::vector<std::int64_t> labels,
                          bool precompute_labels)
 {
     return std::make_shared<const CompiledProgram>(
-        program, topo, std::move(labels), precompute_labels);
+        program, std::move(topo), std::move(labels), precompute_labels);
 }
 
 const std::vector<std::int64_t>&

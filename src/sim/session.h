@@ -63,9 +63,10 @@ namespace syscomm::sim {
  * by a once-flag — concurrent sessions on different threads may share
  * one instance freely (SweepRunner's workers do).
  *
- * The Program must outlive the CompiledProgram; the Topology is
- * copied so per-shape MachineSpecs (which hold their own Topology by
- * value) need not keep the original alive.
+ * The Program must outlive the CompiledProgram; the Topology travels
+ * as a SharedTopology, so compiling against a MachineSpec's topo (or
+ * handing one compiled program to a shape ladder) shares one graph
+ * instead of copying it per holder.
  */
 class CompiledProgram
 {
@@ -75,18 +76,20 @@ class CompiledProgram
      * default labeling verbatim; otherwise @p precompute_labels picks
      * between computing the section 6 labeling now or on first use.
      */
-    CompiledProgram(const Program& program, const Topology& topo,
+    CompiledProgram(const Program& program, SharedTopology topo,
                     std::vector<std::int64_t> labels = {},
                     bool precompute_labels = true);
 
     /** Convenience: compile into a shareable handle. */
     static std::shared_ptr<const CompiledProgram>
-    compile(const Program& program, const Topology& topo,
+    compile(const Program& program, SharedTopology topo,
             std::vector<std::int64_t> labels = {},
             bool precompute_labels = true);
 
     const Program& program() const { return program_; }
     const Topology& topo() const { return topo_; }
+    /** The shared topology node (alias it, don't copy it). */
+    const SharedTopology& sharedTopo() const { return topo_; }
 
     /** Did program validation pass? */
     bool valid() const { return validation_.empty(); }
@@ -148,7 +151,7 @@ class CompiledProgram
 
   private:
     const Program& program_;
-    Topology topo_;
+    SharedTopology topo_;
     std::vector<std::string> validation_;
     std::string firstError_;
     CompetingAnalysis competing_;

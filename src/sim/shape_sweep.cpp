@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -293,11 +294,11 @@ struct ShapeSweep::Journal
     }
 };
 
-ShapeSweep::ShapeSweep(const Program& program, const Topology& topo,
+ShapeSweep::ShapeSweep(const Program& program, SharedTopology topo,
                        std::vector<ShapeSpec> shapes,
                        ShapeSweepOptions options)
     : program_(program),
-      topo_(topo),
+      topo_(std::move(topo)),
       shapes_(std::move(shapes)),
       options_(std::move(options))
 {
@@ -312,6 +313,15 @@ ShapeSweep::ShapeSweep(const Program& program, const Topology& topo,
         specs_.push_back(std::move(spec));
     }
     sessions_.resize(shapes_.size());
+}
+
+ShapeSweep::ShapeSweep(std::shared_ptr<const CompiledProgram> compiled,
+                       std::vector<ShapeSpec> shapes,
+                       ShapeSweepOptions options)
+    : ShapeSweep(compiled->program(), compiled->sharedTopo(),
+                 std::move(shapes), std::move(options))
+{
+    compiled_ = std::move(compiled);
 }
 
 ShapeSweep::~ShapeSweep() = default;
@@ -403,10 +413,16 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
 
     std::atomic<std::size_t> restored{0};
     std::atomic<bool> stop{false};
+    const std::atomic<bool>* externalStop = options_.stopFlag;
+    auto stopRequested = [&] {
+        return stop.load(std::memory_order_relaxed) ||
+               (externalStop != nullptr &&
+                externalStop->load(std::memory_order_relaxed));
+    };
 
     auto job = [&](int, std::size_t workIdx) {
         const std::size_t s = work[workIdx];
-        if (stop.load(std::memory_order_relaxed))
+        if (stopRequested())
             return;
         if (!sessions_[s]) {
             sessions_[s] = std::make_unique<SimSession>(
@@ -418,7 +434,7 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
             ShapeSweepRow& row = out.rows[idx];
             if (row.finished)
                 continue;
-            if (stop.load(std::memory_order_relaxed))
+            if (stopRequested())
                 return;
             const RunRequest& request = requests[r];
             // Only stats-only rows are journaled/checkpointed; rows
@@ -471,6 +487,10 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
                                        std::memory_order_relaxed);
                             return;
                         }
+                        // A drain parks here: the checkpoint just
+                        // appended is the state the resume restores.
+                        if (stopRequested())
+                            return;
                     }
                     res = session.resume(res.cycles + every);
                 }
@@ -508,6 +528,76 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
     out.wallSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
     return out;
+}
+
+bool
+inspectSweepJournal(const std::string& path, SweepJournalInfo& out)
+{
+    out = SweepJournalInfo{};
+    const std::vector<std::uint8_t> bytes = readWholeFile(path);
+    constexpr std::size_t kHeader = 4 + 4 + 8;
+    if (bytes.size() < kHeader)
+        return false;
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::memcpy(&magic, bytes.data(), 4);
+    std::memcpy(&version, bytes.data() + 4, 4);
+    std::memcpy(&out.configDigest, bytes.data() + 8, 8);
+    if (magic != kJournalMagic || version != kJournalVersion)
+        return false;
+
+    // The same walk Journal::load does, minus the grid bounds (the
+    // inspector does not know the sweep's dimensions) and minus the
+    // config check (it reports on journals for *any* sweep). Torn or
+    // corrupt records stop the scan, so the progress reported is
+    // exactly what a resume would replay.
+    std::map<std::pair<std::size_t, std::size_t>, CheckpointInfo> live;
+    std::size_t at = kHeader;
+    while (bytes.size() - at >= kRecordOverhead) {
+        const std::uint8_t kind = bytes[at];
+        std::uint64_t len;
+        std::memcpy(&len, bytes.data() + at + 1, 8);
+        if (len > bytes.size() - at - kRecordOverhead)
+            break;
+        const std::uint8_t* payload = bytes.data() + at + 9;
+        std::uint64_t want;
+        std::memcpy(&want, payload + len, 8);
+        if (fnvBytes(kFnvOffsetBasis, payload,
+                     static_cast<std::size_t>(len)) != want)
+            break;
+
+        ByteReader r(payload, static_cast<std::size_t>(len));
+        const auto shape =
+            static_cast<std::size_t>(r.get<std::uint64_t>());
+        const auto request =
+            static_cast<std::size_t>(r.get<std::uint64_t>());
+        if (kind == kRecRowDone) {
+            if (r.ok()) {
+                ++out.rowsDone;
+                live.erase({shape, request});
+            }
+        } else if (kind == kRecCheckpoint) {
+            r.get<Cycle>(); // pause cycle (also in the header below)
+            const auto stateLen = r.get<std::uint64_t>();
+            CheckpointInfo info;
+            if (r.ok() && stateLen <= r.remaining() &&
+                peekCheckpointInfo(payload + (len - r.remaining()),
+                                   static_cast<std::size_t>(stateLen),
+                                   info)) {
+                live[{shape, request}] = std::move(info);
+            }
+        }
+        at += kRecordOverhead + static_cast<std::size_t>(len);
+    }
+    out.inflight.reserve(live.size());
+    for (auto& [key, info] : live) {
+        SweepJournalRow row;
+        row.shape = key.first;
+        row.request = key.second;
+        row.info = std::move(info);
+        out.inflight.push_back(std::move(row));
+    }
+    return true;
 }
 
 SweepSummary

@@ -35,6 +35,7 @@
  * cheap cross-host determinism check CI runs.
  */
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -94,6 +95,19 @@ struct ShapeSweepOptions
      * (complete == false); rerunning resumes from the journal.
      */
     std::size_t stopAfterJournalRecords = 0;
+    /**
+     * External stop request — the drain knob a long-running service
+     * pulls on SIGTERM. When non-null and set, workers claim no
+     * further rows, and a journaled in-flight run stops at its next
+     * pause point *after* its checkpoint record is appended, so the
+     * sweep parks in a resumable state within ~checkpointEvery cycles
+     * of the request. The returned result is partial (complete ==
+     * false); rerunning with the same journal resumes bit-identically.
+     * Non-journaled rows (Collect vectors, observers) finish their
+     * current run before honoring the flag — they have no checkpoint
+     * to park in. The flag must outlive run().
+     */
+    const std::atomic<bool>* stopFlag = nullptr;
     /**
      * Opt-in version tag folded into the journal's config digest.
      *
@@ -157,18 +171,69 @@ struct ShapeSweepResult
 };
 
 /**
+ * Progress parsed out of a crash-resume journal without rebuilding
+ * the sweep: what a service needs to report about a drained or killed
+ * sweep — how many rows finished, and for each in-flight checkpointed
+ * row the checkpoint's progress header (cycle reached, kernel,
+ * machine digest, per-message stream positions) via
+ * peekCheckpointInfo. No sessions are opened and no machine pools are
+ * parsed.
+ */
+struct SweepJournalRow
+{
+    std::size_t shape = 0;
+    std::size_t request = 0;
+    /** Header of the row's latest machine checkpoint. */
+    CheckpointInfo info;
+};
+
+struct SweepJournalInfo
+{
+    /** The header's config digest (identifies the exact sweep). */
+    std::uint64_t configDigest = 0;
+    /** Rows finished and replayable verbatim on resume. */
+    std::size_t rowsDone = 0;
+    /** Unfinished rows with a restorable checkpoint, latest per row,
+     *  ordered by (shape, request). */
+    std::vector<SweepJournalRow> inflight;
+};
+
+/**
+ * Parse @p path as a ShapeSweep journal. Returns false when the file
+ * is missing, too short, or not a journal of the current version. A
+ * torn or corrupt record stops the scan — everything sound before it
+ * is still counted, exactly mirroring what a resume would replay.
+ */
+bool inspectSweepJournal(const std::string& path, SweepJournalInfo& out);
+
+/**
  * The sweep driver. Construct once per (program, topology, ladder);
  * run() any number of request batches — the shared CompiledProgram
  * and the per-shape sessions are built on first use and cached, and
  * the worker threads persist across batches. The program must
- * outlive the sweep; the topology is copied. run() is not reentrant.
+ * outlive the sweep; the topology is shared (every per-shape spec
+ * aliases one graph). run() is not reentrant.
  */
 class ShapeSweep
 {
   public:
-    ShapeSweep(const Program& program, const Topology& topo,
+    ShapeSweep(const Program& program, SharedTopology topo,
                std::vector<ShapeSpec> shapes,
                ShapeSweepOptions options = {});
+
+    /**
+     * Build over compile analyses something else already paid for —
+     * the serving daemon's compiled-program cache hands one
+     * CompiledProgram to every submission of the same program, and
+     * its sweeps must not recompile per submission. @p compiled must
+     * be non-null; the Program it references must outlive the sweep.
+     * SessionOptions::labels / precomputeLabels in @p options are
+     * ignored (the shared object owns those choices).
+     */
+    ShapeSweep(std::shared_ptr<const CompiledProgram> compiled,
+               std::vector<ShapeSpec> shapes,
+               ShapeSweepOptions options = {});
+
     ~ShapeSweep();
 
     ShapeSweep(const ShapeSweep&) = delete;
@@ -194,7 +259,9 @@ class ShapeSweep
     struct Journal;
 
     const Program& program_;
-    Topology topo_;
+    /** One shared graph: every per-shape spec and the compiled
+     *  program alias this node instead of holding copies. */
+    SharedTopology topo_;
     std::vector<ShapeSpec> shapes_;
     ShapeSweepOptions options_;
     /** One MachineSpec per shape; stable addresses (built once). */

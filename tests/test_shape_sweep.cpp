@@ -182,6 +182,29 @@ TEST(ShapeSweep, GoldenMatchesIndependentSessionsAndCompilesOnce)
     }
 }
 
+TEST(ShapeSweep, LadderSharesOneTopology)
+{
+    Program p = perturbedProgram(1);
+    Topology topo = Topology::linearArray(6);
+    ShapeSweep sweep(p, topo, ladder16());
+    sweep.run({RunRequest{}});
+
+    // One graph serves the whole ladder: every per-shape spec and the
+    // shared CompiledProgram alias the same Topology node instead of
+    // holding copies (the by-value layout kept N+2 alive).
+    const Topology* shared = sweep.spec(0).topo.ptr().get();
+    for (std::size_t s = 1; s < sweep.shapes().size(); ++s)
+        EXPECT_EQ(sweep.spec(s).topo.ptr().get(), shared);
+    EXPECT_EQ(&sweep.compiled()->topo(), shared);
+
+    // Copying a spec shares rather than copies.
+    MachineSpec copy = sweep.spec(0);
+    EXPECT_EQ(copy.topo.ptr().get(), shared);
+    // Assigning a fresh Topology makes a fresh node.
+    copy.topo = Topology::linearArray(6);
+    EXPECT_NE(copy.topo.ptr().get(), shared);
+}
+
 TEST(ShapeSweep, WorkerCountDoesNotChangeResults)
 {
     Program p = perturbedProgram(2);

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * syscomm-cli — command-line client for syscommd.
+ *
+ * Speaks the line-JSON protocol (docs/protocol.md) over a Unix or TCP
+ * socket and prints the daemon's response line to stdout, so shell
+ * pipelines (and the CI daemon smoke job) can drive a daemon without
+ * any other tooling:
+ *
+ *   syscomm-cli gen-ring-sweep --cells 8 --shapes 16 > sweep.json
+ *   syscomm-cli --socket /tmp/sc.sock submit sweep.json
+ *   syscomm-cli --socket /tmp/sc.sock wait s-000001 60000
+ *   syscomm-cli --socket /tmp/sc.sock result s-000001
+ *
+ * gen-ring-sweep needs no daemon: it emits a ready-to-submit sweep
+ * body over a ring program whose cells alternate W/R around the ring
+ * — long-running, deadlock-free at any queue shape, and entirely
+ * transfer ops, so sweep journals cover it bit-identically.
+ *
+ * Exit codes: 0 = daemon answered "ok": true; 1 = daemon answered
+ * with an error/rejection; 2 = usage or transport failure; 3 = wait
+ * timed out.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.h"
+#include "serve/json.h"
+
+namespace {
+
+using syscomm::serve::JsonValue;
+using syscomm::serve::ServeClient;
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: syscomm-cli [--socket PATH | --tcp HOST:PORT] COMMAND\n"
+        "commands:\n"
+        "  ping | stats | drain\n"
+        "  submit [FILE]        submit body from FILE (default stdin)\n"
+        "  status ID\n"
+        "  result ID\n"
+        "  cancel ID\n"
+        "  wait ID [TIMEOUT_MS] poll until terminal (default 60000)\n"
+        "  gen-ring-sweep [--cells N] [--words W] [--streams S]\n"
+        "                 [--shapes K] [--seeds R] [--checkpoint-every C]\n"
+        "                 [--budget B] [--kernel event|reference]\n"
+        "                 print a sweep submit body (no daemon needed)\n");
+}
+
+bool
+parseInt(const char* text, long long& out)
+{
+    char* end = nullptr;
+    out = std::strtoll(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+/**
+ * The CI workload: a ring of @p cells cells, @p streams messages from
+ * every cell to its clockwise neighbor, each @p words long, with
+ * writes and reads interleaved word by word so every queue drains as
+ * it fills — the sweep runs long (cycles scale with words) without
+ * deadlocking on any shape.
+ */
+std::string
+ringProgramText(int cells, int words, int streams)
+{
+    std::ostringstream out;
+    out << "cells " << cells << "\n";
+    for (int c = 0; c < cells; ++c) {
+        for (int s = 0; s < streams; ++s) {
+            out << "message m" << c << "_" << s << " " << c << " -> "
+                << (c + 1) % cells << "\n";
+        }
+    }
+    for (int c = 0; c < cells; ++c) {
+        const int prev = (c + cells - 1) % cells;
+        out << "cell " << c << " {";
+        for (int w = 0; w < words; ++w) {
+            for (int s = 0; s < streams; ++s)
+                out << " W(m" << c << "_" << s << ")";
+            for (int s = 0; s < streams; ++s)
+                out << " R(m" << prev << "_" << s << ")";
+        }
+        out << " }\n";
+    }
+    return out.str();
+}
+
+int
+genRingSweep(int argc, char** argv, int argi)
+{
+    long long cells = 8, words = 400, streams = 1, shapes = 16;
+    long long seeds = 1, checkpointEvery = 2000, budget = 0;
+    std::string kernel = "event";
+    for (int i = argi; i < argc; i += 2) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        long long n = 0;
+        const bool num = value != nullptr && parseInt(value, n);
+        if (arg == "--cells" && num)
+            cells = n;
+        else if (arg == "--words" && num)
+            words = n;
+        else if (arg == "--streams" && num)
+            streams = n;
+        else if (arg == "--shapes" && num)
+            shapes = n;
+        else if (arg == "--seeds" && num)
+            seeds = n;
+        else if (arg == "--checkpoint-every" && num)
+            checkpointEvery = n;
+        else if (arg == "--budget" && num)
+            budget = n;
+        else if (arg == "--kernel" && value != nullptr)
+            kernel = value;
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (cells < 3 || words < 1 || streams < 1 || shapes < 1 ||
+        seeds < 1) {
+        std::fprintf(stderr, "gen-ring-sweep: bad parameters\n");
+        return 2;
+    }
+
+    JsonValue body = JsonValue::object();
+    body.set("kind", JsonValue::str("sweep"));
+    body.set("program", JsonValue::str(ringProgramText(
+                            int(cells), int(words), int(streams))));
+    JsonValue topo = JsonValue::object();
+    topo.set("kind", JsonValue::str("ring"));
+    topo.set("cells", JsonValue::integer(cells));
+    body.set("topology", std::move(topo));
+
+    // A deterministic ladder over queue count, capacity and the
+    // iWarp-style extension: the dimensions the paper sweeps.
+    JsonValue shapeList = JsonValue::array();
+    for (long long k = 0; k < shapes; ++k) {
+        JsonValue shape = JsonValue::object();
+        const long long queues = 1 + k % 4;
+        const long long capacity = 1 + (k / 4) % 4;
+        const long long extension = (k % 2 == 1) ? 2 : 0;
+        shape.set("name", JsonValue::str(
+                              "q" + std::to_string(queues) + "c" +
+                              std::to_string(capacity) +
+                              (extension > 0 ? "x" : "")));
+        shape.set("queues", JsonValue::integer(queues));
+        shape.set("capacity", JsonValue::integer(capacity));
+        shape.set("extension", JsonValue::integer(extension));
+        shape.set("penalty", JsonValue::integer(4));
+        shapeList.push(std::move(shape));
+    }
+    body.set("shapes", std::move(shapeList));
+
+    JsonValue requests = JsonValue::array();
+    for (long long r = 0; r < seeds; ++r) {
+        JsonValue request = JsonValue::object();
+        request.set("policy", JsonValue::str("compatible"));
+        request.set("seed", JsonValue::integer(1 + r));
+        requests.push(std::move(request));
+    }
+    body.set("requests", std::move(requests));
+    body.set("checkpoint_every", JsonValue::integer(checkpointEvery));
+    if (budget > 0)
+        body.set("cycle_budget", JsonValue::integer(budget));
+    body.set("kernel", JsonValue::str(kernel));
+
+    std::printf("%s\n", syscomm::serve::writeJson(body).c_str());
+    return 0;
+}
+
+int
+printResponse(const JsonValue& response)
+{
+    std::printf("%s\n", syscomm::serve::writeJson(response).c_str());
+    return response.getBool("ok", false) ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string socketPath;
+    std::string tcpHost;
+    int tcpPort = -1;
+    int argi = 1;
+    while (argi < argc) {
+        const std::string arg = argv[argi];
+        if (arg == "--socket" && argi + 1 < argc) {
+            socketPath = argv[argi + 1];
+            argi += 2;
+        } else if (arg == "--tcp" && argi + 1 < argc) {
+            const std::string spec = argv[argi + 1];
+            const std::size_t colon = spec.rfind(':');
+            long long port = 0;
+            if (colon == std::string::npos ||
+                !parseInt(spec.c_str() + colon + 1, port)) {
+                std::fprintf(stderr, "--tcp expects HOST:PORT\n");
+                return 2;
+            }
+            tcpHost = spec.substr(0, colon);
+            tcpPort = static_cast<int>(port);
+            argi += 2;
+        } else {
+            break;
+        }
+    }
+    if (argi >= argc) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[argi++];
+
+    if (command == "gen-ring-sweep")
+        return genRingSweep(argc, argv, argi);
+    if (command == "help" || command == "--help") {
+        usage();
+        return 0;
+    }
+
+    ServeClient client;
+    std::string error;
+    bool connected = false;
+    if (!socketPath.empty())
+        connected = client.connectUnix(socketPath, error);
+    else if (tcpPort >= 0)
+        connected = client.connectTcp(tcpHost, tcpPort, error);
+    else
+        error = "need --socket or --tcp";
+    if (!connected) {
+        std::fprintf(stderr, "syscomm-cli: %s\n", error.c_str());
+        return 2;
+    }
+
+    JsonValue response;
+    bool ok = false;
+    if (command == "ping") {
+        ok = client.ping(response, error);
+    } else if (command == "stats") {
+        ok = client.stats(response, error);
+    } else if (command == "drain") {
+        ok = client.drain(response, error);
+    } else if (command == "submit") {
+        std::string text;
+        if (argi < argc) {
+            std::ifstream in(argv[argi]);
+            if (!in) {
+                std::fprintf(stderr, "syscomm-cli: cannot read %s\n",
+                             argv[argi]);
+                return 2;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            text = ss.str();
+        } else {
+            std::ostringstream ss;
+            ss << std::cin.rdbuf();
+            text = ss.str();
+        }
+        JsonValue body;
+        if (!syscomm::serve::parseJson(text, body, error)) {
+            std::fprintf(stderr, "syscomm-cli: submit body: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        std::string id;
+        ok = client.submit(body, id, response, error);
+    } else if (command == "status" || command == "result" ||
+               command == "cancel") {
+        if (argi >= argc) {
+            usage();
+            return 2;
+        }
+        const std::string id = argv[argi];
+        if (command == "status")
+            ok = client.status(id, response, error);
+        else if (command == "result")
+            ok = client.result(id, response, error);
+        else
+            ok = client.cancel(id, response, error);
+    } else if (command == "wait") {
+        if (argi >= argc) {
+            usage();
+            return 2;
+        }
+        const std::string id = argv[argi++];
+        long long timeoutMs = 60'000;
+        if (argi < argc && !parseInt(argv[argi], timeoutMs)) {
+            usage();
+            return 2;
+        }
+        if (!client.waitTerminal(id, int(timeoutMs), response,
+                                 error)) {
+            std::fprintf(stderr, "syscomm-cli: %s\n", error.c_str());
+            return 3;
+        }
+        return printResponse(response);
+    } else {
+        usage();
+        return 2;
+    }
+
+    if (!ok) {
+        std::fprintf(stderr, "syscomm-cli: %s\n", error.c_str());
+        return 2;
+    }
+    return printResponse(response);
+}

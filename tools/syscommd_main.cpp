@@ -1,0 +1,173 @@
+/**
+ * @file
+ * syscommd — the simulation-as-a-service daemon executable.
+ *
+ * Thin lifecycle shell around serve::SyscommDaemon: parse flags, bind
+ * sockets, then sit in a control-word loop. Signals only store into
+ * the ServiceControl word (the one async-signal-safe thing there is
+ * to do); the main loop notices and performs the actual transition:
+ *
+ *   SIGTERM/SIGINT -> drain: stop admitting, park journaled sweeps at
+ *                     their next checkpoint, exit 0 with the spool in
+ *                     a resumable state.
+ *   SIGHUP         -> reload: re-scan the spool for submissions
+ *                     dropped in by other tools, keep serving.
+ *
+ * A SIGKILLed daemon skips the drain, which is the scenario the spool
+ * exists for: restart it on the same --spool and it re-admits the
+ * backlog and resumes journaled sweeps bit-identically (CI does
+ * exactly this in its daemon smoke job).
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "serve/control.h"
+#include "serve/daemon.h"
+
+namespace {
+
+// Signal handlers may only do an atomic store; the daemon's control
+// word is designed for exactly that. Global because handlers take no
+// context.
+syscomm::serve::ServiceControl* g_control = nullptr;
+
+void
+onDrainSignal(int)
+{
+    if (g_control != nullptr)
+        g_control->set(syscomm::serve::ServiceWant::kDrain);
+}
+
+void
+onReloadSignal(int)
+{
+    if (g_control != nullptr)
+        g_control->set(syscomm::serve::ServiceWant::kReload);
+}
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --socket PATH        unix listening socket\n"
+        "  --tcp PORT           TCP port on 127.0.0.1 (0 = ephemeral)\n"
+        "  --spool DIR          durability directory (resume after kill)\n"
+        "  --workers N          executor threads (default 2)\n"
+        "  --queue N            admission queue bound (default 64)\n"
+        "  --cache N            compiled-program cache entries (default 32)\n"
+        "  --slice N            run slice cycles (default 100000)\n"
+        "  --checkpoint-every N sweep checkpoint interval (default 5000)\n"
+        "  --budget N           default cycle budget (default 50000000)\n",
+        argv0);
+}
+
+bool
+parseLong(const char* text, long long& out)
+{
+    char* end = nullptr;
+    out = std::strtoll(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    syscomm::serve::DaemonOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+        long long n = 0;
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        }
+        if (value == nullptr) {
+            usage(argv[0]);
+            return 2;
+        }
+        if (arg == "--socket") {
+            options.socketPath = value;
+        } else if (arg == "--tcp" && parseLong(value, n)) {
+            options.tcpPort = static_cast<int>(n);
+        } else if (arg == "--spool") {
+            options.spoolDir = value;
+        } else if (arg == "--workers" && parseLong(value, n)) {
+            options.workers = static_cast<int>(n);
+        } else if (arg == "--queue" && parseLong(value, n)) {
+            options.maxQueue = static_cast<std::size_t>(n);
+        } else if (arg == "--cache" && parseLong(value, n)) {
+            options.cacheCapacity = static_cast<std::size_t>(n);
+        } else if (arg == "--slice" && parseLong(value, n)) {
+            options.sliceCycles = n;
+        } else if (arg == "--checkpoint-every" && parseLong(value, n)) {
+            options.sweepCheckpointEvery = n;
+        } else if (arg == "--budget" && parseLong(value, n)) {
+            options.defaultCycleBudget = n;
+        } else {
+            usage(argv[0]);
+            return 2;
+        }
+        ++i;
+    }
+    if (options.socketPath.empty() && options.tcpPort < 0) {
+        std::fprintf(stderr,
+                     "syscommd: need --socket and/or --tcp\n");
+        return 2;
+    }
+
+    syscomm::serve::SyscommDaemon daemon(std::move(options));
+    std::string error;
+    if (!daemon.start(error)) {
+        std::fprintf(stderr, "syscommd: %s\n", error.c_str());
+        return 1;
+    }
+    g_control = &daemon.control();
+    std::signal(SIGTERM, onDrainSignal);
+    std::signal(SIGINT, onDrainSignal);
+    std::signal(SIGHUP, onReloadSignal);
+
+    std::printf("syscommd: serving");
+    if (daemon.boundTcpPort() >= 0)
+        std::printf(" tcp=127.0.0.1:%d", daemon.boundTcpPort());
+    std::printf("\n");
+    std::fflush(stdout);
+
+    using syscomm::serve::ServiceWant;
+    for (;;) {
+        const ServiceWant want = daemon.control().get();
+        if (want == ServiceWant::kReload) {
+            daemon.reload();
+            daemon.control().advance(ServiceWant::kReload,
+                                     ServiceWant::kServe);
+        } else if (want == ServiceWant::kDrain ||
+                   want == ServiceWant::kStop) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    // Drain: requestDrain() flips in-flight stop flags; then wait for
+    // workers to park before exiting so every journaled sweep has its
+    // final checkpoint on disk.
+    std::printf("syscommd: draining\n");
+    std::fflush(stdout);
+    daemon.requestDrain();
+    while (!daemon.waitIdle(250)) {
+        // In-flight sweeps park within ~checkpointEvery cycles; keep
+        // waiting (a stuck simulation is still bounded by its cycle
+        // budget slices).
+    }
+    daemon.stop();
+    std::printf("syscommd: stopped\n");
+    return 0;
+}

@@ -7,7 +7,9 @@
 #include <thread>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -16,15 +18,99 @@
 
 namespace syscomm::serve {
 
+namespace {
+
+/** splitmix64: the deterministic jitter source for retry backoff. */
+std::uint64_t
+mixJitter(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Backoff for (0-based) retry @p attempt: exp growth, seeded jitter. */
+int
+backoffDelayMs(const RetryOptions& retry, int attempt)
+{
+    std::int64_t base = retry.baseDelayMs;
+    for (int i = 0; i < attempt && base < retry.maxDelayMs; ++i)
+        base *= 2;
+    base = std::min<std::int64_t>(base, retry.maxDelayMs);
+    if (base <= 0)
+        return 0;
+    const std::uint64_t jitter =
+        mixJitter(retry.jitterSeed ^
+                  static_cast<std::uint64_t>(attempt)) %
+        static_cast<std::uint64_t>(base);
+    // Full jitter halved around base: [base/2, base + base/2).
+    return static_cast<int>(base / 2 + static_cast<std::int64_t>(jitter));
+}
+
+} // namespace
+
 ServeClient::~ServeClient()
 {
     close();
+}
+
+void
+ServeClient::setTimeouts(int connectMs, int ioMs)
+{
+    connectTimeoutMs_ = std::max(0, connectMs);
+    ioTimeoutMs_ = std::max(0, ioMs);
+    if (fd_ >= 0)
+        applyIoTimeout();
+}
+
+void
+ServeClient::applyIoTimeout()
+{
+    if (ioTimeoutMs_ <= 0)
+        return;
+    timeval tv{};
+    tv.tv_sec = ioTimeoutMs_ / 1000;
+    tv.tv_usec = (ioTimeoutMs_ % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/**
+ * Drive a possibly-in-progress nonblocking connect to a verdict
+ * within connectTimeoutMs_, then restore blocking mode.
+ */
+bool
+ServeClient::finishConnect(std::string& error)
+{
+    pollfd pfd{fd_, POLLOUT, 0};
+    const int r = ::poll(&pfd, 1, connectTimeoutMs_);
+    if (r <= 0) {
+        error = r == 0 ? "connect timeout"
+                       : "poll: " + std::string(strerror(errno));
+        return false;
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soError, &len) != 0 ||
+        soError != 0) {
+        error = "connect: " +
+                std::string(strerror(soError != 0 ? soError : errno));
+        return false;
+    }
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+    return true;
 }
 
 bool
 ServeClient::connectUnix(const std::string& path, std::string& error)
 {
     close();
+    endpoint_ = Endpoint::kUnix;
+    endpointPath_ = path;
+    endpointPort_ = -1;
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) {
         error = "socket: " + std::string(strerror(errno));
@@ -39,12 +125,32 @@ ServeClient::connectUnix(const std::string& path, std::string& error)
     }
     std::strncpy(addr.sun_path, path.c_str(),
                  sizeof(addr.sun_path) - 1);
+    if (connectTimeoutMs_ > 0) {
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (flags >= 0)
+            ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    }
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
+        if (connectTimeoutMs_ > 0 && errno == EINPROGRESS) {
+            if (!finishConnect(error)) {
+                error = "connect(" + path + "): " + error;
+                close();
+                return false;
+            }
+            applyIoTimeout();
+            return true;
+        }
         error = "connect(" + path + "): " + strerror(errno);
         close();
         return false;
     }
+    if (connectTimeoutMs_ > 0) {
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (flags >= 0)
+            ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+    }
+    applyIoTimeout();
     return true;
 }
 
@@ -53,6 +159,9 @@ ServeClient::connectTcp(const std::string& host, int port,
                         std::string& error)
 {
     close();
+    endpoint_ = Endpoint::kTcp;
+    endpointPath_ = host;
+    endpointPort_ = port;
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
         error = "socket: " + std::string(strerror(errno));
@@ -66,14 +175,50 @@ ServeClient::connectTcp(const std::string& host, int port,
         close();
         return false;
     }
+    if (connectTimeoutMs_ > 0) {
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (flags >= 0)
+            ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    }
     if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
+        if (connectTimeoutMs_ > 0 && errno == EINPROGRESS) {
+            if (!finishConnect(error)) {
+                error = "connect(" + host + ":" +
+                        std::to_string(port) + "): " + error;
+                close();
+                return false;
+            }
+            applyIoTimeout();
+            return true;
+        }
         error = "connect(" + host + ":" + std::to_string(port) +
                 "): " + strerror(errno);
         close();
         return false;
     }
+    if (connectTimeoutMs_ > 0) {
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (flags >= 0)
+            ::fcntl(fd_, F_SETFL, flags & ~O_NONBLOCK);
+    }
+    applyIoTimeout();
     return true;
+}
+
+bool
+ServeClient::reconnect(std::string& error)
+{
+    switch (endpoint_) {
+      case Endpoint::kUnix:
+        return connectUnix(endpointPath_, error);
+      case Endpoint::kTcp:
+        return connectTcp(endpointPath_, endpointPort_, error);
+      case Endpoint::kNone:
+        break;
+    }
+    error = "no endpoint to reconnect to";
+    return false;
 }
 
 void
@@ -120,8 +265,13 @@ ServeClient::readLine(std::string& line, std::string& error)
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
-            error = n == 0 ? "connection closed by daemon"
-                           : "recv: " + std::string(strerror(errno));
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                error = "recv timeout after " +
+                        std::to_string(ioTimeoutMs_) + " ms";
+            else
+                error = n == 0
+                            ? "connection closed by daemon"
+                            : "recv: " + std::string(strerror(errno));
             return false;
         }
         pending_.append(buf, static_cast<std::size_t>(n));
@@ -258,6 +408,86 @@ ServeClient::waitTerminal(const std::string& id, int timeoutMs,
         std::this_thread::sleep_for(
             std::chrono::milliseconds(sleepMs));
         sleepMs = std::min(sleepMs * 2, 50);
+    }
+}
+
+bool
+ServeClient::submitWithRetry(const JsonValue& submission,
+                             const RetryOptions& retry,
+                             std::string& id, JsonValue& response,
+                             std::string& error)
+{
+    const int attempts = std::max(1, retry.maxAttempts);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoffDelayMs(retry, attempt - 1)));
+        if (!connected() && !reconnect(error))
+            continue; // daemon may still be restarting
+        if (!submit(submission, id, response, error)) {
+            // Transport failure: the daemon may have taken the
+            // submission and died before the ack. The idempotency
+            // key makes the resend safe either way.
+            close();
+            continue;
+        }
+        if (response.getBool("ok", false))
+            return true;
+        const std::string rejected = response.getString("rejected");
+        const bool retryable = rejected == "queue_full" ||
+                               rejected == "degraded" ||
+                               rejected == "spool_error";
+        if (!retryable) {
+            error = response.getString("error", "submit rejected");
+            return false;
+        }
+        error = response.getString("error", rejected);
+    }
+    error = "submit failed after " + std::to_string(attempts) +
+            " attempts: " + error;
+    return false;
+}
+
+bool
+ServeClient::waitTerminalRetry(const std::string& id, int timeoutMs,
+                               const RetryOptions& retry,
+                               JsonValue& response, std::string& error)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeoutMs);
+    int attempt = 0;
+    for (;;) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (left <= 0) {
+            error = "timeout waiting for " + id;
+            return false;
+        }
+        if (!connected()) {
+            if (!reconnect(error)) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    std::min<std::int64_t>(
+                        left, backoffDelayMs(retry, attempt++))));
+                continue;
+            }
+            attempt = 0;
+        }
+        if (waitTerminal(id, static_cast<int>(left), response, error))
+            return true;
+        // "unknown id" is final (a spool-less daemon forgot us);
+        // timeouts are final; transport failures mean the daemon is
+        // down or restarting — reconnect and resume polling.
+        if (connected() && response.isObject() &&
+            !response.getString("error").empty())
+            return false;
+        if (Clock::now() >= deadline) {
+            error = "timeout waiting for " + id + ": " + error;
+            return false;
+        }
+        close();
     }
 }
 

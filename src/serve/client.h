@@ -9,18 +9,37 @@
  * socket and write JSON lines interoperates just as well — that is
  * the point of a text protocol.
  *
- * Wire caveat for remote (TCP) clients: the daemon's sweep journals
- * and checkpoint streams are NATIVE-ENDIAN host formats (see
- * sim/serial.h) — the JSON protocol itself is portable, but a spool
- * directory only resumes on a host of the same endianness and type
- * widths as the daemon that wrote it.
+ * Both the JSON protocol and the daemon's on-disk formats are
+ * host-portable: since format v3 the sweep journals and checkpoint
+ * streams are fixed little-endian (sim/serial.h), so a spool
+ * directory written on one host resumes on any other.
+ *
+ * Resilience: connect/read deadlines (setTimeouts), plus
+ * submitWithRetry / waitTerminalRetry — exponential backoff with
+ * deterministic jitter, automatic reconnection, and idempotency-key
+ * deduplication, so a submission survives a daemon SIGKILL+restart
+ * without running twice.
  */
 
+#include <cstdint>
 #include <string>
 
 #include "serve/json.h"
 
 namespace syscomm::serve {
+
+/** Backoff schedule for the retrying helpers. */
+struct RetryOptions
+{
+    /** Total tries (first attempt included). */
+    int maxAttempts = 5;
+    /** First backoff sleep; doubles each retry. */
+    int baseDelayMs = 20;
+    /** Backoff ceiling. */
+    int maxDelayMs = 1000;
+    /** Seeds the deterministic jitter (tests pin it). */
+    std::uint64_t jitterSeed = 1;
+};
 
 class ServeClient
 {
@@ -36,6 +55,21 @@ class ServeClient
                     std::string& error);
     void close();
     bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Deadlines for connect and for each send/recv, in milliseconds
+     * (0 = block forever, the default). Applies to subsequent
+     * connects; a read that trips the deadline fails the round trip
+     * with a "timeout" error instead of hanging waitTerminal forever
+     * on a daemon that died mid-response.
+     */
+    void setTimeouts(int connectMs, int ioMs);
+
+    /**
+     * Re-establish the last connectUnix/connectTcp endpoint (the
+     * retrying helpers call this after a transport failure).
+     */
+    bool reconnect(std::string& error);
 
     /**
      * Send one raw line (newline appended) and read one response
@@ -79,6 +113,29 @@ class ServeClient
                       bool stopOnParked = false);
 
     /**
+     * submit with reconnect + exponential backoff. Retries transport
+     * failures and the retryable rejections (queue_full, degraded,
+     * spool_error); bad_request and draining are final. Give the
+     * submission an "idempotency_key" — that is what makes a retry
+     * after a lost ack safe (the daemon answers the original id
+     * instead of admitting a duplicate).
+     */
+    bool submitWithRetry(const JsonValue& submission,
+                         const RetryOptions& retry, std::string& id,
+                         JsonValue& response, std::string& error);
+
+    /**
+     * waitTerminal that survives the daemon dying and coming back:
+     * transport failures reconnect with backoff and polling resumes,
+     * until @p timeoutMs expires overall. With a spooled daemon the
+     * restarted process re-admits the id, so the poll converges on
+     * the same terminal result the uninterrupted daemon would give.
+     */
+    bool waitTerminalRetry(const std::string& id, int timeoutMs,
+                           const RetryOptions& retry,
+                           JsonValue& response, std::string& error);
+
+    /**
      * Raw byte escape hatches for the robustness tests: send without
      * framing (sendBytes) and slam the connection mid-write
      * (closeAbruptly == close; the abruptness is in when you call it).
@@ -87,10 +144,19 @@ class ServeClient
     int fd() const { return fd_; }
 
   private:
+    enum class Endpoint : std::uint8_t { kNone, kUnix, kTcp };
+
     bool readLine(std::string& line, std::string& error);
+    bool finishConnect(std::string& error);
+    void applyIoTimeout();
 
     int fd_ = -1;
     std::string pending_;
+    int connectTimeoutMs_ = 0;
+    int ioTimeoutMs_ = 0;
+    Endpoint endpoint_ = Endpoint::kNone;
+    std::string endpointPath_; ///< unix path or TCP host
+    int endpointPort_ = -1;
 };
 
 } // namespace syscomm::serve

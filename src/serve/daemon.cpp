@@ -48,6 +48,15 @@ struct SyscommDaemon::Sub
     bool cachedCompile = false;
     /** Last pause-slice cycle count of a single run (daemon mutex). */
     Cycle executedCycles = 0;
+    /** Client-supplied dedup key; "" = none (daemon mutex). */
+    std::string idempotencyKey;
+    /**
+     * Wall time (steady ms) of the last slice boundary of a single
+     * run; 0 while not running. The watchdog compares it to now.
+     */
+    std::atomic<std::int64_t> lastProgressMs{0};
+    /** Set by the watchdog; the slice loop turns it into kError. */
+    std::atomic<bool> watchdogFired{false};
 };
 
 namespace {
@@ -65,35 +74,12 @@ makeId(std::uint64_t n)
     return buf;
 }
 
-/** Write-then-rename so a crashed daemon never reads half a file. */
-bool
-writeFileAtomic(const std::string& path, const std::string& content)
+std::int64_t
+steadyNowMs()
 {
-    const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            return false;
-        out.write(content.data(),
-                  static_cast<std::streamsize>(content.size()));
-        if (!out)
-            return false;
-    }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);
-    return !ec;
-}
-
-bool
-readWholeFile(const std::string& path, std::string& out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    out = ss.str();
-    return true;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 bool
@@ -158,6 +144,9 @@ SyscommDaemon::SyscommDaemon(DaemonOptions options)
         options_.workers = 1;
     if (options_.sliceCycles < 1)
         options_.sliceCycles = 1;
+    if (options_.watchdogMs < 0)
+        options_.watchdogMs = 0;
+    io_ = options_.io != nullptr ? options_.io : &Io::system();
 }
 
 SyscommDaemon::~SyscommDaemon()
@@ -242,6 +231,9 @@ SyscommDaemon::start(std::string& error)
     for (int i = 0; i < options_.workers; ++i)
         workerThreads_.emplace_back(&SyscommDaemon::workerLoop, this);
     acceptThread_ = std::thread(&SyscommDaemon::acceptLoop, this);
+    if (options_.watchdogMs > 0)
+        watchdogThread_ =
+            std::thread(&SyscommDaemon::watchdogLoop, this);
     started_ = true;
     return true;
 }
@@ -267,6 +259,10 @@ SyscommDaemon::reload()
     std::string ignored;
     recoverSpool(ignored);
     std::lock_guard<std::mutex> lock(mutex_);
+    // The operator's signal that the disk situation changed (space
+    // freed, spool remounted): leave degraded mode optimistically —
+    // the next spool write re-enters it if the disk is still broken.
+    clearDegradedLocked();
     workCv_.notify_all();
 }
 
@@ -288,6 +284,8 @@ SyscommDaemon::stop()
     }
     if (acceptThread_.joinable())
         acceptThread_.join();
+    if (watchdogThread_.joinable())
+        watchdogThread_.join();
     {
         std::lock_guard<std::mutex> lock(clientMutex_);
         for (int fd : clientFds_) {
@@ -353,6 +351,7 @@ SyscommDaemon::recoverSpool(std::string& error)
     }
 
     std::vector<std::string> ids;
+    std::vector<std::string> orphanTmp;
     for (const auto& entry :
          fs::directory_iterator(options_.spoolDir, ec)) {
         const std::string name = entry.path().filename().string();
@@ -361,7 +360,14 @@ SyscommDaemon::recoverSpool(std::string& error)
             name.compare(name.size() - sufLen, sufLen, kSubSuffix) ==
                 0)
             ids.push_back(name.substr(0, name.size() - sufLen));
+        // A crash between tmp-write and rename leaves "<x>.tmp"; the
+        // rename never happened, so the file is dead weight.
+        else if (name.size() > 4 &&
+                 name.compare(name.size() - 4, 4, ".tmp") == 0)
+            orphanTmp.push_back(entry.path().string());
     }
+    for (const std::string& path : orphanTmp)
+        io_->remove(path);
     // Id order is admission order: recovery requeues the backlog in
     // the order clients were ack'd, deterministically.
     std::sort(ids.begin(), ids.end());
@@ -378,11 +384,26 @@ SyscommDaemon::recoverSpool(std::string& error)
         }
         auto sub = std::make_unique<Sub>();
         sub->id = id;
-        if (!readWholeFile(spoolFile(id, kSubSuffix), sub->rawLine))
+        std::string ioErr;
+        if (!io_->readFile(spoolFile(id, kSubSuffix), sub->rawLine,
+                           ioErr))
             continue;
+        // Rebuild the idempotency index from the persisted request
+        // line, terminal or not: a client retrying across the restart
+        // must land on this id, not create a duplicate.
+        {
+            JsonValue raw;
+            std::string rawErr;
+            if (parseJson(sub->rawLine, raw, rawErr)) {
+                sub->idempotencyKey = raw.getString("idempotency_key");
+                if (!sub->idempotencyKey.empty())
+                    idempotency_.emplace(sub->idempotencyKey, id);
+            }
+        }
 
         std::string doneText;
-        if (readWholeFile(spoolFile(id, kDoneSuffix), doneText)) {
+        if (io_->readFile(spoolFile(id, kDoneSuffix), doneText,
+                          ioErr)) {
             // Finished in a previous life: re-index the result.
             JsonValue done;
             std::string err;
@@ -437,7 +458,30 @@ SyscommDaemon::writeDoneMarker(Sub& sub)
     done.set("state",
              JsonValue::str(submissionStateName(sub.state)));
     done.set("result", sub.result);
-    writeFileAtomic(spoolFile(sub.id, kDoneSuffix), writeJson(done));
+    std::string ioErr;
+    if (!writeFileAtomicIo(*io_, spoolFile(sub.id, kDoneSuffix),
+                           writeJson(done), options_.fsyncPolicy,
+                           ioErr)) {
+        // The result survives in memory and the submission line is
+        // still spooled — a restart re-executes it. Flag the disk.
+        setDegradedLocked("done marker " + sub.id + ": " + ioErr);
+    } else {
+        clearDegradedLocked();
+    }
+}
+
+void
+SyscommDaemon::setDegradedLocked(const std::string& reason)
+{
+    degraded_ = true;
+    degradedReason_ = reason;
+}
+
+void
+SyscommDaemon::clearDegradedLocked()
+{
+    degraded_ = false;
+    degradedReason_.clear();
 }
 
 // ---------------------------------------------------------------
@@ -472,6 +516,38 @@ SyscommDaemon::workerLoop()
             --active_;
         }
         idleCv_.notify_all();
+    }
+}
+
+void
+SyscommDaemon::watchdogLoop()
+{
+    const auto poll = std::chrono::milliseconds(
+        std::max<std::int64_t>(10, options_.watchdogMs / 4));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+        workCv_.wait_for(lock, poll);
+        if (stopping_)
+            return;
+        const std::int64_t now = steadyNowMs();
+        for (auto& [id, sub] : subs_) {
+            // Single runs only: their slice loop reports progress
+            // every sliceCycles. Sweeps legitimately go long between
+            // journal checkpoints, so they are not watched.
+            if (sub->state != SubmissionState::kRunning ||
+                !sub->payloadValid || sub->payload.isSweep)
+                continue;
+            if (sub->watchdogFired.load(std::memory_order_relaxed))
+                continue;
+            const std::int64_t last =
+                sub->lastProgressMs.load(std::memory_order_relaxed);
+            if (last > 0 && now - last > options_.watchdogMs) {
+                sub->watchdogFired.store(true,
+                                         std::memory_order_relaxed);
+                sub->stop.store(true, std::memory_order_relaxed);
+                ++watchdogFired_;
+            }
+        }
     }
 }
 
@@ -516,6 +592,11 @@ SyscommDaemon::execute(Sub* sub)
             return;
         }
         sub->state = SubmissionState::kRunning;
+        // 0 = "no slice boundary seen yet"; the watchdog ignores it,
+        // so a submission re-queued after a park can never be judged
+        // by a stale timestamp from its previous execution.
+        sub->lastProgressMs.store(0, std::memory_order_relaxed);
+        sub->watchdogFired.store(false, std::memory_order_relaxed);
     }
     if (payload.isSweep)
         executeSweep(sub, entry);
@@ -550,17 +631,40 @@ SyscommDaemon::executeRun(Sub* sub, const CachedProgram& entry)
     // is bit-exact by contract).
     sim::RunRequest request = payload.requests[0];
     request.pauseAt = std::min(slice, budget);
+    sub->lastProgressMs.store(steadyNowMs(),
+                              std::memory_order_relaxed);
     sim::RunResult result = session.run(request);
     while (result.status == sim::RunStatus::kPaused) {
+        sub->lastProgressMs.store(steadyNowMs(),
+                                  std::memory_order_relaxed);
         bool cancelled = false;
         bool draining = false;
+        bool watchdogged = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             sub->executedCycles = result.cycles;
             if (sub->stop.load(std::memory_order_relaxed)) {
-                cancelled = sub->cancelRequested;
-                draining = !cancelled;
+                // Watchdog verdicts outrank cancel/drain: the run
+                // overshot its slice deadline and fails explicitly,
+                // never silently requeues.
+                watchdogged = sub->watchdogFired.load(
+                    std::memory_order_relaxed);
+                cancelled = !watchdogged && sub->cancelRequested;
+                draining = !watchdogged && !cancelled;
             }
+        }
+        if (watchdogged) {
+            finish(sub, SubmissionState::kError,
+                   JsonValue::object()
+                       .set("error",
+                            JsonValue::str(
+                                "watchdog: run stuck past its slice "
+                                "deadline (" +
+                                std::to_string(options_.watchdogMs) +
+                                " ms)"))
+                       .set("cycles",
+                            JsonValue::integer(result.cycles)));
+            return;
         }
         if (cancelled) {
             finish(sub, SubmissionState::kCancelled,
@@ -614,6 +718,9 @@ SyscommDaemon::executeSweep(Sub* sub, const CachedProgram& entry)
                                        : options_.sweepCheckpointEvery;
     sweepOptions.programVersion = payload.programVersion;
     sweepOptions.stopFlag = &sub->stop;
+    sweepOptions.io = io_;
+    sweepOptions.fsyncEveryRecord =
+        options_.fsyncPolicy == FsyncPolicy::kAlways;
 
     sim::ShapeSweep sweep(entry.compiled, payload.shapes,
                           sweepOptions);
@@ -627,6 +734,15 @@ SyscommDaemon::executeSweep(Sub* sub, const CachedProgram& entry)
             std::min<Cycle>(request.maxCycles, budget);
 
     sim::ShapeSweepResult result = sweep.run(requests);
+
+    if (result.journalError) {
+        // The sweep itself is unharmed (journaling latched off and it
+        // kept computing), but the disk is suspect: durability is
+        // gone until an operator intervenes or a later write works.
+        std::lock_guard<std::mutex> lock(mutex_);
+        setDegradedLocked("sweep journal " + sub->id + ": " +
+                          result.journalErrorText);
+    }
 
     if (!result.complete) {
         bool cancelled = false;
@@ -851,6 +967,41 @@ SyscommDaemon::handleSubmit(const JsonValue& msg,
     sub->rawLine = line;
 
     std::lock_guard<std::mutex> lock(mutex_);
+    // Idempotent resubmission: a key we have already admitted (this
+    // life or a previous one — the index is rebuilt from the spool)
+    // answers with the original id instead of running the work twice.
+    // Checked before every other rejection: a retry of an admitted
+    // submission must succeed even degraded or queue-full, it is a
+    // read.
+    const std::string& key = sub->payload.idempotencyKey;
+    if (!key.empty()) {
+        auto known = idempotency_.find(key);
+        if (known != idempotency_.end()) {
+            auto existing = subs_.find(known->second);
+            if (existing != subs_.end()) {
+                JsonValue response = JsonValue::object();
+                response.set("ok", JsonValue::boolean(true));
+                response.set("id", JsonValue::str(known->second));
+                response.set(
+                    "state",
+                    JsonValue::str(submissionStateName(
+                        existing->second->state)));
+                response.set("deduplicated",
+                             JsonValue::boolean(true));
+                return response;
+            }
+        }
+    }
+    if (degraded_) {
+        // Reject-new/serve-reads mode: the spool cannot persist new
+        // work, and an unspooled admission would break the "an id we
+        // returned survives a restart" contract.
+        ++rejectedDegraded_;
+        return rejectResponse(
+            "degraded",
+            "spool is failing (" + degradedReason_ +
+                "); serving reads only");
+    }
     // Admission control: a full queue answers "queue_full" NOW —
     // clients never block on a silent backlog.
     if (queue_.size() >= options_.maxQueue) {
@@ -867,12 +1018,20 @@ SyscommDaemon::handleSubmit(const JsonValue& msg,
             sub->journalPath = spoolFile(id, kJournalSuffix);
         // Persist before acknowledging: an id we returned must be an
         // id a restarted daemon still knows.
-        if (!writeFileAtomic(spoolFile(id, kSubSuffix), line)) {
+        std::string ioErr;
+        if (!writeFileAtomicIo(*io_, spoolFile(id, kSubSuffix), line,
+                               options_.fsyncPolicy, ioErr)) {
             --nextId_;
+            setDegradedLocked("spool write: " + ioErr);
             return rejectResponse("spool_error",
-                                  "cannot persist submission");
+                                  "cannot persist submission: " +
+                                      ioErr);
         }
+        clearDegradedLocked();
     }
+    sub->idempotencyKey = key;
+    if (!key.empty())
+        idempotency_.emplace(key, id);
     Sub* raw = sub.get();
     subs_.emplace(id, std::move(sub));
     queue_.push_back(raw);
@@ -1056,7 +1215,18 @@ SyscommDaemon::statsJson()
     queue.set("rejected_draining",
               JsonValue::integer(
                   static_cast<std::int64_t>(rejectedDraining_)));
+    queue.set("rejected_degraded",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(rejectedDegraded_)));
     response.set("queue", std::move(queue));
+
+    response.set("degraded", JsonValue::boolean(degraded_));
+    if (degraded_)
+        response.set("degraded_reason",
+                     JsonValue::str(degradedReason_));
+    response.set("watchdog_fired",
+                 JsonValue::integer(
+                     static_cast<std::int64_t>(watchdogFired_)));
 
     const CompileCache::Stats cacheStats = cache_.stats();
     JsonValue cache = JsonValue::object();

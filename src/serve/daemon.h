@@ -47,6 +47,7 @@
 
 #include "serve/cache.h"
 #include "serve/control.h"
+#include "serve/io.h"
 #include "serve/protocol.h"
 
 namespace syscomm::serve {
@@ -84,6 +85,25 @@ struct DaemonOptions
     Cycle sliceCycles = 100'000;
     /** Default sweep journal checkpoint interval (cycles). */
     Cycle sweepCheckpointEvery = 5'000;
+    /**
+     * The IO layer every spool/journal byte goes through. nullptr =
+     * the real filesystem; the crash-point fuzz harness injects a
+     * FaultyIo here to kill the daemon's durability chain at any
+     * enumerated syscall. Must outlive the daemon.
+     */
+    Io* io = nullptr;
+    /** When the spool/journal calls fsync (serve/io.h). */
+    FsyncPolicy fsyncPolicy = FsyncPolicy::kNone;
+    /**
+     * Worker watchdog: a single run whose pause slice makes no
+     * progress for this many wall milliseconds is stopped and failed
+     * explicitly as an error ("watchdog: ..."), instead of wedging a
+     * worker forever. 0 disables. Cooperative: the run must return
+     * from its slice for the verdict to land — a thread wedged
+     * *inside* the simulator cannot be preempted, but every slice
+     * boundary checks.
+     */
+    std::int64_t watchdogMs = 0;
 };
 
 class SyscommDaemon
@@ -139,9 +159,13 @@ class SyscommDaemon
                           const char* suffix) const;
     bool recoverSpool(std::string& error);
     void writeDoneMarker(Sub& sub);
+    /** Enter/leave reject-new degraded mode (mutex_ must be held). */
+    void setDegradedLocked(const std::string& reason);
+    void clearDegradedLocked();
 
     // -- execution ------------------------------------------------
     void workerLoop();
+    void watchdogLoop();
     void execute(Sub* sub);
     void executeRun(Sub* sub, const CachedProgram& entry);
     void executeSweep(Sub* sub, const CachedProgram& entry);
@@ -166,6 +190,8 @@ class SyscommDaemon
     DaemonOptions options_;
     ServiceControl control_;
     CompileCache cache_;
+    /** Resolved IO layer (options_.io or Io::system()). */
+    Io* io_ = nullptr;
 
     std::mutex mutex_;
     std::condition_variable workCv_;
@@ -173,18 +199,32 @@ class SyscommDaemon
     /** id -> submission; ids are dense ("s-000001", ...). */
     std::map<std::string, std::unique_ptr<Sub>> subs_;
     std::deque<Sub*> queue_;
+    /** idempotency key -> id: duplicate submits return the same id. */
+    std::map<std::string, std::string> idempotency_;
     std::uint64_t nextId_ = 1;
     int active_ = 0; ///< submissions in kCompiling/kRunning
     bool stopping_ = false;
     std::uint64_t rejectedQueueFull_ = 0;
     std::uint64_t rejectedBadRequest_ = 0;
     std::uint64_t rejectedDraining_ = 0;
+    std::uint64_t rejectedDegraded_ = 0;
+    std::uint64_t watchdogFired_ = 0;
+    /**
+     * Reject-new/serve-reads mode: set when a spool write, done
+     * marker or sweep journal fails (ENOSPC, EIO). New submissions
+     * are rejected "degraded"; status/result/stats keep serving.
+     * Cleared by reload() (operator freed space) or by the next
+     * successful spool write.
+     */
+    bool degraded_ = false;
+    std::string degradedReason_;
 
     int unixFd_ = -1;
     int tcpFd_ = -1;
     int boundTcpPort_ = -1;
     int wakePipe_[2] = {-1, -1};
     std::thread acceptThread_;
+    std::thread watchdogThread_;
     std::vector<std::thread> workerThreads_;
     std::mutex clientMutex_;
     std::vector<std::thread> clientThreads_;

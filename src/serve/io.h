@@ -1,0 +1,164 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic, injectable IO — the durability chain's one door to
+ * the filesystem.
+ *
+ * Every byte the daemon spool, the ShapeSweep journal and the
+ * checkpoint writer persist goes through an Io instance. Production
+ * uses Io::system(), a zero-state passthrough over the C/POSIX calls.
+ * Tests substitute a FaultyIo with a *seeded fault schedule* — short
+ * write, EIO, sticky ENOSPC, or crash-after-op-N — so every syscall
+ * point in the durability chain can be killed deterministically and
+ * the recovery checked for bit-identical resume (the crash-point fuzz
+ * harness enumerates exactly these op counters).
+ *
+ * The interface is deliberately coarse: open/write/flush/sync/close
+ * on an opaque handle, plus whole-file read, rename, truncate and
+ * remove. Each *mutating* primitive (write, sync, rename, truncate,
+ * atomic-file) advances the op counter by one, which is what a fault
+ * schedule indexes. Reads never mutate and are only faulted by EIO
+ * schedules.
+ *
+ * This header lives in serve/ (per the service layering) but is a
+ * generic POSIX shim with no serve dependencies; sim/shape_sweep.cpp
+ * uses it too — both compile into the single syscomm library.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace syscomm::serve {
+
+/**
+ * When the durability chain calls Io::sync. Default is kNone — the
+ * formats are torn-write-proof by construction (CRC-framed,
+ * truncate-to-last-good), so fsync buys power-loss durability, not
+ * correctness, and tests should not pay for it.
+ */
+enum class FsyncPolicy : std::uint8_t {
+    kNone = 0,   ///< never fsync; OS-level flush only
+    kMarkers,    ///< fsync spool files and done-markers, not journal appends
+    kAlways,     ///< fsync every journal append too
+};
+
+const char* fsyncPolicyName(FsyncPolicy policy);
+bool parseFsyncPolicy(const std::string& text, FsyncPolicy& out);
+
+/** Opaque per-open state; concrete Io implementations define it. */
+struct IoFile;
+struct FaultyIoState;
+
+class Io
+{
+  public:
+    virtual ~Io() = default;
+
+    /** The passthrough singleton used in production. */
+    static Io& system();
+
+    /**
+     * Open @p path for writing (append or truncate). Returns nullptr
+     * with @p error set on failure. Close with close() even on error
+     * paths.
+     */
+    virtual IoFile* openWrite(const std::string& path, bool append,
+                              std::string& error) = 0;
+
+    /** Append @p len bytes. One mutating op. Short writes fail. */
+    virtual bool write(IoFile* file, const void* data, std::size_t len,
+                       std::string& error) = 0;
+
+    /** Push buffered bytes to the OS (fflush). Not a counted op. */
+    virtual bool flush(IoFile* file, std::string& error) = 0;
+
+    /** fsync the handle. One mutating op. */
+    virtual bool sync(IoFile* file, std::string& error) = 0;
+
+    virtual void close(IoFile* file) = 0;
+
+    /** Atomic replace (POSIX rename semantics). One mutating op. */
+    virtual bool rename(const std::string& from, const std::string& to,
+                        std::string& error) = 0;
+
+    /** Shrink @p path to @p size bytes. One mutating op. */
+    virtual bool truncate(const std::string& path, std::uint64_t size,
+                          std::string& error) = 0;
+
+    /** Delete @p path; missing files are not an error. */
+    virtual bool remove(const std::string& path) = 0;
+
+    /** Read the whole of @p path. False + error if unreadable. */
+    virtual bool readFile(const std::string& path, std::string& out,
+                          std::string& error) = 0;
+};
+
+/**
+ * Write-tmp-then-rename through @p io: the contents of @p path are
+ * either the old ones or @p data, never a prefix. The tmp file is
+ * removed on every failure path (no orphans). With FsyncPolicy other
+ * than kNone the data is fsynced before the rename.
+ */
+bool writeFileAtomicIo(Io& io, const std::string& path,
+                       const std::string& data, FsyncPolicy policy,
+                       std::string& error);
+
+/** What a FaultyIo schedule does when its op index comes up. */
+enum class IoFaultKind : std::uint8_t {
+    kNone = 0,
+    kCrash,      ///< torn write at op N, then every later op fails dead
+    kEio,        ///< op N alone fails with EIO, no side effects
+    kEnospc,     ///< op N and all later mutating ops fail (sticky) until clearFault()
+    kShortWrite, ///< op N writes a seeded prefix and reports failure
+};
+
+/**
+ * A deterministic fault-injecting Io wrapping the real one. All
+ * methods are safe to call from the daemon's worker and accept
+ * threads concurrently (one internal mutex; the op counter is the
+ * serialization point, which is exactly what makes schedules
+ * deterministic under a single worker).
+ */
+class FaultyIo : public Io
+{
+  public:
+    /**
+     * Fault fires at the @p atOp -th mutating op (1-based). @p seed
+     * drives torn-write prefix lengths. kNone schedules nothing and
+     * makes this a counting passthrough.
+     */
+    FaultyIo(IoFaultKind kind, std::uint64_t atOp, std::uint64_t seed);
+    ~FaultyIo() override;
+
+    IoFile* openWrite(const std::string& path, bool append,
+                      std::string& error) override;
+    bool write(IoFile* file, const void* data, std::size_t len,
+               std::string& error) override;
+    bool flush(IoFile* file, std::string& error) override;
+    bool sync(IoFile* file, std::string& error) override;
+    void close(IoFile* file) override;
+    bool rename(const std::string& from, const std::string& to,
+                std::string& error) override;
+    bool truncate(const std::string& path, std::uint64_t size,
+                  std::string& error) override;
+    bool remove(const std::string& path) override;
+    bool readFile(const std::string& path, std::string& out,
+                  std::string& error) override;
+
+    /** Mutating ops seen so far (profiling pass reads this). */
+    std::uint64_t opCount() const;
+
+    /** True once a kCrash schedule has fired: the disk is "gone". */
+    bool crashed() const;
+
+    /** Lift a sticky kEnospc fault ("space freed"). */
+    void clearFault();
+
+  private:
+    std::unique_ptr<FaultyIoState> state_;
+};
+
+} // namespace syscomm::serve

@@ -370,6 +370,11 @@ parseSubmission(const JsonValue& msg, Submission& out,
     }
 
     out.programVersion = msg.getString("program_version");
+    out.idempotencyKey = msg.getString("idempotency_key");
+    if (out.idempotencyKey.size() > 256) {
+        error = "submit: idempotency_key longer than 256 bytes";
+        return false;
+    }
     return true;
 }
 

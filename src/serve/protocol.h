@@ -128,6 +128,15 @@ struct Submission
     sim::KernelKind kernel = sim::KernelKind::kEventDriven;
     /** Folded into the sweep journal digest (see ShapeSweepOptions). */
     std::string programVersion;
+    /**
+     * Optional client-chosen dedup key ("idempotency_key"). Two
+     * submits with the same key admit one submission: the second
+     * answers with the first's id. This is what makes blind client
+     * retries safe — an ack lost to a crashed daemon or dropped
+     * connection cannot duplicate work, because the key is spooled
+     * with the request line and the index is rebuilt on recovery.
+     */
+    std::string idempotencyKey;
 };
 
 /**

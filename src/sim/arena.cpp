@@ -171,8 +171,29 @@ SimArena::serializeMachineState(std::vector<std::uint8_t>& out) const
     w.put(static_cast<std::uint64_t>(queues_.size()));
     w.put(static_cast<std::uint64_t>(crossings_.size()));
     w.put(static_cast<std::uint64_t>(cells_.size()));
-    w.putVector(words_);
-    w.putVector(crossings_);
+    // Pools serialize field by field (not struct memcpy) so the wire
+    // format is the fixed little-endian v3 layout with no padding —
+    // a checkpoint written on any host restores on any other.
+    w.put(static_cast<std::uint64_t>(words_.size()));
+    for (const Word& word : words_) {
+        w.put(word.msg);
+        w.put(word.seq);
+        w.put(word.value);
+        w.put(word.enqueuedAt);
+        w.put(word.wasExtended);
+    }
+    w.put(static_cast<std::uint64_t>(crossings_.size()));
+    for (const Crossing& c : crossings_) {
+        w.put(c.msg);
+        w.put(c.dir);
+        w.put(c.hopIndex);
+        w.put(c.words);
+        w.put(c.finalHop);
+        w.put(c.phase);
+        w.put(c.queueId);
+        w.put(c.requestedAt);
+        w.put(c.assignedAt);
+    }
     for (const HwQueue& q : queues_)
         q.saveState(w);
     for (const CellRuntime& cell : cells_)
@@ -191,7 +212,29 @@ SimArena::deserializeMachineState(const std::uint8_t* data,
         return false;
     // Exact-size reads into the existing pools: nothing may resize —
     // every LinkState/HwQueue span points into this storage.
-    if (!r.getVectorExact(words_) || !r.getVectorExact(crossings_))
+    if (r.get<std::uint64_t>() != words_.size() || !r.ok())
+        return false;
+    for (Word& word : words_) {
+        word.msg = r.get<MessageId>();
+        word.seq = r.get<int>();
+        word.value = r.get<double>();
+        word.enqueuedAt = r.get<Cycle>();
+        word.wasExtended = r.get<bool>();
+    }
+    if (r.get<std::uint64_t>() != crossings_.size() || !r.ok())
+        return false;
+    for (Crossing& c : crossings_) {
+        c.msg = r.get<MessageId>();
+        c.dir = r.get<LinkDir>();
+        c.hopIndex = r.get<int>();
+        c.words = r.get<int>();
+        c.finalHop = r.get<bool>();
+        c.phase = r.get<CrossingPhase>();
+        c.queueId = r.get<int>();
+        c.requestedAt = r.get<Cycle>();
+        c.assignedAt = r.get<Cycle>();
+    }
+    if (!r.ok())
         return false;
     for (HwQueue& q : queues_) {
         if (!q.loadState(r))

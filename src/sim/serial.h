@@ -5,20 +5,30 @@
  * Minimal byte-stream (de)serialization for simulation checkpoints.
  *
  * The crash-resume path (SimSession::saveCheckpoint, ShapeSweep's
- * journal) needs to move machine state — arena pools, queue scalars,
- * cell runtimes, accumulated statistics — through a flat byte buffer
- * that can be written to disk and read back on another invocation of
- * the same binary. The format is deliberately dumb: native-endian
- * little records with explicit lengths, no schema evolution. A
- * checkpoint is only ever consumed by a session built over the same
- * program and machine spec (SimSession verifies a machine digest on
- * restore), so portability across builds is a non-goal; detecting
- * torn or mismatched input without invoking UB is the whole contract.
+ * journal, the daemon spool) moves machine state — arena pools, queue
+ * scalars, cell runtimes, accumulated statistics — through a flat
+ * byte buffer that is written to disk and read back by a later
+ * invocation, possibly on a different host. Since format v3 the wire
+ * encoding is **fixed little-endian and value-based**: every scalar
+ * is converted to its unsigned bit pattern and emitted low byte
+ * first, independent of the host's native byte order. A v3 stream
+ * written on any host reads back identically on any other host of
+ * the same type widths (the widths are all explicit: the codecs
+ * refuse non-scalar types at compile time, and doubles travel as
+ * their IEEE-754 bit pattern in a uint64).
  *
  * ByteReader never reads past the end: every get() checks remaining
  * bytes and latches ok() = false on underrun, after which all reads
  * return zero values. Callers check ok() once at the end instead of
  * wrapping every field.
+ *
+ * setByteSwappedWriterSimulation() is a test-only hook that routes
+ * every scalar through an alternate encode path modelling a
+ * byte-swapped (big-endian) host end-to-end: the value's simulated
+ * foreign native image is materialized and then converted to wire
+ * order the way such a host would. Output bytes are identical by
+ * construction — which is exactly the property the portable-format
+ * tests assert.
  */
 
 #include <cstdint>
@@ -29,7 +39,88 @@
 
 namespace syscomm::sim {
 
-/** Appends trivially-copyable values to a growing byte buffer. */
+namespace serial_detail {
+
+template <std::size_t N>
+struct UintBytes;
+template <>
+struct UintBytes<1> {
+    using type = std::uint8_t;
+};
+template <>
+struct UintBytes<2> {
+    using type = std::uint16_t;
+};
+template <>
+struct UintBytes<4> {
+    using type = std::uint32_t;
+};
+template <>
+struct UintBytes<8> {
+    using type = std::uint64_t;
+};
+
+template <typename T>
+inline constexpr bool kIsSerialScalar =
+    std::is_arithmetic_v<T> || std::is_enum_v<T>;
+
+/** Test-only global: pretend the writer runs on a byte-swapped host. */
+inline bool&
+byteSwappedWriterFlag()
+{
+    static bool flag = false;
+    return flag;
+}
+
+/** The value's bit pattern as an unsigned integer of the same width. */
+template <typename T>
+typename UintBytes<sizeof(T)>::type
+bitsOf(const T& value)
+{
+    using U = typename UintBytes<sizeof(T)>::type;
+    if constexpr (std::is_same_v<T, bool>)
+        return value ? U{1} : U{0};
+    else {
+        U u = 0;
+        std::memcpy(&u, &value, sizeof(T));
+        return u;
+    }
+}
+
+template <typename T>
+T
+fromBits(typename UintBytes<sizeof(T)>::type u)
+{
+    if constexpr (std::is_same_v<T, bool>)
+        return u != 0;
+    else {
+        T value{};
+        std::memcpy(&value, &u, sizeof(T));
+        return value;
+    }
+}
+
+} // namespace serial_detail
+
+/**
+ * Test-only: route every scalar encode through the simulated
+ * byte-swapped-host path. The portable-format tests flip this on,
+ * rewrite a journal, and assert the bytes are identical — proof the
+ * wire order is defined by value, not by host representation.
+ */
+inline void
+setByteSwappedWriterSimulation(bool on)
+{
+    serial_detail::byteSwappedWriterFlag() = on;
+}
+
+inline bool
+byteSwappedWriterSimulation()
+{
+    return serial_detail::byteSwappedWriterFlag();
+}
+
+/** Appends scalar values to a growing byte buffer, little-endian. */
 class ByteWriter
 {
   public:
@@ -39,25 +130,43 @@ class ByteWriter
     void
     put(const T& value)
     {
-        static_assert(std::is_trivially_copyable_v<T>,
-                      "ByteWriter::put needs a trivially copyable type");
-        const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
-        out_.insert(out_.end(), bytes, bytes + sizeof(T));
+        static_assert(serial_detail::kIsSerialScalar<T>,
+                      "ByteWriter::put needs a scalar type; serialize "
+                      "structs field by field");
+        const auto u = serial_detail::bitsOf(value);
+        std::uint8_t wire[sizeof(u)];
+        for (std::size_t i = 0; i < sizeof(u); ++i)
+            wire[i] = static_cast<std::uint8_t>(u >> (8 * i));
+        if (serial_detail::byteSwappedWriterFlag()) {
+            // Simulated foreign host: materialize its (byte-swapped)
+            // native image, then emit it reversed — the conversion a
+            // big-endian writer performs. Identity by construction.
+            std::uint8_t native[sizeof(u)];
+            for (std::size_t i = 0; i < sizeof(u); ++i)
+                native[i] = wire[sizeof(u) - 1 - i];
+            for (std::size_t i = sizeof(u); i > 0; --i)
+                out_.push_back(native[i - 1]);
+        } else {
+            out_.insert(out_.end(), wire, wire + sizeof(u));
+        }
     }
 
-    /** Length-prefixed vector of trivially-copyable elements. */
+    /** Length-prefixed vector of scalar elements. */
     template <typename T>
     void
     putVector(const std::vector<T>& values)
     {
-        static_assert(std::is_trivially_copyable_v<T>,
-                      "putVector needs trivially copyable elements");
+        static_assert(serial_detail::kIsSerialScalar<T>,
+                      "putVector needs scalar elements; serialize "
+                      "struct pools field by field");
         put(static_cast<std::uint64_t>(values.size()));
-        if (!values.empty()) {
+        if constexpr (sizeof(T) == 1) {
             const auto* bytes =
                 reinterpret_cast<const std::uint8_t*>(values.data());
-            out_.insert(out_.end(), bytes,
-                        bytes + values.size() * sizeof(T));
+            out_.insert(out_.end(), bytes, bytes + values.size());
+        } else {
+            for (const T& v : values)
+                put(v);
         }
     }
 
@@ -89,33 +198,42 @@ class ByteReader
     T
     get()
     {
-        static_assert(std::is_trivially_copyable_v<T>,
-                      "ByteReader::get needs a trivially copyable type");
-        T value{};
+        static_assert(serial_detail::kIsSerialScalar<T>,
+                      "ByteReader::get needs a scalar type; serialize "
+                      "structs field by field");
+        using U = typename serial_detail::UintBytes<sizeof(T)>::type;
         if (!take(sizeof(T)))
-            return value;
-        std::memcpy(&value, data_ + at_ - sizeof(T), sizeof(T));
-        return value;
+            return T{};
+        const std::uint8_t* wire = data_ + at_ - sizeof(T);
+        U u = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            u = static_cast<U>(u | (static_cast<U>(wire[i]) << (8 * i)));
+        return serial_detail::fromBits<T>(u);
     }
 
     template <typename T>
     bool
     getVector(std::vector<T>& out)
     {
-        static_assert(std::is_trivially_copyable_v<T>,
-                      "getVector needs trivially copyable elements");
+        static_assert(serial_detail::kIsSerialScalar<T>,
+                      "getVector needs scalar elements");
         const auto n = get<std::uint64_t>();
         if (!ok_ || n > remaining() / sizeof(T)) {
             ok_ = false;
             return false;
         }
         out.resize(static_cast<std::size_t>(n));
-        if (n > 0) {
-            std::memcpy(out.data(), data_ + at_,
-                        static_cast<std::size_t>(n) * sizeof(T));
-            at_ += static_cast<std::size_t>(n) * sizeof(T);
+        if constexpr (sizeof(T) == 1) {
+            if (n > 0) {
+                std::memcpy(out.data(), data_ + at_,
+                            static_cast<std::size_t>(n));
+                at_ += static_cast<std::size_t>(n);
+            }
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                out[i] = get<T>();
         }
-        return true;
+        return ok_;
     }
 
     /**
@@ -127,19 +245,17 @@ class ByteReader
     bool
     getVectorExact(std::vector<T>& out)
     {
-        static_assert(std::is_trivially_copyable_v<T>,
-                      "getVectorExact needs trivially copyable elements");
+        static_assert(serial_detail::kIsSerialScalar<T>,
+                      "getVectorExact needs scalar elements");
         const auto n = get<std::uint64_t>();
         if (!ok_ || n != out.size() ||
-            !take(static_cast<std::size_t>(n) * sizeof(T)))
+            remaining() < static_cast<std::size_t>(n) * sizeof(T)) {
+            ok_ = false;
             return false;
-        if (n > 0) {
-            std::memcpy(out.data(),
-                        data_ + at_ -
-                            static_cast<std::size_t>(n) * sizeof(T),
-                        static_cast<std::size_t>(n) * sizeof(T));
         }
-        return true;
+        for (std::size_t i = 0; i < n; ++i)
+            out[i] = get<T>();
+        return ok_;
     }
 
     bool

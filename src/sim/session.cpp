@@ -87,9 +87,12 @@ sameTopology(const Topology& a, const Topology& b)
 
 // Checkpoint stream framing (SimSession::saveCheckpoint).
 // Version history: 2 added the fault-plan digest to the header and the
-// degraded-capacity clamp to each queue's serialized scalars.
+// degraded-capacity clamp to each queue's serialized scalars. 3 is
+// the portable format: every scalar fixed little-endian via
+// sim/serial.h, struct pools serialized field by field — a checkpoint
+// written on any host restores on any other.
 constexpr std::uint32_t kCheckpointMagic = 0x53594b43u; // "CKYS"
-constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 void
 saveStats(ByteWriter& w, const SimStats& s)
@@ -244,6 +247,15 @@ bool
 peekCheckpointInfo(const std::uint8_t* data, std::size_t size,
                    CheckpointInfo& info)
 {
+    info = CheckpointInfo{};
+    // Fixed header: magic, version, digest, kernel flag, fault-plan
+    // digest, resumeFrom, cycles. Anything shorter cannot be a
+    // checkpoint; reject before parsing rather than relying on the
+    // reader's zero-fill (a truncated header must never produce a
+    // plausible-looking info).
+    constexpr std::size_t kFixedHeader = 4 + 4 + 8 + 1 + 8 + 8 + 8;
+    if (data == nullptr || size < kFixedHeader)
+        return false;
     ByteReader r(data, size);
     if (r.get<std::uint32_t>() != kCheckpointMagic ||
         r.get<std::uint32_t>() != kCheckpointVersion)
@@ -253,7 +265,14 @@ peekCheckpointInfo(const std::uint8_t* data, std::size_t size,
     info.faultPlanDigest = r.get<std::uint64_t>();
     info.resumeFrom = r.get<Cycle>();
     info.cycles = r.get<Cycle>();
-    if (!r.getVector(info.writeSeq) || !r.getVector(info.readSeq))
+    if (!r.ok() || info.resumeFrom < 0 || info.cycles < 0)
+        return false;
+    // Per-message stream positions: getVector bounds each length
+    // against the bytes actually present, and the two vectors are
+    // per-message so their sizes must agree — a bit-flipped length
+    // fails here instead of fabricating progress.
+    if (!r.getVector(info.writeSeq) || !r.getVector(info.readSeq) ||
+        info.writeSeq.size() != info.readSeq.size())
         return false;
     return r.ok();
 }

@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "serve/io.h"
+#include "sim/crc32c.h"
 #include "sim/fnv.h"
 #include "sim/serial.h"
 
@@ -20,20 +22,27 @@ namespace syscomm::sim {
 
 namespace {
 
-// Journal framing: a fixed header naming the sweep configuration,
-// then self-delimiting records, each trailed by a digest of its
-// payload so a record torn by a crash (or a concurrent writer's
-// partial flush) is detected and everything from it on is ignored —
-// the rows it would have carried simply re-run, which is safe because
-// runs are deterministic.
+// Journal framing (format v3): a fixed little-endian header naming
+// the sweep configuration, then self-delimiting records — kind byte,
+// record-version byte, u64 payload length, payload, and a trailing
+// CRC32C over everything before it. A record torn by a crash (or a
+// concurrent writer's partial flush) or bit-flipped at rest fails its
+// CRC and everything from it on is ignored — the rows it would have
+// carried simply re-run, which is safe because runs are
+// deterministic. All scalars are fixed little-endian (sim/serial.h),
+// so a journal written on any host resumes on any other.
 constexpr std::uint32_t kJournalMagic = 0x4c4a5353u; // "SSJL"
 // 2 added the per-request fault-plan digest and the opt-in
-// programVersion tag to the config digest.
-constexpr std::uint32_t kJournalVersion = 2;
+// programVersion tag to the config digest. 3 is the portable format:
+// little-endian scalars, per-record version byte, CRC32C framing.
+constexpr std::uint32_t kJournalVersion = 3;
+constexpr std::uint8_t kRecVersion = 1;
 constexpr std::uint8_t kRecRowDone = 1;
 constexpr std::uint8_t kRecCheckpoint = 2;
-/** kind byte + payload length + trailing payload digest. */
-constexpr std::size_t kRecordOverhead = 1 + 8 + 8;
+/** kind + record version + payload length + trailing CRC32C. */
+constexpr std::size_t kRecordOverhead = 1 + 1 + 8 + 4;
+/** magic + format version + config digest. */
+constexpr std::size_t kJournalHeader = 4 + 4 + 8;
 
 std::uint64_t
 fnvBytes(std::uint64_t h, const std::uint8_t* data, std::size_t n)
@@ -41,6 +50,80 @@ fnvBytes(std::uint64_t h, const std::uint8_t* data, std::size_t n)
     for (std::size_t i = 0; i < n; ++i)
         h = fnv(h, data[i]);
     return h;
+}
+
+std::uint32_t
+readU32(const std::uint8_t* p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t
+readU64(const std::uint8_t* p)
+{
+    return static_cast<std::uint64_t>(readU32(p)) |
+           static_cast<std::uint64_t>(readU32(p + 4)) << 32;
+}
+
+/** Header image for a fresh journal (little-endian throughout). */
+std::vector<std::uint8_t>
+journalHeaderBytes(std::uint64_t cfg)
+{
+    std::vector<std::uint8_t> bytes;
+    ByteWriter w(bytes);
+    w.put(kJournalMagic);
+    w.put(kJournalVersion);
+    w.put(cfg);
+    return bytes;
+}
+
+/**
+ * Frame one record: header + payload + CRC32C over both. Returned as
+ * one buffer so the append is a single write op — exactly the
+ * granularity the fault-injecting Io tears.
+ */
+std::vector<std::uint8_t>
+frameRecord(std::uint8_t kind, const std::vector<std::uint8_t>& payload)
+{
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kRecordOverhead + payload.size());
+    ByteWriter w(frame);
+    w.put(kind);
+    w.put(kRecVersion);
+    w.put(static_cast<std::uint64_t>(payload.size()));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    w.put(crc32c(frame.data(), frame.size()));
+    return frame;
+}
+
+/**
+ * Validate the record at @p at. Returns false on a torn or corrupt
+ * frame (scan must stop). On success sets @p kind, @p rec_version,
+ * @p payload / @p len and @p next.
+ */
+bool
+checkRecord(const std::vector<std::uint8_t>& bytes, std::size_t at,
+            std::uint8_t& kind, std::uint8_t& rec_version,
+            const std::uint8_t*& payload, std::size_t& len,
+            std::size_t& next)
+{
+    if (bytes.size() - at < kRecordOverhead)
+        return false;
+    kind = bytes[at];
+    rec_version = bytes[at + 1];
+    const std::uint64_t n = readU64(bytes.data() + at + 2);
+    if (n > bytes.size() - at - kRecordOverhead)
+        return false; // torn tail
+    len = static_cast<std::size_t>(n);
+    payload = bytes.data() + at + 10;
+    const std::uint32_t want = readU32(payload + len);
+    if (crc32c(bytes.data() + at, 10 + len) != want)
+        return false; // corrupt frame
+    next = at + kRecordOverhead + len;
+    return true;
 }
 
 std::uint64_t
@@ -124,29 +207,23 @@ configDigest(const Program& program, const Topology& topo,
 }
 
 void
-truncateFile(const std::string& path, std::size_t size)
+truncateFile(serve::Io& io, const std::string& path, std::size_t size)
 {
-    std::error_code ec;
-    std::filesystem::resize_file(path, size, ec);
+    std::string error;
+    io.truncate(path, size, error);
     // Best-effort: on failure the stranded tail costs re-computation
     // of the rows behind it, never correctness (their records are
     // simply not found and the rows re-run deterministically).
-    (void)ec;
 }
 
 std::vector<std::uint8_t>
-readWholeFile(const std::string& path)
+readWholeFile(serve::Io& io, const std::string& path)
 {
-    std::vector<std::uint8_t> bytes;
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr)
-        return bytes;
-    std::uint8_t buf[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
-        bytes.insert(bytes.end(), buf, buf + n);
-    std::fclose(f);
-    return bytes;
+    std::string text;
+    std::string error;
+    if (!io.readFile(path, text, error))
+        return {};
+    return {text.begin(), text.end()};
 }
 
 } // namespace
@@ -162,11 +239,16 @@ readWholeFile(const std::string& path)
 struct ShapeSweep::Journal
 {
     std::mutex mutex;
-    std::FILE* file = nullptr;
+    serve::Io* io = nullptr;
+    serve::IoFile* file = nullptr;
+    bool fsyncEveryRecord = false;
     /** Records this run() may still write; 0 = unlimited. */
     std::size_t budget = 0;
     std::size_t written = 0;
     bool stopped = false;
+    /** First append/open failure: journaling degraded to off. */
+    bool failed = false;
+    std::string failure;
 
     struct Checkpoint
     {
@@ -181,32 +263,39 @@ struct ShapeSweep::Journal
     ~Journal()
     {
         if (file != nullptr)
-            std::fclose(file);
+            io->close(file);
     }
 
     /**
      * Append one record; returns false once the record budget is
      * exhausted (the record that hit the limit is still written, so
-     * a resume finds it).
+     * a resume finds it). An IO *failure* does not return false —
+     * stopping the sweep would turn a disk problem into lost compute.
+     * Instead journaling latches off (failed/failure, surfaced as
+     * ShapeSweepResult::journalError) and the sweep runs on; the rows
+     * a crash would now lose simply recompute on the next resume.
      */
     bool
     append(std::uint8_t kind, const std::vector<std::uint8_t>& payload)
     {
-        // The digest walk can cover a multi-MB checkpoint; do it
-        // before taking the mutex so it never stalls other workers'
-        // row commits.
-        const auto len = static_cast<std::uint64_t>(payload.size());
-        const std::uint64_t digest =
-            fnvBytes(kFnvOffsetBasis, payload.data(), payload.size());
+        // The CRC walk can cover a multi-MB checkpoint; frame before
+        // taking the mutex so it never stalls other workers' row
+        // commits.
+        const std::vector<std::uint8_t> frame =
+            frameRecord(kind, payload);
         std::lock_guard<std::mutex> lock(mutex);
         if (stopped)
             return false;
-        std::fwrite(&kind, sizeof kind, 1, file);
-        std::fwrite(&len, sizeof len, 1, file);
-        if (!payload.empty())
-            std::fwrite(payload.data(), 1, payload.size(), file);
-        std::fwrite(&digest, sizeof digest, 1, file);
-        std::fflush(file);
+        if (failed)
+            return true;
+        std::string error;
+        if (!io->write(file, frame.data(), frame.size(), error) ||
+            !io->flush(file, error) ||
+            (fsyncEveryRecord && !io->sync(file, error))) {
+            failed = true;
+            failure = error;
+            return true;
+        }
         ++written;
         if (budget > 0 && written >= budget)
             stopped = true;
@@ -228,44 +317,35 @@ struct ShapeSweep::Journal
          std::size_t num_shapes, std::size_t num_requests,
          std::size_t& valid_prefix)
     {
-        constexpr std::size_t kHeader = 4 + 4 + 8;
         valid_prefix = 0;
-        if (bytes.size() < kHeader)
+        if (bytes.size() < kJournalHeader)
             return false;
-        std::uint32_t magic;
-        std::uint32_t version;
-        std::uint64_t fileCfg;
-        std::memcpy(&magic, bytes.data(), 4);
-        std::memcpy(&version, bytes.data() + 4, 4);
-        std::memcpy(&fileCfg, bytes.data() + 8, 8);
-        if (magic != kJournalMagic || version != kJournalVersion ||
-            fileCfg != cfg)
+        if (readU32(bytes.data()) != kJournalMagic ||
+            readU32(bytes.data() + 4) != kJournalVersion ||
+            readU64(bytes.data() + 8) != cfg)
             return false;
-        valid_prefix = kHeader;
+        valid_prefix = kJournalHeader;
 
-        std::size_t at = kHeader;
-        while (bytes.size() - at >= kRecordOverhead) {
-            const std::uint8_t kind = bytes[at];
-            std::uint64_t len;
-            std::memcpy(&len, bytes.data() + at + 1, 8);
-            if (len > bytes.size() - at - kRecordOverhead)
-                break; // torn tail
-            const std::uint8_t* payload = bytes.data() + at + 9;
-            std::uint64_t want;
-            std::memcpy(&want, payload + len, 8);
-            if (fnvBytes(kFnvOffsetBasis, payload,
-                         static_cast<std::size_t>(len)) != want)
-                break; // corrupt record: ignore it and the rest
-
-            ByteReader r(payload, static_cast<std::size_t>(len));
+        std::size_t at = kJournalHeader;
+        std::uint8_t kind;
+        std::uint8_t recVersion;
+        const std::uint8_t* payload;
+        std::size_t len;
+        std::size_t next;
+        while (checkRecord(bytes, at, kind, recVersion, payload, len,
+                           next)) {
+            // A CRC-valid frame of an unknown record version or kind
+            // skips harmlessly: forward compatibility.
+            ByteReader r(payload, len);
             const auto shape = r.get<std::uint64_t>();
             const auto request = r.get<std::uint64_t>();
-            const bool inGrid = r.ok() && shape < num_shapes &&
+            const bool inGrid = recVersion == kRecVersion && r.ok() &&
+                                shape < num_shapes &&
                                 request < num_requests;
             const std::size_t idx =
                 static_cast<std::size_t>(shape) * num_requests +
                 static_cast<std::size_t>(request);
-            if (kind == kRecRowDone) {
+            if (kind == kRecRowDone && recVersion == kRecVersion) {
                 ShapeSweepRow row;
                 row.shape = static_cast<std::size_t>(shape);
                 row.request = static_cast<std::size_t>(request);
@@ -278,7 +358,8 @@ struct ShapeSweep::Journal
                     done[idx] = std::move(row);
                     checkpoints.erase(idx);
                 }
-            } else if (kind == kRecCheckpoint) {
+            } else if (kind == kRecCheckpoint &&
+                       recVersion == kRecVersion) {
                 Checkpoint ck;
                 ck.pauseCycle = r.get<Cycle>();
                 if (!r.getVector(ck.bytes))
@@ -286,8 +367,7 @@ struct ShapeSweep::Journal
                 if (inGrid && done.find(idx) == done.end())
                     checkpoints[idx] = std::move(ck); // latest wins
             }
-            // Unknown kinds skip harmlessly: forward compatibility.
-            at += kRecordOverhead + static_cast<std::size_t>(len);
+            at = next;
             valid_prefix = at;
         }
         return true;
@@ -352,14 +432,19 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
     }
 
     std::unique_ptr<Journal> journal;
+    std::string journalOpenError;
     if (!options_.journalPath.empty() && !requests.empty()) {
         journal = std::make_unique<Journal>();
+        journal->io = options_.io != nullptr ? options_.io
+                                             : &serve::Io::system();
+        journal->fsyncEveryRecord = options_.fsyncEveryRecord;
         journal->budget = options_.stopAfterJournalRecords;
+        serve::Io& io = *journal->io;
         const std::uint64_t cfg = configDigest(
             program_, topo_, options_.session, options_.programVersion,
             shapes_, requests);
         const std::vector<std::uint8_t> bytes =
-            readWholeFile(options_.journalPath);
+            readWholeFile(io, options_.journalPath);
         std::size_t validPrefix = 0;
         if (!bytes.empty() &&
             journal->load(bytes, cfg, shapes_.size(), requests.size(),
@@ -369,25 +454,38 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
             // would sit behind garbage and be unreachable on the
             // next load.
             if (validPrefix < bytes.size())
-                truncateFile(options_.journalPath, validPrefix);
-            journal->file =
-                std::fopen(options_.journalPath.c_str(), "ab");
+                truncateFile(io, options_.journalPath, validPrefix);
+            journal->file = io.openWrite(options_.journalPath,
+                                         /*append=*/true,
+                                         journalOpenError);
         } else {
             // Fresh sweep (or a journal for some other sweep):
             // restart the file with this sweep's header.
             journal->done.clear();
             journal->checkpoints.clear();
-            journal->file =
-                std::fopen(options_.journalPath.c_str(), "wb");
+            journal->file = io.openWrite(options_.journalPath,
+                                         /*append=*/false,
+                                         journalOpenError);
             if (journal->file != nullptr) {
-                std::fwrite(&kJournalMagic, 4, 1, journal->file);
-                std::fwrite(&kJournalVersion, 4, 1, journal->file);
-                std::fwrite(&cfg, 8, 1, journal->file);
-                std::fflush(journal->file);
+                const std::vector<std::uint8_t> header =
+                    journalHeaderBytes(cfg);
+                if (!io.write(journal->file, header.data(),
+                              header.size(), journalOpenError) ||
+                    !io.flush(journal->file, journalOpenError)) {
+                    io.close(journal->file);
+                    journal->file = nullptr;
+                }
             }
         }
-        if (journal->file == nullptr)
-            journal.reset(); // unwritable path: sweep without resume
+        if (journal->file == nullptr) {
+            // Unwritable path or failed header write: sweep without
+            // resume, surfaced below as journalError.
+            journal.reset();
+            out.journalError = true;
+            out.journalErrorText = journalOpenError.empty()
+                                       ? "journal open failed"
+                                       : journalOpenError;
+        }
     }
 
     if (journal) {
@@ -478,8 +576,12 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
                     if (session.saveCheckpoint(payload)) {
                         const std::uint64_t stateLen =
                             payload.size() - lenAt - sizeof stateLen;
-                        std::memcpy(payload.data() + lenAt, &stateLen,
-                                    sizeof stateLen);
+                        // Patch the length in little-endian to match
+                        // the getVector that reads it back.
+                        for (std::size_t b = 0; b < sizeof stateLen;
+                             ++b)
+                            payload[lenAt + b] = static_cast<
+                                std::uint8_t>(stateLen >> (8 * b));
                         if (!journal->append(kRecCheckpoint, payload)) {
                             // Budget exhausted mid-run: the row is
                             // checkpointed; the resume picks it up.
@@ -516,6 +618,10 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
     };
     pool_.dispatch(workers, work.size(), job);
 
+    if (journal && journal->failed) {
+        out.journalError = true;
+        out.journalErrorText = journal->failure;
+    }
     out.checkpointsRestored = restored.load();
     out.complete = true;
     for (const ShapeSweepRow& row : out.rows) {
@@ -534,17 +640,14 @@ bool
 inspectSweepJournal(const std::string& path, SweepJournalInfo& out)
 {
     out = SweepJournalInfo{};
-    const std::vector<std::uint8_t> bytes = readWholeFile(path);
-    constexpr std::size_t kHeader = 4 + 4 + 8;
-    if (bytes.size() < kHeader)
+    const std::vector<std::uint8_t> bytes =
+        readWholeFile(serve::Io::system(), path);
+    if (bytes.size() < kJournalHeader)
         return false;
-    std::uint32_t magic;
-    std::uint32_t version;
-    std::memcpy(&magic, bytes.data(), 4);
-    std::memcpy(&version, bytes.data() + 4, 4);
-    std::memcpy(&out.configDigest, bytes.data() + 8, 8);
-    if (magic != kJournalMagic || version != kJournalVersion)
+    if (readU32(bytes.data()) != kJournalMagic ||
+        readU32(bytes.data() + 4) != kJournalVersion)
         return false;
+    out.configDigest = readU64(bytes.data() + 8);
 
     // The same walk Journal::load does, minus the grid bounds (the
     // inspector does not know the sweep's dimensions) and minus the
@@ -552,31 +655,26 @@ inspectSweepJournal(const std::string& path, SweepJournalInfo& out)
     // corrupt records stop the scan, so the progress reported is
     // exactly what a resume would replay.
     std::map<std::pair<std::size_t, std::size_t>, CheckpointInfo> live;
-    std::size_t at = kHeader;
-    while (bytes.size() - at >= kRecordOverhead) {
-        const std::uint8_t kind = bytes[at];
-        std::uint64_t len;
-        std::memcpy(&len, bytes.data() + at + 1, 8);
-        if (len > bytes.size() - at - kRecordOverhead)
-            break;
-        const std::uint8_t* payload = bytes.data() + at + 9;
-        std::uint64_t want;
-        std::memcpy(&want, payload + len, 8);
-        if (fnvBytes(kFnvOffsetBasis, payload,
-                     static_cast<std::size_t>(len)) != want)
-            break;
-
-        ByteReader r(payload, static_cast<std::size_t>(len));
+    std::size_t at = kJournalHeader;
+    std::uint8_t kind;
+    std::uint8_t recVersion;
+    const std::uint8_t* payload;
+    std::size_t len;
+    std::size_t next;
+    while (checkRecord(bytes, at, kind, recVersion, payload, len,
+                       next)) {
+        ByteReader r(payload, len);
         const auto shape =
             static_cast<std::size_t>(r.get<std::uint64_t>());
         const auto request =
             static_cast<std::size_t>(r.get<std::uint64_t>());
-        if (kind == kRecRowDone) {
+        if (kind == kRecRowDone && recVersion == kRecVersion) {
             if (r.ok()) {
                 ++out.rowsDone;
                 live.erase({shape, request});
             }
-        } else if (kind == kRecCheckpoint) {
+        } else if (kind == kRecCheckpoint &&
+                   recVersion == kRecVersion) {
             r.get<Cycle>(); // pause cycle (also in the header below)
             const auto stateLen = r.get<std::uint64_t>();
             CheckpointInfo info;
@@ -587,7 +685,7 @@ inspectSweepJournal(const std::string& path, SweepJournalInfo& out)
                 live[{shape, request}] = std::move(info);
             }
         }
-        at += kRecordOverhead + static_cast<std::size_t>(len);
+        at = next;
     }
     out.inflight.reserve(live.size());
     for (auto& [key, info] : live) {

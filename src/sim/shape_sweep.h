@@ -45,6 +45,10 @@
 #include "sim/batch.h"
 #include "sim/session.h"
 
+namespace syscomm::serve {
+class Io; // the injectable IO layer (serve/io.h)
+}
+
 namespace syscomm::sim {
 
 /** One machine shape: a MachineSpec minus the (shared) topology. */
@@ -124,6 +128,20 @@ struct ShapeSweepOptions
      * and can leave this "".
      */
     std::string programVersion;
+    /**
+     * The IO layer every journal byte goes through. nullptr = the
+     * real filesystem (serve::Io::system()); tests inject a
+     * serve::FaultyIo to kill or fail any individual write/rename and
+     * check the recovery. Must outlive run().
+     */
+    serve::Io* io = nullptr;
+    /**
+     * fsync the journal after every appended record. Off by default:
+     * the v3 CRC framing makes torn tails detectable and the rows
+     * behind them recomputable, so fsync buys power-loss durability,
+     * not correctness.
+     */
+    bool fsyncEveryRecord = false;
 };
 
 /** One (shape, request) cell of the sweep grid. */
@@ -156,6 +174,16 @@ struct ShapeSweepResult
     double wallSeconds = 0.0;
     std::size_t rowsFromJournal = 0;
     std::size_t checkpointsRestored = 0;
+    /**
+     * True when the journal could not be opened or an append failed
+     * (EIO, ENOSPC, torn write). The sweep's *results* are unaffected
+     * — journaling degrades to off and rows recompute on the next
+     * resume — but a service should surface this (the daemon's
+     * degraded-mode flag keys off it). journalErrorText carries the
+     * first failure's description.
+     */
+    bool journalError = false;
+    std::string journalErrorText;
 
     const ShapeSweepRow&
     row(std::size_t shape, std::size_t request) const

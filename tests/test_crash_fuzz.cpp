@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Crash-point fuzz harness for the daemon's durability chain.
+ *
+ * One trial = one life-and-death cycle of the service:
+ *
+ *   1. A daemon on a fresh spool runs a fixed client scenario (one
+ *      run + one journaled sweep, both with idempotency keys) through
+ *      a FaultyIo whose schedule kills/faults mutating file op #k —
+ *      torn-write-then-dead (kCrash), one-shot EIO, or a seeded torn
+ *      short write.
+ *   2. A recovery daemon opens the SAME spool with the real Io. It
+ *      must start, sweep orphan temp files, and — when the client
+ *      blindly resubmits both requests — drive every submission to
+ *      "completed" with machine digests bit-identical to a golden
+ *      uninterrupted run. A submission the faulted daemon rejected
+ *      must have left no spool residue; one it admitted must resume
+ *      (dedup onto the spooled id). Silent corruption is the only
+ *      losing outcome, and it has nowhere to hide: a torn journal
+ *      frame, checkpoint, spool entry, or done marker that survived
+ *      parsing would change a digest or wedge recovery.
+ *
+ * A profiling pass with a pass-through FaultyIo learns the chain
+ * length T (the scenario is single-worker and serialized, so the op
+ * sequence is deterministic), then the matrix covers every k in 1..T
+ * for each fault kind, with enough seed rounds to exceed 200 trials.
+ * That span includes the spool tmp write/fsync/rename, the journal
+ * header, every journal row/checkpoint frame, and the done-marker
+ * chain for both submissions.
+ *
+ * On failure the trial's spool directory is preserved (under
+ * $CRASH_FUZZ_DIR when set — CI uploads it as an artifact) and its
+ * path printed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/daemon.h"
+#include "serve/io.h"
+#include "serve/json.h"
+
+namespace syscomm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+ringText(int cells, int words)
+{
+    std::ostringstream out;
+    out << "cells " << cells << "\n";
+    for (int c = 0; c < cells; ++c)
+        out << "message m" << c << " " << c << " -> "
+            << (c + 1) % cells << "\n";
+    for (int c = 0; c < cells; ++c) {
+        out << "cell " << c << " {";
+        for (int w = 0; w < words; ++w)
+            out << " W(m" << c << ") R(m" << (c + cells - 1) % cells
+                << ")";
+        out << " }\n";
+    }
+    return out.str();
+}
+
+JsonValue
+shapeJson(const std::string& name, int queues, int capacity)
+{
+    return JsonValue::object()
+        .set("name", JsonValue::str(name))
+        .set("queues", JsonValue::integer(queues))
+        .set("capacity", JsonValue::integer(capacity))
+        .set("extension", JsonValue::integer(0))
+        .set("penalty", JsonValue::integer(4));
+}
+
+JsonValue
+ringTopology(int cells)
+{
+    return JsonValue::object()
+        .set("kind", JsonValue::str("ring"))
+        .set("cells", JsonValue::integer(cells));
+}
+
+/** The fixed scenario: one run + one 8-shape journaled sweep. */
+JsonValue
+scenarioRunBody()
+{
+    JsonValue body = JsonValue::object();
+    body.set("kind", JsonValue::str("run"));
+    body.set("program", JsonValue::str(ringText(4, 50)));
+    body.set("topology", ringTopology(4));
+    body.set("shape", shapeJson("q2c2", 2, 2));
+    body.set("idempotency_key", JsonValue::str("fuzz-run"));
+    return body;
+}
+
+JsonValue
+scenarioSweepBody()
+{
+    JsonValue body = JsonValue::object();
+    body.set("kind", JsonValue::str("sweep"));
+    body.set("program", JsonValue::str(ringText(4, 60)));
+    body.set("topology", ringTopology(4));
+    JsonValue shapes = JsonValue::array();
+    for (int k = 0; k < 8; ++k)
+        shapes.push(shapeJson("s" + std::to_string(k), 1 + k % 3,
+                              1 + (k / 3) % 3));
+    body.set("shapes", std::move(shapes));
+    JsonValue requests = JsonValue::array();
+    requests.push(JsonValue::object()
+                      .set("policy", JsonValue::str("compatible"))
+                      .set("seed", JsonValue::integer(1)));
+    body.set("requests", std::move(requests));
+    body.set("checkpoint_every", JsonValue::integer(40));
+    body.set("idempotency_key", JsonValue::str("fuzz-sweep"));
+    return body;
+}
+
+struct Golden
+{
+    std::string runDigest;
+    std::vector<std::string> sweepRows;
+};
+
+std::vector<std::string>
+sweepDigests(const JsonValue& result)
+{
+    std::vector<std::string> digests;
+    const JsonValue* rows = result.find("rows");
+    if (rows == nullptr)
+        return digests;
+    for (const JsonValue& row : rows->items())
+        digests.push_back(row.getString("name") + ":" +
+                          row.getString("machine_digest"));
+    return digests;
+}
+
+/**
+ * Phase 1: run the scenario against a daemon whose disk is @p io.
+ * Rejections and in-memory failures are expected under fault; the
+ * phase only fails on things that must hold even then (daemon start,
+ * socket transport). When @p golden is non-null the faults are off
+ * and both submissions must complete — their digests are recorded.
+ */
+bool
+driveFaultedLife(Io& io, const std::string& socketPath,
+                 const std::string& spoolDir, Golden* golden,
+                 std::string& detail)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath;
+    options.spoolDir = spoolDir;
+    options.workers = 1;
+    options.io = &io;
+    options.fsyncPolicy = FsyncPolicy::kAlways;
+    SyscommDaemon daemon(options);
+    std::string error;
+    if (!daemon.start(error)) {
+        detail = "phase1 start: " + error;
+        return false;
+    }
+    ServeClient client;
+    if (!client.connectUnix(socketPath, error)) {
+        detail = "phase1 connect: " + error;
+        return false;
+    }
+    for (const bool isSweep : {false, true}) {
+        const JsonValue body =
+            isSweep ? scenarioSweepBody() : scenarioRunBody();
+        std::string id;
+        JsonValue response;
+        if (!client.submit(body, id, response, error)) {
+            detail = "phase1 submit transport: " + error;
+            return false;
+        }
+        if (!response.getBool("ok", false)) {
+            if (golden != nullptr) {
+                detail = "golden submit rejected: " +
+                         writeJson(response);
+                return false;
+            }
+            continue; // explicit rejection is a legal fault outcome
+        }
+        if (!client.waitTerminal(id, 60'000, response, error)) {
+            detail = "phase1 wait transport: " + error;
+            return false;
+        }
+        if (golden == nullptr)
+            continue;
+        if (response.getString("state") != "completed") {
+            detail = "golden state: " + writeJson(response);
+            return false;
+        }
+        JsonValue resultResponse;
+        if (!client.result(id, resultResponse, error)) {
+            detail = "golden result: " + error;
+            return false;
+        }
+        const JsonValue* result = resultResponse.find("result");
+        if (result == nullptr) {
+            detail = "golden result missing";
+            return false;
+        }
+        if (isSweep)
+            golden->sweepRows = sweepDigests(*result);
+        else
+            golden->runDigest = result->getString("machine_digest");
+    }
+    daemon.stop();
+    return true;
+}
+
+/**
+ * Phase 2: recovery daemon on the surviving spool with the real Io.
+ * The client blindly resubmits both requests; each must complete
+ * with golden digests — resumed or re-executed, never corrupted.
+ */
+bool
+recoverAndVerify(const std::string& socketPath,
+                 const std::string& spoolDir, const Golden& golden,
+                 std::string& detail)
+{
+    DaemonOptions options;
+    options.socketPath = socketPath;
+    options.spoolDir = spoolDir;
+    options.workers = 1;
+    SyscommDaemon daemon(options);
+    std::string error;
+    if (!daemon.start(error)) {
+        detail = "recovery start: " + error;
+        return false;
+    }
+    // Startup must have swept every torn temp file.
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(spoolDir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() >= 4 &&
+            name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            detail = "orphan temp survived recovery: " + name;
+            return false;
+        }
+    }
+    ServeClient client;
+    if (!client.connectUnix(socketPath, error)) {
+        detail = "recovery connect: " + error;
+        return false;
+    }
+    for (const bool isSweep : {false, true}) {
+        const JsonValue body =
+            isSweep ? scenarioSweepBody() : scenarioRunBody();
+        std::string id;
+        JsonValue response;
+        if (!client.submit(body, id, response, error)) {
+            detail = "recovery submit transport: " + error;
+            return false;
+        }
+        if (!response.getBool("ok", false)) {
+            detail = "recovery submit rejected: " +
+                     writeJson(response);
+            return false;
+        }
+        if (!client.waitTerminal(id, 60'000, response, error)) {
+            detail = "recovery wait: " + error;
+            return false;
+        }
+        if (response.getString("state") != "completed") {
+            detail = "recovery state: " + writeJson(response);
+            return false;
+        }
+        JsonValue resultResponse;
+        if (!client.result(id, resultResponse, error)) {
+            detail = "recovery result: " + error;
+            return false;
+        }
+        const JsonValue* result = resultResponse.find("result");
+        if (result == nullptr) {
+            detail = "recovery result missing";
+            return false;
+        }
+        if (isSweep) {
+            if (sweepDigests(*result) != golden.sweepRows) {
+                detail = "sweep digests diverged: " +
+                         writeJson(*result);
+                return false;
+            }
+        } else if (result->getString("machine_digest") !=
+                   golden.runDigest) {
+            detail = "run digest diverged: " + writeJson(*result);
+            return false;
+        }
+    }
+    daemon.stop();
+    return true;
+}
+
+const char*
+faultKindName(IoFaultKind kind)
+{
+    switch (kind) {
+        case IoFaultKind::kCrash: return "crash";
+        case IoFaultKind::kEio: return "eio";
+        case IoFaultKind::kShortWrite: return "short_write";
+        case IoFaultKind::kEnospc: return "enospc";
+        case IoFaultKind::kNone: break;
+    }
+    return "none";
+}
+
+TEST(CrashFuzz, EveryFaultPointRecoversBitIdenticalOrRejectsCleanly)
+{
+    const char* envRoot = std::getenv("CRASH_FUZZ_DIR");
+    const std::string root =
+        envRoot != nullptr && envRoot[0] != '\0'
+            ? std::string(envRoot)
+            : testing::TempDir() + "crash_fuzz_" +
+                  std::to_string(::getpid());
+    fs::remove_all(root);
+    fs::create_directories(root);
+
+    // Profiling pass: pass-through fault io learns the chain length T
+    // and doubles as the golden uninterrupted reference.
+    Golden golden;
+    std::string detail;
+    FaultyIo profiler(IoFaultKind::kNone, 0, 1);
+    ASSERT_TRUE(driveFaultedLife(profiler, root + "/golden.sock",
+                                 root + "/golden", &golden, detail))
+        << detail;
+    const std::uint64_t chainOps = profiler.opCount();
+    ASSERT_FALSE(golden.runDigest.empty());
+    ASSERT_EQ(golden.sweepRows.size(), 8u);
+    // The chain must span spool write + journal header + row and
+    // checkpoint frames + done markers; a short chain means the
+    // scenario shrank and the matrix no longer covers the paper
+    // trail.
+    ASSERT_GE(chainOps, 30u) << "durability chain unexpectedly short";
+
+    const IoFaultKind kinds[] = {IoFaultKind::kCrash,
+                                 IoFaultKind::kEio,
+                                 IoFaultKind::kShortWrite};
+    // Enough seed rounds that kinds x rounds x chainOps >= 200.
+    const std::uint64_t rounds =
+        (200 + 3 * chainOps - 1) / (3 * chainOps);
+    std::uint64_t trials = 0;
+    std::uint64_t failures = 0;
+    for (const IoFaultKind kind : kinds) {
+        for (std::uint64_t round = 0; round < rounds; ++round) {
+            const std::uint64_t seed =
+                0x9e3779b97f4a7c15ull * (round + 1) +
+                static_cast<std::uint64_t>(kind);
+            for (std::uint64_t atOp = 1; atOp <= chainOps; ++atOp) {
+                const std::string tag =
+                    std::string(faultKindName(kind)) + "_r" +
+                    std::to_string(round) + "_op" +
+                    std::to_string(atOp);
+                const std::string spool = root + "/" + tag;
+                ++trials;
+                FaultyIo io(kind, atOp, seed);
+                bool ok = driveFaultedLife(io, spool + ".s1", spool,
+                                           nullptr, detail);
+                if (ok)
+                    ok = recoverAndVerify(spool + ".s2", spool,
+                                          golden, detail);
+                if (ok) {
+                    fs::remove_all(spool);
+                    continue;
+                }
+                ++failures;
+                ADD_FAILURE()
+                    << "trial " << tag << " seed " << seed << ": "
+                    << detail << "\n  spool preserved at " << spool;
+                if (failures >= 10) {
+                    GTEST_FAIL() << "stopping after " << failures
+                                 << " failing trials ("
+                                 << trials << " attempted)";
+                    return;
+                }
+            }
+        }
+    }
+    EXPECT_GE(trials, 200u)
+        << "fault matrix shrank below the acceptance floor";
+    std::printf("crash fuzz: %llu trials over %llu-op chain, "
+                "%llu failures\n",
+                static_cast<unsigned long long>(trials),
+                static_cast<unsigned long long>(chainOps),
+                static_cast<unsigned long long>(failures));
+    if (failures == 0)
+        fs::remove_all(root);
+}
+
+} // namespace
+} // namespace syscomm::serve

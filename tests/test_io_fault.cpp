@@ -1,0 +1,280 @@
+/**
+ * @file
+ * serve/io.h contract tests: the op-counter semantics a fault
+ * schedule indexes (write/sync/rename/truncate count, flush/open/
+ * read/remove do not), each IoFaultKind's behavior (one-shot EIO,
+ * sticky ENOSPC with clearFault, seeded torn writes, crash-then-dead),
+ * and writeFileAtomicIo's all-or-nothing guarantee under every one of
+ * them. The crash-point fuzz harness builds on exactly these
+ * properties — if they drift, it hunts ghosts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+
+#include "serve/io.h"
+
+namespace syscomm::serve {
+namespace {
+
+std::string
+tempPath(const std::string& name)
+{
+    return testing::TempDir() + name + "_" +
+           std::to_string(::getpid());
+}
+
+std::string
+readBack(const std::string& path)
+{
+    std::string out;
+    std::string error;
+    if (!Io::system().readFile(path, out, error))
+        return "<unreadable>";
+    return out;
+}
+
+bool
+exists(const std::string& path)
+{
+    std::string out;
+    std::string error;
+    return Io::system().readFile(path, out, error);
+}
+
+/** Write one buffer through @p io; returns io success. */
+bool
+writeOnce(Io& io, const std::string& path, const std::string& data,
+          std::string& error)
+{
+    IoFile* file = io.openWrite(path, false, error);
+    if (file == nullptr)
+        return false;
+    const bool ok = io.write(file, data.data(), data.size(), error) &&
+                    io.flush(file, error);
+    io.close(file);
+    return ok;
+}
+
+TEST(Io, SystemRoundTripAndRename)
+{
+    const std::string path = tempPath("io_roundtrip");
+    std::string error;
+    ASSERT_TRUE(writeOnce(Io::system(), path, "hello bytes", error))
+        << error;
+    EXPECT_EQ(readBack(path), "hello bytes");
+
+    const std::string moved = tempPath("io_roundtrip_moved");
+    ASSERT_TRUE(Io::system().rename(path, moved, error)) << error;
+    EXPECT_FALSE(exists(path));
+    EXPECT_EQ(readBack(moved), "hello bytes");
+
+    ASSERT_TRUE(Io::system().truncate(moved, 5, error)) << error;
+    EXPECT_EQ(readBack(moved), "hello");
+    EXPECT_TRUE(Io::system().remove(moved));
+    EXPECT_FALSE(exists(moved));
+    EXPECT_TRUE(Io::system().remove(moved)); // missing is not an error
+}
+
+TEST(Io, OpCounterCountsExactlyTheMutatingOps)
+{
+    FaultyIo io(IoFaultKind::kNone, 0, 1);
+    const std::string path = tempPath("io_counter");
+    std::string error;
+    EXPECT_EQ(io.opCount(), 0u);
+
+    IoFile* file = io.openWrite(path, false, error); // not counted
+    ASSERT_NE(file, nullptr) << error;
+    EXPECT_EQ(io.opCount(), 0u);
+    ASSERT_TRUE(io.write(file, "ab", 2, error)); // op 1
+    ASSERT_TRUE(io.flush(file, error));          // not counted
+    ASSERT_TRUE(io.sync(file, error));           // op 2
+    io.close(file);                              // not counted
+    EXPECT_EQ(io.opCount(), 2u);
+
+    const std::string moved = tempPath("io_counter_moved");
+    ASSERT_TRUE(io.rename(path, moved, error)); // op 3
+    ASSERT_TRUE(io.truncate(moved, 1, error));  // op 4
+    std::string contents;
+    ASSERT_TRUE(io.readFile(moved, contents, error)); // not counted
+    EXPECT_TRUE(io.remove(moved));                    // not counted
+    EXPECT_EQ(io.opCount(), 4u);
+}
+
+TEST(Io, EioFailsExactlyOnceAndRecovers)
+{
+    FaultyIo io(IoFaultKind::kEio, 2, 7);
+    const std::string path = tempPath("io_eio");
+    std::string error;
+    IoFile* file = io.openWrite(path, false, error);
+    ASSERT_NE(file, nullptr) << error;
+    EXPECT_TRUE(io.write(file, "one", 3, error));  // op 1 passes
+    EXPECT_FALSE(io.write(file, "two", 3, error)); // op 2 = EIO
+    EXPECT_NE(error.find("EIO"), std::string::npos) << error;
+    EXPECT_TRUE(io.write(file, "three", 5, error)); // op 3 passes
+    ASSERT_TRUE(io.flush(file, error));
+    io.close(file);
+    // The failed op had no side effect: only ops 1 and 3 landed.
+    EXPECT_EQ(readBack(path), "onethree");
+}
+
+TEST(Io, EnospcIsStickyUntilCleared)
+{
+    FaultyIo io(IoFaultKind::kEnospc, 2, 7);
+    const std::string path = tempPath("io_enospc");
+    std::string error;
+    IoFile* file = io.openWrite(path, false, error);
+    ASSERT_NE(file, nullptr) << error;
+    EXPECT_TRUE(io.write(file, "a", 1, error));
+    EXPECT_FALSE(io.write(file, "b", 1, error)); // fires
+    EXPECT_FALSE(io.write(file, "c", 1, error)); // still failing
+    EXPECT_FALSE(io.sync(file, error));
+    const std::string other = tempPath("io_enospc_other");
+    EXPECT_FALSE(io.rename(path, other, error));
+    // Reads keep working — degraded daemons serve reads.
+    std::string contents;
+    EXPECT_TRUE(io.readFile(path, contents, error)) << error;
+
+    io.clearFault(); // "space freed"
+    EXPECT_TRUE(io.write(file, "d", 1, error)) << error;
+    ASSERT_TRUE(io.flush(file, error));
+    io.close(file);
+    EXPECT_EQ(readBack(path), "ad");
+}
+
+TEST(Io, ShortWriteLeavesSeededPrefix)
+{
+    const std::string data = "0123456789abcdef";
+    // The torn prefix length is mix64(seed ^ opIndex) % len:
+    // deterministic per seed, so two runs agree byte for byte.
+    for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+        FaultyIo io(IoFaultKind::kShortWrite, 1, seed);
+        const std::string path =
+            tempPath("io_short_" + std::to_string(seed));
+        std::string error;
+        IoFile* file = io.openWrite(path, false, error);
+        ASSERT_NE(file, nullptr) << error;
+        EXPECT_FALSE(io.write(file, data.data(), data.size(), error));
+        // One-shot: the next write goes through whole.
+        EXPECT_TRUE(io.write(file, "tail", 4, error)) << error;
+        ASSERT_TRUE(io.flush(file, error));
+        io.close(file);
+
+        const std::string got = readBack(path);
+        ASSERT_GE(got.size(), 4u);
+        const std::string prefix = got.substr(0, got.size() - 4);
+        EXPECT_LT(prefix.size(), data.size());
+        EXPECT_EQ(prefix, data.substr(0, prefix.size()));
+        EXPECT_EQ(got.substr(got.size() - 4), "tail");
+
+        FaultyIo replay(IoFaultKind::kShortWrite, 1, seed);
+        const std::string path2 =
+            tempPath("io_short2_" + std::to_string(seed));
+        file = replay.openWrite(path2, false, error);
+        ASSERT_NE(file, nullptr);
+        EXPECT_FALSE(
+            replay.write(file, data.data(), data.size(), error));
+        ASSERT_TRUE(replay.flush(file, error));
+        replay.close(file);
+        EXPECT_EQ(readBack(path2), prefix) << "seed " << seed;
+    }
+}
+
+TEST(Io, CrashTearsOneWriteThenEverythingIsDead)
+{
+    FaultyIo io(IoFaultKind::kCrash, 2, 5);
+    const std::string path = tempPath("io_crash");
+    std::string error;
+    IoFile* file = io.openWrite(path, false, error);
+    ASSERT_NE(file, nullptr) << error;
+    ASSERT_TRUE(io.write(file, "intact|", 7, error));
+    EXPECT_FALSE(io.write(file, "doomed-record", 13, error)); // crash
+    EXPECT_TRUE(io.crashed());
+
+    // Dead mode: every subsequent op fails with no side effects —
+    // a crashed process cannot write, rename, or delete anything.
+    EXPECT_FALSE(io.write(file, "x", 1, error));
+    EXPECT_FALSE(io.flush(file, error));
+    EXPECT_FALSE(io.sync(file, error));
+    io.close(file);
+    const std::string other = tempPath("io_crash_other");
+    EXPECT_FALSE(io.rename(path, other, error));
+    EXPECT_FALSE(io.truncate(path, 0, error));
+    EXPECT_FALSE(io.remove(path));
+    std::string contents;
+    EXPECT_FALSE(io.readFile(path, contents, error));
+    EXPECT_EQ(io.openWrite(path, true, error), nullptr);
+
+    // What survives on disk: everything before the crash plus a
+    // seeded prefix of the torn write.
+    const std::string got = readBack(path);
+    ASSERT_GE(got.size(), 7u);
+    EXPECT_EQ(got.substr(0, 7), "intact|");
+    EXPECT_LT(got.size(), 7u + 13u);
+    EXPECT_EQ(got.substr(7),
+              std::string("doomed-record").substr(0, got.size() - 7));
+}
+
+TEST(Io, WriteFileAtomicAllOrNothing)
+{
+    const std::string path = tempPath("io_atomic");
+    std::string error;
+    ASSERT_TRUE(writeFileAtomicIo(Io::system(), path, "version-1",
+                                  FsyncPolicy::kNone, error))
+        << error;
+    EXPECT_EQ(readBack(path), "version-1");
+
+    // Fail each op of the atomic chain in turn (write=1, rename=2
+    // under kNone): the old contents must survive intact and no .tmp
+    // may linger.
+    for (std::uint64_t atOp : {1ull, 2ull}) {
+        FaultyIo io(IoFaultKind::kEio, atOp, 3);
+        EXPECT_FALSE(writeFileAtomicIo(io, path, "version-2",
+                                       FsyncPolicy::kNone, error));
+        EXPECT_EQ(readBack(path), "version-1") << "atOp " << atOp;
+        EXPECT_FALSE(exists(path + ".tmp")) << "atOp " << atOp;
+    }
+    // With fsync policy the chain is write=1, sync=2, rename=3.
+    for (std::uint64_t atOp : {1ull, 2ull, 3ull}) {
+        FaultyIo io(IoFaultKind::kEio, atOp, 3);
+        EXPECT_FALSE(writeFileAtomicIo(io, path, "version-2",
+                                       FsyncPolicy::kMarkers, error));
+        EXPECT_EQ(readBack(path), "version-1") << "atOp " << atOp;
+        EXPECT_FALSE(exists(path + ".tmp")) << "atOp " << atOp;
+    }
+    // A crash can leave the .tmp (dead mode cannot remove) but must
+    // never replace the target.
+    {
+        FaultyIo io(IoFaultKind::kCrash, 1, 3);
+        EXPECT_FALSE(writeFileAtomicIo(io, path, "version-2",
+                                       FsyncPolicy::kNone, error));
+        EXPECT_EQ(readBack(path), "version-1");
+    }
+    Io::system().remove(path + ".tmp");
+
+    // And the intact chain still replaces atomically afterwards.
+    ASSERT_TRUE(writeFileAtomicIo(Io::system(), path, "version-2",
+                                  FsyncPolicy::kAlways, error))
+        << error;
+    EXPECT_EQ(readBack(path), "version-2");
+}
+
+TEST(Io, FsyncPolicyNamesRoundTrip)
+{
+    for (FsyncPolicy policy :
+         {FsyncPolicy::kNone, FsyncPolicy::kMarkers,
+          FsyncPolicy::kAlways}) {
+        FsyncPolicy parsed = FsyncPolicy::kAlways;
+        EXPECT_TRUE(
+            parseFsyncPolicy(fsyncPolicyName(policy), parsed));
+        EXPECT_EQ(parsed, policy);
+    }
+    FsyncPolicy parsed;
+    EXPECT_FALSE(parseFsyncPolicy("sometimes", parsed));
+}
+
+} // namespace
+} // namespace syscomm::serve

@@ -19,7 +19,8 @@
  *
  * Exit codes: 0 = daemon answered "ok": true; 1 = daemon answered
  * with an error/rejection; 2 = usage or transport failure; 3 = wait
- * timed out.
+ * timed out (distinct so scripts can tell "still running" from
+ * "daemon unreachable").
  */
 
 #include <cstdio>
@@ -45,11 +46,16 @@ usage()
         "usage: syscomm-cli [--socket PATH | --tcp HOST:PORT] COMMAND\n"
         "commands:\n"
         "  ping | stats | drain\n"
-        "  submit [FILE]        submit body from FILE (default stdin)\n"
+        "  submit [FILE] [--retry N] [--idempotency-key KEY]\n"
+        "                       submit body from FILE (default stdin);\n"
+        "                       --retry resends with backoff across\n"
+        "                       daemon restarts (KEY makes it safe)\n"
         "  status ID\n"
         "  result ID\n"
         "  cancel ID\n"
-        "  wait ID [TIMEOUT_MS] poll until terminal (default 60000)\n"
+        "  wait ID [TIMEOUT_MS] [--timeout MS] [--retry N]\n"
+        "                       poll until terminal (default 60000);\n"
+        "                       exit 3 = timed out, 2 = unreachable\n"
         "  gen-ring-sweep [--cells N] [--words W] [--streams S]\n"
         "                 [--shapes K] [--seeds R] [--checkpoint-every C]\n"
         "                 [--budget B] [--kernel event|reference]\n"
@@ -253,12 +259,32 @@ main(int argc, char** argv)
     } else if (command == "drain") {
         ok = client.drain(response, error);
     } else if (command == "submit") {
+        std::string file;
+        std::string idempotencyKey;
+        long long retries = 0;
+        while (argi < argc) {
+            const std::string arg = argv[argi];
+            if (arg == "--retry" && argi + 1 < argc &&
+                parseInt(argv[argi + 1], retries)) {
+                argi += 2;
+            } else if (arg == "--idempotency-key" &&
+                       argi + 1 < argc) {
+                idempotencyKey = argv[argi + 1];
+                argi += 2;
+            } else if (file.empty() && arg.rfind("--", 0) != 0) {
+                file = arg;
+                ++argi;
+            } else {
+                usage();
+                return 2;
+            }
+        }
         std::string text;
-        if (argi < argc) {
-            std::ifstream in(argv[argi]);
+        if (!file.empty()) {
+            std::ifstream in(file);
             if (!in) {
                 std::fprintf(stderr, "syscomm-cli: cannot read %s\n",
-                             argv[argi]);
+                             file.c_str());
                 return 2;
             }
             std::ostringstream ss;
@@ -275,8 +301,25 @@ main(int argc, char** argv)
                          error.c_str());
             return 2;
         }
+        if (!idempotencyKey.empty())
+            body.set("idempotency_key",
+                     JsonValue::str(idempotencyKey));
         std::string id;
-        ok = client.submit(body, id, response, error);
+        if (retries > 0) {
+            syscomm::serve::RetryOptions retry;
+            retry.maxAttempts = static_cast<int>(retries);
+            ok = client.submitWithRetry(body, retry, id, response,
+                                        error);
+            // submitWithRetry reports rejections through `error`;
+            // a populated response still prints below for scripts.
+            if (!ok && response.isObject() &&
+                response.find("rejected") != nullptr) {
+                printResponse(response);
+                return 1;
+            }
+        } else {
+            ok = client.submit(body, id, response, error);
+        }
     } else if (command == "status" || command == "result" ||
                command == "cancel") {
         if (argi >= argc) {
@@ -297,14 +340,38 @@ main(int argc, char** argv)
         }
         const std::string id = argv[argi++];
         long long timeoutMs = 60'000;
-        if (argi < argc && !parseInt(argv[argi], timeoutMs)) {
-            usage();
-            return 2;
+        long long retries = 0;
+        while (argi < argc) {
+            const std::string arg = argv[argi];
+            if (arg == "--timeout" && argi + 1 < argc &&
+                parseInt(argv[argi + 1], timeoutMs)) {
+                argi += 2;
+            } else if (arg == "--retry" && argi + 1 < argc &&
+                       parseInt(argv[argi + 1], retries)) {
+                argi += 2;
+            } else if (arg.rfind("--", 0) != 0 &&
+                       parseInt(arg.c_str(), timeoutMs)) {
+                ++argi; // legacy positional TIMEOUT_MS
+            } else {
+                usage();
+                return 2;
+            }
         }
-        if (!client.waitTerminal(id, int(timeoutMs), response,
-                                 error)) {
+        bool waited;
+        if (retries > 0) {
+            syscomm::serve::RetryOptions retry;
+            retry.maxAttempts = static_cast<int>(retries);
+            waited = client.waitTerminalRetry(id, int(timeoutMs),
+                                              retry, response, error);
+        } else {
+            waited = client.waitTerminal(id, int(timeoutMs), response,
+                                         error);
+        }
+        if (!waited) {
             std::fprintf(stderr, "syscomm-cli: %s\n", error.c_str());
-            return 3;
+            // 3 = the daemon is fine but the work outlived the
+            // deadline; transport/protocol failures stay 2.
+            return error.rfind("timeout", 0) == 0 ? 3 : 2;
         }
         return printResponse(response);
     } else {

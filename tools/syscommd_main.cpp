@@ -65,7 +65,10 @@ usage(const char* argv0)
         "  --cache N            compiled-program cache entries (default 32)\n"
         "  --slice N            run slice cycles (default 100000)\n"
         "  --checkpoint-every N sweep checkpoint interval (default 5000)\n"
-        "  --budget N           default cycle budget (default 50000000)\n",
+        "  --budget N           default cycle budget (default 50000000)\n"
+        "  --fsync POLICY       none | markers | always (default none)\n"
+        "  --watchdog-ms N      fail a run whose slice stalls N ms\n"
+        "                       (default 0 = disabled)\n",
         argv0);
 }
 
@@ -113,6 +116,15 @@ main(int argc, char** argv)
             options.sweepCheckpointEvery = n;
         } else if (arg == "--budget" && parseLong(value, n)) {
             options.defaultCycleBudget = n;
+        } else if (arg == "--fsync") {
+            if (!syscomm::serve::parseFsyncPolicy(
+                    value, options.fsyncPolicy)) {
+                std::fprintf(stderr,
+                             "syscommd: bad --fsync '%s'\n", value);
+                return 2;
+            }
+        } else if (arg == "--watchdog-ms" && parseLong(value, n)) {
+            options.watchdogMs = n;
         } else {
             usage(argv[0]);
             return 2;

@@ -708,10 +708,19 @@ SyscommDaemon::executeSweep(Sub* sub, const CachedProgram& entry)
     const Submission& payload = sub->payload;
     sim::ShapeSweepOptions sweepOptions;
     sweepOptions.session.kernel = payload.kernel;
-    // The daemon's unit of parallelism is the worker thread; one
-    // submission takes one worker, so sweeps run single-threaded
-    // inside it (results are identical at any worker count anyway).
-    sweepOptions.numWorkers = 1;
+    // A sweep parallelizes inside its daemon worker: the operator's
+    // --sweep-workers knob sets the per-sweep thread budget (1 keeps
+    // the old one-thread-per-submission regime, <= 0 lets the sweep
+    // size itself to the hardware), and a submission may cap — never
+    // raise — it with its own sweep_workers field. Results are
+    // bit-identical at any worker count; only wall clock moves.
+    // Total daemon threads ≈ workers × sweep-workers when every
+    // worker is running a sweep — size the knobs together.
+    int sweepWorkers = options_.sweepWorkers;
+    if (payload.sweepWorkers > 0 &&
+        (sweepWorkers <= 0 || payload.sweepWorkers < sweepWorkers))
+        sweepWorkers = payload.sweepWorkers;
+    sweepOptions.numWorkers = sweepWorkers;
     sweepOptions.journalPath = sub->journalPath;
     sweepOptions.checkpointEvery = payload.checkpointEvery > 0
                                        ? payload.checkpointEvery
@@ -793,6 +802,8 @@ SyscommDaemon::executeSweep(Sub* sub, const CachedProgram& entry)
     body.set("rows_from_journal",
              JsonValue::integer(static_cast<std::int64_t>(
                  result.rowsFromJournal)));
+    body.set("sweep_workers",
+             JsonValue::integer(result.workersUsed));
     body.set("cached_compile",
              JsonValue::boolean(sub->cachedCompile));
     finish(sub, SubmissionState::kCompleted, std::move(body));

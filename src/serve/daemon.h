@@ -86,6 +86,20 @@ struct DaemonOptions
     /** Default sweep journal checkpoint interval (cycles). */
     Cycle sweepCheckpointEvery = 5'000;
     /**
+     * Worker threads *inside* one sweep submission (the
+     * --sweep-workers knob): ShapeSweep steals (shape × request)
+     * cells across this many threads. 1 (the default) keeps the
+     * one-thread-per-submission regime; <= 0 lets each sweep size
+     * itself to hardware_concurrency(). A submission's own
+     * sweep_workers field can cap — never raise — this. Budget
+     * threads as workers × sweepWorkers when sizing a box: every
+     * sweep worker honors drain/cancel through the same stop flag,
+     * so park/resume semantics are unchanged at any setting. (The
+     * watchdog covers single runs only — sweeps already bound their
+     * slices with checkpointEvery and park cooperatively.)
+     */
+    int sweepWorkers = 1;
+    /**
      * The IO layer every spool/journal byte goes through. nullptr =
      * the real filesystem; the crash-point fuzz harness injects a
      * FaultyIo here to kill the daemon's durability chain at any

@@ -359,6 +359,14 @@ parseSubmission(const JsonValue& msg, Submission& out,
     out.cycleBudget = budget;
     out.checkpointEvery = checkpointEvery;
 
+    const auto sweepWorkers = msg.getInt("sweep_workers", 0);
+    constexpr std::int64_t kMaxSweepWorkers = 1024;
+    if (sweepWorkers < 0 || sweepWorkers > kMaxSweepWorkers) {
+        error = "submit: sweep_workers out of range";
+        return false;
+    }
+    out.sweepWorkers = static_cast<int>(sweepWorkers);
+
     const std::string kernel = msg.getString("kernel", "event");
     if (kernel == "event") {
         out.kernel = sim::KernelKind::kEventDriven;

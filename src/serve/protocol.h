@@ -125,6 +125,14 @@ struct Submission
     Cycle cycleBudget = 0;
     /** Sweep journal checkpoint interval; 0 = daemon default. */
     Cycle checkpointEvery = 0;
+    /**
+     * Per-request cap on the sweep's worker threads
+     * ("sweep_workers"): the effective count is min(this, the
+     * daemon's --sweep-workers) when > 0; 0 accepts the daemon
+     * default unchanged. A client can shrink its own slice of the
+     * box, never grow it. Ignored for single runs.
+     */
+    int sweepWorkers = 0;
     sim::KernelKind kernel = sim::KernelKind::kEventDriven;
     /** Folded into the sweep journal digest (see ShapeSweepOptions). */
     std::string programVersion;

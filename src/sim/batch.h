@@ -38,8 +38,9 @@ namespace syscomm::sim {
  * A persistent pool of worker threads with work-stealing dispatch:
  * the thread-management half of SweepRunner, split out so drivers
  * whose work items are not "one request on my one machine" — above
- * all ShapeSweep, whose items are whole per-shape sessions — can fan
- * out over the same machinery. Threads are spawned on demand by the
+ * all ShapeSweep, whose items are (shape × request) grid cells
+ * served by per-shape session pools — can fan out over the same
+ * machinery. Threads are spawned on demand by the
  * first dispatch that needs them and parked between batches; the
  * mutex hand-off orders everything the caller wrote before dispatch()
  * against the workers' reads, so callers may freely prepare per-slot
@@ -77,8 +78,18 @@ class WorkerPool
 /**
  * Worker count a dispatch over @p work_items should use: the shared
  * sizing policy of every WorkerPool client (SweepRunner, ShapeSweep).
- * @p requested <= 0 picks std::thread::hardware_concurrency(); the
- * result is clamped to the number of work items and floored at 1.
+ * @p requested <= 0 picks std::thread::hardware_concurrency() — and
+ * because that call may legitimately return 0 ("not computable"),
+ * the result is floored at 1 *after* the hardware lookup, so an
+ * unknowable core count degrades to a serial sweep, never to a
+ * zero-worker one. The result is also clamped to the number of work
+ * items (threads with nothing to steal are pure overhead), and the
+ * floor applies last: even work_items == 0 yields 1, and a
+ * one-worker dispatch runs inline on the calling thread without
+ * spawning anything (WorkerPool::dispatch's workers == 1 path) —
+ * the "single-worker sweeps are really serial" promise SweepOptions
+ * and ShapeSweepOptions make, which tests/test_shape_sweep.cpp pins
+ * via pooledWorkers().
  */
 int clampWorkers(int requested, std::size_t work_items);
 

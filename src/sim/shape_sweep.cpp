@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -39,6 +40,16 @@ constexpr std::uint32_t kJournalVersion = 3;
 constexpr std::uint8_t kRecVersion = 1;
 constexpr std::uint8_t kRecRowDone = 1;
 constexpr std::uint8_t kRecCheckpoint = 2;
+/**
+ * Shard-range record (written once, right after the header, only by
+ * sharded runs): grid numShapes, numRequests, then the half-open
+ * [shardBegin, shardEnd) cell range this journal's process owns.
+ * Pre-shard readers CRC-validate and skip it — the v3 framing's
+ * forward-compatibility path — so an old `inspectSweepJournal` still
+ * counts a shard journal's rows; only resume (which must not mix
+ * shards) rejects on mismatch.
+ */
+constexpr std::uint8_t kRecShardRange = 3;
 /** kind + record version + payload length + trailing CRC32C. */
 constexpr std::size_t kRecordOverhead = 1 + 1 + 8 + 4;
 /** magic + format version + config digest. */
@@ -78,6 +89,20 @@ journalHeaderBytes(std::uint64_t cfg)
     w.put(kJournalVersion);
     w.put(cfg);
     return bytes;
+}
+
+/** Payload of a kRecShardRange record. */
+std::vector<std::uint8_t>
+shardRangePayload(std::size_t num_shapes, std::size_t num_requests,
+                  std::size_t begin, std::size_t end)
+{
+    std::vector<std::uint8_t> payload;
+    ByteWriter w(payload);
+    w.put(static_cast<std::uint64_t>(num_shapes));
+    w.put(static_cast<std::uint64_t>(num_requests));
+    w.put(static_cast<std::uint64_t>(begin));
+    w.put(static_cast<std::uint64_t>(end));
+    return payload;
 }
 
 /**
@@ -304,17 +329,20 @@ struct ShapeSweep::Journal
 
     /**
      * Parse a journal image. Returns false when the header does not
-     * name this exact sweep (then the caller restarts the file).
-     * Record parsing stops at the first torn or corrupt record —
-     * everything before it is still replayed, and @p valid_prefix
-     * reports how many leading bytes were sound so the caller can
-     * truncate the tail away before appending (appending *after*
-     * garbage would strand every later record behind it on the next
-     * load).
+     * name this exact sweep, or when the journal's shard-range record
+     * disagrees with this run's shard (a sharded journal must never
+     * resume an unsharded run, a different shard, or a different
+     * grid — then the caller restarts the file). Record parsing
+     * stops at the first torn or corrupt record — everything before
+     * it is still replayed, and @p valid_prefix reports how many
+     * leading bytes were sound so the caller can truncate the tail
+     * away before appending (appending *after* garbage would strand
+     * every later record behind it on the next load).
      */
     bool
     load(const std::vector<std::uint8_t>& bytes, std::uint64_t cfg,
          std::size_t num_shapes, std::size_t num_requests,
+         bool sharded, std::size_t shard_begin, std::size_t shard_end,
          std::size_t& valid_prefix)
     {
         valid_prefix = 0;
@@ -326,6 +354,7 @@ struct ShapeSweep::Journal
             return false;
         valid_prefix = kJournalHeader;
 
+        bool sawShard = false;
         std::size_t at = kJournalHeader;
         std::uint8_t kind;
         std::uint8_t recVersion;
@@ -337,6 +366,20 @@ struct ShapeSweep::Journal
             // A CRC-valid frame of an unknown record version or kind
             // skips harmlessly: forward compatibility.
             ByteReader r(payload, len);
+            if (kind == kRecShardRange && recVersion == kRecVersion) {
+                const auto jShapes = r.get<std::uint64_t>();
+                const auto jRequests = r.get<std::uint64_t>();
+                const auto jBegin = r.get<std::uint64_t>();
+                const auto jEnd = r.get<std::uint64_t>();
+                if (!r.ok() || !sharded || jShapes != num_shapes ||
+                    jRequests != num_requests || jBegin != shard_begin ||
+                    jEnd != shard_end)
+                    return false;
+                sawShard = true;
+                at = next;
+                valid_prefix = at;
+                continue;
+            }
             const auto shape = r.get<std::uint64_t>();
             const auto request = r.get<std::uint64_t>();
             const bool inGrid = recVersion == kRecVersion && r.ok() &&
@@ -370,7 +413,71 @@ struct ShapeSweep::Journal
             at = next;
             valid_prefix = at;
         }
-        return true;
+        // A sharded run must find its own shard record (an unsharded
+        // journal for the same sweep is a different file's worth of
+        // rows — restart rather than adopt it).
+        return !sharded || sawShard;
+    }
+};
+
+/**
+ * A bounded pool of sessions over one shape. Work-stealing hands out
+ * (shape × request) cells, so several workers can land on the same
+ * shape at once; each checks a session out per cell (building one
+ * lazily while under the bound, blocking for a peer's check-in at
+ * it). SimSession::run() fully resets machine state, so *which*
+ * pooled session a cell gets cannot affect its result — the
+ * bit-identity suite runs the same grid at 1 and N workers and
+ * compares digests. Sessions persist in `idle` across run() calls:
+ * the compile-once/run-many caching the sweep always had, just N-wide.
+ */
+struct ShapeSweep::ShapePool
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::vector<std::unique_ptr<SimSession>> idle;
+    /** Sessions ever built; construction is gated by the bound. */
+    int built = 0;
+
+    template <typename Make>
+    std::unique_ptr<SimSession>
+    checkout(int bound, Make&& make)
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            if (!idle.empty()) {
+                std::unique_ptr<SimSession> s = std::move(idle.back());
+                idle.pop_back();
+                return s;
+            }
+            if (built < bound) {
+                ++built;
+                lock.unlock();
+                // Construct outside the lock — building a session
+                // over a big machine allocates arenas and must not
+                // stall peers returning theirs.
+                try {
+                    return make();
+                } catch (...) {
+                    lock.lock();
+                    --built;
+                    lock.unlock();
+                    cv.notify_one();
+                    throw;
+                }
+            }
+            cv.wait(lock);
+        }
+    }
+
+    void
+    checkin(std::unique_ptr<SimSession> s)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            idle.push_back(std::move(s));
+        }
+        cv.notify_one();
     }
 };
 
@@ -392,7 +499,9 @@ ShapeSweep::ShapeSweep(const Program& program, SharedTopology topo,
         spec.extensionPenalty = shape.extensionPenalty;
         specs_.push_back(std::move(spec));
     }
-    sessions_.resize(shapes_.size());
+    pools_.reserve(shapes_.size());
+    for (std::size_t s = 0; s < shapes_.size(); ++s)
+        pools_.push_back(std::make_unique<ShapePool>());
 }
 
 ShapeSweep::ShapeSweep(std::shared_ptr<const CompiledProgram> compiled,
@@ -431,6 +540,19 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
             options_.session.precomputeLabels);
     }
 
+    // Multi-process sharding: this run owns the half-open cell range
+    // [shardBegin, shardEnd) of the shape-major grid; an unsharded
+    // run owns all of it.
+    const std::size_t totalCells = shapes_.size() * requests.size();
+    const bool sharded = options_.shardEnd > options_.shardBegin;
+    const std::size_t shardBegin =
+        sharded ? std::min(options_.shardBegin, totalCells) : 0;
+    const std::size_t shardEnd =
+        sharded ? std::min(options_.shardEnd, totalCells) : totalCells;
+    out.sharded = sharded;
+    out.shardBegin = shardBegin;
+    out.shardEnd = shardEnd;
+
     std::unique_ptr<Journal> journal;
     std::string journalOpenError;
     if (!options_.journalPath.empty() && !requests.empty()) {
@@ -448,6 +570,7 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
         std::size_t validPrefix = 0;
         if (!bytes.empty() &&
             journal->load(bytes, cfg, shapes_.size(), requests.size(),
+                          sharded, shardBegin, shardEnd,
                           validPrefix)) {
             // A kill mid-append leaves a torn record; cut it off
             // before appending, or every record this run writes
@@ -467,8 +590,21 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
                                          /*append=*/false,
                                          journalOpenError);
             if (journal->file != nullptr) {
-                const std::vector<std::uint8_t> header =
+                std::vector<std::uint8_t> header =
                     journalHeaderBytes(cfg);
+                if (sharded) {
+                    // The shard record rides the header write: it is
+                    // part of what names this journal, not a row, so
+                    // it never consumes the record budget and is
+                    // present from the first byte of a shard file.
+                    const std::vector<std::uint8_t> rec = frameRecord(
+                        kRecShardRange,
+                        shardRangePayload(shapes_.size(),
+                                          requests.size(), shardBegin,
+                                          shardEnd));
+                    header.insert(header.end(), rec.begin(),
+                                  rec.end());
+                }
                 if (!io.write(journal->file, header.data(),
                               header.size(), journalOpenError) ||
                     !io.flush(journal->file, journalOpenError)) {
@@ -495,19 +631,41 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
         }
     }
 
-    // Work items are whole shapes (a session serves one thread);
-    // shapes fully satisfied by the journal dispatch nothing.
+    // Work items are (shape × request) grid cells — the finest unit
+    // that preserves per-run determinism — restricted to this
+    // shard's range; cells satisfied by the journal dispatch
+    // nothing. Cell granularity is what fixes the inverted scaling
+    // curve: under the old whole-shape dispatch a ladder with one
+    // giant rung parked every other worker behind the thread that
+    // claimed it.
     std::vector<std::size_t> work;
-    for (std::size_t s = 0; s < shapes_.size(); ++s) {
-        for (std::size_t r = 0; r < requests.size(); ++r) {
-            if (!out.rows[s * requests.size() + r].finished) {
-                work.push_back(s);
-                break;
-            }
+    for (std::size_t idx = shardBegin; idx < shardEnd; ++idx) {
+        if (!out.rows[idx].finished)
+            work.push_back(idx);
+    }
+    // The legacy scheduler claims whole shapes; kept only so the
+    // bit-identity suite can prove cell-granular == shape-granular.
+    std::vector<std::size_t> shapeWork;
+    if (options_.shapeGranularDispatch && !requests.empty()) {
+        for (std::size_t idx : work) {
+            const std::size_t s = idx / requests.size();
+            if (shapeWork.empty() || shapeWork.back() != s)
+                shapeWork.push_back(s);
         }
     }
+    const std::size_t numItems = options_.shapeGranularDispatch
+                                     ? shapeWork.size()
+                                     : work.size();
 
-    const int workers = clampWorkers(options_.numWorkers, work.size());
+    const int workers = clampWorkers(options_.numWorkers, numItems);
+    // Sessions checked out per cell, at most this many live per
+    // shape. More than one per worker can never run concurrently.
+    int sessionBound = options_.maxSessionsPerShape > 0
+                           ? options_.maxSessionsPerShape
+                           : workers;
+    sessionBound = std::min(sessionBound, workers);
+    if (sessionBound < 1)
+        sessionBound = 1;
 
     std::atomic<std::size_t> restored{0};
     std::atomic<bool> stop{false};
@@ -518,105 +676,134 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
                 externalStop->load(std::memory_order_relaxed));
     };
 
-    auto job = [&](int, std::size_t workIdx) {
-        const std::size_t s = work[workIdx];
+    // One grid cell, start to finish, on whatever worker stole it. A
+    // session is checked out of the shape's pool for the duration
+    // (RAII check-in, exception-safe); SimSession::run() resets all
+    // machine state, so the cell's result is independent of which
+    // pooled instance it got.
+    auto runCell = [&](std::size_t idx) {
         if (stopRequested())
             return;
-        if (!sessions_[s]) {
-            sessions_[s] = std::make_unique<SimSession>(
-                compiled_, specs_[s], options_.session);
-        }
-        SimSession& session = *sessions_[s];
-        for (std::size_t r = 0; r < requests.size(); ++r) {
-            const std::size_t idx = s * requests.size() + r;
-            ShapeSweepRow& row = out.rows[idx];
-            if (row.finished)
-                continue;
-            if (stopRequested())
-                return;
-            const RunRequest& request = requests[r];
-            // Only stats-only rows are journaled/checkpointed; rows
-            // materializing result vectors simply re-run on resume
-            // (equally bit-identical, just not incremental). An
-            // attached RunObserver disqualifies a row the same way:
-            // a journal-replayed row executes nothing, so its
-            // callbacks would silently never fire.
-            const bool journalRow = journal != nullptr &&
-                                    request.collect == Collect::kNone &&
-                                    request.observer == nullptr &&
-                                    request.pauseAt == 0;
-            RunResult res;
-            if (journalRow && options_.checkpointEvery > 0) {
-                const Cycle every = options_.checkpointEvery;
-                auto ck = journal->checkpoints.find(idx);
-                if (ck != journal->checkpoints.end() &&
-                    session.restoreCheckpoint(request,
-                                              ck->second.bytes)) {
-                    ++restored;
-                    res = session.resume(ck->second.pauseCycle + every);
-                } else {
-                    // No checkpoint (or a stale/corrupt one the
-                    // session rejected): run from the start.
-                    RunRequest first = request;
-                    first.pauseAt = every;
-                    res = session.run(first);
-                }
-                while (res.status == RunStatus::kPaused) {
-                    // Serialize the machine state straight into the
-                    // record payload (length patched in afterwards)
-                    // — a checkpoint can be tens of MB on large
-                    // machines and does not want an extra copy.
-                    std::vector<std::uint8_t> payload;
-                    ByteWriter w(payload);
-                    w.put(static_cast<std::uint64_t>(s));
-                    w.put(static_cast<std::uint64_t>(r));
-                    w.put(res.cycles);
-                    const std::size_t lenAt = payload.size();
-                    w.put(std::uint64_t{0});
-                    if (session.saveCheckpoint(payload)) {
-                        const std::uint64_t stateLen =
-                            payload.size() - lenAt - sizeof stateLen;
-                        // Patch the length in little-endian to match
-                        // the getVector that reads it back.
-                        for (std::size_t b = 0; b < sizeof stateLen;
-                             ++b)
-                            payload[lenAt + b] = static_cast<
-                                std::uint8_t>(stateLen >> (8 * b));
-                        if (!journal->append(kRecCheckpoint, payload)) {
-                            // Budget exhausted mid-run: the row is
-                            // checkpointed; the resume picks it up.
-                            stop.store(true,
-                                       std::memory_order_relaxed);
-                            return;
-                        }
-                        // A drain parks here: the checkpoint just
-                        // appended is the state the resume restores.
-                        if (stopRequested())
-                            return;
-                    }
-                    res = session.resume(res.cycles + every);
-                }
-            } else {
-                res = session.run(request);
+        const std::size_t s = idx / requests.size();
+        const std::size_t r = idx % requests.size();
+        ShapeSweepRow& row = out.rows[idx];
+        if (row.finished)
+            return;
+        ShapePool& shapePool = *pools_[s];
+        struct Lease
+        {
+            ShapePool& pool;
+            std::unique_ptr<SimSession> session;
+            ~Lease()
+            {
+                if (session)
+                    pool.checkin(std::move(session));
             }
-            row.result = std::move(res);
-            row.machineDigest = session.machineDigest();
-            row.finished = true;
-            if (journalRow) {
+        } lease{shapePool,
+                shapePool.checkout(sessionBound, [&] {
+                    return std::make_unique<SimSession>(
+                        compiled_, specs_[s], options_.session);
+                })};
+        SimSession& session = *lease.session;
+        const RunRequest& request = requests[r];
+        // Only stats-only rows are journaled/checkpointed; rows
+        // materializing result vectors simply re-run on resume
+        // (equally bit-identical, just not incremental). An
+        // attached RunObserver disqualifies a row the same way:
+        // a journal-replayed row executes nothing, so its
+        // callbacks would silently never fire.
+        const bool journalRow = journal != nullptr &&
+                                request.collect == Collect::kNone &&
+                                request.observer == nullptr &&
+                                request.pauseAt == 0;
+        RunResult res;
+        if (journalRow && options_.checkpointEvery > 0) {
+            const Cycle every = options_.checkpointEvery;
+            auto ck = journal->checkpoints.find(idx);
+            if (ck != journal->checkpoints.end() &&
+                session.restoreCheckpoint(request, ck->second.bytes)) {
+                ++restored;
+                res = session.resume(ck->second.pauseCycle + every);
+            } else {
+                // No checkpoint (or a stale/corrupt one the
+                // session rejected): run from the start.
+                RunRequest first = request;
+                first.pauseAt = every;
+                res = session.run(first);
+            }
+            while (res.status == RunStatus::kPaused) {
+                // Serialize the machine state straight into the
+                // record payload (length patched in afterwards)
+                // — a checkpoint can be tens of MB on large
+                // machines and does not want an extra copy.
                 std::vector<std::uint8_t> payload;
                 ByteWriter w(payload);
                 w.put(static_cast<std::uint64_t>(s));
                 w.put(static_cast<std::uint64_t>(r));
-                w.put(row.machineDigest);
-                saveRunResult(w, row.result);
-                if (!journal->append(kRecRowDone, payload)) {
-                    stop.store(true, std::memory_order_relaxed);
-                    return;
+                w.put(res.cycles);
+                const std::size_t lenAt = payload.size();
+                w.put(std::uint64_t{0});
+                if (session.saveCheckpoint(payload)) {
+                    const std::uint64_t stateLen =
+                        payload.size() - lenAt - sizeof stateLen;
+                    // Patch the length in little-endian to match
+                    // the getVector that reads it back.
+                    for (std::size_t b = 0; b < sizeof stateLen; ++b)
+                        payload[lenAt + b] =
+                            static_cast<std::uint8_t>(stateLen >>
+                                                      (8 * b));
+                    if (!journal->append(kRecCheckpoint, payload)) {
+                        // Budget exhausted mid-run: the row is
+                        // checkpointed; the resume picks it up.
+                        stop.store(true, std::memory_order_relaxed);
+                        return;
+                    }
+                    // A drain parks here: the checkpoint just
+                    // appended is the state the resume restores.
+                    if (stopRequested())
+                        return;
                 }
+                res = session.resume(res.cycles + every);
+            }
+        } else {
+            res = session.run(request);
+        }
+        row.result = std::move(res);
+        row.machineDigest = session.machineDigest();
+        row.finished = true;
+        if (journalRow) {
+            std::vector<std::uint8_t> payload;
+            ByteWriter w(payload);
+            w.put(static_cast<std::uint64_t>(s));
+            w.put(static_cast<std::uint64_t>(r));
+            w.put(row.machineDigest);
+            saveRunResult(w, row.result);
+            if (!journal->append(kRecRowDone, payload)) {
+                stop.store(true, std::memory_order_relaxed);
+                return;
             }
         }
     };
-    pool_.dispatch(workers, work.size(), job);
+
+    if (options_.shapeGranularDispatch) {
+        auto job = [&](int, std::size_t workIdx) {
+            const std::size_t s = shapeWork[workIdx];
+            for (std::size_t r = 0; r < requests.size(); ++r) {
+                const std::size_t idx = s * requests.size() + r;
+                if (idx < shardBegin || idx >= shardEnd)
+                    continue;
+                if (stopRequested())
+                    return;
+                runCell(idx);
+            }
+        };
+        pool_.dispatch(workers, shapeWork.size(), job);
+    } else {
+        auto job = [&](int, std::size_t workIdx) {
+            runCell(work[workIdx]);
+        };
+        pool_.dispatch(workers, work.size(), job);
+    }
 
     if (journal && journal->failed) {
         out.journalError = true;
@@ -624,8 +811,8 @@ ShapeSweep::run(const std::vector<RunRequest>& requests)
     }
     out.checkpointsRestored = restored.load();
     out.complete = true;
-    for (const ShapeSweepRow& row : out.rows) {
-        if (!row.finished) {
+    for (std::size_t idx = shardBegin; idx < shardEnd; ++idx) {
+        if (!out.rows[idx].finished) {
             out.complete = false;
             break;
         }
@@ -664,6 +851,21 @@ inspectSweepJournal(const std::string& path, SweepJournalInfo& out)
     while (checkRecord(bytes, at, kind, recVersion, payload, len,
                        next)) {
         ByteReader r(payload, len);
+        if (kind == kRecShardRange && recVersion == kRecVersion) {
+            const auto jShapes = r.get<std::uint64_t>();
+            const auto jRequests = r.get<std::uint64_t>();
+            const auto jBegin = r.get<std::uint64_t>();
+            const auto jEnd = r.get<std::uint64_t>();
+            if (r.ok()) {
+                out.sharded = true;
+                out.numShapes = static_cast<std::size_t>(jShapes);
+                out.numRequests = static_cast<std::size_t>(jRequests);
+                out.shardBegin = static_cast<std::size_t>(jBegin);
+                out.shardEnd = static_cast<std::size_t>(jEnd);
+            }
+            at = next;
+            continue;
+        }
         const auto shape =
             static_cast<std::size_t>(r.get<std::uint64_t>());
         const auto request =
@@ -694,6 +896,146 @@ inspectSweepJournal(const std::string& path, SweepJournalInfo& out)
         row.request = key.second;
         row.info = std::move(info);
         out.inflight.push_back(std::move(row));
+    }
+    return true;
+}
+
+bool
+mergeSweepJournals(const std::vector<std::string>& paths,
+                   SweepMergeResult& out, std::string& error)
+{
+    out = SweepMergeResult{};
+    error.clear();
+    if (paths.empty()) {
+        error = "no journals to merge";
+        return false;
+    }
+
+    bool haveCfg = false;
+    std::map<std::pair<std::size_t, std::size_t>, SweepMergeRow> rows;
+    for (const std::string& path : paths) {
+        const std::vector<std::uint8_t> bytes =
+            readWholeFile(serve::Io::system(), path);
+        if (bytes.size() < kJournalHeader ||
+            readU32(bytes.data()) != kJournalMagic ||
+            readU32(bytes.data() + 4) != kJournalVersion) {
+            error = path + ": not a v3 sweep journal";
+            return false;
+        }
+        const std::uint64_t cfg = readU64(bytes.data() + 8);
+        if (!haveCfg) {
+            out.configDigest = cfg;
+            haveCfg = true;
+        } else if (cfg != out.configDigest) {
+            error = path +
+                    ": config digest mismatch — the journals "
+                    "describe different sweeps";
+            return false;
+        }
+
+        // Same tolerant walk as a resume: torn/corrupt tails stop
+        // this file's scan (its missing rows simply are not merged),
+        // unknown kinds skip.
+        std::size_t at = kJournalHeader;
+        std::uint8_t kind;
+        std::uint8_t recVersion;
+        const std::uint8_t* payload;
+        std::size_t len;
+        std::size_t next;
+        while (checkRecord(bytes, at, kind, recVersion, payload, len,
+                           next)) {
+            ByteReader r(payload, len);
+            if (kind == kRecShardRange && recVersion == kRecVersion) {
+                const auto jShapes = r.get<std::uint64_t>();
+                const auto jRequests = r.get<std::uint64_t>();
+                r.get<std::uint64_t>(); // shardBegin (informational)
+                r.get<std::uint64_t>(); // shardEnd
+                if (r.ok()) {
+                    if (out.numShapes != 0 &&
+                        (out.numShapes != jShapes ||
+                         out.numRequests != jRequests)) {
+                        error = path +
+                                ": shard-range grid dimensions "
+                                "disagree with an earlier journal";
+                        return false;
+                    }
+                    out.numShapes =
+                        static_cast<std::size_t>(jShapes);
+                    out.numRequests =
+                        static_cast<std::size_t>(jRequests);
+                }
+            } else if (kind == kRecRowDone &&
+                       recVersion == kRecVersion) {
+                SweepMergeRow row;
+                row.shape =
+                    static_cast<std::size_t>(r.get<std::uint64_t>());
+                row.request =
+                    static_cast<std::size_t>(r.get<std::uint64_t>());
+                row.machineDigest = r.get<std::uint64_t>();
+                if (!loadRunResult(r, row.result) || !r.ok())
+                    break;
+                const auto key = std::make_pair(row.shape, row.request);
+                auto it = rows.find(key);
+                if (it == rows.end()) {
+                    rows.emplace(key, std::move(row));
+                } else {
+                    // The per-rung cross-check: overlapping shards
+                    // must agree bit-for-bit — a disagreement is a
+                    // determinism violation, never silently resolved.
+                    if (it->second.machineDigest != row.machineDigest ||
+                        it->second.result.status != row.result.status ||
+                        it->second.result.cycles != row.result.cycles) {
+                        error = path + ": row (" +
+                                std::to_string(row.shape) + ", " +
+                                std::to_string(row.request) +
+                                ") disagrees with another journal "
+                                "(machine digest or result differs)";
+                        return false;
+                    }
+                    ++it->second.sources;
+                    ++out.duplicateRows;
+                }
+            }
+            // kRecCheckpoint (in-flight state) and unknown kinds are
+            // not merge material.
+            at = next;
+        }
+    }
+
+    out.rows.reserve(rows.size());
+    std::size_t maxShape = 0;
+    for (auto& [key, row] : rows) {
+        maxShape = std::max(maxShape, row.shape);
+        out.rows.push_back(std::move(row));
+    }
+    if (out.numShapes != 0 && out.numRequests != 0) {
+        for (const SweepMergeRow& row : out.rows) {
+            if (row.shape >= out.numShapes ||
+                row.request >= out.numRequests) {
+                error = "row (" + std::to_string(row.shape) + ", " +
+                        std::to_string(row.request) +
+                        ") lies outside the recorded " +
+                        std::to_string(out.numShapes) + "x" +
+                        std::to_string(out.numRequests) + " grid";
+                return false;
+            }
+        }
+        out.complete =
+            out.rows.size() == out.numShapes * out.numRequests;
+    }
+
+    const std::size_t numDigests =
+        out.numShapes != 0 ? out.numShapes
+        : out.rows.empty() ? 0
+                           : maxShape + 1;
+    out.shapeDigests.assign(numDigests, kFnvOffsetBasis);
+    // Rows are in grid order already (map iteration), so each rung's
+    // fold sees its digests in request order — the same fold over an
+    // unsharded run's rows compares equal iff the sharded sweep is
+    // bit-identical to it.
+    for (const SweepMergeRow& row : out.rows) {
+        out.shapeDigests[row.shape] =
+            fnv(out.shapeDigests[row.shape], row.machineDigest);
     }
     return true;
 }

@@ -11,10 +11,26 @@
  * full session per shape and re-pay the program-side compile work
  * (validation, the competing-message analysis, labeling) for every
  * rung even though only the hardware differs. ShapeSweep compiles the
- * program exactly once into a shared CompiledProgram, instantiates
- * one session per shape over it, and fans the (shape × request) grid
- * across the WorkerPool machinery SweepRunner uses — a worker claims
- * a whole shape at a time, since a session serves one thread.
+ * program exactly once into a shared CompiledProgram and fans the
+ * (shape × request) grid across the WorkerPool machinery SweepRunner
+ * uses at *cell* granularity: each grid cell is one work item, and a
+ * small per-shape session pool (sessions lazily cloned from the
+ * shared CompiledProgram, bounded by maxSessionsPerShape, checked out
+ * per cell) lets several workers chew on one giant rung while the
+ * tiny rungs drain. A skewed ladder — one 64k-cycle rung plus a pile
+ * of 256-cycle ones — no longer serializes on the worker that claimed
+ * the giant shape. Results still land in grid order, runs are
+ * bit-identical at any worker count, and the scheduler is TSan-clean
+ * (tests/test_shape_sweep.cpp enforces all three).
+ *
+ * Multi-process scale: ShapeSweepOptions::shardBegin/shardEnd
+ * restrict one process to a half-open cell range of the grid. A
+ * sharded journal carries a kind-tagged shard-range record (CRC
+ * framed, forward-skippable by old readers), and mergeSweepJournals /
+ * `syscomm-cli sweep-merge` fold N shard journals into one summary
+ * with per-rung digest cross-checks — the journal is append-only,
+ * digested and resume-safe, so a huge sweep becomes an embarrassingly
+ * parallel, crash-tolerant distributed job.
  *
  * Crash resume: with ShapeSweepOptions::journalPath set, every
  * finished row is appended to a journal file (status, cycles, stats,
@@ -71,10 +87,43 @@ struct ShapeSweepOptions
      * precomputeLabels) parameterize the one shared CompiledProgram.
      */
     SessionOptions session;
-    /** Worker threads; <= 0 picks hardware_concurrency(). A worker
-     *  claims a whole shape at a time (a session is single-threaded),
-     *  so at most one worker per shape is ever useful. */
+    /** Worker threads; <= 0 picks hardware_concurrency() (which is 1
+     *  when the runtime reports 0 cores). Work is stolen at (shape ×
+     *  request) cell granularity, so extra workers help even on a
+     *  one-shape sweep with many requests. numWorkers == 1 runs
+     *  inline on the calling thread without spawning anything. */
     int numWorkers = 0;
+    /**
+     * Upper bound on live sessions per shape (a session is
+     * single-threaded, so one is checked out of the shape's pool per
+     * in-flight cell). <= 0 means "as many as there are workers".
+     * The bound trades memory for giant-rung parallelism: sessions
+     * are lazily built on first checkout and cached across run()
+     * calls, and a worker that finds the pool empty at the bound
+     * blocks until a peer checks one back in.
+     */
+    int maxSessionsPerShape = 0;
+    /**
+     * Legacy scheduler: claim whole shapes instead of grid cells (one
+     * worker per shape, exactly the pre-cell-granular dispatch). Kept
+     * because the bit-identity suite proves cell-granular == serial
+     * == shape-granular; useless otherwise — a skewed ladder leaves
+     * workers idle behind its longest rung.
+     */
+    bool shapeGranularDispatch = false;
+    /**
+     * Multi-process sharding: when shardEnd > shardBegin, this run
+     * only executes grid cells in [shardBegin, shardEnd) of the
+     * shape-major grid (cell = shape * numRequests + request; bounds
+     * are clamped to the grid). The journal then carries a
+     * shard-range record naming the grid dimensions and this range,
+     * a sharded journal never resumes an unsharded sweep (or a
+     * different shard) and vice versa, and `complete` refers to the
+     * shard's cells only. Merge the per-shard journals with
+     * mergeSweepJournals / `syscomm-cli sweep-merge`.
+     */
+    std::size_t shardBegin = 0;
+    std::size_t shardEnd = 0;
     /**
      * Crash-resume journal file; "" disables journaling. When the
      * file already holds a matching sweep (same program shape,
@@ -168,8 +217,14 @@ struct ShapeSweepResult
     /** The requests the grid ran (for per-shape summaries). */
     std::vector<RunRequest> requests;
 
-    /** False when stopAfterJournalRecords stopped the sweep early. */
+    /** False when stopAfterJournalRecords stopped the sweep early.
+     *  For a sharded run this covers the shard's cells only. */
     bool complete = true;
+    /** Echo of ShapeSweepOptions::shardBegin/shardEnd (clamped).
+     *  sharded == false means the whole grid ran here. */
+    bool sharded = false;
+    std::size_t shardBegin = 0;
+    std::size_t shardEnd = 0;
     int workersUsed = 1;
     double wallSeconds = 0.0;
     std::size_t rowsFromJournal = 0;
@@ -224,6 +279,13 @@ struct SweepJournalInfo
     /** Unfinished rows with a restorable checkpoint, latest per row,
      *  ordered by (shape, request). */
     std::vector<SweepJournalRow> inflight;
+    /** Shard-range record, when the journal carries one: the grid
+     *  dimensions and the half-open cell range this shard owns. */
+    bool sharded = false;
+    std::size_t numShapes = 0;
+    std::size_t numRequests = 0;
+    std::size_t shardBegin = 0;
+    std::size_t shardEnd = 0;
 };
 
 /**
@@ -233,6 +295,58 @@ struct SweepJournalInfo
  * is still counted, exactly mirroring what a resume would replay.
  */
 bool inspectSweepJournal(const std::string& path, SweepJournalInfo& out);
+
+/** One finished row recovered from a set of shard journals. */
+struct SweepMergeRow
+{
+    std::size_t shape = 0;
+    std::size_t request = 0;
+    std::uint64_t machineDigest = 0;
+    RunResult result;
+    /** Journals that carried this row (> 1 for overlapping shards —
+     *  every duplicate was digest-checked against the first). */
+    int sources = 1;
+};
+
+/** The union of N shard journals of one sweep. */
+struct SweepMergeResult
+{
+    std::uint64_t configDigest = 0;
+    /** Grid dimensions from the shard-range records; 0 when every
+     *  input was an unsharded journal (dimensions unrecorded). */
+    std::size_t numShapes = 0;
+    std::size_t numRequests = 0;
+    /** Finished rows in grid order — (shape, request) ascending. */
+    std::vector<SweepMergeRow> rows;
+    /** Rows seen in more than one journal (each one cross-checked). */
+    std::size_t duplicateRows = 0;
+    /** True when the dimensions are known and every grid cell has a
+     *  row — the merged sweep is whole. */
+    bool complete = false;
+    /**
+     * Per-rung digest fold (FNV over the shape's row digests in
+     * request order, finished rows only): one integer per shape that
+     * equals the same fold over an unsharded run's rows iff the
+     * sharded sweep is bit-identical to it — the cross-check
+     * `syscomm-cli sweep-merge` prints. Sized numShapes when the
+     * dimensions are known, else by the highest shape seen + 1.
+     */
+    std::vector<std::uint64_t> shapeDigests;
+};
+
+/**
+ * Merge N shard journals (any mix of sharded and unsharded, any
+ * order) into one summary. Hard failures — returns false with @p
+ * error set, out invalid: an unreadable or non-journal file, a
+ * config-digest disagreement (the journals describe different
+ * sweeps), shard-range records that disagree on grid dimensions, or
+ * two journals carrying the same (shape, request) with a different
+ * machine digest or result (a determinism violation, never silently
+ * dropped). In-flight checkpoints are ignored — merging summarizes
+ * finished rows; resume each shard with its own journal to finish it.
+ */
+bool mergeSweepJournals(const std::vector<std::string>& paths,
+                        SweepMergeResult& out, std::string& error);
 
 /**
  * The sweep driver. Construct once per (program, topology, ladder);
@@ -285,6 +399,7 @@ class ShapeSweep
 
   private:
     struct Journal;
+    struct ShapePool;
 
     const Program& program_;
     /** One shared graph: every per-shape spec and the compiled
@@ -295,8 +410,10 @@ class ShapeSweep
     /** One MachineSpec per shape; stable addresses (built once). */
     std::vector<MachineSpec> specs_;
     std::shared_ptr<const CompiledProgram> compiled_;
-    /** One cached session per shape, built on first need. */
-    std::vector<std::unique_ptr<SimSession>> sessions_;
+    /** One session pool per shape: sessions are lazily built on
+     *  first checkout (bounded by maxSessionsPerShape) and cached
+     *  across run() calls. */
+    std::vector<std::unique_ptr<ShapePool>> pools_;
     WorkerPool pool_;
 };
 

@@ -15,6 +15,7 @@
 #include <cfloat>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -276,6 +277,70 @@ TEST(BenchJson, NonFiniteValuesBecomeNullAndFiniteOnesDoNot)
     EXPECT_NE(extras.find("\"ok_int\": -12"), std::string::npos);
     EXPECT_NE(extras.find("\"ok_float\": 3.5e-2"), std::string::npos);
     std::remove(path.c_str());
+}
+
+/**
+ * The committed BENCH_*.json files at the repo root are read by CI
+ * trend tooling and by humans comparing runs; a stale file with
+ * placeholder rows (the "recovery_outcome": -1 / all-zero-digest rows
+ * an older bench_fault_sweep emitted for runs whose fault plan never
+ * fired) silently poisons both. Scan every committed results file:
+ * each line must parse, no row may carry the -1 placeholder outcome,
+ * and an all-zero digest is only acceptable on a row that also
+ * records a non-empty error (a genuinely unrecoverable run never
+ * produced a recovery machine to digest).
+ */
+TEST(BenchJson, CommittedBenchFilesContainNoPlaceholderRows)
+{
+#ifndef SYSCOMM_SOURCE_DIR
+    GTEST_SKIP() << "SYSCOMM_SOURCE_DIR not defined";
+#else
+    namespace fs = std::filesystem;
+    const fs::path root(SYSCOMM_SOURCE_DIR);
+    ASSERT_TRUE(fs::exists(root)) << root;
+
+    int filesSeen = 0;
+    for (const fs::directory_entry& entry : fs::directory_iterator(root)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) != 0 ||
+            entry.path().extension() != ".json")
+            continue;
+        ++filesSeen;
+        std::ifstream in(entry.path());
+        ASSERT_TRUE(in.is_open()) << entry.path();
+        std::string line;
+        int lineNo = 0;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            if (line.empty())
+                continue;
+            EXPECT_TRUE(LineParser(line).parse())
+                << name << ":" << lineNo << ": invalid JSON: " << line;
+            EXPECT_EQ(line.find("\"recovery_outcome\", \"value\": -1"),
+                      std::string::npos)
+                << name << ":" << lineNo
+                << ": placeholder -1 outcome row — regenerate the "
+                   "bench output";
+            // An all-zero digest without an explanation is the old
+            // placeholder; with a recorded error it is a legitimate
+            // unrecoverable run.
+            if (line.find("0x0000000000000000") != std::string::npos) {
+                EXPECT_EQ(line.find("\"error\": \"\""), std::string::npos)
+                    << name << ":" << lineNo
+                    << ": zero digest with empty error — placeholder "
+                       "row, regenerate the bench output";
+                EXPECT_EQ(line.find("\"faulted\": \"no\""),
+                          std::string::npos)
+                    << name << ":" << lineNo
+                    << ": zero digest on a non-faulted run — "
+                       "placeholder row, regenerate the bench output";
+            }
+        }
+    }
+    // The repo ships results files; seeing none means the path wiring
+    // broke and the scan silently checked nothing.
+    EXPECT_GT(filesSeen, 0) << "no BENCH_*.json found under " << root;
+#endif
 }
 
 } // namespace

@@ -450,8 +450,17 @@ TEST(ServeDaemon, FullQueueRejectsExplicitly)
     handle.connect(client);
 
     // A long sweep pins the single worker; two more fill the queue;
-    // the fourth must be rejected NOW, not blocked.
-    const JsonValue big = sweepBody(ringText(6, 4000), 6, 8, 2, 500);
+    // the fourth must be rejected NOW, not blocked. The grid must
+    // keep the worker busy for seconds even when a loaded parallel
+    // test runner starves this thread between submits — a 16-cell
+    // grid could finish mid-test and free a queue slot. Scale via
+    // the seed axis, not words: a bigger program makes every filler
+    // submit proportionally slower to transfer and parse, which
+    // hands the worker *more* time per queue slot, not less.
+    // Teardown cancels everything, so the extra length costs
+    // nothing.
+    const JsonValue big =
+        sweepBody(ringText(6, 4000), 6, 8, 64, 500);
     std::string error;
     std::vector<std::string> admitted;
     {

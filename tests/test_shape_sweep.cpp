@@ -23,6 +23,7 @@
 
 #include "core/program_gen.h"
 #include "sim/fault.h"
+#include "sim/fnv.h"
 #include "sim/shape_sweep.h"
 #include "test_support.h"
 
@@ -695,6 +696,426 @@ TEST(ShapeSweep, FaultAxisKillAndResumeReproducesUninterruptedSweep)
     ASSERT_TRUE(recomputed.complete);
     EXPECT_EQ(recomputed.rowsFromJournal, 0u);
     std::remove(journal.c_str());
+}
+
+// ---------------------------------------------------------------------
+// (e) cell-granular scheduler: bit-identity on a skewed ladder,
+//     session-pool bounds, crash-resume mid-steal, worker sizing
+// ---------------------------------------------------------------------
+
+/**
+ * Disjoint writer->reader burst pairs on a linear array: transfer
+ * only (journal-coverable) and shape-sensitive — with capacity 1 +
+ * extension >= words, every buffered word pays the extension penalty
+ * when it surfaces, so the run stretches to ~words * penalty cycles,
+ * while a capacity >= words shape finishes in ~2 * words.
+ */
+Program
+burstPairs(int pairs, int words)
+{
+    Program p(2 * pairs);
+    for (int i = 0; i < pairs; ++i) {
+        const CellId from = static_cast<CellId>(2 * i);
+        const CellId to = static_cast<CellId>(2 * i + 1);
+        const MessageId id =
+            p.declareMessage("B" + std::to_string(i), from, to);
+        for (int w = 0; w < words; ++w)
+            p.write(from, id);
+        for (int w = 0; w < words; ++w)
+            p.read(to, id);
+    }
+    return p;
+}
+
+/** One giant rung (extension-penalty bound) + @p tiny fast ones: the
+ *  ladder shape that inverted the old whole-shape scaling curve. */
+std::vector<ShapeSpec>
+skewedLadder(int words, int penalty, int tiny)
+{
+    std::vector<ShapeSpec> shapes;
+    ShapeSpec giant;
+    giant.name = "giant";
+    giant.queueCapacity = 1;
+    giant.extensionCapacity = words;
+    giant.extensionPenalty = penalty;
+    shapes.push_back(std::move(giant));
+    for (int k = 0; k < tiny; ++k) {
+        ShapeSpec shape;
+        shape.name = "tiny-" + std::to_string(k);
+        shape.queueCapacity = words + k;
+        shapes.push_back(std::move(shape));
+    }
+    return shapes;
+}
+
+void
+expectSameRows(const ShapeSweepResult& got,
+               const ShapeSweepResult& want, const std::string& what)
+{
+    ASSERT_EQ(got.rows.size(), want.rows.size()) << what;
+    for (std::size_t i = 0; i < want.rows.size(); ++i) {
+        expectSameRunResult(got.rows[i].result, want.rows[i].result,
+                            what + " row " + std::to_string(i));
+        EXPECT_EQ(got.rows[i].machineDigest,
+                  want.rows[i].machineDigest)
+            << what << " row " << i;
+    }
+}
+
+TEST(ShapeSweep, SkewedLadderBitIdenticalAcrossSchedulers)
+{
+    // One 2k-cycle rung + fifteen ~64-cycle rungs: the miniature of
+    // the bench's 64k/256 skew, small enough for a unit test.
+    Program p = burstPairs(2, 32);
+    Topology topo = Topology::linearArray(4);
+    std::vector<ShapeSpec> shapes = skewedLadder(32, 64, 15);
+
+    std::vector<RunRequest> requests(4);
+    for (std::size_t r = 0; r < requests.size(); ++r)
+        requests[r].seed = 1 + r;
+    requests[3].policy = PolicyKind::kFcfs;
+
+    ShapeSweepOptions serial;
+    serial.numWorkers = 1;
+    ShapeSweep serialSweep(p, topo, shapes, serial);
+    ShapeSweepResult golden = serialSweep.run(requests);
+    ASSERT_TRUE(golden.complete);
+    // The skew is real: the giant rung runs ~words*penalty cycles.
+    EXPECT_GT(golden.row(0, 0).result.cycles, 1000);
+    EXPECT_LT(golden.row(1, 0).result.cycles, 200);
+
+    ShapeSweepOptions cells;
+    cells.numWorkers = 4;
+    ShapeSweep cellSweep(p, topo, shapes, cells);
+    ShapeSweepResult cellResult = cellSweep.run(requests);
+    ASSERT_TRUE(cellResult.complete);
+    expectSameRows(cellResult, golden, "cell-granular");
+
+    ShapeSweepOptions legacy;
+    legacy.numWorkers = 4;
+    legacy.shapeGranularDispatch = true;
+    ShapeSweep legacySweep(p, topo, shapes, legacy);
+    ShapeSweepResult legacyResult = legacySweep.run(requests);
+    ASSERT_TRUE(legacyResult.complete);
+    expectSameRows(legacyResult, golden, "shape-granular");
+}
+
+TEST(ShapeSweep, BoundedSessionPoolBlocksAndStaysBitIdentical)
+{
+    // 4 workers contending for a single pooled session per shape:
+    // the checkout path must block (not clone past the bound) and
+    // results must not depend on which worker won.
+    Program p = burstPairs(2, 16);
+    Topology topo = Topology::linearArray(4);
+    std::vector<ShapeSpec> shapes = skewedLadder(16, 16, 3);
+    std::vector<RunRequest> requests(6);
+    for (std::size_t r = 0; r < requests.size(); ++r)
+        requests[r].seed = 1 + r;
+
+    ShapeSweepOptions serial;
+    serial.numWorkers = 1;
+    ShapeSweep serialSweep(p, topo, shapes, serial);
+    ShapeSweepResult golden = serialSweep.run(requests);
+    ASSERT_TRUE(golden.complete);
+
+    ShapeSweepOptions bounded;
+    bounded.numWorkers = 4;
+    bounded.maxSessionsPerShape = 1;
+    ShapeSweep boundedSweep(p, topo, shapes, bounded);
+    ShapeSweepResult result = boundedSweep.run(requests);
+    ASSERT_TRUE(result.complete);
+    expectSameRows(result, golden, "bounded-pool");
+}
+
+TEST(ShapeSweep, CrashResumeMidStealReproducesMultiWorkerSweep)
+{
+    // The new failure surface: a crash while several workers hold
+    // cells of the *same* shape. Kill every few records at 4 workers
+    // and resume until done; the final grid must equal an
+    // uninterrupted serial sweep bit-for-bit.
+    Program p = burstPairs(2, 24);
+    Topology topo = Topology::linearArray(4);
+    std::vector<ShapeSpec> shapes = skewedLadder(24, 32, 5);
+    std::vector<RunRequest> requests(4);
+    for (std::size_t r = 0; r < requests.size(); ++r)
+        requests[r].seed = 1 + r;
+
+    ShapeSweepOptions plain;
+    plain.numWorkers = 1;
+    ShapeSweep goldenSweep(p, topo, shapes, plain);
+    ShapeSweepResult golden = goldenSweep.run(requests);
+    ASSERT_TRUE(golden.complete);
+
+    const std::string journal =
+        tempPath("shape_sweep_mid_steal.journal");
+    std::remove(journal.c_str());
+    ShapeSweepOptions crashy;
+    crashy.numWorkers = 4;
+    crashy.journalPath = journal;
+    crashy.checkpointEvery = 100;
+    crashy.stopAfterJournalRecords = 3;
+    std::size_t replayed = 0;
+    std::size_t restored = 0;
+    ShapeSweepResult resumed = runWithCrashes(
+        p, topo, shapes, requests, crashy, 200, &replayed, &restored);
+    EXPECT_GT(replayed, 0u);
+    EXPECT_GT(restored, 0u);
+    expectSameRows(resumed, golden, "mid-steal resume");
+    std::remove(journal.c_str());
+}
+
+TEST(ShapeSweep, SingleWorkerSweepStaysInline)
+{
+    // The batch.h promise: one worker means no pool threads at all.
+    Program p = burstPairs(1, 8);
+    Topology topo = Topology::linearArray(2);
+    std::vector<ShapeSpec> shapes = skewedLadder(8, 4, 2);
+    std::vector<RunRequest> requests(2);
+    requests[1].seed = 2;
+
+    ShapeSweepOptions options;
+    options.numWorkers = 1;
+    ShapeSweep sweep(p, topo, shapes, options);
+    ShapeSweepResult result = sweep.run(requests);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.workersUsed, 1);
+    EXPECT_EQ(sweep.pooledWorkers(), 0);
+}
+
+TEST(WorkerSizing, ClampWorkersNeverReturnsZero)
+{
+    // hardware_concurrency() may return 0 ("not computable"); the
+    // shared sizing policy must degrade to serial, never to zero.
+    EXPECT_GE(sim::clampWorkers(0, 5), 1);
+    EXPECT_GE(sim::clampWorkers(-3, 5), 1);
+    EXPECT_EQ(sim::clampWorkers(8, 3), 3);
+    EXPECT_EQ(sim::clampWorkers(8, 0), 1);
+    EXPECT_EQ(sim::clampWorkers(0, 0), 1);
+    EXPECT_EQ(sim::clampWorkers(2, 100), 2);
+}
+
+// ---------------------------------------------------------------------
+// (f) multi-process sharding: shard journals, resume gating, merge
+// ---------------------------------------------------------------------
+
+TEST(ShapeSweep, FourWayShardMergeMatchesUnshardedSweep)
+{
+    Program p = perturbedProgram(2);
+    Topology topo = Topology::linearArray(6);
+    std::vector<ShapeSpec> shapes = ladder16();
+    std::vector<RunRequest> requests(3);
+    requests[1].policy = PolicyKind::kFcfs;
+    requests[2].policy = PolicyKind::kRandom;
+    requests[2].seed = 9;
+
+    ShapeSweepOptions plain;
+    plain.numWorkers = 2;
+    ShapeSweep goldenSweep(p, topo, shapes, plain);
+    ShapeSweepResult golden = goldenSweep.run(requests);
+    ASSERT_TRUE(golden.complete);
+    EXPECT_FALSE(golden.sharded);
+
+    // Split the 48-cell grid across 4 "processes", one journal each.
+    const std::size_t cellsTotal = shapes.size() * requests.size();
+    std::vector<std::string> journals;
+    for (int shard = 0; shard < 4; ++shard) {
+        const std::string path = tempPath(
+            "shape_sweep_shard_" + std::to_string(shard) + ".journal");
+        std::remove(path.c_str());
+        journals.push_back(path);
+
+        ShapeSweepOptions options;
+        options.numWorkers = 2;
+        options.journalPath = path;
+        options.checkpointEvery = 50;
+        options.shardBegin = cellsTotal * shard / 4;
+        options.shardEnd = cellsTotal * (shard + 1) / 4;
+        ShapeSweep sweep(p, topo, shapes, options);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete) << "shard " << shard;
+        EXPECT_TRUE(result.sharded);
+        EXPECT_EQ(result.shardBegin, options.shardBegin);
+        EXPECT_EQ(result.shardEnd, options.shardEnd);
+        // In-shard cells ran; out-of-shard cells were not touched.
+        for (std::size_t idx = 0; idx < cellsTotal; ++idx) {
+            EXPECT_EQ(result.rows[idx].finished,
+                      idx >= options.shardBegin &&
+                          idx < options.shardEnd)
+                << "shard " << shard << " cell " << idx;
+        }
+
+        // The shard journal reports itself.
+        sim::SweepJournalInfo info;
+        ASSERT_TRUE(sim::inspectSweepJournal(path, info));
+        EXPECT_TRUE(info.sharded);
+        EXPECT_EQ(info.numShapes, shapes.size());
+        EXPECT_EQ(info.numRequests, requests.size());
+        EXPECT_EQ(info.shardBegin, options.shardBegin);
+        EXPECT_EQ(info.shardEnd, options.shardEnd);
+        EXPECT_EQ(info.rowsDone,
+                  options.shardEnd - options.shardBegin);
+
+        // Resuming the same shard replays everything.
+        ShapeSweep resumeSweep(p, topo, shapes, options);
+        ShapeSweepResult resumed = resumeSweep.run(requests);
+        ASSERT_TRUE(resumed.complete);
+        EXPECT_EQ(resumed.rowsFromJournal,
+                  options.shardEnd - options.shardBegin);
+    }
+
+    sim::SweepMergeResult merged;
+    std::string error;
+    ASSERT_TRUE(sim::mergeSweepJournals(journals, merged, error))
+        << error;
+    EXPECT_TRUE(merged.complete);
+    EXPECT_EQ(merged.numShapes, shapes.size());
+    EXPECT_EQ(merged.numRequests, requests.size());
+    EXPECT_EQ(merged.duplicateRows, 0u);
+    ASSERT_EQ(merged.rows.size(), golden.rows.size());
+    for (std::size_t i = 0; i < golden.rows.size(); ++i) {
+        EXPECT_EQ(merged.rows[i].shape, golden.rows[i].shape);
+        EXPECT_EQ(merged.rows[i].request, golden.rows[i].request);
+        EXPECT_EQ(merged.rows[i].machineDigest,
+                  golden.rows[i].machineDigest)
+            << "merged row " << i;
+        expectSameRunResult(merged.rows[i].result,
+                            golden.rows[i].result,
+                            "merged row " + std::to_string(i));
+    }
+    // The per-rung cross-check digests equal the same fold over the
+    // unsharded rows.
+    ASSERT_EQ(merged.shapeDigests.size(), shapes.size());
+    for (std::size_t s = 0; s < shapes.size(); ++s) {
+        std::uint64_t want = sim::kFnvOffsetBasis;
+        for (std::size_t r = 0; r < requests.size(); ++r)
+            want = sim::fnv(want, golden.row(s, r).machineDigest);
+        EXPECT_EQ(merged.shapeDigests[s], want) << "shape " << s;
+    }
+
+    // Overlapping shards merge too — duplicates are cross-checked,
+    // not dropped or doubled.
+    std::vector<std::string> overlapping = journals;
+    overlapping.push_back(journals[0]);
+    sim::SweepMergeResult overlapMerged;
+    ASSERT_TRUE(
+        sim::mergeSweepJournals(overlapping, overlapMerged, error))
+        << error;
+    EXPECT_TRUE(overlapMerged.complete);
+    EXPECT_EQ(overlapMerged.rows.size(), golden.rows.size());
+    EXPECT_EQ(overlapMerged.duplicateRows, cellsTotal / 4);
+
+    // Shard gating: an unsharded run on a shard journal restarts the
+    // file instead of resuming it.
+    ShapeSweepOptions unsharded;
+    unsharded.numWorkers = 1;
+    unsharded.journalPath = journals[3];
+    ShapeSweep unshardedSweep(p, topo, shapes, unsharded);
+    ShapeSweepResult unshardedResult = unshardedSweep.run(requests);
+    ASSERT_TRUE(unshardedResult.complete);
+    EXPECT_EQ(unshardedResult.rowsFromJournal, 0u);
+
+    for (const std::string& path : journals)
+        std::remove(path.c_str());
+}
+
+TEST(ShapeSweep, ShardResumeGatingRejectsForeignShards)
+{
+    Program p = burstPairs(2, 12);
+    Topology topo = Topology::linearArray(4);
+    std::vector<ShapeSpec> shapes = skewedLadder(12, 8, 3);
+    std::vector<RunRequest> requests(4);
+    for (std::size_t r = 0; r < requests.size(); ++r)
+        requests[r].seed = 1 + r;
+    const std::size_t cellsTotal = shapes.size() * requests.size();
+
+    const std::string path = tempPath("shape_sweep_gating.journal");
+    std::remove(path.c_str());
+
+    // Run the first half as a shard.
+    ShapeSweepOptions first;
+    first.numWorkers = 2;
+    first.journalPath = path;
+    first.shardBegin = 0;
+    first.shardEnd = cellsTotal / 2;
+    {
+        ShapeSweep sweep(p, topo, shapes, first);
+        ASSERT_TRUE(sweep.run(requests).complete);
+    }
+
+    // A *different* shard range must restart the journal, not adopt
+    // the other shard's rows.
+    ShapeSweepOptions second = first;
+    second.shardBegin = cellsTotal / 2;
+    second.shardEnd = cellsTotal;
+    {
+        ShapeSweep sweep(p, topo, shapes, second);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        EXPECT_EQ(result.rowsFromJournal, 0u);
+    }
+
+    // And a sharded run must not resume an unsharded journal.
+    ShapeSweepOptions unsharded;
+    unsharded.numWorkers = 1;
+    unsharded.journalPath = path;
+    {
+        ShapeSweep sweep(p, topo, shapes, unsharded);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        // (the file held shard 2's rows — an unsharded run restarts)
+        EXPECT_EQ(result.rowsFromJournal, 0u);
+    }
+    {
+        ShapeSweep sweep(p, topo, shapes, first);
+        ShapeSweepResult result = sweep.run(requests);
+        ASSERT_TRUE(result.complete);
+        // The unsharded run rewrote the file; shard 1 restarts too.
+        EXPECT_EQ(result.rowsFromJournal, 0u);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ShapeSweep, MergeRejectsMismatchedSweeps)
+{
+    Program p = burstPairs(1, 8);
+    Topology topo = Topology::linearArray(2);
+    std::vector<ShapeSpec> shapes = skewedLadder(8, 4, 1);
+    std::vector<RunRequest> requests(2);
+    requests[1].seed = 2;
+
+    const std::string a = tempPath("merge_mismatch_a.journal");
+    const std::string b = tempPath("merge_mismatch_b.journal");
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+
+    ShapeSweepOptions optionsA;
+    optionsA.numWorkers = 1;
+    optionsA.journalPath = a;
+    {
+        ShapeSweep sweep(p, topo, shapes, optionsA);
+        ASSERT_TRUE(sweep.run(requests).complete);
+    }
+    // A different request batch => different config digest.
+    ShapeSweepOptions optionsB = optionsA;
+    optionsB.journalPath = b;
+    std::vector<RunRequest> otherRequests(2);
+    otherRequests[1].seed = 7;
+    {
+        ShapeSweep sweep(p, topo, shapes, optionsB);
+        ASSERT_TRUE(sweep.run(otherRequests).complete);
+    }
+
+    sim::SweepMergeResult merged;
+    std::string error;
+    EXPECT_FALSE(sim::mergeSweepJournals({a, b}, merged, error));
+    EXPECT_NE(error.find("config digest"), std::string::npos);
+
+    EXPECT_FALSE(sim::mergeSweepJournals({}, merged, error));
+    EXPECT_FALSE(
+        sim::mergeSweepJournals({a, "/no/such/file"}, merged, error));
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
 }
 
 } // namespace

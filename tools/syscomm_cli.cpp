@@ -32,6 +32,8 @@
 
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/protocol.h"
+#include "sim/shape_sweep.h"
 
 namespace {
 
@@ -59,7 +61,14 @@ usage()
         "  gen-ring-sweep [--cells N] [--words W] [--streams S]\n"
         "                 [--shapes K] [--seeds R] [--checkpoint-every C]\n"
         "                 [--budget B] [--kernel event|reference]\n"
-        "                 print a sweep submit body (no daemon needed)\n");
+        "                 [--sweep-workers N]\n"
+        "                 print a sweep submit body (no daemon needed)\n"
+        "  sweep-merge [--require-complete] FILE...\n"
+        "                 merge shard sweep journals into one summary\n"
+        "                 with per-rung digest cross-checks (no daemon\n"
+        "                 needed); exit 1 on any cross-check failure,\n"
+        "                 or on an incomplete grid with\n"
+        "                 --require-complete\n");
 }
 
 bool
@@ -107,6 +116,7 @@ genRingSweep(int argc, char** argv, int argi)
 {
     long long cells = 8, words = 400, streams = 1, shapes = 16;
     long long seeds = 1, checkpointEvery = 2000, budget = 0;
+    long long sweepWorkers = 0;
     std::string kernel = "event";
     for (int i = argi; i < argc; i += 2) {
         const std::string arg = argv[i];
@@ -127,6 +137,8 @@ genRingSweep(int argc, char** argv, int argi)
             checkpointEvery = n;
         else if (arg == "--budget" && num)
             budget = n;
+        else if (arg == "--sweep-workers" && num)
+            sweepWorkers = n;
         else if (arg == "--kernel" && value != nullptr)
             kernel = value;
         else {
@@ -180,9 +192,98 @@ genRingSweep(int argc, char** argv, int argi)
     body.set("checkpoint_every", JsonValue::integer(checkpointEvery));
     if (budget > 0)
         body.set("cycle_budget", JsonValue::integer(budget));
+    if (sweepWorkers > 0)
+        body.set("sweep_workers", JsonValue::integer(sweepWorkers));
     body.set("kernel", JsonValue::str(kernel));
 
     std::printf("%s\n", syscomm::serve::writeJson(body).c_str());
+    return 0;
+}
+
+/**
+ * Merge N shard sweep journals into one summary line. This is the
+ * reduce side of a multi-process sweep: run each shard with its own
+ * --spool / journal (ShapeSweepOptions::shardBegin/shardEnd), then
+ * merge the journal files here. mergeSweepJournals does the real
+ * work — config-digest agreement, duplicate-row cross-checks, grid
+ * completeness — so a disagreement between shards (a determinism
+ * violation) is a hard exit 1, never a silently merged lie.
+ */
+int
+sweepMerge(int argc, char** argv, int argi)
+{
+    bool requireComplete = false;
+    std::vector<std::string> paths;
+    for (int i = argi; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--require-complete")
+            requireComplete = true;
+        else if (arg.rfind("--", 0) == 0) {
+            usage();
+            return 2;
+        } else
+            paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        usage();
+        return 2;
+    }
+
+    syscomm::sim::SweepMergeResult merged;
+    std::string error;
+    if (!syscomm::sim::mergeSweepJournals(paths, merged, error)) {
+        JsonValue out = JsonValue::object();
+        out.set("ok", JsonValue::boolean(false));
+        out.set("error", JsonValue::str(error));
+        std::printf("%s\n", syscomm::serve::writeJson(out).c_str());
+        return 1;
+    }
+
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue::boolean(true));
+    out.set("config_digest",
+            JsonValue::str(syscomm::serve::hexDigest(
+                merged.configDigest)));
+    out.set("journals", JsonValue::integer(
+                            static_cast<std::int64_t>(paths.size())));
+    out.set("shapes", JsonValue::integer(static_cast<std::int64_t>(
+                          merged.numShapes)));
+    out.set("requests", JsonValue::integer(static_cast<std::int64_t>(
+                            merged.numRequests)));
+    out.set("rows", JsonValue::integer(static_cast<std::int64_t>(
+                        merged.rows.size())));
+    out.set("duplicate_rows",
+            JsonValue::integer(static_cast<std::int64_t>(
+                merged.duplicateRows)));
+    out.set("complete", JsonValue::boolean(merged.complete));
+
+    int statusCounts[syscomm::sim::kNumRunStatuses] = {};
+    for (const syscomm::sim::SweepMergeRow& row : merged.rows)
+        ++statusCounts[static_cast<int>(row.result.status)];
+    JsonValue counts = JsonValue::object();
+    for (int i = 0; i < syscomm::sim::kNumRunStatuses; ++i) {
+        if (statusCounts[i] > 0)
+            counts.set(syscomm::sim::runStatusName(
+                           static_cast<syscomm::sim::RunStatus>(i)),
+                       JsonValue::integer(statusCounts[i]));
+    }
+    out.set("status_counts", std::move(counts));
+
+    // The per-rung cross-check material: one digest fold per shape,
+    // equal to the same fold over an unsharded run iff the sharded
+    // sweep is bit-identical to it.
+    JsonValue shapeDigests = JsonValue::array();
+    for (std::uint64_t digest : merged.shapeDigests)
+        shapeDigests.push(
+            JsonValue::str(syscomm::serve::hexDigest(digest)));
+    out.set("shape_digests", std::move(shapeDigests));
+
+    std::printf("%s\n", syscomm::serve::writeJson(out).c_str());
+    if (requireComplete && !merged.complete) {
+        std::fprintf(stderr,
+                     "sweep-merge: merged grid is incomplete\n");
+        return 1;
+    }
     return 0;
 }
 
@@ -231,6 +332,8 @@ main(int argc, char** argv)
 
     if (command == "gen-ring-sweep")
         return genRingSweep(argc, argv, argi);
+    if (command == "sweep-merge")
+        return sweepMerge(argc, argv, argi);
     if (command == "help" || command == "--help") {
         usage();
         return 0;

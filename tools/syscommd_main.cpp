@@ -61,6 +61,9 @@ usage(const char* argv0)
         "  --tcp PORT           TCP port on 127.0.0.1 (0 = ephemeral)\n"
         "  --spool DIR          durability directory (resume after kill)\n"
         "  --workers N          executor threads (default 2)\n"
+        "  --sweep-workers N    threads inside one sweep (default 1;\n"
+        "                       0 = size to hardware; a submission's\n"
+        "                       sweep_workers field can cap it)\n"
         "  --queue N            admission queue bound (default 64)\n"
         "  --cache N            compiled-program cache entries (default 32)\n"
         "  --slice N            run slice cycles (default 100000)\n"
@@ -106,6 +109,8 @@ main(int argc, char** argv)
             options.spoolDir = value;
         } else if (arg == "--workers" && parseLong(value, n)) {
             options.workers = static_cast<int>(n);
+        } else if (arg == "--sweep-workers" && parseLong(value, n)) {
+            options.sweepWorkers = static_cast<int>(n);
         } else if (arg == "--queue" && parseLong(value, n)) {
             options.maxQueue = static_cast<std::size_t>(n);
         } else if (arg == "--cache" && parseLong(value, n)) {

@@ -16,11 +16,43 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/lint.h"
 #include "sim/shape_sweep.h"
 
 namespace syscomm::serve {
 
 namespace fs = std::filesystem;
+
+const char*
+lintModeName(DaemonOptions::LintMode mode)
+{
+    switch (mode) {
+      case DaemonOptions::LintMode::kOff:
+        return "off";
+      case DaemonOptions::LintMode::kWarn:
+        return "warn";
+      case DaemonOptions::LintMode::kEnforce:
+        return "enforce";
+    }
+    return "?";
+}
+
+bool
+parseLintMode(const std::string& name, DaemonOptions::LintMode& out)
+{
+    static constexpr DaemonOptions::LintMode kAll[] = {
+        DaemonOptions::LintMode::kOff,
+        DaemonOptions::LintMode::kWarn,
+        DaemonOptions::LintMode::kEnforce,
+    };
+    for (DaemonOptions::LintMode mode : kAll) {
+        if (name == lintModeName(mode)) {
+            out = mode;
+            return true;
+        }
+    }
+    return false;
+}
 
 /** One admitted submission, pinned for the daemon's lifetime. */
 struct SyscommDaemon::Sub
@@ -50,6 +82,13 @@ struct SyscommDaemon::Sub
     Cycle executedCycles = 0;
     /** Client-supplied dedup key; "" = none (daemon mutex). */
     std::string idempotencyKey;
+    /**
+     * Admission-time lint report (--lint=warn|enforce), rendered once
+     * at admission and stamped onto the terminal result by finish().
+     * Immutable after admission.
+     */
+    JsonValue lint;
+    bool hasLint = false;
     /**
      * Wall time (steady ms) of the last slice boundary of a single
      * run; 0 while not running. The watchdog compares it to now.
@@ -557,6 +596,10 @@ SyscommDaemon::finish(Sub* sub, SubmissionState state,
 {
     std::lock_guard<std::mutex> lock(mutex_);
     sub->state = state;
+    // --lint=warn rides along: the submission was served anyway, but
+    // its result carries the admission-time diagnostics.
+    if (sub->hasLint)
+        result.set("lint", sub->lint);
     sub->result = std::move(result);
     writeDoneMarker(*sub);
     idleCv_.notify_all();
@@ -946,6 +989,9 @@ SyscommDaemon::handleLine(const std::string& line)
               case Verb::kStats:
                 response = statsJson();
                 break;
+              case Verb::kLint:
+                response = handleLint(msg);
+                break;
             }
         }
     }
@@ -976,6 +1022,76 @@ SyscommDaemon::handleSubmit(const JsonValue& msg,
     }
     sub->payloadValid = true;
     sub->rawLine = line;
+
+    // Admission-time static analysis (--lint). Runs before the daemon
+    // lock — the compile cache carries its own locking and in-flight
+    // dedup, so N concurrent submits of one program still pay for one
+    // compile+analysis, and the worker's later cache get() for an
+    // admitted submission is a pure hit (zero simulation cycles are
+    // ever spent on an enforce-rejected program). An idempotent retry
+    // of an already-admitted key must stay a read even under enforce,
+    // so the index is probed first and re-checked at admission.
+    if (options_.lintMode != DaemonOptions::LintMode::kOff) {
+        const Submission& p = sub->payload;
+        if (!p.idempotencyKey.empty()) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto known = idempotency_.find(p.idempotencyKey);
+            if (known != idempotency_.end()) {
+                auto existing = subs_.find(known->second);
+                if (existing != subs_.end()) {
+                    JsonValue response = JsonValue::object();
+                    response.set("ok", JsonValue::boolean(true));
+                    response.set("id", JsonValue::str(known->second));
+                    response.set("state",
+                                 JsonValue::str(submissionStateName(
+                                     existing->second->state)));
+                    response.set("deduplicated",
+                                 JsonValue::boolean(true));
+                    return response;
+                }
+            }
+        }
+        // A sweep is analyzed at its most generously buffered rung: a
+        // deadlock witness holds a fortiori at every smaller capacity
+        // (the R2 bound shrinks monotonically), so if the best rung
+        // wedges, the whole ladder does.
+        const sim::ShapeSpec* best = &p.shapes[0];
+        for (const sim::ShapeSpec& shape : p.shapes) {
+            if (shape.queueCapacity + shape.extensionCapacity >
+                best->queueCapacity + best->extensionCapacity)
+                best = &shape;
+        }
+        const std::uint64_t compileKey = CompileCache::keyFor(
+            p.program, p.topo, p.programVersion);
+        bool wasHit = false;
+        CachedProgram entry =
+            cache_.get(compileKey, Program(p.program),
+                       SharedTopology(Topology(p.topo)), &wasHit);
+        if (entry.compiled->valid()) {
+            MachineSpec spec;
+            spec.topo = entry.compiled->sharedTopo();
+            spec.queuesPerLink = best->queuesPerLink;
+            spec.queueCapacity = best->queueCapacity;
+            spec.extensionCapacity = best->extensionCapacity;
+            std::shared_ptr<const AnalysisReport> report =
+                entry.compiled->analysis(spec);
+            if (options_.lintMode == DaemonOptions::LintMode::kEnforce &&
+                report->verdict == LintVerdict::kDeadlock) {
+                JsonValue response = rejectResponse(
+                    "lint", "statically deadlocked: " +
+                                report->witness.str(p.program));
+                response.set("lint", lintReportJson(*report, p.program));
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++rejectedLint_;
+                return response;
+            }
+            if (!report->diagnostics.empty() ||
+                report->verdict != LintVerdict::kCertified) {
+                sub->lint = lintReportJson(*report, p.program);
+                sub->hasLint = true;
+            }
+        }
+    }
 
     std::lock_guard<std::mutex> lock(mutex_);
     // Idempotent resubmission: a key we have already admitted (this
@@ -1056,6 +1172,38 @@ SyscommDaemon::handleSubmit(const JsonValue& msg,
     response.set("description",
                  JsonValue::str(submissionStateDescription(
                      SubmissionState::kWaiting)));
+    return response;
+}
+
+JsonValue
+SyscommDaemon::handleLint(const JsonValue& msg)
+{
+    LintRequest req;
+    std::string err;
+    if (!parseLintRequest(msg, req, err))
+        return errorResponse(err);
+    // Same cache, same digest a submit of this payload would use: a
+    // lint followed by a submit compiles once, and the memoized
+    // analysis on the CompiledProgram makes repeat lints free.
+    const std::uint64_t key = CompileCache::keyFor(
+        req.program, req.topo, req.programVersion);
+    bool wasHit = false;
+    CachedProgram entry =
+        cache_.get(key, Program(req.program),
+                   SharedTopology(Topology(req.topo)), &wasHit);
+    MachineSpec spec;
+    spec.topo = entry.compiled->sharedTopo();
+    spec.queuesPerLink = req.shape.queuesPerLink;
+    spec.queueCapacity = req.shape.queueCapacity;
+    spec.extensionCapacity = req.shape.extensionCapacity;
+    std::shared_ptr<const AnalysisReport> report =
+        entry.compiled->analysis(spec);
+    JsonValue response = JsonValue::object();
+    response.set("ok", JsonValue::boolean(true));
+    response.set("cached_compile", JsonValue::boolean(wasHit));
+    response.set("digest", JsonValue::str(hexDigest(key)));
+    response.set("lint",
+                 lintReportJson(*report, entry.compiled->program()));
     return response;
 }
 
@@ -1229,7 +1377,13 @@ SyscommDaemon::statsJson()
     queue.set("rejected_degraded",
               JsonValue::integer(
                   static_cast<std::int64_t>(rejectedDegraded_)));
+    queue.set("rejected_lint",
+              JsonValue::integer(
+                  static_cast<std::int64_t>(rejectedLint_)));
     response.set("queue", std::move(queue));
+
+    response.set("lint_mode",
+                 JsonValue::str(lintModeName(options_.lintMode)));
 
     response.set("degraded", JsonValue::boolean(degraded_));
     if (degraded_)

@@ -118,7 +118,33 @@ struct DaemonOptions
      * boundary checks.
      */
     std::int64_t watchdogMs = 0;
+    /**
+     * Admission-time static analysis (core/analyze.h, the --lint
+     * knob). kOff skips it entirely. kWarn analyzes every submission
+     * at admission and stamps the diagnostics ("lint") onto the
+     * terminal result when the analyzer found anything. kEnforce
+     * additionally REJECTS submissions whose verdict is "deadlock" —
+     * statically certain to wedge on the submitted shape under any
+     * policy — before a worker spends a single simulation cycle,
+     * with the minimal blocked-cycle witness in the reply
+     * (rejected: "lint"). The analysis compiles through the shared
+     * CompileCache, so the admitted path's later compile is a pure
+     * cache hit and N submissions of one program pay one analysis.
+     */
+    enum class LintMode : std::uint8_t
+    {
+        kOff = 0,
+        kWarn,
+        kEnforce,
+    };
+    LintMode lintMode = LintMode::kOff;
 };
+
+/** Wire/flag name of a lint mode: "off", "warn", "enforce". */
+const char* lintModeName(DaemonOptions::LintMode mode);
+
+/** Parse a --lint flag value; false on an unknown name. */
+bool parseLintMode(const std::string& name, DaemonOptions::LintMode& out);
 
 class SyscommDaemon
 {
@@ -196,6 +222,7 @@ class SyscommDaemon
     JsonValue handleResult(const JsonValue& msg);
     JsonValue handleCancel(const JsonValue& msg);
     JsonValue handleDrain();
+    JsonValue handleLint(const JsonValue& msg);
     /** Journal-derived progress of a sweep submission (running or
      *  parked): rows done + per-row checkpoint headers, via
      *  inspectSweepJournal — no sessions are opened. */
@@ -222,6 +249,7 @@ class SyscommDaemon
     std::uint64_t rejectedBadRequest_ = 0;
     std::uint64_t rejectedDraining_ = 0;
     std::uint64_t rejectedDegraded_ = 0;
+    std::uint64_t rejectedLint_ = 0;
     std::uint64_t watchdogFired_ = 0;
     /**
      * Reject-new/serve-reads mode: set when a spool write, done

@@ -1,0 +1,81 @@
+#include "serve/lint.h"
+
+namespace syscomm::serve {
+
+JsonValue lintDiagnosticJson(const Diagnostic& diagnostic,
+                             const Program& program)
+{
+    JsonValue d = JsonValue::object();
+    d.set("severity", JsonValue::str(severityName(diagnostic.severity)));
+    d.set("rule", JsonValue::str(lintRuleId(diagnostic.rule)));
+    if (diagnostic.cell != kInvalidCell)
+        d.set("cell", JsonValue::integer(diagnostic.cell));
+    if (diagnostic.op >= 0)
+        d.set("op", JsonValue::integer(diagnostic.op));
+    if (diagnostic.msg != kInvalidMessage &&
+        diagnostic.msg < program.numMessages())
+        d.set("msg", JsonValue::str(program.message(diagnostic.msg).name));
+    if (diagnostic.link != kInvalidLink)
+        d.set("link", JsonValue::integer(diagnostic.link));
+    d.set("text", JsonValue::str(diagnostic.text));
+    return d;
+}
+
+JsonValue lintReportJson(const AnalysisReport& report,
+                         const Program& program)
+{
+    JsonValue out = JsonValue::object();
+    out.set("verdict", JsonValue::str(lintVerdictName(report.verdict)));
+
+    JsonValue shape = JsonValue::object();
+    shape.set("queues", JsonValue::integer(report.shape.queuesPerLink));
+    shape.set("capacity", JsonValue::integer(report.shape.queueCapacity));
+    shape.set("extension",
+              JsonValue::integer(report.shape.extensionCapacity));
+    out.set("shape", std::move(shape));
+
+    JsonValue diags = JsonValue::array();
+    for (const Diagnostic& d : report.diagnostics)
+        diags.push(lintDiagnosticJson(d, program));
+    out.set("diagnostics", std::move(diags));
+
+    if (!report.witness.empty())
+    {
+        JsonValue witness = JsonValue::object();
+        JsonValue cycle = JsonValue::array();
+        for (const WitnessEntry& e : report.witness.cycle)
+        {
+            JsonValue entry = JsonValue::object();
+            entry.set("cell", JsonValue::integer(e.cell));
+            entry.set("op", JsonValue::integer(e.op));
+            if (e.msg != kInvalidMessage && e.msg < program.numMessages())
+                entry.set("msg",
+                          JsonValue::str(program.message(e.msg).name));
+            entry.set("kind", JsonValue::str(e.isWrite ? "write" : "read"));
+            entry.set("waits_for", JsonValue::integer(e.waitsFor));
+            cycle.push(std::move(entry));
+        }
+        witness.set("cycle", std::move(cycle));
+        witness.set("blocked_cells",
+                    JsonValue::integer(report.witness.blockedCells));
+        out.set("witness", std::move(witness));
+    }
+
+    out.set("min_uniform_capacity",
+            JsonValue::integer(report.minUniformCapacity));
+    out.set("min_uniform_skip_bound",
+            JsonValue::integer(report.minUniformSkipBound));
+    out.set("basic_deadlock_free",
+            JsonValue::boolean(report.basicDeadlockFree));
+    out.set("labeling", JsonValue::str(report.labelingFellBack
+                                           ? "trivial"
+                                           : "section6"));
+    out.set("labels_consistent",
+            JsonValue::boolean(report.labelsConsistent));
+    out.set("feasible", JsonValue::boolean(report.feasibleAtShape));
+    out.set("required_queues_per_link",
+            JsonValue::integer(report.requiredQueuesPerLink));
+    return out;
+}
+
+} // namespace syscomm::serve

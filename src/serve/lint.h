@@ -1,0 +1,33 @@
+#pragma once
+
+/**
+ * @file
+ * JSON rendering for simlint AnalysisReports (core/analyze.h).
+ *
+ * Lives in serve (not core) so the analyzer stays free of the JSON
+ * dependency; the daemon's `lint` verb, the `--lint` admission gate
+ * and `syscomm-cli lint` all emit this schema. Documented in
+ * docs/protocol.md ("Static analysis").
+ */
+
+#include "core/analyze.h"
+#include "core/program.h"
+#include "serve/json.h"
+
+namespace syscomm::serve {
+
+/** One diagnostic as {"severity","rule","text", cell?, op?, msg?, link?}. */
+JsonValue lintDiagnosticJson(const Diagnostic& diagnostic,
+                             const Program& program);
+
+/**
+ * The full report:
+ * {"verdict","shape":{...},"diagnostics":[...],"witness":{...}?,
+ *  "min_uniform_capacity","min_uniform_skip_bound",
+ *  "basic_deadlock_free","labeling","labels_consistent",
+ *  "feasible","required_queues_per_link"}.
+ */
+JsonValue lintReportJson(const AnalysisReport& report,
+                         const Program& program);
+
+} // namespace syscomm::serve

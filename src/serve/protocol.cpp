@@ -24,6 +24,8 @@ verbName(Verb verb)
         return "drain";
       case Verb::kStats:
         return "stats";
+      case Verb::kLint:
+        return "lint";
     }
     return "?";
 }
@@ -33,7 +35,7 @@ parseVerb(const std::string& name, Verb& out)
 {
     static constexpr Verb kAll[] = {
         Verb::kPing,   Verb::kSubmit, Verb::kStatus, Verb::kResult,
-        Verb::kCancel, Verb::kDrain,  Verb::kStats,
+        Verb::kCancel, Verb::kDrain,  Verb::kStats,  Verb::kLint,
     };
     for (Verb verb : kAll) {
         if (name == verbName(verb)) {
@@ -383,6 +385,48 @@ parseSubmission(const JsonValue& msg, Submission& out,
         error = "submit: idempotency_key longer than 256 bytes";
         return false;
     }
+    return true;
+}
+
+bool
+parseLintRequest(const JsonValue& msg, LintRequest& out,
+                 std::string& error)
+{
+    if (!msg.isObject()) {
+        error = "lint: expected an object";
+        return false;
+    }
+    out.programText = msg.getString("program");
+    if (out.programText.empty()) {
+        error = "lint: missing 'program' text";
+        return false;
+    }
+    text::ParseResult parsed = text::parseProgram(out.programText);
+    if (!parsed.ok) {
+        error = "lint: program: " + parsed.error;
+        return false;
+    }
+    out.program = std::move(parsed.program);
+
+    const JsonValue* topoSpec = msg.find("topology");
+    if (topoSpec == nullptr) {
+        error = "lint: missing 'topology'";
+        return false;
+    }
+    if (!parseTopology(*topoSpec, out.topo, error))
+        return false;
+    if (out.program.numCells() != out.topo.numCells()) {
+        error = "lint: program has " +
+                std::to_string(out.program.numCells()) +
+                " cells but topology has " +
+                std::to_string(out.topo.numCells());
+        return false;
+    }
+
+    const JsonValue* spec = msg.find("shape");
+    if (spec != nullptr && !parseShape(*spec, out.shape, error))
+        return false;
+    out.programVersion = msg.getString("program_version");
     return true;
 }
 

@@ -43,6 +43,7 @@ enum class Verb : std::uint8_t
     kCancel,
     kDrain,
     kStats,
+    kLint,
 };
 
 /** Wire name of a verb ("ping", "submit", ...). */
@@ -156,6 +157,30 @@ struct Submission
  */
 bool parseSubmission(const JsonValue& msg, Submission& out,
                      std::string& error);
+
+/**
+ * A parsed "lint" request: run the simlint static analysis
+ * (core/analyze.h) over a (program, topology, shape) triple without
+ * admitting any work. Shares the submit payload's program/topology/
+ * shape grammar, so a client can lint exactly what it would submit;
+ * the daemon answers with the rendered AnalysisReport (serve/lint.h)
+ * and reuses/populates the compile cache under the same digest a
+ * later submit would hit.
+ */
+struct LintRequest
+{
+    std::string programText;
+    Program program{1};
+    Topology topo;
+    /** The machine shape to analyze against (defaults as in submit). */
+    sim::ShapeSpec shape;
+    std::string programVersion;
+};
+
+/** Parse and validate a "lint" request line; pure payload validation
+ *  like parseSubmission. */
+bool parseLintRequest(const JsonValue& msg, LintRequest& out,
+                      std::string& error);
 
 /** Uint64 digests travel as "0x%016x" hex strings on the wire. */
 std::string hexDigest(std::uint64_t digest);

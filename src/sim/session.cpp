@@ -362,6 +362,26 @@ CompiledProgram::labels() const
     return labels_;
 }
 
+std::shared_ptr<const AnalysisReport>
+CompiledProgram::analysis(const MachineSpec& spec) const
+{
+    AnalyzeOptions options;
+    options.queuesPerLink = spec.queuesPerLink;
+    options.queueCapacity = spec.queueCapacity;
+    options.extensionCapacity = spec.extensionCapacity;
+    std::lock_guard<std::mutex> lock(analysisMutex_);
+    for (const auto& [shape, report] : analysisCache_) {
+        if (shape.queuesPerLink == options.queuesPerLink &&
+            shape.queueCapacity == options.queueCapacity &&
+            shape.extensionCapacity == options.extensionCapacity)
+            return report;
+    }
+    auto report = std::make_shared<const AnalysisReport>(
+        analyzeProgram(program_, topo_, options));
+    analysisCache_.emplace_back(options, report);
+    return report;
+}
+
 std::int64_t
 CompiledProgram::buildCount()
 {

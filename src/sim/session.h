@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/analyze.h"
 #include "core/competing.h"
 #include "core/machine_spec.h"
 #include "core/program.h"
@@ -142,6 +143,18 @@ class CompiledProgram
     const std::vector<int>& lastHopCross() const { return lastHopCross_; }
 
     /**
+     * The simlint static analysis (core/analyze.h) of this program at
+     * @p spec's queue shape, memoized per distinct shape: the serve
+     * CompileCache holds CompiledPrograms keyed by program/topology
+     * digest, so N submissions of one program pay for one analysis.
+     * Thread-safe; concurrent callers of the same shape share one
+     * pass. Only the queue-shape fields of @p spec are consulted (the
+     * topology is the compiled one).
+     */
+    std::shared_ptr<const AnalysisReport>
+    analysis(const MachineSpec& spec) const;
+
+    /**
      * Process-wide count of CompiledProgram constructions, i.e. of
      * full program-side analysis passes. Tests assert compile sharing
      * with it: a ShapeSweep over N shapes must advance it by exactly
@@ -167,6 +180,12 @@ class CompiledProgram
     mutable std::once_flag labelsOnce_;
     mutable std::vector<std::int64_t> labels_;
     bool labelsGiven_ = false;
+
+    /** Memoized per-shape static analyses; see analysis(). */
+    mutable std::mutex analysisMutex_;
+    mutable std::vector<std::pair<AnalyzeOptions,
+                                  std::shared_ptr<const AnalysisReport>>>
+        analysisCache_;
 };
 
 /** Terminal state of a run. */

@@ -30,10 +30,15 @@
 #include <sstream>
 #include <string>
 
+#include "core/analyze.h"
+#include "core/machine_spec.h"
 #include "serve/client.h"
 #include "serve/json.h"
+#include "serve/lint.h"
 #include "serve/protocol.h"
+#include "sim/machine.h"
 #include "sim/shape_sweep.h"
+#include "text/parser.h"
 
 namespace {
 
@@ -68,7 +73,20 @@ usage()
         "                 with per-rung digest cross-checks (no daemon\n"
         "                 needed); exit 1 on any cross-check failure,\n"
         "                 or on an incomplete grid with\n"
-        "                 --require-complete\n");
+        "                 --require-complete\n"
+        "  lint [FILE] [--topology linear|ring|mesh|torus]\n"
+        "       [--rows R --cols C] [--queues N] [--capacity N]\n"
+        "       [--extension N]\n"
+        "                 static analysis of a text program (default\n"
+        "                 stdin; no daemon needed): deadlock witness,\n"
+        "                 buffer bounds, Theorem 1 feasibility. Exit 0\n"
+        "                 unless the verdict is deadlock/invalid\n"
+        "  audit [FILE] [topology/shape flags as for lint]\n"
+        "        [--policy P] [--seed N] [--max-cycles N]\n"
+        "        [--kernel event|reference]\n"
+        "                 run the program with the section 7\n"
+        "                 compatibility audit (no daemon needed); exit\n"
+        "                 0 iff the run completed rule-compatible\n");
 }
 
 bool
@@ -287,6 +305,299 @@ sweepMerge(int argc, char** argv, int argi)
     return 0;
 }
 
+/**
+ * Shared flag set of the offline lint/audit commands: a program file
+ * (default stdin), the topology to route it over, and the queue
+ * shape. Audit adds run knobs on top.
+ */
+struct OfflineArgs
+{
+    std::string file;
+    std::string topoKind = "linear";
+    long long rows = 0;
+    long long cols = 0;
+    long long queues = 2;
+    long long capacity = 1;
+    long long extension = 0;
+    long long penalty = 4;
+    std::string policy = "compatible";
+    std::string kernel = "event";
+    long long seed = 1;
+    long long maxCycles = 1'000'000;
+};
+
+bool
+parseOfflineArgs(int argc, char** argv, int argi, bool simFlags,
+                 OfflineArgs& out)
+{
+    while (argi < argc) {
+        const std::string arg = argv[argi];
+        const char* value = argi + 1 < argc ? argv[argi + 1] : nullptr;
+        long long n = 0;
+        const bool num = value != nullptr && parseInt(value, n);
+        if (arg == "--topology" && value != nullptr) {
+            out.topoKind = value;
+            argi += 2;
+        } else if (arg == "--rows" && num) {
+            out.rows = n;
+            argi += 2;
+        } else if (arg == "--cols" && num) {
+            out.cols = n;
+            argi += 2;
+        } else if (arg == "--queues" && num) {
+            out.queues = n;
+            argi += 2;
+        } else if (arg == "--capacity" && num) {
+            out.capacity = n;
+            argi += 2;
+        } else if (arg == "--extension" && num) {
+            out.extension = n;
+            argi += 2;
+        } else if (simFlags && arg == "--penalty" && num) {
+            out.penalty = n;
+            argi += 2;
+        } else if (simFlags && arg == "--policy" && value != nullptr) {
+            out.policy = value;
+            argi += 2;
+        } else if (simFlags && arg == "--kernel" && value != nullptr) {
+            out.kernel = value;
+            argi += 2;
+        } else if (simFlags && arg == "--seed" && num) {
+            out.seed = n;
+            argi += 2;
+        } else if (simFlags && arg == "--max-cycles" && num) {
+            out.maxCycles = n;
+            argi += 2;
+        } else if (out.file.empty() && arg.rfind("--", 0) != 0) {
+            out.file = arg;
+            ++argi;
+        } else {
+            return false;
+        }
+    }
+    return out.queues >= 1 && out.capacity >= 1 &&
+           out.extension >= 0 && out.penalty >= 0 &&
+           out.seed >= 0 && out.maxCycles >= 1;
+}
+
+/** Read the program source from @p file, or stdin when empty. */
+bool
+readProgramText(const std::string& file, std::string& text)
+{
+    if (file.empty()) {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        text = ss.str();
+        return true;
+    }
+    std::ifstream in(file);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+    return true;
+}
+
+bool
+buildOfflineTopology(const OfflineArgs& args, int cells,
+                     syscomm::Topology& topo, std::string& error)
+{
+    using syscomm::Topology;
+    if (args.topoKind == "linear") {
+        topo = Topology::linearArray(cells);
+        return true;
+    }
+    if (args.topoKind == "ring") {
+        if (cells < 3) {
+            error = "ring topology needs >= 3 cells";
+            return false;
+        }
+        topo = Topology::ring(cells);
+        return true;
+    }
+    if (args.topoKind == "mesh" || args.topoKind == "torus") {
+        if (args.rows < 1 || args.cols < 1 ||
+            args.rows * args.cols != cells) {
+            error = "--rows x --cols must equal the program's "
+                    "cell count";
+            return false;
+        }
+        if (args.topoKind == "torus" &&
+            (args.rows < 3 || args.cols < 3)) {
+            error = "torus topology needs --rows/--cols >= 3";
+            return false;
+        }
+        topo = args.topoKind == "torus"
+                   ? Topology::torus(int(args.rows), int(args.cols))
+                   : Topology::mesh(int(args.rows), int(args.cols));
+        return true;
+    }
+    error = "unknown --topology '" + args.topoKind + "'";
+    return false;
+}
+
+/**
+ * Offline static analysis: parse a text program, route it over the
+ * requested topology, and print the full core/analyze.h report as
+ * JSON — the same body the daemon's lint verb returns, minus the
+ * compile-cache bookkeeping. Exit 0 when the program is at least
+ * plausibly runnable (certified or unknown); 1 when it is invalid or
+ * carries a deadlock witness, so CI can gate on examples staying
+ * clean.
+ */
+int
+lintCommand(int argc, char** argv, int argi)
+{
+    OfflineArgs args;
+    if (!parseOfflineArgs(argc, argv, argi, false, args)) {
+        usage();
+        return 2;
+    }
+    std::string text;
+    if (!readProgramText(args.file, text)) {
+        std::fprintf(stderr, "syscomm-cli: cannot read %s\n",
+                     args.file.c_str());
+        return 2;
+    }
+    const syscomm::text::ParseResult parsed =
+        syscomm::text::parseProgram(text);
+    if (!parsed.ok) {
+        JsonValue out = JsonValue::object();
+        out.set("ok", JsonValue::boolean(false));
+        out.set("error",
+                JsonValue::str("parse: " + parsed.error));
+        std::printf("%s\n",
+                    syscomm::serve::writeJson(out).c_str());
+        return 1;
+    }
+    syscomm::Topology topo;
+    std::string error;
+    if (!buildOfflineTopology(args, parsed.program.numCells(), topo,
+                              error)) {
+        std::fprintf(stderr, "syscomm-cli: %s\n", error.c_str());
+        return 2;
+    }
+
+    syscomm::AnalyzeOptions options;
+    options.queuesPerLink = static_cast<int>(args.queues);
+    options.queueCapacity = static_cast<int>(args.capacity);
+    options.extensionCapacity = static_cast<int>(args.extension);
+    const syscomm::AnalysisReport report =
+        syscomm::analyzeProgram(parsed.program, topo, options);
+
+    const bool ok =
+        report.verdict != syscomm::LintVerdict::kDeadlock &&
+        report.verdict != syscomm::LintVerdict::kInvalid;
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue::boolean(ok));
+    out.set("lint", syscomm::serve::lintReportJson(report,
+                                                   parsed.program));
+    std::printf("%s\n", syscomm::serve::writeJson(out).c_str());
+    return ok ? 0 : 1;
+}
+
+/**
+ * Offline run + section 7 compatibility audit (sim/audit.h): execute
+ * the program once with the assignment trace recorded and check every
+ * queue grant against the ordered/simultaneous label rules. The lint
+ * verdict is the static prediction; this is the dynamic half of the
+ * same story, exposed so a shell loop can cross-validate the two.
+ */
+int
+auditCommand(int argc, char** argv, int argi)
+{
+    OfflineArgs args;
+    if (!parseOfflineArgs(argc, argv, argi, true, args)) {
+        usage();
+        return 2;
+    }
+    std::string text;
+    if (!readProgramText(args.file, text)) {
+        std::fprintf(stderr, "syscomm-cli: cannot read %s\n",
+                     args.file.c_str());
+        return 2;
+    }
+    const syscomm::text::ParseResult parsed =
+        syscomm::text::parseProgram(text);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "syscomm-cli: parse: %s\n",
+                     parsed.error.c_str());
+        return 1;
+    }
+    syscomm::Topology topo;
+    std::string error;
+    if (!buildOfflineTopology(args, parsed.program.numCells(), topo,
+                              error)) {
+        std::fprintf(stderr, "syscomm-cli: %s\n", error.c_str());
+        return 2;
+    }
+
+    syscomm::sim::SimOptions options;
+    options.audit = true;
+    options.seed = static_cast<std::uint64_t>(args.seed);
+    options.maxCycles = args.maxCycles;
+    bool known = false;
+    for (int i = 0; i < syscomm::sim::kNumPolicyKinds; ++i) {
+        const auto kind = static_cast<syscomm::sim::PolicyKind>(i);
+        if (args.policy == syscomm::sim::policyKindName(kind)) {
+            options.policy = kind;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        std::fprintf(stderr, "syscomm-cli: unknown --policy '%s'\n",
+                     args.policy.c_str());
+        return 2;
+    }
+    if (args.kernel == "event") {
+        options.kernel = syscomm::sim::KernelKind::kEventDriven;
+    } else if (args.kernel == "reference") {
+        options.kernel = syscomm::sim::KernelKind::kReference;
+    } else {
+        std::fprintf(stderr, "syscomm-cli: unknown --kernel '%s'\n",
+                     args.kernel.c_str());
+        return 2;
+    }
+
+    syscomm::MachineSpec spec;
+    spec.topo = syscomm::SharedTopology(std::move(topo));
+    spec.queuesPerLink = static_cast<int>(args.queues);
+    spec.queueCapacity = static_cast<int>(args.capacity);
+    spec.extensionCapacity = static_cast<int>(args.extension);
+    spec.extensionPenalty = static_cast<int>(args.penalty);
+    const syscomm::sim::RunResult result =
+        syscomm::sim::simulateProgram(parsed.program, spec, options);
+
+    const bool ok = result.completed() && result.audit.compatible;
+    JsonValue out = JsonValue::object();
+    out.set("ok", JsonValue::boolean(ok));
+    out.set("status", JsonValue::str(result.statusStr()));
+    out.set("cycles", JsonValue::integer(result.cycles));
+    if (!result.error.empty())
+        out.set("error", JsonValue::str(result.error));
+    JsonValue audit = JsonValue::object();
+    audit.set("compatible",
+              JsonValue::boolean(result.audit.compatible));
+    audit.set("violations",
+              JsonValue::integer(static_cast<std::int64_t>(
+                  result.audit.violations.size())));
+    if (!result.audit.compatible)
+        audit.set("detail",
+                  JsonValue::str(result.audit.str(parsed.program)));
+    out.set("audit", std::move(audit));
+    JsonValue labels = JsonValue::array();
+    for (std::int64_t label : result.labelsUsed)
+        labels.push(JsonValue::integer(label));
+    out.set("labels", std::move(labels));
+    if (result.deadlock.deadlocked)
+        out.set("deadlock",
+                JsonValue::str(result.deadlock.render()));
+    std::printf("%s\n", syscomm::serve::writeJson(out).c_str());
+    return ok ? 0 : 1;
+}
+
 int
 printResponse(const JsonValue& response)
 {
@@ -334,6 +645,10 @@ main(int argc, char** argv)
         return genRingSweep(argc, argv, argi);
     if (command == "sweep-merge")
         return sweepMerge(argc, argv, argi);
+    if (command == "lint")
+        return lintCommand(argc, argv, argi);
+    if (command == "audit")
+        return auditCommand(argc, argv, argi);
     if (command == "help" || command == "--help") {
         usage();
         return 0;

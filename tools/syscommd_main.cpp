@@ -71,7 +71,11 @@ usage(const char* argv0)
         "  --budget N           default cycle budget (default 50000000)\n"
         "  --fsync POLICY       none | markers | always (default none)\n"
         "  --watchdog-ms N      fail a run whose slice stalls N ms\n"
-        "                       (default 0 = disabled)\n",
+        "                       (default 0 = disabled)\n"
+        "  --lint MODE          off | warn | enforce (default off):\n"
+        "                       static analysis at admission; enforce\n"
+        "                       rejects statically-deadlocked programs\n"
+        "                       with the blocked-cycle witness\n",
         argv0);
 }
 
@@ -130,6 +134,13 @@ main(int argc, char** argv)
             }
         } else if (arg == "--watchdog-ms" && parseLong(value, n)) {
             options.watchdogMs = n;
+        } else if (arg == "--lint") {
+            if (!syscomm::serve::parseLintMode(value,
+                                               options.lintMode)) {
+                std::fprintf(stderr,
+                             "syscommd: bad --lint '%s'\n", value);
+                return 2;
+            }
         } else {
             usage(argv[0]);
             return 2;
